@@ -1,0 +1,190 @@
+//! Checkable formulations of the paper's behavioural properties.
+//!
+//! * **View update compliance** (Definition 11): for all `R`, `S` with
+//!   `*(R) = *(S)`, also `*(O(R)) = *(O(S))` — the operator is insensitive
+//!   to how state changes are packaged into events.
+//! * **Well-behavedness** (Definition 6): logically equivalent inputs
+//!   produce logically equivalent outputs (checked at the ideal-table level
+//!   here; the runtime crate checks it under disorder and retractions).
+//!
+//! The functions here produce *repackagings* — alternative event encodings
+//! of the same coalesced state — that property tests feed to operators.
+
+use crate::EventSet;
+use cedr_temporal::{Duration, Event, EventId, Interval, TimePoint};
+
+/// Split an event's lifetime into `pieces` meeting sub-events with the same
+/// payload (the canonical Definition-11 repackaging). IDs are derived from
+/// the original. Events too short to split are returned unchanged.
+pub fn chop_event(e: &Event, pieces: usize) -> Vec<Event> {
+    if pieces <= 1 || e.interval.is_empty() || e.interval.end.is_infinite() {
+        return vec![e.clone()];
+    }
+    let total = e.interval.duration().0;
+    if total < pieces as u64 {
+        return vec![e.clone()];
+    }
+    let step = total / pieces as u64;
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = e.interval.start;
+    for i in 0..pieces {
+        let end = if i == pieces - 1 {
+            e.interval.end
+        } else {
+            start + Duration(step)
+        };
+        let mut piece = e.clone();
+        // High-bit tagged so piece IDs can never collide with source IDs.
+        piece.id = EventId(
+            0x9E37_79B9_0000_0000
+                ^ e.id.0.wrapping_mul(1_000_003).wrapping_add(i as u64 + 1),
+        );
+        piece.interval = Interval::new(start, end);
+        piece.root_time = piece.interval.start;
+        out.push(piece);
+        start = end;
+    }
+    out
+}
+
+/// Repackage a whole event set: event `i` is chopped into
+/// `1 + (i + salt) % 3` pieces. Produces a set with identical coalesced
+/// state (`*`) but different packaging.
+pub fn repackage(events: &[Event], salt: usize) -> EventSet {
+    let mut out = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        out.extend(chop_event(e, 1 + (i + salt) % 3));
+    }
+    out
+}
+
+/// Check Definition 11 for a unary operator `op` against one input and a
+/// set of repackagings: all packagings must produce `*`-equal outputs.
+pub fn check_view_update_compliance(
+    op: impl Fn(&[Event]) -> EventSet,
+    input: &[Event],
+    packagings: usize,
+) -> bool {
+    let reference = crate::to_table(&op(input)).star();
+    for salt in 1..=packagings {
+        let alt = repackage(input, salt);
+        debug_assert!(
+            crate::to_table(input).star_equal(&crate::to_table(&alt)),
+            "repackaging must preserve coalesced state"
+        );
+        let out = crate::to_table(&op(&alt)).star();
+        if !reference.star_equal(&out) {
+            return false;
+        }
+    }
+    true
+}
+
+/// A deterministic pseudo-random event set for compliance fixtures (kept
+/// here so unit tests and benches share workloads without depending on
+/// `rand` in the library itself).
+///
+/// The result satisfies the relation precondition of Definition 10: events
+/// with equal payloads never overlap (each payload kind advances a cursor),
+/// and occasionally *meet* exactly so coalescing has work to do.
+pub fn fixture_events(n: u64, span: u64, payload_kinds: u64) -> EventSet {
+    let kinds = payload_kinds.max(1);
+    let mut out = Vec::with_capacity(n as usize);
+    let mut state = 0x243F_6A88_85A3_08D3u64;
+    let mut cursors = vec![0u64; kinds as usize];
+    let mut step = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 16
+    };
+    for i in 0..n {
+        let kind = step() % kinds;
+        // Every third event meets the previous one of its kind exactly.
+        let gap = if step() % 3 == 0 { 0 } else { 1 + step() % (span / 8 + 1) };
+        let len = 1 + step() % (span / 4 + 1);
+        let vs = cursors[kind as usize] + gap;
+        cursors[kind as usize] = vs + len;
+        out.push(Event::primitive(
+            EventId(i),
+            Interval::new(TimePoint::new(vs), TimePoint::new(vs + len)),
+            cedr_temporal::Payload::from_values(vec![cedr_temporal::Value::Int(kind as i64)]),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Pred, Scalar};
+    use crate::relational::{group_aggregate, select, AggFunc};
+    use crate::{alter_lifetime, to_table};
+    use cedr_temporal::time::dur;
+
+    #[test]
+    fn chopping_preserves_coalesced_state() {
+        let events = fixture_events(20, 50, 1);
+        for salt in 0..4 {
+            let alt = repackage(&events, salt);
+            assert!(to_table(&events).star_equal(&to_table(&alt)));
+        }
+    }
+
+    #[test]
+    fn chop_boundary_cases() {
+        let e = Event::primitive(
+            EventId(1),
+            Interval::new(TimePoint::new(0), TimePoint::new(2)),
+            cedr_temporal::Payload::empty(),
+        );
+        assert_eq!(chop_event(&e, 1).len(), 1);
+        assert_eq!(chop_event(&e, 2).len(), 2);
+        assert_eq!(chop_event(&e, 5).len(), 1, "too short to split 5 ways");
+        let inf = Event::primitive(
+            EventId(2),
+            Interval::from(TimePoint::new(3)),
+            cedr_temporal::Payload::empty(),
+        );
+        assert_eq!(chop_event(&inf, 3).len(), 1, "infinite lifetimes unchopped");
+    }
+
+    #[test]
+    fn selection_is_view_update_compliant() {
+        // Distinct payload kinds so the relation precondition holds.
+        let events = fixture_events(15, 40, 15);
+        let pred = Pred::cmp(Scalar::Field(0), CmpOp::Ge, Scalar::lit(5i64));
+        assert!(check_view_update_compliance(
+            |input| select(input, &pred),
+            &events,
+            3
+        ));
+    }
+
+    #[test]
+    fn count_aggregate_is_view_update_compliant() {
+        let events = fixture_events(10, 30, 10);
+        assert!(check_view_update_compliance(
+            |input| group_aggregate(input, &[], &AggFunc::Count),
+            &events,
+            3
+        ));
+    }
+
+    #[test]
+    fn window_is_not_view_update_compliant() {
+        // The moving window W_5 must FAIL the check on an input containing a
+        // long event: "the features which are considered unique to streams,
+        // like windows … are not view update compliant".
+        let e = Event::primitive(
+            EventId(1),
+            Interval::new(TimePoint::new(0), TimePoint::new(30)),
+            cedr_temporal::Payload::empty(),
+        );
+        assert!(!check_view_update_compliance(
+            |input| alter_lifetime::moving_window(input, dur(5)),
+            &[e],
+            3
+        ));
+    }
+}

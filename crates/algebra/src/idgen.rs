@@ -1,0 +1,83 @@
+//! The `idgen` pairing function (Section 3.3.2).
+//!
+//! "In order to generate ID for the output events of an operator, we need a
+//! pairing function `idgen`, which takes a variable number of input IDs, and
+//! produces an ID. It has the property that the different sets of input IDs
+//! will generate different output IDs."
+//!
+//! We realise `idgen` as an order-sensitive SplitMix64 fold. A 64-bit hash
+//! cannot be literally injective, but collisions are vanishingly unlikely at
+//! workload scale; correctness-critical paths additionally carry the exact
+//! `cbt[]` lineage (see `cedr_temporal::Lineage`), so tests never depend on
+//! injectivity.
+
+use cedr_temporal::EventId;
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The pairing function over contributor IDs (order sensitive).
+pub fn idgen(ids: &[EventId]) -> EventId {
+    let mut acc: u64 = 0xCED4_2007; // CEDR, CIDR 2007
+    for id in ids {
+        acc = splitmix64(acc ^ id.0).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    }
+    EventId(splitmix64(acc))
+}
+
+/// A tagged two-argument variant used for synthesised events that have no
+/// contributor lineage (aggregate/difference segments): mixes an operator
+/// tag with an arbitrary discriminator.
+pub fn idgen2(tag: u64, discriminator: u64) -> EventId {
+    EventId(splitmix64(splitmix64(tag) ^ discriminator))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn distinct_inputs_give_distinct_outputs() {
+        let mut seen = HashSet::new();
+        for a in 0..50u64 {
+            for b in 0..50u64 {
+                let id = idgen(&[EventId(a), EventId(b)]);
+                assert!(seen.insert(id), "collision at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn idgen_is_order_sensitive() {
+        let ab = idgen(&[EventId(1), EventId(2)]);
+        let ba = idgen(&[EventId(2), EventId(1)]);
+        assert_ne!(ab, ba);
+    }
+
+    #[test]
+    fn idgen_is_arity_sensitive() {
+        // [1] vs [1,0] vs [1,0,0] must all differ.
+        let a = idgen(&[EventId(1)]);
+        let b = idgen(&[EventId(1), EventId(0)]);
+        let c = idgen(&[EventId(1), EventId(0), EventId(0)]);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn idgen_is_deterministic() {
+        assert_eq!(
+            idgen(&[EventId(7), EventId(9)]),
+            idgen(&[EventId(7), EventId(9)])
+        );
+        assert_eq!(idgen2(3, 14), idgen2(3, 14));
+        assert_ne!(idgen2(3, 14), idgen2(4, 14));
+    }
+}

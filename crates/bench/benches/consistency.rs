@@ -1,0 +1,68 @@
+//! The Figure-8 matrix as a wall-clock benchmark: the CIDR07_Example plan
+//! under each consistency level × orderliness regime.
+
+use cedr_bench::{high_orderliness, low_orderliness, machine_streams, run_cell};
+use cedr_runtime::ConsistencySpec;
+use cedr_temporal::Duration;
+use cedr_workload::machines::MachineWorkloadConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_consistency_matrix(c: &mut Criterion) {
+    let cfg = MachineWorkloadConfig {
+        machines: 6,
+        episodes: 10,
+        ..Default::default()
+    };
+    let (streams, _) = machine_streams(&cfg, Duration::minutes(10));
+    let mut g = c.benchmark_group("fig08_consistency");
+    g.sample_size(10);
+    let specs = [
+        ("strong", ConsistencySpec::strong()),
+        ("middle", ConsistencySpec::middle()),
+        ("weak_30m", ConsistencySpec::weak(Duration::minutes(30))),
+    ];
+    for (sname, spec) in specs {
+        for (oname, mk) in [
+            ("high_order", high_orderliness as fn(u64) -> cedr_streams::DisorderConfig),
+            ("low_order", low_orderliness as fn(u64) -> cedr_streams::DisorderConfig),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(sname, oname),
+                &(spec, oname),
+                |b, (spec, _)| {
+                    b.iter(|| run_cell(*spec, mk(3), &streams));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_cti_frequency(c: &mut Criterion) {
+    // Ablation: how CTI (sync point) frequency affects a middle run —
+    // state purge effectiveness at constant data volume.
+    let mut g = c.benchmark_group("cti_frequency");
+    g.sample_size(10);
+    for period in [1u64, 10, 100] {
+        let cfg = MachineWorkloadConfig {
+            machines: 6,
+            episodes: 10,
+            ..Default::default()
+        };
+        let trace = cedr_workload::machines::generate(&cfg);
+        let streams = trace.to_streams(Some(Duration::minutes(period)));
+        g.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, _| {
+            b.iter(|| {
+                run_cell(
+                    ConsistencySpec::middle(),
+                    cedr_streams::DisorderConfig::heavy(7, 3_600, 20),
+                    &streams,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_consistency_matrix, bench_cti_frequency);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Regenerates the paper artifact; see DESIGN.md §4.
+fn main() {
+    print!("{}", cedr_bench::figures::tab02());
+}

@@ -1,0 +1,338 @@
+//! The CEDR engine: standing-query registration, stream routing, output
+//! collection and per-query consistency.
+//!
+//! Applications "specify consistency requirements on a per query basis"
+//! (Section 1): each registered query gets its own operator instances
+//! running at its own ⟨M, B⟩ spectrum point, fed from shared named input
+//! streams.
+
+use cedr_lang::catalog::{Catalog, EventTypeDef, FieldType};
+use cedr_lang::{compile, lower, optimize, LangError, LogicalOp, LoweredPlan};
+use cedr_runtime::{ConsistencySpec, OpStats};
+use cedr_streams::{Collector, Message, Retraction};
+use cedr_temporal::{Event, EventId, Interval, Payload, TimePoint, Value};
+use std::fmt;
+
+/// Handle to a registered standing query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QueryId(pub usize);
+
+/// Engine errors.
+#[derive(Debug)]
+pub enum EngineError {
+    Lang(LangError),
+    UnknownEventType(String),
+    UnknownQuery(QueryId),
+    PayloadArity {
+        event_type: String,
+        expected: usize,
+        got: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Lang(e) => write!(f, "{e}"),
+            EngineError::UnknownEventType(t) => write!(f, "unknown event type '{t}'"),
+            EngineError::UnknownQuery(q) => write!(f, "unknown query {q:?}"),
+            EngineError::PayloadArity {
+                event_type,
+                expected,
+                got,
+            } => write!(
+                f,
+                "payload arity mismatch for {event_type}: expected {expected}, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<LangError> for EngineError {
+    fn from(e: LangError) -> Self {
+        EngineError::Lang(e)
+    }
+}
+
+struct RunningQuery {
+    name: String,
+    plan: LoweredPlan,
+    spec: ConsistencySpec,
+    explain: String,
+}
+
+/// The CEDR engine.
+pub struct Engine {
+    catalog: Catalog,
+    queries: Vec<RunningQuery>,
+    next_event_id: u64,
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Engine {
+            catalog: Catalog::new(),
+            queries: Vec::new(),
+            next_event_id: 1,
+        }
+    }
+
+    /// Register a primitive event type.
+    pub fn register_event_type(&mut self, name: &str, fields: Vec<(&str, FieldType)>) {
+        self.catalog.register(EventTypeDef::new(name, fields));
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Register a query from CEDR query text.
+    pub fn register_query(
+        &mut self,
+        text: &str,
+        spec: ConsistencySpec,
+    ) -> Result<QueryId, EngineError> {
+        let parsed = cedr_lang::parse_query(text)?;
+        let bound = cedr_lang::bind(&parsed, &self.catalog)?;
+        let optimized = optimize(bound.root);
+        let explain = format!("{optimized}");
+        let plan = lower(&optimized, &self.catalog, spec)?;
+        let _ = compile; // compile() = the above pipeline in one call
+        self.queries.push(RunningQuery {
+            name: bound.name,
+            plan,
+            spec,
+            explain,
+        });
+        Ok(QueryId(self.queries.len() - 1))
+    }
+
+    /// Register a programmatic plan (see [`crate::builder::PlanBuilder`]).
+    pub fn register_plan(
+        &mut self,
+        name: &str,
+        root: LogicalOp,
+        spec: ConsistencySpec,
+    ) -> Result<QueryId, EngineError> {
+        let optimized = optimize(root);
+        let explain = format!("{optimized}");
+        let plan = lower(&optimized, &self.catalog, spec)?;
+        self.queries.push(RunningQuery {
+            name: name.to_string(),
+            plan,
+            spec,
+            explain,
+        });
+        Ok(QueryId(self.queries.len() - 1))
+    }
+
+    /// Mint a point event `[vs, vs+1)` of a registered type with a fresh ID.
+    pub fn event(
+        &mut self,
+        event_type: &str,
+        vs: u64,
+        payload: Vec<Value>,
+    ) -> Result<Event, EngineError> {
+        self.event_with_interval(
+            event_type,
+            Interval::point(TimePoint::new(vs)),
+            payload,
+        )
+    }
+
+    /// Mint an event with an explicit validity interval.
+    pub fn event_with_interval(
+        &mut self,
+        event_type: &str,
+        interval: Interval,
+        payload: Vec<Value>,
+    ) -> Result<Event, EngineError> {
+        let def = self
+            .catalog
+            .lookup(event_type)
+            .map_err(|_| EngineError::UnknownEventType(event_type.to_string()))?;
+        if def.fields.len() != payload.len() {
+            return Err(EngineError::PayloadArity {
+                event_type: event_type.to_string(),
+                expected: def.fields.len(),
+                got: payload.len(),
+            });
+        }
+        let id = EventId(self.next_event_id);
+        self.next_event_id += 1;
+        Ok(Event::primitive(id, interval, Payload::from_values(payload)))
+    }
+
+    /// Push a message on the named input stream; every query consuming the
+    /// type receives it.
+    pub fn push(&mut self, event_type: &str, msg: Message) -> Result<(), EngineError> {
+        if !self.catalog.contains(event_type) {
+            return Err(EngineError::UnknownEventType(event_type.to_string()));
+        }
+        for q in &mut self.queries {
+            if let Some(idx) = q.plan.source_index(event_type) {
+                q.plan.dataflow.push_source(idx, msg.clone());
+            }
+        }
+        Ok(())
+    }
+
+    /// Push an insert.
+    pub fn push_insert(&mut self, event_type: &str, event: Event) -> Result<(), EngineError> {
+        self.push(event_type, Message::Insert(event))
+    }
+
+    /// Push a retraction shortening `event` to `[Vs, new_end)`.
+    pub fn push_retract(
+        &mut self,
+        event_type: &str,
+        event: Event,
+        new_end: TimePoint,
+    ) -> Result<(), EngineError> {
+        self.push(event_type, Message::Retract(Retraction::new(event, new_end)))
+    }
+
+    /// Declare an occurrence-time guarantee on one input stream.
+    pub fn push_cti(&mut self, event_type: &str, t: TimePoint) -> Result<(), EngineError> {
+        self.push(event_type, Message::Cti(t))
+    }
+
+    /// Declare a guarantee on *all* registered event types (a provider-wide
+    /// sync point).
+    pub fn advance_all(&mut self, t: TimePoint) {
+        let types: Vec<String> = self.catalog.type_names().iter().map(|s| s.to_string()).collect();
+        for ty in types {
+            let _ = self.push_cti(&ty, t);
+        }
+    }
+
+    /// Seal every input with `CTI(∞)` — no more data will arrive.
+    pub fn seal(&mut self) {
+        self.advance_all(TimePoint::INFINITY);
+    }
+
+    /// The output collector of a query.
+    pub fn output(&self, q: QueryId) -> &Collector {
+        let rq = &self.queries[q.0];
+        rq.plan.dataflow.collector(rq.plan.sink)
+    }
+
+    /// Plan-wide runtime statistics of a query (Figure-8 observables).
+    pub fn stats(&self, q: QueryId) -> OpStats {
+        self.queries[q.0].plan.dataflow.total_stats()
+    }
+
+    /// Per-node statistics `(name, stats)` in plan order.
+    pub fn node_stats(&self, q: QueryId) -> Vec<(&'static str, OpStats)> {
+        let df = &self.queries[q.0].plan.dataflow;
+        (0..df.node_count())
+            .map(|n| (df.node_name(n), df.stats(n).clone()))
+            .collect()
+    }
+
+    /// The optimized logical plan, rendered.
+    pub fn explain(&self, q: QueryId) -> &str {
+        &self.queries[q.0].explain
+    }
+
+    pub fn query_name(&self, q: QueryId) -> &str {
+        &self.queries[q.0].name
+    }
+
+    pub fn query_spec(&self, q: QueryId) -> ConsistencySpec {
+        self.queries[q.0].spec
+    }
+
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedr_temporal::time::t;
+
+    fn machine_engine() -> Engine {
+        let mut e = Engine::new();
+        for ty in ["INSTALL", "SHUTDOWN", "RESTART"] {
+            e.register_event_type(ty, vec![("Machine_Id", FieldType::Str)]);
+        }
+        e
+    }
+
+    #[test]
+    fn register_and_run_text_query() {
+        let mut e = machine_engine();
+        let q = e
+            .register_query(
+                cedr_lang::parser::CIDR07_EXAMPLE,
+                ConsistencySpec::middle(),
+            )
+            .unwrap();
+        assert_eq!(e.query_name(q), "CIDR07_Example");
+        assert!(e.explain(q).contains("Unless"));
+
+        let i = e.event("INSTALL", 100, vec![Value::str("m1")]).unwrap();
+        e.push_insert("INSTALL", i).unwrap();
+        let s = e.event("SHUTDOWN", 200, vec![Value::str("m1")]).unwrap();
+        e.push_insert("SHUTDOWN", s).unwrap();
+        e.seal();
+        assert_eq!(e.output(q).stats().inserts, 1);
+    }
+
+    #[test]
+    fn multiple_queries_share_inputs_independently() {
+        let mut e = machine_engine();
+        let q_strong = e
+            .register_query(
+                "EVENT A WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 1 hours)",
+                ConsistencySpec::strong(),
+            )
+            .unwrap();
+        let q_middle = e
+            .register_query(
+                "EVENT B WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 1 hours)",
+                ConsistencySpec::middle(),
+            )
+            .unwrap();
+        let i = e.event("INSTALL", 10, vec![Value::str("m")]).unwrap();
+        e.push_insert("INSTALL", i).unwrap();
+        let s = e.event("SHUTDOWN", 20, vec![Value::str("m")]).unwrap();
+        e.push_insert("SHUTDOWN", s).unwrap();
+        e.seal();
+        assert_eq!(e.output(q_strong).stats().inserts, 1);
+        assert_eq!(e.output(q_middle).stats().inserts, 1);
+        assert_eq!(e.query_spec(q_strong).level(), cedr_runtime::ConsistencyLevel::Strong);
+    }
+
+    #[test]
+    fn event_minting_validates() {
+        let mut e = machine_engine();
+        assert!(matches!(
+            e.event("NOPE", 0, vec![]),
+            Err(EngineError::UnknownEventType(_))
+        ));
+        assert!(matches!(
+            e.event("INSTALL", 0, vec![]),
+            Err(EngineError::PayloadArity { .. })
+        ));
+        let ev1 = e.event("INSTALL", 0, vec![Value::str("m")]).unwrap();
+        let ev2 = e.event("INSTALL", 0, vec![Value::str("m")]).unwrap();
+        assert_ne!(ev1.id, ev2.id, "fresh IDs");
+    }
+
+    #[test]
+    fn push_to_unknown_type_fails() {
+        let mut e = machine_engine();
+        assert!(e.push_cti("NOPE", t(5)).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! # cedr-core
+//!
+//! The public face of the CEDR reproduction: an [`engine::Engine`] that
+//! registers standing queries (from CEDR query text or the programmatic
+//! [`builder::PlanBuilder`]), routes provider streams to them, applies
+//! per-query consistency specs, and exposes outputs as collectors plus the
+//! Figure-8 runtime metrics.
+//!
+//! ```
+//! use cedr_core::prelude::*;
+//!
+//! let mut engine = Engine::new();
+//! engine.register_event_type("INSTALL", vec![("Machine_Id", FieldType::Str)]);
+//! engine.register_event_type("SHUTDOWN", vec![("Machine_Id", FieldType::Str)]);
+//! engine.register_event_type("RESTART", vec![("Machine_Id", FieldType::Str)]);
+//! let q = engine
+//!     .register_query(
+//!         "EVENT Q WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 12 hours) \
+//!          WHERE x.Machine_Id = y.Machine_Id",
+//!         ConsistencySpec::middle(),
+//!     )
+//!     .unwrap();
+//! let install = engine.event("INSTALL", 100, vec![Value::str("m1")]).unwrap();
+//! engine.push_insert("INSTALL", install).unwrap();
+//! let shutdown = engine.event("SHUTDOWN", 200, vec![Value::str("m1")]).unwrap();
+//! engine.push_insert("SHUTDOWN", shutdown).unwrap();
+//! engine.seal();
+//! assert_eq!(engine.output(q).stats().inserts, 1);
+//! ```
+
+pub mod builder;
+pub mod engine;
+
+pub use builder::PlanBuilder;
+pub use engine::{Engine, EngineError, QueryId};
+
+/// Convenience prelude for applications.
+pub mod prelude {
+    pub use crate::builder::PlanBuilder;
+    pub use crate::engine::{Engine, EngineError, QueryId};
+    pub use cedr_algebra::expr::{CmpOp, Pred, Scalar};
+    pub use cedr_algebra::pattern::{Consumption, ScMode, Selection};
+    pub use cedr_algebra::relational::AggFunc;
+    pub use cedr_lang::catalog::{Catalog, EventTypeDef, FieldType};
+    pub use cedr_runtime::{ConsistencyLevel, ConsistencySpec};
+    pub use cedr_streams::{Collector, DisorderConfig, Message, Retraction, StreamBuilder};
+    pub use cedr_temporal::prelude::*;
+    pub use cedr_temporal::time::{dur, t};
+}

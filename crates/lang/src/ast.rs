@@ -1,0 +1,296 @@
+//! Abstract syntax of the CEDR query language (Section 3.1).
+//!
+//! ```text
+//! query   := EVENT name WHEN expr [WHERE pred] [OUTPUT items] slice*
+//! expr    := SEQUENCE(arg, …, dur) | ATLEAST(n, arg, …, dur)
+//!          | ATMOST(n, arg, …, dur) | ALL(arg, …, dur) | ANY(arg, …)
+//!          | UNLESS(expr, expr, dur) | NOT(expr, SEQUENCE(…))
+//!          | CANCEL-WHEN(expr, expr) | TypeName [AS alias] [WITH SC(s, c)]
+//! pred    := or-tree of comparisons, CorrelationKey(attr, EQUAL|UNIQUE),
+//!            and [attr EQUAL lit]
+//! slice   := @ [t, t) | # [t, t)
+//! ```
+
+use cedr_algebra::pattern::{Consumption, Selection};
+use cedr_temporal::{Duration, TimePoint};
+
+/// A parsed CEDR query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    pub name: String,
+    pub when: Expr,
+    pub where_clause: Option<PredAst>,
+    pub output: Option<Vec<OutputItem>>,
+    /// `@[to1, to2)` — occurrence-time slice.
+    pub occ_slice: Option<(TimePoint, TimePoint)>,
+    /// `#[tv1, tv2)` — valid-time slice.
+    pub valid_slice: Option<(TimePoint, TimePoint)>,
+}
+
+/// A WHEN-clause expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Atom {
+        event_type: String,
+        alias: Option<String>,
+        sc: Option<ScModeAst>,
+    },
+    Sequence {
+        args: Vec<Expr>,
+        scope: Duration,
+    },
+    AtLeast {
+        n: usize,
+        args: Vec<Expr>,
+        scope: Duration,
+    },
+    AtMost {
+        n: usize,
+        args: Vec<Expr>,
+        scope: Duration,
+    },
+    All {
+        args: Vec<Expr>,
+        scope: Duration,
+    },
+    Any {
+        args: Vec<Expr>,
+    },
+    Unless {
+        main: Box<Expr>,
+        neg: Box<Expr>,
+        scope: Duration,
+    },
+    Not {
+        neg: Box<Expr>,
+        seq: Box<Expr>,
+    },
+    CancelWhen {
+        main: Box<Expr>,
+        neg: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// All atoms in the expression, left-to-right.
+    pub fn atoms(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Expr::Atom { .. } => out.push(self),
+            Expr::Sequence { args, .. }
+            | Expr::AtLeast { args, .. }
+            | Expr::AtMost { args, .. }
+            | Expr::All { args, .. }
+            | Expr::Any { args } => {
+                for a in args {
+                    a.collect_atoms(out);
+                }
+            }
+            Expr::Unless { main, neg, .. } | Expr::CancelWhen { main, neg } => {
+                main.collect_atoms(out);
+                neg.collect_atoms(out);
+            }
+            Expr::Not { neg, seq } => {
+                seq.collect_atoms(out);
+                neg.collect_atoms(out);
+            }
+        }
+    }
+}
+
+/// SC mode as written (`WITH SC(FIRST, CONSUME)`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScModeAst {
+    pub selection: Selection,
+    pub consumption: Consumption,
+}
+
+/// A WHERE-clause predicate tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PredAst {
+    Cmp {
+        left: Operand,
+        op: CmpOpAst,
+        right: Operand,
+    },
+    /// `CorrelationKey(attr, EQUAL)`: equivalence test across all
+    /// contributors carrying `attr`.
+    CorrelationKey {
+        attr: String,
+        unique: bool,
+    },
+    /// `[attr EQUAL 'literal']`: every contributor carrying `attr` equals
+    /// the literal.
+    AttrEqual {
+        attr: String,
+        value: LitAst,
+    },
+    And(Box<PredAst>, Box<PredAst>),
+    Or(Box<PredAst>, Box<PredAst>),
+    Not(Box<PredAst>),
+}
+
+impl PredAst {
+    /// Split the top-level conjunction into conjuncts (for predicate
+    /// injection placement).
+    pub fn conjuncts(&self) -> Vec<&PredAst> {
+        match self {
+            PredAst::And(a, b) => {
+                let mut v = a.conjuncts();
+                v.extend(b.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Aliases referenced by this predicate.
+    pub fn aliases(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_aliases(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_aliases(&self, out: &mut Vec<String>) {
+        match self {
+            PredAst::Cmp { left, right, .. } => {
+                if let Operand::Path { alias, .. } = left {
+                    out.push(alias.clone());
+                }
+                if let Operand::Path { alias, .. } = right {
+                    out.push(alias.clone());
+                }
+            }
+            PredAst::CorrelationKey { .. } | PredAst::AttrEqual { .. } => {}
+            PredAst::And(a, b) | PredAst::Or(a, b) => {
+                a.collect_aliases(out);
+                b.collect_aliases(out);
+            }
+            PredAst::Not(a) => a.collect_aliases(out),
+        }
+    }
+}
+
+/// A comparison operand: `alias.attr` or a literal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Operand {
+    Path { alias: String, attr: String },
+    Lit(LitAst),
+}
+
+/// Literal values in queries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LitAst {
+    Int(i64),
+    Float(f64),
+    Str(String),
+}
+
+/// Comparison operators as written.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOpAst {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// An OUTPUT-clause item: `alias.attr [AS name]` or a literal column.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OutputItem {
+    Path {
+        alias: String,
+        attr: String,
+        name: Option<String>,
+    },
+    Lit {
+        value: LitAst,
+        name: Option<String>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_splitting() {
+        let a = PredAst::AttrEqual {
+            attr: "x".into(),
+            value: LitAst::Int(1),
+        };
+        let b = PredAst::CorrelationKey {
+            attr: "k".into(),
+            unique: false,
+        };
+        let c = PredAst::Or(Box::new(a.clone()), Box::new(b.clone()));
+        let tree = PredAst::And(
+            Box::new(PredAst::And(Box::new(a.clone()), Box::new(b.clone()))),
+            Box::new(c.clone()),
+        );
+        let cj = tree.conjuncts();
+        assert_eq!(cj.len(), 3);
+        assert_eq!(cj[2], &c, "OR stays one conjunct");
+    }
+
+    #[test]
+    fn alias_collection() {
+        let p = PredAst::Cmp {
+            left: Operand::Path {
+                alias: "x".into(),
+                attr: "a".into(),
+            },
+            op: CmpOpAst::Eq,
+            right: Operand::Path {
+                alias: "y".into(),
+                attr: "a".into(),
+            },
+        };
+        assert_eq!(p.aliases(), vec!["x".to_string(), "y".to_string()]);
+    }
+
+    #[test]
+    fn atom_collection_is_left_to_right() {
+        let e = Expr::Unless {
+            main: Box::new(Expr::Sequence {
+                args: vec![
+                    Expr::Atom {
+                        event_type: "A".into(),
+                        alias: Some("x".into()),
+                        sc: None,
+                    },
+                    Expr::Atom {
+                        event_type: "B".into(),
+                        alias: Some("y".into()),
+                        sc: None,
+                    },
+                ],
+                scope: Duration(10),
+            }),
+            neg: Box::new(Expr::Atom {
+                event_type: "C".into(),
+                alias: Some("z".into()),
+                sc: None,
+            }),
+            scope: Duration(5),
+        };
+        let names: Vec<&str> = e
+            .atoms()
+            .iter()
+            .map(|a| match a {
+                Expr::Atom { event_type, .. } => event_type.as_str(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, vec!["A", "B", "C"]);
+    }
+}

@@ -1,0 +1,797 @@
+//! The binder: semantic analysis and **predicate injection** (Section 3.2).
+//!
+//! "In CEDR, we carefully define the semantics of such value correlation
+//! based on what operators are present in the WHEN clause, by placing the
+//! predicates from the WHERE clause into the denotation of the query, a
+//! process we refer to as predicate injection."
+//!
+//! Each top-level WHERE conjunct is assigned to the *lowest* WHEN-clause
+//! node whose tuple scope covers all the aliases it mentions: predicates on
+//! a single contributor push down to its source; cross-contributor
+//! predicates inject into the pattern operator that first sees the full
+//! tuple; predicates mentioning a negated contributor inject into the
+//! negation operator's `[candidate, negated]` tuple.
+
+use crate::ast::{CmpOpAst, Expr, LitAst, Operand, OutputItem, PredAst, Query};
+use crate::catalog::{Catalog, FieldType};
+use crate::error::LangError;
+use crate::logical::{Layout, LayoutCol, LogicalOp};
+use cedr_algebra::expr::{CmpOp, Pred, Scalar};
+use cedr_algebra::pattern::ScMode;
+use cedr_temporal::{Duration, Value};
+use std::collections::HashSet;
+
+/// A bound query: logical plan + output layout.
+#[derive(Clone, Debug)]
+pub struct BoundQuery {
+    pub name: String,
+    pub root: LogicalOp,
+    pub layout: Layout,
+}
+
+/// Bind a parsed query against a catalog.
+pub fn bind(query: &Query, catalog: &Catalog) -> Result<BoundQuery, LangError> {
+    let mut binder = Binder {
+        catalog,
+        used_aliases: HashSet::new(),
+        synth_counter: 0,
+    };
+    let mut tree = binder.build(&query.when)?;
+
+    // Desugar CorrelationKey / AttrEqual and assign conjuncts.
+    if let Some(w) = &query.where_clause {
+        for conj in w.conjuncts() {
+            match conj {
+                PredAst::CorrelationKey { attr, unique } => {
+                    let carriers = carriers_of(&tree, attr);
+                    if carriers.len() < 2 {
+                        return Err(LangError::bind(format!(
+                            "CorrelationKey({attr}): fewer than two contributors carry '{attr}'"
+                        )));
+                    }
+                    for pair in carriers.windows(2) {
+                        let p = PredAst::Cmp {
+                            left: Operand::Path {
+                                alias: pair[0].clone(),
+                                attr: attr.clone(),
+                            },
+                            op: if *unique { CmpOpAst::Ne } else { CmpOpAst::Eq },
+                            right: Operand::Path {
+                                alias: pair[1].clone(),
+                                attr: attr.clone(),
+                            },
+                        };
+                        assign(&mut tree, &p)?;
+                    }
+                }
+                PredAst::AttrEqual { attr, value } => {
+                    let carriers = carriers_of(&tree, attr);
+                    if carriers.is_empty() {
+                        return Err(LangError::bind(format!(
+                            "[{attr} EQUAL …]: no contributor carries '{attr}'"
+                        )));
+                    }
+                    for alias in carriers {
+                        let p = PredAst::Cmp {
+                            left: Operand::Path {
+                                alias,
+                                attr: attr.clone(),
+                            },
+                            op: CmpOpAst::Eq,
+                            right: Operand::Lit(value.clone()),
+                        };
+                        assign(&mut tree, &p)?;
+                    }
+                }
+                other => {
+                    assign(&mut tree, other)?;
+                }
+            }
+        }
+    }
+
+    let mut root = to_logical(tree.clone());
+    let mut layout = tree.layout.clone();
+
+    // OUTPUT clause → projection.
+    if let Some(items) = &query.output {
+        if !layout.stable {
+            return Err(LangError::bind(
+                "OUTPUT cannot reference the payload of subset operators (ATLEAST/ANY): \
+                 their concatenation order is match-dependent",
+            ));
+        }
+        let mut exprs = Vec::new();
+        let mut names = Vec::new();
+        let mut cols = Vec::new();
+        for item in items {
+            match item {
+                OutputItem::Path { alias, attr, name } => {
+                    let off = layout.offset_of(alias, attr).ok_or_else(|| {
+                        LangError::bind(format!("OUTPUT: unknown column {alias}.{attr}"))
+                    })?;
+                    exprs.push(Scalar::Field(off));
+                    let n = name.clone().unwrap_or_else(|| attr.clone());
+                    names.push(n.clone());
+                    cols.push(LayoutCol {
+                        alias: None,
+                        field: n,
+                        ty: layout.cols[off].ty,
+                    });
+                }
+                OutputItem::Lit { value, name } => {
+                    exprs.push(Scalar::Lit(lit_value(value)));
+                    let n = name.clone().unwrap_or_else(|| format!("col{}", names.len()));
+                    names.push(n.clone());
+                    cols.push(LayoutCol {
+                        alias: None,
+                        field: n,
+                        ty: match value {
+                            LitAst::Int(_) => FieldType::Int,
+                            LitAst::Float(_) => FieldType::Float,
+                            LitAst::Str(_) => FieldType::Str,
+                        },
+                    });
+                }
+            }
+        }
+        root = LogicalOp::Project {
+            input: Box::new(root),
+            exprs,
+            names,
+        };
+        layout = Layout::stable(cols);
+    }
+
+    // Temporal slices.
+    if let Some((from, to)) = query.occ_slice {
+        root = LogicalOp::SliceOcc {
+            input: Box::new(root),
+            from,
+            to,
+        };
+    }
+    if let Some((from, to)) = query.valid_slice {
+        root = LogicalOp::SliceValid {
+            input: Box::new(root),
+            from,
+            to,
+        };
+    }
+
+    Ok(BoundQuery {
+        name: query.name.clone(),
+        root,
+        layout,
+    })
+}
+
+/// A bound WHEN-clause node.
+#[derive(Clone, Debug)]
+struct BNode {
+    kind: BKind,
+    layout: Layout,
+    aliases: HashSet<String>,
+    /// Predicates injected at this node (tuple convention of the kind).
+    preds: Vec<Pred>,
+}
+
+#[derive(Clone, Debug)]
+enum BKind {
+    Atom {
+        event_type: String,
+        alias: String,
+        sc: ScMode,
+    },
+    Sequence {
+        children: Vec<BNode>,
+        w: Duration,
+    },
+    AtLeast {
+        n: usize,
+        children: Vec<BNode>,
+        w: Duration,
+    },
+    AtMost {
+        n: usize,
+        children: Vec<BNode>,
+        w: Duration,
+    },
+    Unless {
+        main: Box<BNode>,
+        neg: Box<BNode>,
+        w: Duration,
+    },
+    NotSeq {
+        main: Box<BNode>,
+        neg: Box<BNode>,
+    },
+    CancelWhen {
+        main: Box<BNode>,
+        neg: Box<BNode>,
+    },
+}
+
+struct Binder<'a> {
+    catalog: &'a Catalog,
+    used_aliases: HashSet<String>,
+    synth_counter: usize,
+}
+
+impl Binder<'_> {
+    fn build(&mut self, expr: &Expr) -> Result<BNode, LangError> {
+        match expr {
+            Expr::Atom {
+                event_type,
+                alias,
+                sc,
+            } => {
+                let def = self.catalog.lookup(event_type)?;
+                let alias = match alias {
+                    Some(a) => {
+                        if !self.used_aliases.insert(a.clone()) {
+                            return Err(LangError::bind(format!("duplicate alias '{a}'")));
+                        }
+                        a.clone()
+                    }
+                    None => {
+                        self.synth_counter += 1;
+                        let a = format!("_{}", self.synth_counter);
+                        self.used_aliases.insert(a.clone());
+                        a
+                    }
+                };
+                let cols = def
+                    .fields
+                    .iter()
+                    .map(|(f, ty)| LayoutCol {
+                        alias: Some(alias.clone()),
+                        field: f.clone(),
+                        ty: *ty,
+                    })
+                    .collect();
+                Ok(BNode {
+                    kind: BKind::Atom {
+                        event_type: event_type.clone(),
+                        alias: alias.clone(),
+                        sc: sc
+                            .map(|s| ScMode::new(s.selection, s.consumption))
+                            .unwrap_or(ScMode::EACH_REUSE),
+                    },
+                    layout: Layout::stable(cols),
+                    aliases: [alias].into_iter().collect(),
+                    preds: Vec::new(),
+                })
+            }
+            Expr::Sequence { args, scope } => self.build_nary(
+                args,
+                |children, w| BKind::Sequence { children, w },
+                *scope,
+                true,
+            ),
+            Expr::All { args, scope } => {
+                let n = args.len();
+                self.build_nary(
+                    args,
+                    move |children, w| BKind::AtLeast { n, children, w },
+                    *scope,
+                    false,
+                )
+            }
+            Expr::Any { args } => self.build_nary(
+                args,
+                |children, w| BKind::AtLeast {
+                    n: 1,
+                    children,
+                    w,
+                },
+                Duration(1),
+                false,
+            ),
+            Expr::AtLeast { n, args, scope } => {
+                let n = *n;
+                if n == 0 || n > args.len() {
+                    return Err(LangError::bind(format!(
+                        "ATLEAST({n}, …): need 1 ≤ n ≤ {}",
+                        args.len()
+                    )));
+                }
+                self.build_nary(
+                    args,
+                    move |children, w| BKind::AtLeast { n, children, w },
+                    *scope,
+                    false,
+                )
+            }
+            Expr::AtMost { n, args, scope } => {
+                let n = *n;
+                let children = args
+                    .iter()
+                    .map(|a| self.build(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let aliases = children
+                    .iter()
+                    .flat_map(|c| c.aliases.iter().cloned())
+                    .collect();
+                Ok(BNode {
+                    kind: BKind::AtMost {
+                        n,
+                        children,
+                        w: *scope,
+                    },
+                    layout: Layout::stable(vec![LayoutCol {
+                        alias: None,
+                        field: "count".into(),
+                        ty: FieldType::Int,
+                    }]),
+                    aliases,
+                    preds: Vec::new(),
+                })
+            }
+            Expr::Unless { main, neg, scope } => {
+                let m = self.build(main)?;
+                let n = self.build(neg)?;
+                let layout = m.layout.clone();
+                let aliases = m
+                    .aliases
+                    .iter()
+                    .chain(n.aliases.iter())
+                    .cloned()
+                    .collect();
+                Ok(BNode {
+                    kind: BKind::Unless {
+                        main: Box::new(m),
+                        neg: Box::new(n),
+                        w: *scope,
+                    },
+                    layout,
+                    aliases,
+                    preds: Vec::new(),
+                })
+            }
+            Expr::Not { neg, seq } => {
+                let s = self.build(seq)?;
+                if !matches!(s.kind, BKind::Sequence { .. }) {
+                    return Err(LangError::bind("NOT scope must be a SEQUENCE"));
+                }
+                let n = self.build(neg)?;
+                let layout = s.layout.clone();
+                let aliases = s
+                    .aliases
+                    .iter()
+                    .chain(n.aliases.iter())
+                    .cloned()
+                    .collect();
+                Ok(BNode {
+                    kind: BKind::NotSeq {
+                        main: Box::new(s),
+                        neg: Box::new(n),
+                    },
+                    layout,
+                    aliases,
+                    preds: Vec::new(),
+                })
+            }
+            Expr::CancelWhen { main, neg } => {
+                let m = self.build(main)?;
+                let n = self.build(neg)?;
+                let layout = m.layout.clone();
+                let aliases = m
+                    .aliases
+                    .iter()
+                    .chain(n.aliases.iter())
+                    .cloned()
+                    .collect();
+                Ok(BNode {
+                    kind: BKind::CancelWhen {
+                        main: Box::new(m),
+                        neg: Box::new(n),
+                    },
+                    layout,
+                    aliases,
+                    preds: Vec::new(),
+                })
+            }
+        }
+    }
+
+    fn build_nary(
+        &mut self,
+        args: &[Expr],
+        kind: impl FnOnce(Vec<BNode>, Duration) -> BKind,
+        scope: Duration,
+        stable: bool,
+    ) -> Result<BNode, LangError> {
+        let children = args
+            .iter()
+            .map(|a| self.build(a))
+            .collect::<Result<Vec<_>, _>>()?;
+        let layouts: Vec<&Layout> = children.iter().map(|c| &c.layout).collect();
+        let mut layout = Layout::concat(&layouts);
+        if !stable {
+            layout.stable = false;
+        }
+        let aliases = children
+            .iter()
+            .flat_map(|c| c.aliases.iter().cloned())
+            .collect();
+        Ok(BNode {
+            kind: kind(children, scope),
+            layout,
+            aliases,
+            preds: Vec::new(),
+        })
+    }
+}
+
+/// Aliases of atoms whose schema carries `attr`, in left-to-right order.
+fn carriers_of(node: &BNode, attr: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_carriers(node, attr, &mut out);
+    out
+}
+
+fn collect_carriers(node: &BNode, attr: &str, out: &mut Vec<String>) {
+    match &node.kind {
+        BKind::Atom { alias, .. } => {
+            if node.layout.offset_of(alias, attr).is_some() {
+                out.push(alias.clone());
+            }
+        }
+        BKind::Sequence { children, .. }
+        | BKind::AtLeast { children, .. }
+        | BKind::AtMost { children, .. } => {
+            for c in children {
+                collect_carriers(c, attr, out);
+            }
+        }
+        BKind::Unless { main, neg, .. }
+        | BKind::NotSeq { main, neg }
+        | BKind::CancelWhen { main, neg } => {
+            collect_carriers(main, attr, out);
+            collect_carriers(neg, attr, out);
+        }
+    }
+}
+
+/// Assign one conjunct to the lowest covering node.
+fn assign(node: &mut BNode, conj: &PredAst) -> Result<(), LangError> {
+    let aliases = conj.aliases();
+    if !aliases.iter().all(|a| node.aliases.contains(a)) {
+        return Err(LangError::bind(format!(
+            "predicate references unknown alias(es): {aliases:?}"
+        )));
+    }
+    assign_covered(node, conj, &aliases)
+}
+
+fn assign_covered(node: &mut BNode, conj: &PredAst, aliases: &[String]) -> Result<(), LangError> {
+    // Descend into the unique child that still covers all aliases.
+    let children: Vec<&mut BNode> = match &mut node.kind {
+        BKind::Atom { .. } => Vec::new(),
+        BKind::Sequence { children, .. }
+        | BKind::AtLeast { children, .. }
+        | BKind::AtMost { children, .. } => children.iter_mut().collect(),
+        BKind::Unless { main, neg, .. }
+        | BKind::NotSeq { main, neg }
+        | BKind::CancelWhen { main, neg } => vec![main.as_mut(), neg.as_mut()],
+    };
+    for child in children {
+        if aliases.iter().all(|a| child.aliases.contains(a)) {
+            return assign_covered(child, conj, aliases);
+        }
+    }
+    // This node is the injection point.
+    let pred = convert(node, conj)?;
+    node.preds.push(pred);
+    Ok(())
+}
+
+/// The tuple slots of a node: (child index in the tuple, subtree).
+fn tuple_slots(node: &BNode) -> Result<Vec<&BNode>, LangError> {
+    match &node.kind {
+        BKind::Atom { .. } => Ok(vec![node]),
+        BKind::Sequence { children, .. } | BKind::AtLeast { children, .. } => {
+            Ok(children.iter().collect())
+        }
+        BKind::AtMost { .. } => Err(LangError::bind(
+            "ATMOST does not support cross-contributor predicates",
+        )),
+        BKind::Unless { main, neg, .. }
+        | BKind::NotSeq { main, neg }
+        | BKind::CancelWhen { main, neg } => Ok(vec![main.as_ref(), neg.as_ref()]),
+    }
+}
+
+/// Convert a predicate AST into an injected `Pred` at `node`.
+fn convert(node: &BNode, conj: &PredAst) -> Result<Pred, LangError> {
+    let slots = tuple_slots(node)?;
+    convert_with_slots(&slots, conj)
+}
+
+fn convert_with_slots(slots: &[&BNode], conj: &PredAst) -> Result<Pred, LangError> {
+    match conj {
+        PredAst::Cmp { left, op, right } => {
+            let l = operand_scalar(slots, left)?;
+            let r = operand_scalar(slots, right)?;
+            let op = match op {
+                CmpOpAst::Eq => CmpOp::Eq,
+                CmpOpAst::Ne => CmpOp::Ne,
+                CmpOpAst::Lt => CmpOp::Lt,
+                CmpOpAst::Le => CmpOp::Le,
+                CmpOpAst::Gt => CmpOp::Gt,
+                CmpOpAst::Ge => CmpOp::Ge,
+            };
+            Ok(Pred::Cmp(l, op, r))
+        }
+        PredAst::And(a, b) => Ok(Pred::And(
+            Box::new(convert_with_slots(slots, a)?),
+            Box::new(convert_with_slots(slots, b)?),
+        )),
+        PredAst::Or(a, b) => Ok(Pred::Or(
+            Box::new(convert_with_slots(slots, a)?),
+            Box::new(convert_with_slots(slots, b)?),
+        )),
+        PredAst::Not(a) => Ok(Pred::Not(Box::new(convert_with_slots(slots, a)?))),
+        PredAst::CorrelationKey { .. } | PredAst::AttrEqual { .. } => Err(LangError::bind(
+            "CorrelationKey/[attr EQUAL …] must appear as top-level conjuncts",
+        )),
+    }
+}
+
+fn operand_scalar(slots: &[&BNode], operand: &Operand) -> Result<Scalar, LangError> {
+    match operand {
+        Operand::Lit(l) => Ok(Scalar::Lit(lit_value(l))),
+        Operand::Path { alias, attr } => {
+            for (i, slot) in slots.iter().enumerate() {
+                if slot.aliases.contains(alias) {
+                    if !slot.layout.stable {
+                        return Err(LangError::bind(format!(
+                            "cannot reference {alias}.{attr} through a subset operator \
+                             (ATLEAST/ANY): payload order is match-dependent"
+                        )));
+                    }
+                    let off = slot.layout.offset_of(alias, attr).ok_or_else(|| {
+                        LangError::bind(format!("unknown attribute {alias}.{attr}"))
+                    })?;
+                    return Ok(if slots.len() == 1 {
+                        Scalar::Field(off)
+                    } else {
+                        Scalar::Of(i, off)
+                    });
+                }
+            }
+            Err(LangError::bind(format!(
+                "alias '{alias}' not reachable from the predicate's injection point"
+            )))
+        }
+    }
+}
+
+fn lit_value(l: &LitAst) -> Value {
+    match l {
+        LitAst::Int(v) => Value::Int(*v),
+        LitAst::Float(v) => Value::Float(*v),
+        LitAst::Str(s) => Value::str(s),
+    }
+}
+
+/// Lower the bound tree into the logical algebra.
+fn to_logical(node: BNode) -> LogicalOp {
+    let preds = Pred::and_all(node.preds.clone());
+    match node.kind {
+        BKind::Atom { event_type, .. } => {
+            let src = LogicalOp::Source { event_type };
+            if preds == Pred::True {
+                src
+            } else {
+                LogicalOp::Select {
+                    input: Box::new(src),
+                    pred: preds,
+                }
+            }
+        }
+        BKind::Sequence { children, w } => {
+            let modes = children.iter().map(sc_of).collect();
+            LogicalOp::Sequence {
+                inputs: children.into_iter().map(to_logical).collect(),
+                w,
+                pred: preds,
+                modes,
+            }
+        }
+        BKind::AtLeast { n, children, w } => {
+            let modes = children.iter().map(sc_of).collect();
+            LogicalOp::AtLeast {
+                n,
+                inputs: children.into_iter().map(to_logical).collect(),
+                w,
+                pred: preds,
+                modes,
+            }
+        }
+        BKind::AtMost { n, children, w } => LogicalOp::AtMost {
+            n,
+            inputs: children.into_iter().map(to_logical).collect(),
+            w,
+        },
+        BKind::Unless { main, neg, w } => LogicalOp::Unless {
+            main: Box::new(to_logical(*main)),
+            neg: Box::new(to_logical(*neg)),
+            w,
+            pred: preds,
+        },
+        BKind::NotSeq { main, neg } => LogicalOp::NotSeq {
+            main: Box::new(to_logical(*main)),
+            neg: Box::new(to_logical(*neg)),
+            pred: preds,
+        },
+        BKind::CancelWhen { main, neg } => LogicalOp::CancelWhen {
+            main: Box::new(to_logical(*main)),
+            neg: Box::new(to_logical(*neg)),
+            pred: preds,
+        },
+    }
+}
+
+fn sc_of(node: &BNode) -> ScMode {
+    match &node.kind {
+        BKind::Atom { sc, .. } => *sc,
+        _ => ScMode::EACH_REUSE,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_query, CIDR07_EXAMPLE};
+
+    fn machine_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        for ty in ["INSTALL", "SHUTDOWN", "RESTART"] {
+            c.register_type(ty, vec![("Machine_Id", FieldType::Str)]);
+        }
+        c
+    }
+
+    #[test]
+    fn binds_the_cidr07_example() {
+        let q = parse_query(CIDR07_EXAMPLE).unwrap();
+        let b = bind(&q, &machine_catalog()).unwrap();
+        // Root: UNLESS with the x=z predicate injected into its [main, neg]
+        // tuple; the x=y predicate injected into the SEQUENCE.
+        let LogicalOp::Unless { main, pred, .. } = &b.root else {
+            panic!("expected Unless root, got:\n{}", b.root);
+        };
+        assert_ne!(*pred, Pred::True, "x=z injected at UNLESS");
+        let LogicalOp::Sequence { pred: spred, .. } = main.as_ref() else {
+            panic!("expected Sequence under Unless");
+        };
+        assert_ne!(*spred, Pred::True, "x=y injected at SEQUENCE");
+        // Output layout = the sequence payload (x ++ y).
+        assert_eq!(b.layout.len(), 2);
+        assert_eq!(b.layout.offset_of("x", "Machine_Id"), Some(0));
+        assert_eq!(b.layout.offset_of("y", "Machine_Id"), Some(1));
+    }
+
+    #[test]
+    fn correlation_key_desugars_across_all_carriers() {
+        let q = parse_query(
+            "EVENT q \
+             WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN y, 12 hours), RESTART z, 5 minutes) \
+             WHERE CorrelationKey(Machine_Id, EQUAL)",
+        )
+        .unwrap();
+        let b = bind(&q, &machine_catalog()).unwrap();
+        // Same shape as writing the two pairwise predicates by hand.
+        let LogicalOp::Unless { pred, main, .. } = &b.root else {
+            panic!()
+        };
+        // y=z lands at UNLESS (y in main, z in neg).
+        assert_ne!(*pred, Pred::True);
+        let LogicalOp::Sequence { pred: sp, .. } = main.as_ref() else {
+            panic!()
+        };
+        assert_ne!(*sp, Pred::True);
+    }
+
+    #[test]
+    fn attr_equal_pushes_to_sources() {
+        let q = parse_query(
+            "EVENT q WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 1 hours) \
+             WHERE [Machine_Id EQUAL 'BARGA_XP03']",
+        )
+        .unwrap();
+        let b = bind(&q, &machine_catalog()).unwrap();
+        let LogicalOp::Sequence { inputs, .. } = &b.root else {
+            panic!()
+        };
+        for input in inputs {
+            assert!(
+                matches!(input, LogicalOp::Select { .. }),
+                "per-source pushdown expected, got {input}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_alias_predicates_push_down() {
+        let mut c = machine_catalog();
+        c.register_type("QUOTE", vec![("sym", FieldType::Str), ("px", FieldType::Float)]);
+        let q = parse_query(
+            "EVENT q WHEN SEQUENCE(QUOTE a, QUOTE b, 1 minutes) WHERE a.px > 100",
+        )
+        .unwrap();
+        let b = bind(&q, &c).unwrap();
+        let LogicalOp::Sequence { inputs, pred, .. } = &b.root else {
+            panic!()
+        };
+        assert_eq!(*pred, Pred::True, "nothing cross-contributor");
+        assert!(matches!(&inputs[0], LogicalOp::Select { .. }));
+        assert!(matches!(&inputs[1], LogicalOp::Source { .. }));
+    }
+
+    #[test]
+    fn output_clause_projects() {
+        let q = parse_query(
+            "EVENT q WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 1 hours) \
+             OUTPUT x.Machine_Id AS machine",
+        )
+        .unwrap();
+        let b = bind(&q, &machine_catalog()).unwrap();
+        assert!(matches!(b.root, LogicalOp::Project { .. }));
+        assert_eq!(b.layout.len(), 1);
+        assert_eq!(b.layout.cols[0].field, "machine");
+    }
+
+    #[test]
+    fn duplicate_aliases_rejected() {
+        let q = parse_query("EVENT q WHEN SEQUENCE(INSTALL x, SHUTDOWN x, 1 hours)").unwrap();
+        assert!(bind(&q, &machine_catalog()).is_err());
+    }
+
+    #[test]
+    fn unknown_type_and_attribute_rejected() {
+        let q = parse_query("EVENT q WHEN SEQUENCE(NOPE x, SHUTDOWN y, 1 hours)").unwrap();
+        assert!(bind(&q, &machine_catalog()).is_err());
+        let q2 = parse_query(
+            "EVENT q WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 1 hours) WHERE x.Nope = 1",
+        )
+        .unwrap();
+        assert!(bind(&q2, &machine_catalog()).is_err());
+    }
+
+    #[test]
+    fn output_through_subset_operators_rejected() {
+        let q = parse_query(
+            "EVENT q WHEN ATLEAST(1, INSTALL x, SHUTDOWN y, 1 hours) OUTPUT x.Machine_Id",
+        )
+        .unwrap();
+        let err = bind(&q, &machine_catalog()).unwrap_err();
+        assert!(matches!(err, LangError::Bind(_)));
+    }
+
+    #[test]
+    fn predicates_on_atleast_tuples_use_declared_slots() {
+        let q = parse_query(
+            "EVENT q WHEN ATLEAST(2, INSTALL x, SHUTDOWN y, RESTART z, 1 hours) \
+             WHERE x.Machine_Id = y.Machine_Id",
+        )
+        .unwrap();
+        let b = bind(&q, &machine_catalog()).unwrap();
+        let LogicalOp::AtLeast { pred, .. } = &b.root else {
+            panic!()
+        };
+        assert_ne!(*pred, Pred::True);
+    }
+
+    #[test]
+    fn slices_wrap_the_plan() {
+        let q = parse_query(
+            "EVENT q WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 1 hours) @ [0, 100) # [5, 50)",
+        )
+        .unwrap();
+        let b = bind(&q, &machine_catalog()).unwrap();
+        assert!(matches!(b.root, LogicalOp::SliceValid { .. }));
+    }
+}

@@ -1,0 +1,96 @@
+//! The event-type catalog: names and payload schemas of primitive event
+//! types, registered by the application before queries compile.
+
+use crate::error::LangError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Payload attribute types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldType {
+    Int,
+    Float,
+    Str,
+    Bool,
+}
+
+/// A registered primitive event type.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EventTypeDef {
+    pub name: String,
+    /// Attribute name → payload offset, in declaration order.
+    pub fields: Vec<(String, FieldType)>,
+}
+
+impl EventTypeDef {
+    pub fn new(name: impl Into<String>, fields: Vec<(&str, FieldType)>) -> Self {
+        EventTypeDef {
+            name: name.into(),
+            fields: fields
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+        }
+    }
+
+    /// Offset of an attribute.
+    pub fn offset_of(&self, attr: &str) -> Option<usize> {
+        self.fields.iter().position(|(n, _)| n == attr)
+    }
+}
+
+/// The schema catalog.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    types: BTreeMap<String, EventTypeDef>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) an event type.
+    pub fn register(&mut self, def: EventTypeDef) {
+        self.types.insert(def.name.clone(), def);
+    }
+
+    /// Convenience: register a type from field pairs.
+    pub fn register_type(&mut self, name: &str, fields: Vec<(&str, FieldType)>) {
+        self.register(EventTypeDef::new(name, fields));
+    }
+
+    pub fn lookup(&self, name: &str) -> Result<&EventTypeDef, LangError> {
+        self.types
+            .get(name)
+            .ok_or_else(|| LangError::bind(format!("unknown event type '{name}'")))
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.types.contains_key(name)
+    }
+
+    pub fn type_names(&self) -> Vec<&str> {
+        self.types.keys().map(|s| s.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register_type(
+            "INSTALL",
+            vec![("Machine_Id", FieldType::Str), ("Version", FieldType::Int)],
+        );
+        let t = c.lookup("INSTALL").unwrap();
+        assert_eq!(t.offset_of("Machine_Id"), Some(0));
+        assert_eq!(t.offset_of("Version"), Some(1));
+        assert_eq!(t.offset_of("Nope"), None);
+        assert!(c.lookup("RESTART").is_err());
+        assert_eq!(c.type_names(), vec!["INSTALL"]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Language-pipeline errors.
+
+use std::fmt;
+
+/// Errors from the lexer, parser, binder or planner.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LangError {
+    /// Lexical error with byte offset.
+    Lex { pos: usize, message: String },
+    /// Parse error with token position.
+    Parse { pos: usize, message: String },
+    /// Semantic error (unknown type/alias/attribute, arity problems…).
+    Bind(String),
+    /// Planning error (unsupported shape).
+    Plan(String),
+}
+
+impl LangError {
+    pub fn lex(pos: usize, message: impl Into<String>) -> Self {
+        LangError::Lex {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    pub fn parse(pos: usize, message: impl Into<String>) -> Self {
+        LangError::Parse {
+            pos,
+            message: message.into(),
+        }
+    }
+
+    pub fn bind(message: impl Into<String>) -> Self {
+        LangError::Bind(message.into())
+    }
+
+    pub fn plan(message: impl Into<String>) -> Self {
+        LangError::Plan(message.into())
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            LangError::Parse { pos, message } => write!(f, "parse error at token {pos}: {message}"),
+            LangError::Bind(m) => write!(f, "bind error: {m}"),
+            LangError::Plan(m) => write!(f, "plan error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}

@@ -1,0 +1,267 @@
+//! Lexer for the CEDR query language.
+
+use crate::error::LangError;
+use crate::token::Token;
+
+/// Tokenise `input`; appends an `Eof` sentinel.
+pub fn lex(input: &str) -> Result<Vec<Token>, LangError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // -- line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit() => {
+                // Negative numeric literal.
+                let start = i;
+                let mut j = i + 1;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit()
+                        || (bytes[j] == b'.'
+                            && j + 1 < bytes.len()
+                            && (bytes[j + 1] as char).is_ascii_digit()))
+                {
+                    if bytes[j] == b'.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &input[start..j];
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| LangError::lex(start, format!("bad float '{text}'")))?;
+                    toks.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| LangError::lex(start, format!("bad integer '{text}'")))?;
+                    toks.push(Token::Int(v));
+                }
+                i = j;
+            }
+            '(' => {
+                toks.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                toks.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                toks.push(Token::RBracket);
+                i += 1;
+            }
+            '{' => {
+                toks.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                toks.push(Token::RBrace);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Token::Dot);
+                i += 1;
+            }
+            '@' => {
+                toks.push(Token::At);
+                i += 1;
+            }
+            '#' => {
+                toks.push(Token::Hash);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                toks.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    toks.push(Token::Ne);
+                    i += 2;
+                } else {
+                    toks.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    toks.push(Token::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LangError::lex(i, "unterminated string literal"));
+                }
+                toks.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            '∞' => {
+                toks.push(Token::Infinity);
+                i += '∞'.len_utf8();
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit()
+                        || (bytes[j] == b'.'
+                            && j + 1 < bytes.len()
+                            && (bytes[j + 1] as char).is_ascii_digit()))
+                {
+                    if bytes[j] == b'.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &input[start..j];
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| LangError::lex(start, format!("bad float '{text}'")))?;
+                    toks.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| LangError::lex(start, format!("bad integer '{text}'")))?;
+                    toks.push(Token::Int(v));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &input[start..j];
+                let upper = word.to_ascii_uppercase();
+                // CANCEL-WHEN is one keyword with a hyphen.
+                if upper == "CANCEL"
+                    && j < bytes.len()
+                    && bytes[j] == b'-'
+                    && input[j + 1..].to_ascii_uppercase().starts_with("WHEN")
+                {
+                    toks.push(Token::CancelWhen);
+                    i = j + 1 + 4;
+                    continue;
+                }
+                match Token::keyword(&upper) {
+                    Some(t) => toks.push(t),
+                    None => toks.push(Token::Ident(word.to_string())),
+                }
+                i = j;
+            }
+            other => {
+                return Err(LangError::lex(i, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    toks.push(Token::Eof);
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_keywords_case_insensitively() {
+        let t = lex("event When SEQUENCE unless").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Event,
+                Token::When,
+                Token::Sequence,
+                Token::Unless,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_cancel_when_hyphenated() {
+        let t = lex("CANCEL-WHEN(A, B)").unwrap();
+        assert_eq!(t[0], Token::CancelWhen);
+        assert_eq!(t[1], Token::LParen);
+        // And plain CANCELWHEN too.
+        let t2 = lex("CANCELWHEN").unwrap();
+        assert_eq!(t2[0], Token::CancelWhen);
+    }
+
+    #[test]
+    fn lexes_paths_numbers_strings() {
+        let t = lex("x.Machine_Id = 'BARGA_XP03' AND y.v >= 2.5").unwrap();
+        assert_eq!(t[0], Token::Ident("x".into()));
+        assert_eq!(t[1], Token::Dot);
+        assert_eq!(t[2], Token::Ident("Machine_Id".into()));
+        assert_eq!(t[3], Token::Eq);
+        assert_eq!(t[4], Token::Str("BARGA_XP03".into()));
+        assert_eq!(t[5], Token::And);
+        assert!(t.contains(&Token::Ge));
+        assert!(t.contains(&Token::Float(2.5)));
+    }
+
+    #[test]
+    fn lexes_durations_and_slices() {
+        let t = lex("12 HOURS 5 minutes @ [1, 10) # [0, INF)").unwrap();
+        assert!(t.contains(&Token::Hours));
+        assert!(t.contains(&Token::Minutes));
+        assert!(t.contains(&Token::At));
+        assert!(t.contains(&Token::Hash));
+        assert!(t.contains(&Token::Infinity));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = lex("EVENT x -- this is a comment\nWHEN").unwrap();
+        assert_eq!(t, vec![Token::Event, Token::Ident("x".into()), Token::When, Token::Eof]);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(matches!(lex("'oops"), Err(LangError::Lex { .. })));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(matches!(lex("a $ b"), Err(LangError::Lex { .. })));
+    }
+}

@@ -1,0 +1,360 @@
+//! The logical plan: "a set of logical operators that implement the query
+//! language, and serve as the basis for logical plan exploration during
+//! query optimization" (Section 1).
+//!
+//! Logical operators cover both the pattern algebra of Section 3 and the
+//! relational view-update algebra of Section 6 (the latter is reachable via
+//! the programmatic builder in `cedr-core`, which the paper's financial
+//! scenarios use for windowed aggregation).
+
+use crate::catalog::FieldType;
+use cedr_algebra::expr::{Pred, Scalar};
+use cedr_algebra::pattern::ScMode;
+use cedr_algebra::relational::AggFunc;
+use cedr_temporal::{Duration, TimePoint};
+use std::fmt;
+
+/// One column of an operator's output payload layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LayoutCol {
+    /// The contributor alias this column came from (None for synthesised
+    /// columns such as aggregate values).
+    pub alias: Option<String>,
+    pub field: String,
+    pub ty: FieldType,
+}
+
+/// An operator's output payload layout.
+///
+/// `stable` is false for subset operators (ATLEAST/ANY) whose payload
+/// concatenation order depends on the match (occurrence order), making
+/// positional references through them unsound.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Layout {
+    pub cols: Vec<LayoutCol>,
+    pub stable: bool,
+}
+
+impl Layout {
+    pub fn stable(cols: Vec<LayoutCol>) -> Self {
+        Layout { cols, stable: true }
+    }
+
+    pub fn unstable(cols: Vec<LayoutCol>) -> Self {
+        Layout {
+            cols,
+            stable: false,
+        }
+    }
+
+    /// Offset of `alias.field`.
+    pub fn offset_of(&self, alias: &str, field: &str) -> Option<usize> {
+        self.cols
+            .iter()
+            .position(|c| c.alias.as_deref() == Some(alias) && c.field == field)
+    }
+
+    /// All aliases present.
+    pub fn aliases(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.cols.iter().filter_map(|c| c.alias.as_deref()).collect();
+        v.dedup();
+        v
+    }
+
+    /// Concatenate layouts in contributor order.
+    pub fn concat(parts: &[&Layout]) -> Layout {
+        Layout {
+            cols: parts.iter().flat_map(|l| l.cols.iter().cloned()).collect(),
+            stable: parts.iter().all(|l| l.stable),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+/// A logical operator tree.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LogicalOp {
+    /// A primitive event stream.
+    Source { event_type: String },
+    /// σ — selection.
+    Select { input: Box<LogicalOp>, pred: Pred },
+    /// π — projection (also the OUTPUT clause).
+    Project {
+        input: Box<LogicalOp>,
+        exprs: Vec<Scalar>,
+        names: Vec<String>,
+    },
+    /// Π — AlterLifetime in full generality.
+    AlterLifetime {
+        input: Box<LogicalOp>,
+        fvs: cedr_algebra::alter_lifetime::VsFn,
+        fdelta: cedr_algebra::alter_lifetime::DeltaFn,
+    },
+    /// Group-by + aggregate (view update semantics).
+    GroupAggregate {
+        input: Box<LogicalOp>,
+        key: Vec<Scalar>,
+        agg: AggFunc,
+    },
+    /// ⋈ — θ-join.
+    Join {
+        left: Box<LogicalOp>,
+        right: Box<LogicalOp>,
+        theta: Pred,
+        equi_keys: Option<(Scalar, Scalar)>,
+    },
+    /// ∪.
+    Union {
+        left: Box<LogicalOp>,
+        right: Box<LogicalOp>,
+    },
+    /// SEQUENCE(E1, …, Ek, w).
+    Sequence {
+        inputs: Vec<LogicalOp>,
+        w: Duration,
+        pred: Pred,
+        modes: Vec<ScMode>,
+    },
+    /// ATLEAST(n, E1, …, Ek, w); ALL/ANY desugar here.
+    AtLeast {
+        n: usize,
+        inputs: Vec<LogicalOp>,
+        w: Duration,
+        pred: Pred,
+        modes: Vec<ScMode>,
+    },
+    /// ATMOST(n, E1, …, Ek, w) — the windowed-count sugar.
+    AtMost {
+        n: usize,
+        inputs: Vec<LogicalOp>,
+        w: Duration,
+    },
+    /// UNLESS(main, neg, w); `pred` ranges over [main, neg].
+    Unless {
+        main: Box<LogicalOp>,
+        neg: Box<LogicalOp>,
+        w: Duration,
+        pred: Pred,
+    },
+    /// NOT(neg, SEQUENCE…): `main` must lower to a sequence; `pred` ranges
+    /// over [sequence output, neg].
+    NotSeq {
+        main: Box<LogicalOp>,
+        neg: Box<LogicalOp>,
+        pred: Pred,
+    },
+    /// CANCEL-WHEN(main, neg); `pred` ranges over [main, neg].
+    CancelWhen {
+        main: Box<LogicalOp>,
+        neg: Box<LogicalOp>,
+        pred: Pred,
+    },
+    /// `@[from, to)` — occurrence-time slice.
+    SliceOcc {
+        input: Box<LogicalOp>,
+        from: TimePoint,
+        to: TimePoint,
+    },
+    /// `#[from, to)` — valid-time slice.
+    SliceValid {
+        input: Box<LogicalOp>,
+        from: TimePoint,
+        to: TimePoint,
+    },
+}
+
+impl LogicalOp {
+    /// Source event types referenced by the plan, in first-use order.
+    pub fn sources(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |op| {
+            if let LogicalOp::Source { event_type } = op {
+                if !out.contains(event_type) {
+                    out.push(event_type.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Pre-order traversal.
+    pub fn visit(&self, f: &mut impl FnMut(&LogicalOp)) {
+        f(self);
+        match self {
+            LogicalOp::Source { .. } => {}
+            LogicalOp::Select { input, .. }
+            | LogicalOp::Project { input, .. }
+            | LogicalOp::AlterLifetime { input, .. }
+            | LogicalOp::GroupAggregate { input, .. }
+            | LogicalOp::SliceOcc { input, .. }
+            | LogicalOp::SliceValid { input, .. } => input.visit(f),
+            LogicalOp::Join { left, right, .. } | LogicalOp::Union { left, right } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            LogicalOp::Sequence { inputs, .. }
+            | LogicalOp::AtLeast { inputs, .. }
+            | LogicalOp::AtMost { inputs, .. } => {
+                for i in inputs {
+                    i.visit(f);
+                }
+            }
+            LogicalOp::Unless { main, neg, .. }
+            | LogicalOp::NotSeq { main, neg, .. }
+            | LogicalOp::CancelWhen { main, neg, .. } => {
+                main.visit(f);
+                neg.visit(f);
+            }
+        }
+    }
+
+    fn write_indented(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalOp::Source { event_type } => writeln!(f, "{pad}Source[{event_type}]"),
+            LogicalOp::Select { input, pred } => {
+                writeln!(f, "{pad}Select[{pred}]")?;
+                input.write_indented(f, depth + 1)
+            }
+            LogicalOp::Project { input, names, .. } => {
+                writeln!(f, "{pad}Project[{}]", names.join(", "))?;
+                input.write_indented(f, depth + 1)
+            }
+            LogicalOp::AlterLifetime { input, fvs, fdelta } => {
+                writeln!(f, "{pad}AlterLifetime[{fvs:?}, {fdelta:?}]")?;
+                input.write_indented(f, depth + 1)
+            }
+            LogicalOp::GroupAggregate { input, key, agg } => {
+                writeln!(f, "{pad}GroupAggregate[keys={}, {agg:?}]", key.len())?;
+                input.write_indented(f, depth + 1)
+            }
+            LogicalOp::Join { left, right, theta, .. } => {
+                writeln!(f, "{pad}Join[{theta}]")?;
+                left.write_indented(f, depth + 1)?;
+                right.write_indented(f, depth + 1)
+            }
+            LogicalOp::Union { left, right } => {
+                writeln!(f, "{pad}Union")?;
+                left.write_indented(f, depth + 1)?;
+                right.write_indented(f, depth + 1)
+            }
+            LogicalOp::Sequence { inputs, w, pred, .. } => {
+                writeln!(f, "{pad}Sequence[w={w}, {pred}]")?;
+                for i in inputs {
+                    i.write_indented(f, depth + 1)?;
+                }
+                Ok(())
+            }
+            LogicalOp::AtLeast { n, inputs, w, pred, .. } => {
+                writeln!(f, "{pad}AtLeast[n={n}, w={w}, {pred}]")?;
+                for i in inputs {
+                    i.write_indented(f, depth + 1)?;
+                }
+                Ok(())
+            }
+            LogicalOp::AtMost { n, inputs, w } => {
+                writeln!(f, "{pad}AtMost[n={n}, w={w}]")?;
+                for i in inputs {
+                    i.write_indented(f, depth + 1)?;
+                }
+                Ok(())
+            }
+            LogicalOp::Unless { main, neg, w, pred } => {
+                writeln!(f, "{pad}Unless[w={w}, {pred}]")?;
+                main.write_indented(f, depth + 1)?;
+                neg.write_indented(f, depth + 1)
+            }
+            LogicalOp::NotSeq { main, neg, pred } => {
+                writeln!(f, "{pad}NotSeq[{pred}]")?;
+                main.write_indented(f, depth + 1)?;
+                neg.write_indented(f, depth + 1)
+            }
+            LogicalOp::CancelWhen { main, neg, pred } => {
+                writeln!(f, "{pad}CancelWhen[{pred}]")?;
+                main.write_indented(f, depth + 1)?;
+                neg.write_indented(f, depth + 1)
+            }
+            LogicalOp::SliceOcc { input, from, to } => {
+                writeln!(f, "{pad}SliceOcc[@[{from}, {to})]")?;
+                input.write_indented(f, depth + 1)
+            }
+            LogicalOp::SliceValid { input, from, to } => {
+                writeln!(f, "{pad}SliceValid[#[{from}, {to})]")?;
+                input.write_indented(f, depth + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.write_indented(f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(alias: &str, field: &str) -> LayoutCol {
+        LayoutCol {
+            alias: Some(alias.into()),
+            field: field.into(),
+            ty: FieldType::Str,
+        }
+    }
+
+    #[test]
+    fn layout_offsets_and_concat() {
+        let a = Layout::stable(vec![col("x", "id"), col("x", "v")]);
+        let b = Layout::stable(vec![col("y", "id")]);
+        let c = Layout::concat(&[&a, &b]);
+        assert_eq!(c.offset_of("x", "v"), Some(1));
+        assert_eq!(c.offset_of("y", "id"), Some(2));
+        assert_eq!(c.offset_of("z", "id"), None);
+        assert!(c.stable);
+        let u = Layout::concat(&[&a, &Layout::unstable(vec![])]);
+        assert!(!u.stable);
+    }
+
+    #[test]
+    fn plan_sources_dedup() {
+        let plan = LogicalOp::Sequence {
+            inputs: vec![
+                LogicalOp::Source {
+                    event_type: "A".into(),
+                },
+                LogicalOp::Source {
+                    event_type: "A".into(),
+                },
+                LogicalOp::Source {
+                    event_type: "B".into(),
+                },
+            ],
+            w: Duration(5),
+            pred: Pred::True,
+            modes: vec![ScMode::EACH_REUSE; 3],
+        };
+        assert_eq!(plan.sources(), vec!["A".to_string(), "B".to_string()]);
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let plan = LogicalOp::Select {
+            input: Box::new(LogicalOp::Source {
+                event_type: "T".into(),
+            }),
+            pred: Pred::True,
+        };
+        let s = plan.to_string();
+        assert!(s.contains("Select"));
+        assert!(s.contains("  Source[T]"));
+    }
+}

@@ -1,0 +1,360 @@
+//! Logical rewrite rules ("optimization and query rewrite rules" are named
+//! as ongoing CEDR work in Section 7; we implement the foundational set).
+//!
+//! * predicate simplification (`TRUE AND p → p`, `NOT NOT p → p`);
+//! * removal of trivial selections and slices;
+//! * equi-key extraction for joins (`l.a = r.b` conjunct → hash keys);
+//! * slice fusion (`@[a,b) @[c,d) → @[max, min)`).
+
+use crate::logical::LogicalOp;
+use cedr_algebra::expr::{CmpOp, Pred, Scalar};
+use cedr_temporal::TimePoint;
+
+/// Apply all rewrite passes bottom-up until a fixpoint (bounded).
+pub fn optimize(root: LogicalOp) -> LogicalOp {
+    let mut plan = root;
+    for _ in 0..4 {
+        let next = rewrite(plan.clone());
+        if next == plan {
+            return next;
+        }
+        plan = next;
+    }
+    plan
+}
+
+fn rewrite(op: LogicalOp) -> LogicalOp {
+    // Recurse first (bottom-up).
+    let op = map_children(op, rewrite);
+    match op {
+        LogicalOp::Select { input, pred } => {
+            let pred = simplify_pred(pred);
+            if pred == Pred::True {
+                *input
+            } else {
+                LogicalOp::Select { input, pred }
+            }
+        }
+        LogicalOp::Join {
+            left,
+            right,
+            theta,
+            equi_keys,
+        } => {
+            let theta = simplify_pred(theta);
+            let equi_keys = equi_keys.or_else(|| extract_equi_key(&theta));
+            LogicalOp::Join {
+                left,
+                right,
+                theta,
+                equi_keys,
+            }
+        }
+        LogicalOp::Sequence {
+            inputs,
+            w,
+            pred,
+            modes,
+        } => LogicalOp::Sequence {
+            inputs,
+            w,
+            pred: simplify_pred(pred),
+            modes,
+        },
+        LogicalOp::AtLeast {
+            n,
+            inputs,
+            w,
+            pred,
+            modes,
+        } => LogicalOp::AtLeast {
+            n,
+            inputs,
+            w,
+            pred: simplify_pred(pred),
+            modes,
+        },
+        LogicalOp::Unless { main, neg, w, pred } => LogicalOp::Unless {
+            main,
+            neg,
+            w,
+            pred: simplify_pred(pred),
+        },
+        LogicalOp::NotSeq { main, neg, pred } => LogicalOp::NotSeq {
+            main,
+            neg,
+            pred: simplify_pred(pred),
+        },
+        LogicalOp::CancelWhen { main, neg, pred } => LogicalOp::CancelWhen {
+            main,
+            neg,
+            pred: simplify_pred(pred),
+        },
+        LogicalOp::SliceOcc { input, from, to } => match *input {
+            LogicalOp::SliceOcc {
+                input: inner,
+                from: f2,
+                to: t2,
+            } => LogicalOp::SliceOcc {
+                input: inner,
+                from: TimePoint::max_of(from, f2),
+                to: TimePoint::min_of(to, t2),
+            },
+            other => {
+                if from == TimePoint::ZERO && to == TimePoint::INFINITY {
+                    other
+                } else {
+                    LogicalOp::SliceOcc {
+                        input: Box::new(other),
+                        from,
+                        to,
+                    }
+                }
+            }
+        },
+        LogicalOp::SliceValid { input, from, to } => match *input {
+            LogicalOp::SliceValid {
+                input: inner,
+                from: f2,
+                to: t2,
+            } => LogicalOp::SliceValid {
+                input: inner,
+                from: TimePoint::max_of(from, f2),
+                to: TimePoint::min_of(to, t2),
+            },
+            other => {
+                if from == TimePoint::ZERO && to == TimePoint::INFINITY {
+                    other
+                } else {
+                    LogicalOp::SliceValid {
+                        input: Box::new(other),
+                        from,
+                        to,
+                    }
+                }
+            }
+        },
+        other => other,
+    }
+}
+
+fn map_children(op: LogicalOp, f: impl Fn(LogicalOp) -> LogicalOp + Copy) -> LogicalOp {
+    match op {
+        LogicalOp::Source { .. } => op,
+        LogicalOp::Select { input, pred } => LogicalOp::Select {
+            input: Box::new(f(*input)),
+            pred,
+        },
+        LogicalOp::Project {
+            input,
+            exprs,
+            names,
+        } => LogicalOp::Project {
+            input: Box::new(f(*input)),
+            exprs,
+            names,
+        },
+        LogicalOp::AlterLifetime { input, fvs, fdelta } => LogicalOp::AlterLifetime {
+            input: Box::new(f(*input)),
+            fvs,
+            fdelta,
+        },
+        LogicalOp::GroupAggregate { input, key, agg } => LogicalOp::GroupAggregate {
+            input: Box::new(f(*input)),
+            key,
+            agg,
+        },
+        LogicalOp::Join {
+            left,
+            right,
+            theta,
+            equi_keys,
+        } => LogicalOp::Join {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            theta,
+            equi_keys,
+        },
+        LogicalOp::Union { left, right } => LogicalOp::Union {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+        },
+        LogicalOp::Sequence {
+            inputs,
+            w,
+            pred,
+            modes,
+        } => LogicalOp::Sequence {
+            inputs: inputs.into_iter().map(f).collect(),
+            w,
+            pred,
+            modes,
+        },
+        LogicalOp::AtLeast {
+            n,
+            inputs,
+            w,
+            pred,
+            modes,
+        } => LogicalOp::AtLeast {
+            n,
+            inputs: inputs.into_iter().map(f).collect(),
+            w,
+            pred,
+            modes,
+        },
+        LogicalOp::AtMost { n, inputs, w } => LogicalOp::AtMost {
+            n,
+            inputs: inputs.into_iter().map(f).collect(),
+            w,
+        },
+        LogicalOp::Unless { main, neg, w, pred } => LogicalOp::Unless {
+            main: Box::new(f(*main)),
+            neg: Box::new(f(*neg)),
+            w,
+            pred,
+        },
+        LogicalOp::NotSeq { main, neg, pred } => LogicalOp::NotSeq {
+            main: Box::new(f(*main)),
+            neg: Box::new(f(*neg)),
+            pred,
+        },
+        LogicalOp::CancelWhen { main, neg, pred } => LogicalOp::CancelWhen {
+            main: Box::new(f(*main)),
+            neg: Box::new(f(*neg)),
+            pred,
+        },
+        LogicalOp::SliceOcc { input, from, to } => LogicalOp::SliceOcc {
+            input: Box::new(f(*input)),
+            from,
+            to,
+        },
+        LogicalOp::SliceValid { input, from, to } => LogicalOp::SliceValid {
+            input: Box::new(f(*input)),
+            from,
+            to,
+        },
+    }
+}
+
+/// Boolean simplification.
+pub fn simplify_pred(p: Pred) -> Pred {
+    match p {
+        Pred::And(a, b) => {
+            let a = simplify_pred(*a);
+            let b = simplify_pred(*b);
+            match (a, b) {
+                (Pred::True, x) | (x, Pred::True) => x,
+                (a, b) => Pred::And(Box::new(a), Box::new(b)),
+            }
+        }
+        Pred::Or(a, b) => {
+            let a = simplify_pred(*a);
+            let b = simplify_pred(*b);
+            if a == Pred::True || b == Pred::True {
+                Pred::True
+            } else {
+                Pred::Or(Box::new(a), Box::new(b))
+            }
+        }
+        Pred::Not(a) => {
+            let a = simplify_pred(*a);
+            match a {
+                Pred::Not(inner) => *inner,
+                other => Pred::Not(Box::new(other)),
+            }
+        }
+        other => other,
+    }
+}
+
+/// Extract `Of(0, a) = Of(1, b)` from a conjunction (hash-join keys).
+fn extract_equi_key(theta: &Pred) -> Option<(Scalar, Scalar)> {
+    match theta {
+        Pred::Cmp(Scalar::Of(0, a), CmpOp::Eq, Scalar::Of(1, b)) => {
+            Some((Scalar::Field(*a), Scalar::Field(*b)))
+        }
+        Pred::Cmp(Scalar::Of(1, b), CmpOp::Eq, Scalar::Of(0, a)) => {
+            Some((Scalar::Field(*a), Scalar::Field(*b)))
+        }
+        Pred::And(a, b) => extract_equi_key(a).or_else(|| extract_equi_key(b)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedr_temporal::time::t;
+
+    fn src(name: &str) -> LogicalOp {
+        LogicalOp::Source {
+            event_type: name.into(),
+        }
+    }
+
+    #[test]
+    fn trivial_select_removed() {
+        let plan = LogicalOp::Select {
+            input: Box::new(src("A")),
+            pred: Pred::And(Box::new(Pred::True), Box::new(Pred::True)),
+        };
+        assert_eq!(optimize(plan), src("A"));
+    }
+
+    #[test]
+    fn double_negation_removed() {
+        let p = simplify_pred(Pred::Not(Box::new(Pred::Not(Box::new(Pred::Cmp(
+            Scalar::Field(0),
+            CmpOp::Eq,
+            Scalar::lit(1i64),
+        ))))));
+        assert!(matches!(p, Pred::Cmp(..)));
+    }
+
+    #[test]
+    fn join_equi_keys_extracted() {
+        let theta = Pred::And(
+            Box::new(Pred::Cmp(Scalar::Of(0, 2), CmpOp::Eq, Scalar::Of(1, 0))),
+            Box::new(Pred::Cmp(Scalar::Of(0, 1), CmpOp::Lt, Scalar::Of(1, 1))),
+        );
+        let plan = LogicalOp::Join {
+            left: Box::new(src("L")),
+            right: Box::new(src("R")),
+            theta,
+            equi_keys: None,
+        };
+        let LogicalOp::Join { equi_keys, .. } = optimize(plan) else {
+            panic!()
+        };
+        assert_eq!(equi_keys, Some((Scalar::Field(2), Scalar::Field(0))));
+    }
+
+    #[test]
+    fn slices_fuse() {
+        let plan = LogicalOp::SliceOcc {
+            input: Box::new(LogicalOp::SliceOcc {
+                input: Box::new(src("A")),
+                from: t(0),
+                to: t(100),
+            }),
+            from: t(10),
+            to: t(50),
+        };
+        let LogicalOp::SliceOcc { from, to, input } = optimize(plan) else {
+            panic!()
+        };
+        assert_eq!((from, to), (t(10), t(50)));
+        assert_eq!(*input, src("A"));
+    }
+
+    #[test]
+    fn vacuous_slice_removed() {
+        let plan = LogicalOp::SliceValid {
+            input: Box::new(src("A")),
+            from: TimePoint::ZERO,
+            to: TimePoint::INFINITY,
+        };
+        assert_eq!(optimize(plan), src("A"));
+    }
+}

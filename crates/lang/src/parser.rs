@@ -1,0 +1,620 @@
+//! Recursive-descent parser for the CEDR query language.
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::lexer::lex;
+use crate::token::Token;
+use cedr_algebra::pattern::{Consumption, Selection};
+use cedr_temporal::{Duration, TimePoint};
+
+/// Parse a full `EVENT … WHEN …` query.
+pub fn parse_query(text: &str) -> Result<Query, LangError> {
+    let toks = lex(text)?;
+    let mut p = Parser { toks, pos: 0 };
+    let q = p.query()?;
+    p.expect(Token::Eof)?;
+    Ok(q)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), LangError> {
+        if self.peek() == &t {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(LangError::parse(
+                self.pos,
+                format!("expected {t}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(LangError::parse(
+                self.pos.saturating_sub(1),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, LangError> {
+        match self.next() {
+            Token::Int(v) => Ok(v),
+            other => Err(LangError::parse(
+                self.pos.saturating_sub(1),
+                format!("expected integer, found {other}"),
+            )),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, LangError> {
+        self.expect(Token::Event)?;
+        let name = self.ident()?;
+        self.expect(Token::When)?;
+        let when = self.expr()?;
+        let where_clause = if self.eat(&Token::Where) {
+            Some(self.pred()?)
+        } else {
+            None
+        };
+        let output = if self.eat(&Token::Output) {
+            Some(self.output_items()?)
+        } else {
+            None
+        };
+        let mut occ_slice = None;
+        let mut valid_slice = None;
+        loop {
+            if self.eat(&Token::At) {
+                occ_slice = Some(self.slice_window()?);
+            } else if self.eat(&Token::Hash) {
+                valid_slice = Some(self.slice_window()?);
+            } else {
+                break;
+            }
+        }
+        Ok(Query {
+            name,
+            when,
+            where_clause,
+            output,
+            occ_slice,
+            valid_slice,
+        })
+    }
+
+    /// `[t1, t2)` — a half-open slice window.
+    fn slice_window(&mut self) -> Result<(TimePoint, TimePoint), LangError> {
+        self.expect(Token::LBracket)?;
+        let from = self.time_point()?;
+        self.expect(Token::Comma)?;
+        let to = self.time_point()?;
+        self.expect(Token::RParen)?;
+        Ok((from, to))
+    }
+
+    fn time_point(&mut self) -> Result<TimePoint, LangError> {
+        match self.next() {
+            Token::Int(v) if v >= 0 => Ok(TimePoint::new(v as u64)),
+            Token::Infinity => Ok(TimePoint::INFINITY),
+            other => Err(LangError::parse(
+                self.pos.saturating_sub(1),
+                format!("expected time point, found {other}"),
+            )),
+        }
+    }
+
+    fn duration(&mut self) -> Result<Duration, LangError> {
+        if self.eat(&Token::Infinity) {
+            return Ok(Duration::INFINITE);
+        }
+        let n = self.integer()?;
+        if n < 0 {
+            return Err(LangError::parse(self.pos, "negative duration"));
+        }
+        let n = n as u64;
+        Ok(match self.next() {
+            Token::Ticks | Token::Seconds => Duration::seconds(n),
+            Token::Minutes => Duration::minutes(n),
+            Token::Hours => Duration::hours(n),
+            Token::Days => Duration::days(n),
+            other => {
+                return Err(LangError::parse(
+                    self.pos.saturating_sub(1),
+                    format!("expected time unit, found {other}"),
+                ))
+            }
+        })
+    }
+
+    fn expr(&mut self) -> Result<Expr, LangError> {
+        match self.peek().clone() {
+            Token::Sequence => {
+                self.next();
+                self.expect(Token::LParen)?;
+                let (args, scope) = self.args_then_duration()?;
+                Ok(Expr::Sequence { args, scope })
+            }
+            Token::AtLeast => {
+                self.next();
+                self.expect(Token::LParen)?;
+                let n = self.integer()? as usize;
+                self.expect(Token::Comma)?;
+                let (args, scope) = self.args_then_duration()?;
+                Ok(Expr::AtLeast { n, args, scope })
+            }
+            Token::AtMost => {
+                self.next();
+                self.expect(Token::LParen)?;
+                let n = self.integer()? as usize;
+                self.expect(Token::Comma)?;
+                let (args, scope) = self.args_then_duration()?;
+                Ok(Expr::AtMost { n, args, scope })
+            }
+            Token::All => {
+                self.next();
+                self.expect(Token::LParen)?;
+                let (args, scope) = self.args_then_duration()?;
+                Ok(Expr::All { args, scope })
+            }
+            Token::Any => {
+                self.next();
+                self.expect(Token::LParen)?;
+                let mut args = vec![self.expr_arg()?];
+                while self.eat(&Token::Comma) {
+                    args.push(self.expr_arg()?);
+                }
+                self.expect(Token::RParen)?;
+                Ok(Expr::Any { args })
+            }
+            Token::Unless => {
+                self.next();
+                self.expect(Token::LParen)?;
+                let main = self.expr_arg()?;
+                self.expect(Token::Comma)?;
+                let neg = self.expr_arg()?;
+                self.expect(Token::Comma)?;
+                let scope = self.duration()?;
+                self.expect(Token::RParen)?;
+                Ok(Expr::Unless {
+                    main: Box::new(main),
+                    neg: Box::new(neg),
+                    scope,
+                })
+            }
+            Token::Not => {
+                self.next();
+                self.expect(Token::LParen)?;
+                let neg = self.expr_arg()?;
+                self.expect(Token::Comma)?;
+                let seq = self.expr()?;
+                self.expect(Token::RParen)?;
+                if !matches!(seq, Expr::Sequence { .. }) {
+                    return Err(LangError::parse(
+                        self.pos,
+                        "NOT's second argument must be a SEQUENCE",
+                    ));
+                }
+                Ok(Expr::Not {
+                    neg: Box::new(neg),
+                    seq: Box::new(seq),
+                })
+            }
+            Token::CancelWhen => {
+                self.next();
+                self.expect(Token::LParen)?;
+                let main = self.expr_arg()?;
+                self.expect(Token::Comma)?;
+                let neg = self.expr_arg()?;
+                self.expect(Token::RParen)?;
+                Ok(Expr::CancelWhen {
+                    main: Box::new(main),
+                    neg: Box::new(neg),
+                })
+            }
+            Token::Ident(_) => self.atom(),
+            other => Err(LangError::parse(
+                self.pos,
+                format!("expected WHEN-clause expression, found {other}"),
+            )),
+        }
+    }
+
+    /// `expr [AS alias] [WITH SC(sel, cons)]` — alias/SC may follow any
+    /// sub-expression, though they are most meaningful on atoms.
+    fn expr_arg(&mut self) -> Result<Expr, LangError> {
+        let e = self.expr()?;
+        // Alias/SC on non-atoms is accepted for atoms only; atoms already
+        // consumed their alias inside `atom()`.
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, LangError> {
+        let event_type = self.ident()?;
+        let alias = if self.eat(&Token::As) {
+            Some(self.ident()?)
+        } else if let Token::Ident(_) = self.peek() {
+            // Paper style: `INSTALL x` (no AS keyword).
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let sc = if self.eat(&Token::With) {
+            self.expect(Token::Sc)?;
+            self.expect(Token::LParen)?;
+            let selection = match self.next() {
+                Token::Each => Selection::Each,
+                Token::First => Selection::First,
+                Token::MostRecent => Selection::MostRecent,
+                other => {
+                    return Err(LangError::parse(
+                        self.pos.saturating_sub(1),
+                        format!("expected selection mode, found {other}"),
+                    ))
+                }
+            };
+            self.expect(Token::Comma)?;
+            let consumption = match self.next() {
+                Token::Reuse => Consumption::Reuse,
+                Token::Consume => Consumption::Consume,
+                other => {
+                    return Err(LangError::parse(
+                        self.pos.saturating_sub(1),
+                        format!("expected consumption mode, found {other}"),
+                    ))
+                }
+            };
+            self.expect(Token::RParen)?;
+            Some(ScModeAst {
+                selection,
+                consumption,
+            })
+        } else {
+            None
+        };
+        Ok(Expr::Atom {
+            event_type,
+            alias,
+            sc,
+        })
+    }
+
+    fn args_then_duration(&mut self) -> Result<(Vec<Expr>, Duration), LangError> {
+        let mut args = vec![self.expr_arg()?];
+        loop {
+            self.expect(Token::Comma)?;
+            // A duration (INT UNIT or INFINITY) terminates the list.
+            if matches!(self.peek(), Token::Infinity) {
+                let d = self.duration()?;
+                self.expect(Token::RParen)?;
+                return Ok((args, d));
+            }
+            if let Token::Int(_) = self.peek() {
+                let d = self.duration()?;
+                self.expect(Token::RParen)?;
+                return Ok((args, d));
+            }
+            args.push(self.expr_arg()?);
+        }
+    }
+
+    // ---- predicates -----------------------------------------------------
+
+    fn pred(&mut self) -> Result<PredAst, LangError> {
+        self.or_pred()
+    }
+
+    fn or_pred(&mut self) -> Result<PredAst, LangError> {
+        let mut left = self.and_pred()?;
+        while self.eat(&Token::Or) {
+            let right = self.and_pred()?;
+            left = PredAst::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_pred(&mut self) -> Result<PredAst, LangError> {
+        let mut left = self.unary_pred()?;
+        while self.eat(&Token::And) {
+            let right = self.unary_pred()?;
+            left = PredAst::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_pred(&mut self) -> Result<PredAst, LangError> {
+        if self.eat(&Token::Not) {
+            let inner = self.unary_pred()?;
+            return Ok(PredAst::Not(Box::new(inner)));
+        }
+        // The paper braces predicates: { x.id = y.id }.
+        if self.eat(&Token::LBrace) {
+            let inner = self.pred()?;
+            self.expect(Token::RBrace)?;
+            return Ok(inner);
+        }
+        if self.eat(&Token::LParen) {
+            let inner = self.pred()?;
+            self.expect(Token::RParen)?;
+            return Ok(inner);
+        }
+        // `[attr EQUAL 'lit']` shorthand.
+        if self.eat(&Token::LBracket) {
+            let attr = self.ident()?;
+            self.expect(Token::Equal)?;
+            let value = self.literal()?;
+            self.expect(Token::RBracket)?;
+            return Ok(PredAst::AttrEqual { attr, value });
+        }
+        // `CorrelationKey(attr, EQUAL|UNIQUE)`.
+        if self.eat(&Token::CorrelationKey) {
+            self.expect(Token::LParen)?;
+            let attr = self.ident()?;
+            self.expect(Token::Comma)?;
+            let unique = match self.next() {
+                Token::Equal => false,
+                Token::Unique => true,
+                other => {
+                    return Err(LangError::parse(
+                        self.pos.saturating_sub(1),
+                        format!("expected EQUAL or UNIQUE, found {other}"),
+                    ))
+                }
+            };
+            self.expect(Token::RParen)?;
+            return Ok(PredAst::CorrelationKey { attr, unique });
+        }
+        // Comparison.
+        let left = self.operand()?;
+        let op = match self.next() {
+            Token::Eq => CmpOpAst::Eq,
+            Token::Ne => CmpOpAst::Ne,
+            Token::Lt => CmpOpAst::Lt,
+            Token::Le => CmpOpAst::Le,
+            Token::Gt => CmpOpAst::Gt,
+            Token::Ge => CmpOpAst::Ge,
+            other => {
+                return Err(LangError::parse(
+                    self.pos.saturating_sub(1),
+                    format!("expected comparison operator, found {other}"),
+                ))
+            }
+        };
+        let right = self.operand()?;
+        Ok(PredAst::Cmp { left, op, right })
+    }
+
+    fn operand(&mut self) -> Result<Operand, LangError> {
+        match self.peek().clone() {
+            Token::Ident(_) => {
+                let alias = self.ident()?;
+                self.expect(Token::Dot)?;
+                let attr = self.ident()?;
+                Ok(Operand::Path { alias, attr })
+            }
+            _ => Ok(Operand::Lit(self.literal()?)),
+        }
+    }
+
+    fn literal(&mut self) -> Result<LitAst, LangError> {
+        match self.next() {
+            Token::Int(v) => Ok(LitAst::Int(v)),
+            Token::Float(v) => Ok(LitAst::Float(v)),
+            Token::Str(s) => Ok(LitAst::Str(s)),
+            other => Err(LangError::parse(
+                self.pos.saturating_sub(1),
+                format!("expected literal, found {other}"),
+            )),
+        }
+    }
+
+    fn output_items(&mut self) -> Result<Vec<OutputItem>, LangError> {
+        let mut items = Vec::new();
+        loop {
+            let item = match self.peek().clone() {
+                Token::Ident(_) => {
+                    let alias = self.ident()?;
+                    self.expect(Token::Dot)?;
+                    let attr = self.ident()?;
+                    let name = if self.eat(&Token::As) {
+                        Some(self.ident()?)
+                    } else {
+                        None
+                    };
+                    OutputItem::Path { alias, attr, name }
+                }
+                _ => {
+                    let value = self.literal()?;
+                    let name = if self.eat(&Token::As) {
+                        Some(self.ident()?)
+                    } else {
+                        None
+                    };
+                    OutputItem::Lit { value, name }
+                }
+            };
+            items.push(item);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(items)
+    }
+}
+
+/// The paper's running example (Section 3.1), as written there modulo
+/// whitespace.
+pub const CIDR07_EXAMPLE: &str = "\
+EVENT CIDR07_Example
+WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours),
+            RESTART AS z, 5 minutes)
+WHERE {x.Machine_Id = y.Machine_Id} AND
+      {x.Machine_Id = z.Machine_Id}";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_cidr07_example_verbatim() {
+        let q = parse_query(CIDR07_EXAMPLE).unwrap();
+        assert_eq!(q.name, "CIDR07_Example");
+        let Expr::Unless { main, neg, scope } = &q.when else {
+            panic!("expected UNLESS at the root");
+        };
+        assert_eq!(*scope, Duration::minutes(5));
+        let Expr::Sequence { args, scope } = main.as_ref() else {
+            panic!("expected SEQUENCE inside UNLESS");
+        };
+        assert_eq!(*scope, Duration::hours(12));
+        assert_eq!(args.len(), 2);
+        assert!(matches!(
+            &args[0],
+            Expr::Atom { event_type, alias: Some(a), .. }
+                if event_type == "INSTALL" && a == "x"
+        ));
+        assert!(matches!(
+            neg.as_ref(),
+            Expr::Atom { event_type, alias: Some(a), .. }
+                if event_type == "RESTART" && a == "z"
+        ));
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn parses_sequence_with_three_args() {
+        let q = parse_query("EVENT q WHEN SEQUENCE(A a, B b, C c, 10 seconds)").unwrap();
+        let Expr::Sequence { args, .. } = q.when else {
+            panic!()
+        };
+        assert_eq!(args.len(), 3);
+    }
+
+    #[test]
+    fn parses_atleast_atmost_all_any() {
+        let q = parse_query("EVENT q WHEN ATLEAST(2, A, B, C, 1 minutes)").unwrap();
+        assert!(matches!(q.when, Expr::AtLeast { n: 2, .. }));
+        let q = parse_query("EVENT q WHEN ATMOST(3, A, B, 1 hours)").unwrap();
+        assert!(matches!(q.when, Expr::AtMost { n: 3, .. }));
+        let q = parse_query("EVENT q WHEN ALL(A, B, 2 ticks)").unwrap();
+        assert!(matches!(q.when, Expr::All { .. }));
+        let q = parse_query("EVENT q WHEN ANY(A, B, C)").unwrap();
+        let Expr::Any { args } = q.when else { panic!() };
+        assert_eq!(args.len(), 3);
+    }
+
+    #[test]
+    fn parses_not_with_sequence_scope() {
+        let q = parse_query("EVENT q WHEN NOT(E, SEQUENCE(A, B, 5 seconds))").unwrap();
+        assert!(matches!(q.when, Expr::Not { .. }));
+        // NOT over a non-sequence is rejected.
+        assert!(parse_query("EVENT q WHEN NOT(E, F)").is_err());
+    }
+
+    #[test]
+    fn parses_cancel_when_both_spellings() {
+        for text in [
+            "EVENT q WHEN CANCEL-WHEN(A, B)",
+            "EVENT q WHEN CANCELWHEN(A, B)",
+        ] {
+            let q = parse_query(text).unwrap();
+            assert!(matches!(q.when, Expr::CancelWhen { .. }), "{text}");
+        }
+    }
+
+    #[test]
+    fn parses_nested_composition() {
+        // "All aspects of the language are fully composable."
+        let q = parse_query(
+            "EVENT q WHEN ALL(A, NOT(E2, SEQUENCE(E3, E4, 5 ticks)), 20 ticks)",
+        )
+        .unwrap();
+        let Expr::All { args, .. } = q.when else { panic!() };
+        assert!(matches!(args[1], Expr::Not { .. }));
+    }
+
+    #[test]
+    fn parses_sc_modes() {
+        let q = parse_query(
+            "EVENT q WHEN SEQUENCE(A x WITH SC(FIRST, CONSUME), B y, 1 minutes)",
+        )
+        .unwrap();
+        let Expr::Sequence { args, .. } = q.when else { panic!() };
+        let Expr::Atom { sc: Some(sc), .. } = &args[0] else {
+            panic!()
+        };
+        assert_eq!(sc.selection, Selection::First);
+        assert_eq!(sc.consumption, Consumption::Consume);
+    }
+
+    #[test]
+    fn parses_correlation_key_and_attr_equal() {
+        let q = parse_query(
+            "EVENT q WHEN SEQUENCE(A x, B y, 1 hours) \
+             WHERE CorrelationKey(Machine_Id, EQUAL) AND [Machine_Id EQUAL 'BARGA_XP03']",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        let cj = w.conjuncts();
+        assert!(matches!(cj[0], PredAst::CorrelationKey { .. }));
+        assert!(matches!(cj[1], PredAst::AttrEqual { .. }));
+    }
+
+    #[test]
+    fn parses_output_clause() {
+        let q = parse_query(
+            "EVENT q WHEN SEQUENCE(A x, B y, 1 hours) OUTPUT x.id AS machine, y.ts",
+        )
+        .unwrap();
+        let out = q.output.unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(matches!(&out[0], OutputItem::Path { name: Some(n), .. } if n == "machine"));
+    }
+
+    #[test]
+    fn parses_temporal_slices() {
+        let q = parse_query(
+            "EVENT q WHEN SEQUENCE(A, B, 1 hours) @ [10, 20) # [0, INF)",
+        )
+        .unwrap();
+        assert_eq!(q.occ_slice, Some((TimePoint::new(10), TimePoint::new(20))));
+        assert_eq!(q.valid_slice, Some((TimePoint::new(0), TimePoint::INFINITY)));
+    }
+
+    #[test]
+    fn error_messages_carry_position() {
+        let err = parse_query("EVENT q WHEN SEQUENCE(A, B 10 hours)").unwrap_err();
+        assert!(matches!(err, LangError::Parse { .. }));
+        let err2 = parse_query("WHEN SEQUENCE(A, B, 1 hours)").unwrap_err();
+        assert!(matches!(err2, LangError::Parse { .. }));
+    }
+}

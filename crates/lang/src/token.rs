@@ -1,0 +1,121 @@
+//! Tokens of the CEDR query language.
+
+use std::fmt;
+
+/// Keywords are case-insensitive; identifiers preserve case.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    // Literals and identifiers
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    // Clause keywords
+    Event,
+    When,
+    Where,
+    Output,
+    As,
+    With,
+    // Operators of the WHEN clause
+    Sequence,
+    AtLeast,
+    AtMost,
+    All,
+    Any,
+    Unless,
+    Not,
+    CancelWhen,
+    // Predicate keywords
+    And,
+    Or,
+    CorrelationKey,
+    Equal,
+    Unique,
+    // SC modes
+    Sc,
+    Each,
+    First,
+    MostRecent,
+    Reuse,
+    Consume,
+    // Time units
+    Ticks,
+    Seconds,
+    Minutes,
+    Hours,
+    Days,
+    Infinity,
+    // Punctuation
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    At,
+    Hash,
+    // Comparison
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl Token {
+    /// Keyword lookup (uppercased); `CANCEL-WHEN` is handled by the lexer.
+    pub fn keyword(upper: &str) -> Option<Token> {
+        Some(match upper {
+            "EVENT" => Token::Event,
+            "WHEN" => Token::When,
+            "WHERE" => Token::Where,
+            "OUTPUT" => Token::Output,
+            "AS" => Token::As,
+            "WITH" => Token::With,
+            "SEQUENCE" => Token::Sequence,
+            "ATLEAST" => Token::AtLeast,
+            "ATMOST" => Token::AtMost,
+            "ALL" => Token::All,
+            "ANY" => Token::Any,
+            "UNLESS" => Token::Unless,
+            "NOT" => Token::Not,
+            "CANCELWHEN" => Token::CancelWhen,
+            "AND" => Token::And,
+            "OR" => Token::Or,
+            "CORRELATIONKEY" => Token::CorrelationKey,
+            "EQUAL" => Token::Equal,
+            "UNIQUE" => Token::Unique,
+            "SC" => Token::Sc,
+            "EACH" => Token::Each,
+            "FIRST" => Token::First,
+            "MOSTRECENT" | "RECENT" => Token::MostRecent,
+            "REUSE" => Token::Reuse,
+            "CONSUME" => Token::Consume,
+            "TICK" | "TICKS" => Token::Ticks,
+            "SECOND" | "SECONDS" => Token::Seconds,
+            "MINUTE" | "MINUTES" => Token::Minutes,
+            "HOUR" | "HOURS" => Token::Hours,
+            "DAY" | "DAYS" => Token::Days,
+            "INF" | "INFINITY" => Token::Infinity,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The consistency spectrum (Sections 4 and 5).
+//!
+//! The paper defines three named levels — strong (Definition 3), middle
+//! (Definition 4) and weak (Definition 5) — and then generalises them into
+//! an "infinite spectrum" (Figure 9) indexed by two application-time
+//! durations: the **maximum memory time M** and the **maximum blocking time
+//! B**. Only the `B ≤ M` triangle is meaningful: "increasing the maximum
+//! blocking time beyond the maximum memory time has no effect on operator
+//! behavior".
+//!
+//! * `⟨B=∞, M=∞⟩` — **Strong**: align out-of-order input by blocking until
+//!   the occurrence-time guarantee (CTI) covers it; never emit output that
+//!   might later be repaired (beyond repairs present in the source itself).
+//! * `⟨B=0, M=∞⟩` — **Middle**: never block; emit optimistically and repair
+//!   with retractions + insertions; remember everything since the last sync
+//!   point so every repair is possible.
+//! * `⟨B=0, M finite⟩` — **Weak**: never block and forget state older than
+//!   `M`; events arriving later than the memory horizon are dropped and
+//!   their repairs skipped (correct *at* sync points, not *to* them).
+
+use cedr_temporal::{Duration, TimePoint};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the Figure-9 consistency plane.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConsistencySpec {
+    /// Maximum blocking time `B` (application time).
+    pub max_blocking: Duration,
+    /// Maximum memory time `M` (application time).
+    pub max_memory: Duration,
+}
+
+/// The named levels of Definitions 3–5, plus the interior of the spectrum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConsistencyLevel {
+    Strong,
+    Middle,
+    Weak,
+    Custom,
+}
+
+impl ConsistencySpec {
+    /// Strong consistency: `⟨B=∞, M=∞⟩`.
+    pub fn strong() -> Self {
+        ConsistencySpec {
+            max_blocking: Duration::INFINITE,
+            max_memory: Duration::INFINITE,
+        }
+    }
+
+    /// Middle consistency: `⟨B=0, M=∞⟩`.
+    pub fn middle() -> Self {
+        ConsistencySpec {
+            max_blocking: Duration::ZERO,
+            max_memory: Duration::INFINITE,
+        }
+    }
+
+    /// Weak consistency with memory bound `m`: `⟨B=0, M=m⟩`.
+    pub fn weak(m: Duration) -> Self {
+        ConsistencySpec {
+            max_blocking: Duration::ZERO,
+            max_memory: m,
+        }
+    }
+
+    /// The weakest possible level: non-blocking and memoryless (the lower
+    /// left corner of Figure 9).
+    pub fn weakest() -> Self {
+        Self::weak(Duration::ZERO)
+    }
+
+    /// An arbitrary spectrum point; clamps `B` to `M` (the upper-left
+    /// triangle "has no effect on operator behavior").
+    pub fn custom(max_blocking: Duration, max_memory: Duration) -> Self {
+        let b = if max_blocking > max_memory {
+            max_memory
+        } else {
+            max_blocking
+        };
+        ConsistencySpec {
+            max_blocking: b,
+            max_memory,
+        }
+    }
+
+    /// Classify into the named levels.
+    pub fn level(&self) -> ConsistencyLevel {
+        match (self.max_blocking, self.max_memory) {
+            (Duration::INFINITE, Duration::INFINITE) => ConsistencyLevel::Strong,
+            (Duration::ZERO, Duration::INFINITE) => ConsistencyLevel::Middle,
+            (Duration::ZERO, _) => ConsistencyLevel::Weak,
+            _ => ConsistencyLevel::Custom,
+        }
+    }
+
+    /// Does this spec ever hold messages in the alignment buffer?
+    pub fn is_blocking(&self) -> bool {
+        self.max_blocking > Duration::ZERO
+    }
+
+    /// Does this spec ever forget state before it is provably dead?
+    pub fn is_forgetful(&self) -> bool {
+        self.max_memory.is_infinite() == false
+    }
+
+    /// The memory horizon induced by the high-water mark of observed syncs:
+    /// state and late messages below this point are forgotten. `ZERO` when
+    /// memory is unbounded.
+    pub fn horizon(&self, max_seen: TimePoint) -> TimePoint {
+        if self.max_memory.is_infinite() {
+            TimePoint::ZERO
+        } else {
+            max_seen - self.max_memory
+        }
+    }
+}
+
+impl fmt::Debug for ConsistencySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "⟨B={}, M={}⟩ ({:?})",
+            self.max_blocking,
+            self.max_memory,
+            self.level()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedr_temporal::time::{dur, t};
+
+    #[test]
+    fn named_levels_classify() {
+        assert_eq!(ConsistencySpec::strong().level(), ConsistencyLevel::Strong);
+        assert_eq!(ConsistencySpec::middle().level(), ConsistencyLevel::Middle);
+        assert_eq!(
+            ConsistencySpec::weak(dur(100)).level(),
+            ConsistencyLevel::Weak
+        );
+        assert_eq!(ConsistencySpec::weakest().level(), ConsistencyLevel::Weak);
+        assert_eq!(
+            ConsistencySpec::custom(dur(5), dur(100)).level(),
+            ConsistencyLevel::Custom
+        );
+    }
+
+    #[test]
+    fn custom_clamps_b_to_m() {
+        let s = ConsistencySpec::custom(dur(100), dur(10));
+        assert_eq!(s.max_blocking, dur(10));
+        // Corner degeneracies of Figure 9:
+        let corner = ConsistencySpec::custom(Duration::INFINITE, Duration::INFINITE);
+        assert_eq!(corner.level(), ConsistencyLevel::Strong);
+    }
+
+    #[test]
+    fn horizon_trails_the_high_water_mark() {
+        let weak = ConsistencySpec::weak(dur(10));
+        assert_eq!(weak.horizon(t(25)), t(15));
+        assert_eq!(weak.horizon(t(5)), t(0), "floors at zero");
+        let middle = ConsistencySpec::middle();
+        assert_eq!(middle.horizon(t(1_000_000)), t(0), "unbounded memory never forgets");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(ConsistencySpec::strong().is_blocking());
+        assert!(!ConsistencySpec::middle().is_blocking());
+        assert!(!ConsistencySpec::middle().is_forgetful());
+        assert!(ConsistencySpec::weak(dur(1)).is_forgetful());
+    }
+}

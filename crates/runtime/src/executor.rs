@@ -1,0 +1,356 @@
+//! The dataflow executor: "a set of composable operators that can be
+//! combined to form a pipelined query execution plan" (Section 5).
+//!
+//! Plans are DAGs of [`OperatorShell`]s fed by named external sources.
+//! Execution is single-threaded and deterministic: each source message is
+//! stamped with a CEDR tick and pushed through the graph; operator outputs
+//! cascade to their subscribers in FIFO order. Sink outputs are folded
+//! into [`cedr_streams::Collector`]s so the temporal equivalence machinery
+//! applies to query results directly.
+
+use crate::operator::{OperatorModule, OperatorShell};
+use crate::consistency::ConsistencySpec;
+use crate::stats::OpStats;
+use cedr_streams::{Collector, Message};
+use std::collections::{HashMap, VecDeque};
+
+/// Identifies an operator node in a dataflow.
+pub type NodeId = usize;
+
+/// A connection endpoint feeding an operator input port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Port {
+    /// External source `i`.
+    Source(usize),
+    /// Output of node `id`.
+    Node(NodeId),
+}
+
+/// Builds a dataflow DAG.
+pub struct DataflowBuilder {
+    n_sources: usize,
+    shells: Vec<OperatorShell>,
+    inputs: Vec<Vec<Port>>,
+}
+
+impl DataflowBuilder {
+    pub fn new(n_sources: usize) -> Self {
+        DataflowBuilder {
+            n_sources,
+            shells: Vec::new(),
+            inputs: Vec::new(),
+        }
+    }
+
+    /// Add an operator node; `inputs[i]` feeds the module's port `i`.
+    /// Nodes may only reference earlier nodes (enforcing acyclicity).
+    pub fn add_node(
+        &mut self,
+        module: Box<dyn OperatorModule>,
+        spec: ConsistencySpec,
+        inputs: Vec<Port>,
+    ) -> NodeId {
+        assert_eq!(
+            inputs.len(),
+            module.arity(),
+            "operator {} expects {} inputs",
+            module.name(),
+            module.arity()
+        );
+        for p in &inputs {
+            match p {
+                Port::Source(s) => assert!(*s < self.n_sources, "unknown source {s}"),
+                Port::Node(n) => assert!(*n < self.shells.len(), "forward edge to node {n}"),
+            }
+        }
+        let id = self.shells.len();
+        self.shells.push(OperatorShell::new(module, spec));
+        self.inputs.push(inputs);
+        id
+    }
+
+    /// Finish the graph; `watched` nodes get output collectors.
+    pub fn build(self, watched: &[NodeId]) -> Dataflow {
+        let mut source_subs: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); self.n_sources];
+        let mut node_subs: Vec<Vec<(NodeId, usize)>> = vec![Vec::new(); self.shells.len()];
+        for (node, inputs) in self.inputs.iter().enumerate() {
+            for (port, src) in inputs.iter().enumerate() {
+                match src {
+                    Port::Source(s) => source_subs[*s].push((node, port)),
+                    Port::Node(n) => node_subs[*n].push((node, port)),
+                }
+            }
+        }
+        let collectors = watched
+            .iter()
+            .map(|&n| {
+                assert!(n < self.shells.len(), "cannot watch unknown node {n}");
+                (n, Collector::new())
+            })
+            .collect();
+        Dataflow {
+            nodes: self.shells,
+            source_subs,
+            node_subs,
+            collectors,
+            tick: 0,
+        }
+    }
+}
+
+/// An executable dataflow.
+pub struct Dataflow {
+    nodes: Vec<OperatorShell>,
+    source_subs: Vec<Vec<(NodeId, usize)>>,
+    node_subs: Vec<Vec<(NodeId, usize)>>,
+    collectors: HashMap<NodeId, Collector>,
+    tick: u64,
+}
+
+impl Dataflow {
+    /// Feed one message into external source `source`, cascading it through
+    /// the graph to quiescence.
+    pub fn push_source(&mut self, source: usize, msg: Message) {
+        self.tick += 1;
+        let now = self.tick;
+        let mut queue: VecDeque<(NodeId, usize, Message)> = VecDeque::new();
+        for &(node, port) in &self.source_subs[source] {
+            queue.push_back((node, port, msg.clone()));
+        }
+        while let Some((node, port, m)) = queue.pop_front() {
+            let outs = self.nodes[node].push(port, m, now);
+            if outs.is_empty() {
+                continue;
+            }
+            if let Some(c) = self.collectors.get_mut(&node) {
+                for o in &outs {
+                    c.push(o.clone());
+                }
+            }
+            for o in outs {
+                for &(next, next_port) in &self.node_subs[node] {
+                    queue.push_back((next, next_port, o.clone()));
+                }
+            }
+        }
+    }
+
+    /// Feed a whole stream into one source.
+    pub fn run_stream(&mut self, source: usize, msgs: impl IntoIterator<Item = Message>) {
+        for m in msgs {
+            self.push_source(source, m);
+        }
+    }
+
+    /// Interleave several per-source streams round-robin (a simple model of
+    /// concurrent providers).
+    pub fn run_interleaved(&mut self, streams: Vec<Vec<Message>>) {
+        let mut iters: Vec<std::vec::IntoIter<Message>> =
+            streams.into_iter().map(|s| s.into_iter()).collect();
+        loop {
+            let mut progressed = false;
+            for (src, it) in iters.iter_mut().enumerate() {
+                if let Some(m) = it.next() {
+                    self.tick += 1;
+                    let now = self.tick;
+                    let mut queue: VecDeque<(NodeId, usize, Message)> = VecDeque::new();
+                    for &(node, port) in &self.source_subs[src] {
+                        queue.push_back((node, port, m.clone()));
+                    }
+                    while let Some((node, port, msg)) = queue.pop_front() {
+                        let outs = self.nodes[node].push(port, msg, now);
+                        if outs.is_empty() {
+                            continue;
+                        }
+                        if let Some(c) = self.collectors.get_mut(&node) {
+                            for o in &outs {
+                                c.push(o.clone());
+                            }
+                        }
+                        for o in outs {
+                            for &(next, next_port) in &self.node_subs[node] {
+                                queue.push_back((next, next_port, o.clone()));
+                            }
+                        }
+                    }
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// The collector attached to a watched node.
+    pub fn collector(&self, node: NodeId) -> &Collector {
+        self.collectors
+            .get(&node)
+            .expect("node is not watched; pass it to build()")
+    }
+
+    /// Per-node runtime statistics.
+    pub fn stats(&self, node: NodeId) -> &OpStats {
+        self.nodes[node].stats()
+    }
+
+    /// Plan-wide totals.
+    pub fn total_stats(&self) -> OpStats {
+        let mut total = OpStats::default();
+        for n in &self.nodes {
+            total.absorb(n.stats());
+        }
+        total
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn node_name(&self, node: NodeId) -> &'static str {
+        self.nodes[node].name()
+    }
+
+    /// Current CEDR tick (arrival counter).
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::GroupAggregateOp;
+    use crate::sequence::SequenceOp;
+    use crate::stateless::{AlterLifetimeOp, SelectOp};
+    use cedr_algebra::expr::{CmpOp, Pred, Scalar};
+    use cedr_algebra::relational::AggFunc;
+    use cedr_streams::StreamBuilder;
+    use cedr_temporal::time::{dur, t};
+    use cedr_temporal::{Interval, Payload, TimePoint, Value};
+
+    #[test]
+    fn linear_pipeline_select_window_count() {
+        // σ(value ≥ 0) → W_5 → count.
+        let mut b = DataflowBuilder::new(1);
+        let sel = b.add_node(
+            Box::new(SelectOp::new(Pred::cmp(
+                Scalar::Field(0),
+                CmpOp::Ge,
+                Scalar::lit(0i64),
+            ))),
+            ConsistencySpec::middle(),
+            vec![Port::Source(0)],
+        );
+        let win = b.add_node(
+            Box::new(AlterLifetimeOp::window(dur(5))),
+            ConsistencySpec::middle(),
+            vec![Port::Node(sel)],
+        );
+        let cnt = b.add_node(
+            Box::new(GroupAggregateOp::global(AggFunc::Count)),
+            ConsistencySpec::middle(),
+            vec![Port::Node(win)],
+        );
+        let mut df = b.build(&[cnt]);
+
+        let mut sb = StreamBuilder::new();
+        for i in 0..10u64 {
+            sb.insert(
+                Interval::from(t(i)),
+                Payload::from_values(vec![Value::Int(i as i64)]),
+            );
+        }
+        df.run_stream(0, sb.build_ordered(Some(dur(1)), true));
+
+        let net = df.collector(cnt).net_table();
+        assert!(!net.is_empty());
+        // With W_5 over points at 0..10, count at time 4 is 5 (events 0..4).
+        let snap = net.snapshot_at(t(4));
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].payload.get(0), Some(&Value::Int(5)));
+        // The final CTI must have propagated through all three operators.
+        assert_eq!(df.collector(cnt).max_cti(), Some(TimePoint::INFINITY));
+    }
+
+    #[test]
+    fn fan_out_to_two_consumers() {
+        let mut b = DataflowBuilder::new(1);
+        let sel = b.add_node(
+            Box::new(SelectOp::new(Pred::True)),
+            ConsistencySpec::middle(),
+            vec![Port::Source(0)],
+        );
+        let w1 = b.add_node(
+            Box::new(AlterLifetimeOp::window(dur(2))),
+            ConsistencySpec::middle(),
+            vec![Port::Node(sel)],
+        );
+        let w2 = b.add_node(
+            Box::new(AlterLifetimeOp::window(dur(4))),
+            ConsistencySpec::middle(),
+            vec![Port::Node(sel)],
+        );
+        let mut df = b.build(&[w1, w2]);
+        let mut sb = StreamBuilder::new();
+        sb.insert(Interval::from(t(0)), Payload::empty());
+        df.run_stream(0, sb.build_ordered(None, true));
+        assert_eq!(df.collector(w1).net_table().rows[0].interval, Interval::new(t(0), t(2)));
+        assert_eq!(df.collector(w2).net_table().rows[0].interval, Interval::new(t(0), t(4)));
+    }
+
+    #[test]
+    fn two_sources_feed_a_sequence() {
+        let mut b = DataflowBuilder::new(2);
+        let seq = b.add_node(
+            Box::new(SequenceOp::new(2, dur(10), Pred::True)),
+            ConsistencySpec::middle(),
+            vec![Port::Source(0), Port::Source(1)],
+        );
+        let mut df = b.build(&[seq]);
+
+        let mut a = StreamBuilder::with_id_base(0);
+        a.insert_at(t(1), Payload::empty());
+        let mut c = StreamBuilder::with_id_base(1000);
+        c.insert_at(t(4), Payload::empty());
+        df.run_interleaved(vec![
+            a.build_ordered(None, true),
+            c.build_ordered(None, true),
+        ]);
+        assert_eq!(df.collector(seq).stats().inserts, 1);
+        assert_eq!(df.collector(seq).max_cti(), Some(TimePoint::INFINITY));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_is_rejected() {
+        let mut b = DataflowBuilder::new(1);
+        b.add_node(
+            Box::new(SequenceOp::new(2, dur(10), Pred::True)),
+            ConsistencySpec::middle(),
+            vec![Port::Source(0)], // needs 2
+        );
+    }
+
+    #[test]
+    fn total_stats_aggregate_across_nodes() {
+        let mut b = DataflowBuilder::new(1);
+        let s1 = b.add_node(
+            Box::new(SelectOp::new(Pred::True)),
+            ConsistencySpec::middle(),
+            vec![Port::Source(0)],
+        );
+        let _s2 = b.add_node(
+            Box::new(SelectOp::new(Pred::True)),
+            ConsistencySpec::middle(),
+            vec![Port::Node(s1)],
+        );
+        let mut df = b.build(&[]);
+        let mut sb = StreamBuilder::new();
+        sb.insert_at(t(0), Payload::empty());
+        df.run_stream(0, sb.build_ordered(None, false));
+        let total = df.total_stats();
+        assert_eq!(total.arrivals, 2, "both nodes saw the event");
+        assert_eq!(total.out_inserts, 2);
+    }
+}

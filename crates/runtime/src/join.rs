@@ -1,0 +1,342 @@
+//! The physical symmetric join (Definition 9, incremental).
+//!
+//! State: the current version of every live event on each side, optionally
+//! hash-partitioned by an equi-key extracted from the θ predicate. Inserts
+//! probe the opposite side; retractions recompute the intersection of the
+//! shortened event with every current partner and emit the difference —
+//! the retraction-repair machinery of the middle consistency level.
+
+use crate::operator::{OpContext, OperatorModule};
+use cedr_algebra::expr::{Pred, Scalar};
+use cedr_algebra::idgen::idgen;
+use cedr_streams::Retraction;
+use cedr_temporal::{Event, EventId, Lineage, TimePoint, Value};
+use std::collections::{HashMap, HashSet};
+
+#[derive(Default)]
+struct SideState {
+    events: HashMap<EventId, Event>,
+    by_key: HashMap<Value, HashSet<EventId>>,
+}
+
+impl SideState {
+    fn key_of(key_expr: Option<&Scalar>, e: &Event) -> Value {
+        key_expr.map_or(Value::Null, |k| k.eval_event(e))
+    }
+
+    fn remove(&mut self, key_expr: Option<&Scalar>, id: EventId) -> Option<Event> {
+        let e = self.events.remove(&id)?;
+        let key = Self::key_of(key_expr, &e);
+        if let Some(set) = self.by_key.get_mut(&key) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.by_key.remove(&key);
+            }
+        }
+        Some(e)
+    }
+}
+
+/// Incremental θ-join over two retraction-bearing streams.
+pub struct JoinOp {
+    theta: Pred,
+    /// Optional equi-key per side for hash partitioning (extracted from θ's
+    /// top-level `left.col = right.col` conjuncts by the planner).
+    keys: Option<(Scalar, Scalar)>,
+    sides: [SideState; 2],
+}
+
+impl JoinOp {
+    pub fn new(theta: Pred) -> Self {
+        JoinOp {
+            theta,
+            keys: None,
+            sides: [SideState::default(), SideState::default()],
+        }
+    }
+
+    /// Enable hash partitioning: `left_key(e0) = right_key(e1)` must be
+    /// implied by θ (the planner guarantees this; the θ predicate is still
+    /// applied in full).
+    pub fn with_keys(mut self, left: Scalar, right: Scalar) -> Self {
+        self.keys = Some((left, right));
+        self
+    }
+
+    fn key_expr(&self, side: usize) -> Option<&Scalar> {
+        self.keys
+            .as_ref()
+            .map(|(l, r)| if side == 0 { l } else { r })
+    }
+
+    fn make_output(&self, left: &Event, right: &Event) -> Event {
+        Event {
+            id: idgen(&[left.id, right.id]),
+            interval: left.interval.intersect(&right.interval),
+            root_time: TimePoint::min_of(left.root_time, right.root_time),
+            lineage: Lineage::of(vec![left.id, right.id]),
+            payload: left.payload.concat(&right.payload),
+        }
+    }
+
+    /// Candidate partner IDs on `side` for an event with the given key.
+    fn candidates(&self, side: usize, key: &Value) -> Vec<EventId> {
+        if self.keys.is_some() {
+            self.sides[side]
+                .by_key
+                .get(key)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default()
+        } else {
+            self.sides[side].events.keys().copied().collect()
+        }
+    }
+
+    fn oriented<'a>(&self, input: usize, e: &'a Event, p: &'a Event) -> (&'a Event, &'a Event) {
+        if input == 0 {
+            (e, p)
+        } else {
+            (p, e)
+        }
+    }
+}
+
+impl OperatorModule for JoinOp {
+    fn name(&self) -> &'static str {
+        "join"
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn on_insert(&mut self, input: usize, event: &Event, ctx: &mut OpContext) {
+        if event.interval.is_empty() {
+            return;
+        }
+        let other = 1 - input;
+        let key = SideState::key_of(self.key_expr(input), event);
+
+        // Store (idempotent: duplicate deliveries are ignored).
+        let side = &mut self.sides[input];
+        if side.events.contains_key(&event.id) {
+            return;
+        }
+        side.events.insert(event.id, event.clone());
+        side.by_key.entry(key.clone()).or_default().insert(event.id);
+
+        for pid in self.candidates(other, &key) {
+            let Some(p) = self.sides[other].events.get(&pid) else {
+                continue;
+            };
+            let (l, r) = self.oriented(input, event, p);
+            if !l.interval.overlaps(&r.interval) {
+                continue;
+            }
+            if !self.theta.eval_tuple(&[l, r]) {
+                continue;
+            }
+            ctx.out.insert(self.make_output(l, r));
+        }
+    }
+
+    fn on_retract(&mut self, input: usize, r: &Retraction, ctx: &mut OpContext) {
+        let other = 1 - input;
+        let Some(old) = self.sides[input].events.get(&r.event.id).cloned() else {
+            // Insert was forgotten (weak) or already purged: nothing to repair.
+            return;
+        };
+        // Retractions may arrive out of order; only ever shrink.
+        let new_end = TimePoint::min_of(old.interval.end, r.new_end);
+        if new_end >= old.interval.end {
+            return;
+        }
+        let shortened = old.shortened(new_end);
+        let key = SideState::key_of(self.key_expr(input), &old);
+
+        // Repair every derived output.
+        for pid in self.candidates(other, &key) {
+            let Some(p) = self.sides[other].events.get(&pid) else {
+                continue;
+            };
+            let (l_old, r_old) = self.oriented(input, &old, p);
+            let old_iv = l_old.interval.intersect(&r_old.interval);
+            if old_iv.is_empty() {
+                continue;
+            }
+            if !self.theta.eval_tuple(&[l_old, r_old]) {
+                continue;
+            }
+            let (l_new, r_new) = self.oriented(input, &shortened, p);
+            let new_iv = l_new.interval.intersect(&r_new.interval);
+            let out_old = self.make_output(l_old, r_old);
+            if new_iv.is_empty() {
+                ctx.out.retract_full(out_old);
+            } else if new_iv.end < old_iv.end {
+                ctx.out.retract_to(out_old, new_iv.end);
+            }
+        }
+
+        // Update state.
+        if shortened.interval.is_empty() {
+            let key_expr = self.key_expr(input).cloned();
+            self.sides[input].remove(key_expr.as_ref(), old.id);
+        } else {
+            self.sides[input].events.insert(old.id, shortened);
+        }
+        let _ = key;
+    }
+
+    fn on_advance(&mut self, ctx: &mut OpContext) {
+        // Events whose lifetime ends at or before the purge bound can no
+        // longer join future inputs (their Vs ≥ watermark) nor be retracted
+        // (a retraction's sync = new_end < Ve ≤ watermark cannot arrive).
+        let bound = TimePoint::max_of(ctx.watermark, ctx.horizon());
+        if bound == TimePoint::ZERO {
+            return;
+        }
+        for side in 0..2 {
+            let dead: Vec<EventId> = self.sides[side]
+                .events
+                .values()
+                .filter(|e| e.interval.end <= bound)
+                .map(|e| e.id)
+                .collect();
+            let key_expr = self.key_expr(side).cloned();
+            for id in dead {
+                self.sides[side].remove(key_expr.as_ref(), id);
+            }
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.sides[0].events.len() + self.sides[1].events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::ConsistencySpec;
+    use crate::operator::OperatorShell;
+    use cedr_algebra::expr::CmpOp;
+    use cedr_streams::Message;
+    use cedr_temporal::interval::iv;
+    use cedr_temporal::time::t;
+    use cedr_temporal::{Payload, Value};
+
+    fn ev(id: u64, a: u64, b: u64, k: i64) -> Event {
+        Event::primitive(
+            EventId(id),
+            iv(a, b),
+            Payload::from_values(vec![Value::Int(k)]),
+        )
+    }
+
+    fn equi_join() -> JoinOp {
+        JoinOp::new(Pred::cmp(Scalar::Of(0, 0), CmpOp::Eq, Scalar::Of(1, 0)))
+            .with_keys(Scalar::Field(0), Scalar::Field(0))
+    }
+
+    #[test]
+    fn insert_probe_emits_intersection() {
+        let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
+        assert!(s.push(0, Message::Insert(ev(1, 0, 10, 7)), 0).is_empty());
+        let out = s.push(1, Message::Insert(ev(2, 5, 20, 7)), 1);
+        assert_eq!(out.len(), 1);
+        let j = out[0].as_insert().unwrap();
+        assert_eq!(j.interval, iv(5, 10));
+        assert_eq!(j.payload.len(), 2);
+    }
+
+    #[test]
+    fn key_mismatch_produces_nothing() {
+        let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
+        s.push(0, Message::Insert(ev(1, 0, 10, 7)), 0);
+        let out = s.push(1, Message::Insert(ev(2, 5, 20, 8)), 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn retraction_shrinks_derived_output() {
+        let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
+        let l = ev(1, 0, 10, 7);
+        s.push(0, Message::Insert(l.clone()), 0);
+        let out = s.push(1, Message::Insert(ev(2, 2, 20, 7)), 1);
+        let joined = out[0].as_insert().unwrap().clone();
+        assert_eq!(joined.interval, iv(2, 10));
+        // Retract left to [0,5): output shrinks to [2,5).
+        let out2 = s.push(0, Message::Retract(Retraction::new(l, t(5))), 2);
+        let r = out2[0].as_retract().unwrap();
+        assert_eq!(r.event.id, joined.id);
+        assert_eq!(r.new_end, t(5));
+    }
+
+    #[test]
+    fn retraction_below_partner_start_removes_output() {
+        let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
+        let l = ev(1, 0, 10, 7);
+        s.push(0, Message::Insert(l.clone()), 0);
+        s.push(1, Message::Insert(ev(2, 6, 20, 7)), 1);
+        // [0,10) → [0,3): intersection with [6,20) becomes empty.
+        let out = s.push(0, Message::Retract(Retraction::new(l, t(3))), 2);
+        let r = out[0].as_retract().unwrap();
+        assert!(r.is_full_removal());
+    }
+
+    #[test]
+    fn chained_retractions_from_both_sides() {
+        let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
+        let l = ev(1, 0, 100, 7);
+        let rr = ev(2, 0, 100, 7);
+        s.push(0, Message::Insert(l.clone()), 0);
+        s.push(1, Message::Insert(rr.clone()), 1);
+        // Shrink right to [0,50): output [0,100) → [0,50).
+        let o1 = s.push(1, Message::Retract(Retraction::new(rr, t(50))), 2);
+        assert_eq!(o1[0].as_retract().unwrap().new_end, t(50));
+        // Then shrink left to [0,20): the *current* output [0,50) → [0,20).
+        let o2 = s.push(0, Message::Retract(Retraction::new(l, t(20))), 3);
+        let r = o2[0].as_retract().unwrap();
+        assert_eq!(r.event.interval, iv(0, 50), "repairs the current version");
+        assert_eq!(r.new_end, t(20));
+    }
+
+    #[test]
+    fn duplicate_inserts_are_idempotent() {
+        let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
+        s.push(0, Message::Insert(ev(1, 0, 10, 7)), 0);
+        s.push(1, Message::Insert(ev(2, 0, 10, 7)), 1);
+        let out = s.push(1, Message::Insert(ev(2, 0, 10, 7)), 2);
+        assert!(out.is_empty(), "duplicate delivery produces no new output");
+    }
+
+    #[test]
+    fn watermark_purges_dead_state() {
+        let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
+        s.push(0, Message::Insert(ev(1, 0, 10, 7)), 0);
+        s.push(1, Message::Insert(ev(2, 0, 10, 7)), 1);
+        assert_eq!(s.module().state_size(), 2);
+        s.push(0, Message::Cti(t(50)), 2);
+        s.push(1, Message::Cti(t(50)), 3);
+        assert_eq!(s.module().state_size(), 0, "both events ended before 50");
+    }
+
+    #[test]
+    fn theta_join_without_keys_scans() {
+        // Non-equi θ: left.value < right.value.
+        let theta = Pred::cmp(Scalar::Of(0, 0), CmpOp::Lt, Scalar::Of(1, 0));
+        let mut s = OperatorShell::new(Box::new(JoinOp::new(theta)), ConsistencySpec::middle());
+        s.push(0, Message::Insert(ev(1, 0, 10, 5)), 0);
+        s.push(0, Message::Insert(ev(2, 0, 10, 9)), 1);
+        let out = s.push(1, Message::Insert(ev(3, 0, 10, 7)), 2);
+        assert_eq!(out.len(), 1, "only 5 < 7 qualifies");
+    }
+
+    #[test]
+    fn retraction_of_forgotten_event_is_ignored() {
+        let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
+        let ghost = ev(99, 0, 10, 7);
+        let out = s.push(0, Message::Retract(Retraction::new(ghost, t(5))), 0);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,553 @@
+//! Physical negation: UNLESS, NOT(·, SEQUENCE) and CANCEL-WHEN.
+//!
+//! Negation is where the consistency spectrum bites (Section 5): an output
+//! asserting *non-occurrence* within a scope can only be **confirmed** once
+//! the input guarantee (CTI) covers the whole scope.
+//!
+//! * Strong (`B=∞`): hold the candidate until the watermark passes the
+//!   scope end, then emit — blocking, but never repaired.
+//! * Middle (`B=0`): emit the moment the candidate appears; if a negating
+//!   event shows up later (late arrival or plain in-order occurrence), emit
+//!   a **retraction** of the optimistic output. If the negating event is
+//!   itself removed, the output is *revived*.
+//! * Weak (`B=0`, finite `M`): as middle, but candidates and negators
+//!   below the memory horizon are forgotten, so some repairs never happen.
+//!
+//! Two scopes cover the paper's three operators:
+//! [`NegationScope::After`] — UNLESS's `(e1.Vs, e1.Vs + w)`; and
+//! [`NegationScope::History`] — the lineage scope `(e1.Rt, e1.Vs)` shared by
+//! CANCEL-WHEN and NOT(E, SEQUENCE(…)) (for sequences over primitive
+//! contributors `cbt[1].Vs = Rt` exactly; see DESIGN.md).
+
+use crate::operator::{OpContext, OperatorModule};
+use cedr_algebra::expr::Pred;
+use cedr_streams::Retraction;
+use cedr_temporal::{Duration, Event, EventId, Interval, Lineage, TimePoint};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// The negation scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NegationScope {
+    /// UNLESS(E1, E2, w): negated events in `(e1.Vs, e1.Vs + w)`.
+    After { w: Duration },
+    /// CANCEL-WHEN / NOT(·, SEQUENCE): negated events in `(e1.Rt, e1.Vs)`.
+    History,
+}
+
+struct Entry {
+    e1: Event,
+    killers: HashSet<EventId>,
+    emitted: bool,
+}
+
+/// Physical negation operator. Input 0: candidates (E1); input 1: negators
+/// (E2 / the NOT-scope events).
+pub struct NegationOp {
+    scope: NegationScope,
+    /// Predicate over `[e1, e2]` (predicate injection for negation).
+    neg_pred: Pred,
+    entries: HashMap<EventId, Entry>,
+    entries_by_vs: BTreeMap<(TimePoint, EventId), ()>,
+    e2s: HashMap<EventId, Event>,
+    e2s_by_vs: BTreeMap<(TimePoint, EventId), ()>,
+    kill_index: HashMap<EventId, Vec<EventId>>,
+    /// Purge hint for the History scope: an upper bound on `Vs − Rt` of
+    /// future candidates, allowing negator state to be bounded. `None`
+    /// keeps negators until the memory horizon claims them (the paper notes
+    /// CANCEL-WHEN's scope "cannot in general be expressed by … window").
+    max_history: Option<Duration>,
+}
+
+impl NegationOp {
+    pub fn new(scope: NegationScope, neg_pred: Pred) -> Self {
+        NegationOp {
+            scope,
+            neg_pred,
+            entries: HashMap::new(),
+            entries_by_vs: BTreeMap::new(),
+            e2s: HashMap::new(),
+            e2s_by_vs: BTreeMap::new(),
+            kill_index: HashMap::new(),
+            max_history: None,
+        }
+    }
+
+    /// UNLESS(E1, E2, w).
+    pub fn unless(w: Duration, neg_pred: Pred) -> Self {
+        Self::new(NegationScope::After { w }, neg_pred)
+    }
+
+    /// CANCEL-WHEN(E1, E2) / NOT(E, SEQUENCE(…)).
+    pub fn history(neg_pred: Pred) -> Self {
+        Self::new(NegationScope::History, neg_pred)
+    }
+
+    /// Bound the History scope for negator purging.
+    pub fn with_max_history(mut self, d: Duration) -> Self {
+        self.max_history = Some(d);
+        self
+    }
+
+    fn scope_of(&self, e1: &Event) -> (TimePoint, TimePoint) {
+        match self.scope {
+            NegationScope::After { w } => (e1.vs(), e1.vs() + w),
+            NegationScope::History => (e1.root_time, e1.vs()),
+        }
+    }
+
+    /// The time at which non-occurrence is confirmed by the watermark.
+    fn confirm_time(&self, e1: &Event) -> TimePoint {
+        self.scope_of(e1).1
+    }
+
+    fn output_of(&self, e1: &Event) -> Event {
+        match self.scope {
+            NegationScope::After { w } => Event::composite(
+                e1.id,
+                Interval::new(e1.vs(), e1.vs() + w),
+                e1.root_time,
+                Lineage::of(vec![e1.id]),
+                e1.payload.clone(),
+            ),
+            NegationScope::History => e1.clone(),
+        }
+    }
+
+    fn negates(&self, e1: &Event, e2: &Event) -> bool {
+        let (a, b) = self.scope_of(e1);
+        a < e2.vs() && e2.vs() < b && self.neg_pred.eval_tuple(&[e1, e2])
+    }
+
+    fn try_emit(
+        scope_end: TimePoint,
+        anchor: TimePoint,
+        entry: &mut Entry,
+        output: Event,
+        ctx: &mut OpContext,
+    ) {
+        if entry.emitted || !entry.killers.is_empty() {
+            return;
+        }
+        let confirmed = ctx.watermark >= scope_end;
+        if confirmed || ctx.may_emit_optimistically(anchor) {
+            ctx.out.insert(output);
+            entry.emitted = true;
+        }
+    }
+}
+
+impl OperatorModule for NegationOp {
+    fn name(&self) -> &'static str {
+        match self.scope {
+            NegationScope::After { .. } => "unless",
+            NegationScope::History => "cancel_when",
+        }
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn on_insert(&mut self, input: usize, event: &Event, ctx: &mut OpContext) {
+        if event.interval.is_empty() {
+            return;
+        }
+        if input == 0 {
+            if self.entries.contains_key(&event.id) {
+                return; // duplicate
+            }
+            let mut entry = Entry {
+                e1: event.clone(),
+                killers: HashSet::new(),
+                emitted: false,
+            };
+            // Known negators already in scope?
+            let (a, b) = self.scope_of(event);
+            for ((vs, e2id), _) in self
+                .e2s_by_vs
+                .range((a, EventId(0))..(b + Duration(1), EventId(0)))
+            {
+                if *vs <= a || *vs >= b {
+                    continue;
+                }
+                let e2 = &self.e2s[e2id];
+                if self.neg_pred.eval_tuple(&[event, e2]) {
+                    entry.killers.insert(*e2id);
+                    self.kill_index.entry(*e2id).or_default().push(event.id);
+                }
+            }
+            let scope_end = self.confirm_time(event);
+            let output = self.output_of(event);
+            Self::try_emit(scope_end, event.vs(), &mut entry, output, ctx);
+            self.entries_by_vs.insert((event.vs(), event.id), ());
+            self.entries.insert(event.id, entry);
+        } else {
+            if self.e2s.contains_key(&event.id) {
+                return; // duplicate
+            }
+            self.e2s.insert(event.id, event.clone());
+            self.e2s_by_vs.insert((event.vs(), event.id), ());
+            // Which candidates does this negator kill?
+            let affected: Vec<EventId> = match self.scope {
+                NegationScope::After { w } => {
+                    // e1.Vs ∈ (e2.Vs − w, e2.Vs).
+                    let lo = event.vs() - w;
+                    self.entries_by_vs
+                        .range((lo, EventId(0))..(event.vs() + Duration(1), EventId(0)))
+                        .map(|((_, id), _)| *id)
+                        .collect()
+                }
+                NegationScope::History => self.entries.keys().copied().collect(),
+            };
+            for e1_id in affected {
+                let Some(e1) = self.entries.get(&e1_id).map(|en| en.e1.clone()) else {
+                    continue;
+                };
+                if !self.negates(&e1, event) {
+                    continue;
+                }
+                let out = self.output_of(&e1);
+                let entry = self.entries.get_mut(&e1_id).expect("present");
+                let was_clear = entry.killers.is_empty();
+                entry.killers.insert(event.id);
+                self.kill_index.entry(event.id).or_default().push(e1_id);
+                let entry = self.entries.get_mut(&e1_id).expect("present");
+                if entry.emitted && was_clear {
+                    // Repair the optimistic output.
+                    ctx.out.retract_full(out);
+                    entry.emitted = false;
+                }
+            }
+        }
+    }
+
+    fn on_retract(&mut self, input: usize, r: &Retraction, ctx: &mut OpContext) {
+        if !r.is_full_removal() {
+            // Lifetimes don't matter to negation; keep stored copies fresh.
+            if input == 0 {
+                if let Some(entry) = self.entries.get_mut(&r.event.id) {
+                    let new_end = TimePoint::min_of(entry.e1.interval.end, r.new_end);
+                    entry.e1.interval = Interval::new(entry.e1.interval.start, new_end);
+                }
+            } else if let Some(e2) = self.e2s.get_mut(&r.event.id) {
+                let new_end = TimePoint::min_of(e2.interval.end, r.new_end);
+                e2.interval = Interval::new(e2.interval.start, new_end);
+            }
+            return;
+        }
+        if input == 0 {
+            let Some(entry) = self.entries.remove(&r.event.id) else {
+                return;
+            };
+            self.entries_by_vs.remove(&(entry.e1.vs(), entry.e1.id));
+            if entry.emitted {
+                ctx.out.retract_full(self.output_of(&entry.e1));
+            }
+        } else {
+            if self.e2s.remove(&r.event.id).is_none() {
+                return;
+            }
+            self.e2s_by_vs.remove(&(r.event.interval.start, r.event.id));
+            // Revive candidates this negator was (solely) killing.
+            for e1_id in self.kill_index.remove(&r.event.id).unwrap_or_default() {
+                let Some(e1) = self.entries.get(&e1_id).map(|en| en.e1.clone()) else {
+                    continue;
+                };
+                let scope_end = self.confirm_time(&e1);
+                let output = self.output_of(&e1);
+                let entry = self.entries.get_mut(&e1_id).expect("present");
+                entry.killers.remove(&r.event.id);
+                Self::try_emit(scope_end, e1.vs(), entry, output, ctx);
+            }
+        }
+    }
+
+    fn on_advance(&mut self, ctx: &mut OpContext) {
+        // 1. Confirm / optimistically release pending candidates; drop
+        //    entries whose scope the watermark has sealed (they are final).
+        let mut sealed: Vec<EventId> = Vec::new();
+        let ids: Vec<EventId> = self.entries_by_vs.keys().map(|&(_, id)| id).collect();
+        for id in ids {
+            let Some(e1) = self.entries.get(&id).map(|en| en.e1.clone()) else {
+                continue;
+            };
+            let scope_end = self.confirm_time(&e1);
+            let output = self.output_of(&e1);
+            let entry = self.entries.get_mut(&id).expect("present");
+            Self::try_emit(scope_end, e1.vs(), entry, output, ctx);
+            if ctx.watermark >= scope_end && ctx.watermark > e1.vs() {
+                // No future negator (sync ≥ watermark ≥ scope end) nor a
+                // removal of e1 (sync = e1.Vs < watermark) can arrive.
+                sealed.push(id);
+            }
+        }
+        for id in sealed {
+            if let Some(e) = self.entries.remove(&id) {
+                self.entries_by_vs.remove(&(e.e1.vs(), e.e1.id));
+            }
+        }
+        // 2. Forget candidates below the memory horizon (weak consistency):
+        //    emitted outputs stand unrepaired.
+        let horizon = ctx.horizon();
+        if horizon > TimePoint::ZERO {
+            let doomed: Vec<EventId> = self
+                .entries_by_vs
+                .range(..(horizon, EventId(0)))
+                .map(|((_, id), _)| *id)
+                .collect();
+            for id in doomed {
+                if let Some(e) = self.entries.remove(&id) {
+                    self.entries_by_vs.remove(&(e.e1.vs(), e.e1.id));
+                }
+            }
+        }
+        // 3. Purge negators that can no longer affect anything.
+        let negator_bound = match self.scope {
+            // Future candidates have Vs ≥ watermark; a negator with
+            // Vs ≤ watermark can only kill candidates already present
+            // (recorded in their killer sets), and its own removal (sync =
+            // its Vs < watermark) can no longer arrive.
+            NegationScope::After { .. } => ctx.watermark,
+            // Future candidates can reach arbitrarily far back (Rt is
+            // unbounded) unless the planner bounds the history.
+            NegationScope::History => match self.max_history {
+                Some(d) => TimePoint::max_of(ctx.watermark - d, horizon),
+                None => horizon,
+            },
+        };
+        let bound = TimePoint::max_of(negator_bound, horizon);
+        if bound > TimePoint::ZERO {
+            let dead: Vec<(TimePoint, EventId)> = self
+                .e2s_by_vs
+                .range(..(bound, EventId(0)))
+                .map(|(&k, _)| k)
+                .collect();
+            for (vs, id) in dead {
+                self.e2s_by_vs.remove(&(vs, id));
+                self.e2s.remove(&id);
+            }
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.entries.len() + self.e2s.len()
+    }
+
+    fn cti_lag(&self) -> Duration {
+        match self.scope {
+            NegationScope::After { w } => w,
+            NegationScope::History => Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::ConsistencySpec;
+    use crate::operator::OperatorShell;
+    use cedr_algebra::expr::{CmpOp, Scalar};
+    use cedr_streams::Message;
+    use cedr_temporal::time::{dur, t};
+    use cedr_temporal::{Payload, Value};
+
+    fn pt(id: u64, vs: u64) -> Event {
+        Event::primitive(EventId(id), Interval::point(t(vs)), Payload::empty())
+    }
+
+    fn ptp(id: u64, vs: u64, m: &str) -> Event {
+        Event::primitive(
+            EventId(id),
+            Interval::point(t(vs)),
+            Payload::from_values(vec![Value::str(m)]),
+        )
+    }
+
+    fn unless_shell(spec: ConsistencySpec) -> OperatorShell {
+        OperatorShell::new(Box::new(NegationOp::unless(dur(10), Pred::True)), spec)
+    }
+
+    #[test]
+    fn middle_emits_optimistically_then_retracts() {
+        let mut s = unless_shell(ConsistencySpec::middle());
+        let out = s.push(0, Message::Insert(pt(1, 5)), 0);
+        assert_eq!(
+            out.iter().filter(|m| m.is_data()).count(),
+            1,
+            "optimistic UNLESS output at once"
+        );
+        // The negating event arrives: the output is repaired.
+        let out2 = s.push(1, Message::Insert(pt(2, 8)), 1);
+        let r = out2[0].as_retract().unwrap();
+        assert!(r.is_full_removal());
+        assert_eq!(r.event.id, EventId(1));
+    }
+
+    #[test]
+    fn strong_blocks_until_scope_confirmed() {
+        let mut s = unless_shell(ConsistencySpec::strong());
+        // Deliver candidate under a watermark that covers it but not its scope.
+        s.push(0, Message::Cti(t(6)), 0);
+        s.push(1, Message::Cti(t(6)), 1);
+        let out = s.push(0, Message::Insert(pt(1, 5)), 2);
+        assert_eq!(
+            out.iter().filter(|m| m.is_data()).count(),
+            0,
+            "no output before the scope (5,15) is confirmed"
+        );
+        // Advance the guarantee past the scope end.
+        s.push(0, Message::Cti(t(20)), 3);
+        let out2 = s.push(1, Message::Cti(t(20)), 4);
+        assert_eq!(out2.iter().filter(|m| m.is_data()).count(), 1);
+        assert_eq!(s.stats().out_retractions, 0, "strong never repairs");
+    }
+
+    #[test]
+    fn strong_suppresses_negated_candidates_silently() {
+        let mut s = unless_shell(ConsistencySpec::strong());
+        s.push(0, Message::Insert(pt(1, 5)), 0);
+        s.push(1, Message::Insert(pt(2, 8)), 1);
+        let out1 = s.push(0, Message::Cti(t(30)), 2);
+        let out2 = s.push(1, Message::Cti(t(30)), 3);
+        let data: usize = [&out1, &out2]
+            .iter()
+            .map(|o| o.iter().filter(|m| m.is_data()).count())
+            .sum();
+        assert_eq!(data, 0, "negated: no output, no retraction");
+    }
+
+    #[test]
+    fn negator_removal_revives_candidate() {
+        let mut s = unless_shell(ConsistencySpec::middle());
+        let e2 = pt(2, 8);
+        s.push(1, Message::Insert(e2.clone()), 0);
+        let out = s.push(0, Message::Insert(pt(1, 5)), 1);
+        assert_eq!(
+            out.iter().filter(|m| m.is_data()).count(),
+            0,
+            "killed on arrival by known negator"
+        );
+        // The negator is itself removed: the UNLESS output is revived.
+        let out2 = s.push(1, Message::Retract(Retraction::new(e2, t(8))), 2);
+        assert_eq!(out2.iter().filter(|m| m.is_data()).count(), 1);
+        assert!(out2[0].as_insert().is_some());
+    }
+
+    #[test]
+    fn unless_scope_bounds_are_strict() {
+        let mut s = unless_shell(ConsistencySpec::middle());
+        s.push(0, Message::Insert(pt(1, 5)), 0);
+        // Negators exactly at Vs and Vs+w do not kill.
+        let o1 = s.push(1, Message::Insert(pt(2, 5)), 1);
+        let o2 = s.push(1, Message::Insert(pt(3, 15)), 2);
+        assert!(o1.iter().all(|m| !m.is_data()));
+        assert!(o2.iter().all(|m| !m.is_data()));
+    }
+
+    #[test]
+    fn predicate_injected_negation() {
+        let pred = Pred::cmp(Scalar::Of(0, 0), CmpOp::Eq, Scalar::Of(1, 0));
+        let mut s = OperatorShell::new(
+            Box::new(NegationOp::unless(dur(10), pred)),
+            ConsistencySpec::middle(),
+        );
+        s.push(0, Message::Insert(ptp(1, 5, "m1")), 0);
+        // Other machine's restart: no kill.
+        let o = s.push(1, Message::Insert(ptp(2, 8, "m2")), 1);
+        assert!(o.iter().all(|m| !m.is_data()));
+        // Same machine: kill.
+        let o2 = s.push(1, Message::Insert(ptp(3, 9, "m1")), 2);
+        assert_eq!(o2.iter().filter(|m| m.is_data()).count(), 1);
+        assert!(o2[0].as_retract().is_some());
+    }
+
+    #[test]
+    fn unless_output_cti_lags_by_scope() {
+        let mut s = unless_shell(ConsistencySpec::middle());
+        let out = s.push(0, Message::Cti(t(25)), 0);
+        // Need both inputs' guarantees.
+        assert!(out.iter().all(|m| m.as_cti().is_none()));
+        let out2 = s.push(1, Message::Cti(t(25)), 1);
+        assert_eq!(out2.last().and_then(|m| m.as_cti()), Some(t(15)));
+    }
+
+    #[test]
+    fn cancel_when_kills_on_pending_window() {
+        // Candidate composite: rt=1, vs=10.
+        let e1 = Event::composite(
+            EventId(50),
+            Interval::new(t(10), t(20)),
+            t(1),
+            Lineage::of(vec![EventId(1), EventId(2)]),
+            Payload::empty(),
+        );
+        let mut s = OperatorShell::new(
+            Box::new(NegationOp::history(Pred::True)),
+            ConsistencySpec::middle(),
+        );
+        // Canceller at 5 ∈ (1,10), arrives first.
+        s.push(1, Message::Insert(pt(9, 5)), 0);
+        let out = s.push(0, Message::Insert(e1.clone()), 1);
+        assert!(out.iter().all(|m| !m.is_data()), "cancelled");
+        // A candidate with rt after the canceller survives.
+        let e1b = Event::composite(
+            EventId(51),
+            Interval::new(t(10), t(20)),
+            t(7),
+            Lineage::of(vec![EventId(3), EventId(4)]),
+            Payload::empty(),
+        );
+        let out2 = s.push(0, Message::Insert(e1b), 2);
+        assert_eq!(out2.iter().filter(|m| m.is_data()).count(), 1);
+    }
+
+    #[test]
+    fn cancel_when_late_canceller_retracts() {
+        let e1 = Event::composite(
+            EventId(50),
+            Interval::new(t(10), t(20)),
+            t(1),
+            Lineage::of(vec![EventId(1), EventId(2)]),
+            Payload::empty(),
+        );
+        let mut s = OperatorShell::new(
+            Box::new(NegationOp::history(Pred::True)),
+            ConsistencySpec::middle(),
+        );
+        let out = s.push(0, Message::Insert(e1), 0);
+        assert_eq!(out.iter().filter(|m| m.is_data()).count(), 1, "optimistic");
+        // Canceller arrives late (out of order): repair.
+        let out2 = s.push(1, Message::Insert(pt(9, 5)), 1);
+        assert_eq!(out2.iter().filter(|m| m.is_data()).count(), 1);
+        assert!(out2[0].as_retract().is_some());
+    }
+
+    #[test]
+    fn weak_forgets_and_leaves_output_unrepaired() {
+        let spec = ConsistencySpec::weak(dur(5));
+        let mut s = OperatorShell::new(
+            Box::new(NegationOp::unless(dur(10), Pred::True)),
+            spec,
+        );
+        let out = s.push(0, Message::Insert(pt(1, 5)), 0);
+        assert_eq!(out.iter().filter(|m| m.is_data()).count(), 1);
+        // Advance far ahead; the entry is forgotten.
+        s.push(0, Message::Insert(pt(2, 100)), 1);
+        // The late negator (sync 8 < horizon 95) is dropped by the monitor:
+        // the incorrect optimistic output stands (weak's documented bet).
+        let out2 = s.push(1, Message::Insert(pt(3, 8)), 2);
+        assert!(out2.iter().all(|m| !m.is_data()));
+        assert_eq!(s.stats().forgotten, 1);
+    }
+
+    #[test]
+    fn state_purges_after_confirmation() {
+        let mut s = unless_shell(ConsistencySpec::middle());
+        s.push(0, Message::Insert(pt(1, 5)), 0);
+        s.push(1, Message::Insert(pt(2, 8)), 1);
+        assert!(s.module().state_size() > 0);
+        s.push(0, Message::Cti(t(100)), 2);
+        s.push(1, Message::Cti(t(100)), 3);
+        assert_eq!(s.module().state_size(), 0);
+    }
+}

@@ -1,0 +1,584 @@
+//! The anatomy of a CEDR operator (Figure 7).
+//!
+//! [`OperatorShell`] is the generic harness every physical operator runs
+//! in. It contains the two components the paper names:
+//!
+//! * the **consistency monitor** — "decides whether to block the input
+//!   stream in an alignment buffer until output may be produced which
+//!   upholds the desired level of consistency", parameterised by the
+//!   ⟨M, B⟩ spectrum point; it also accepts occurrence-time guarantees
+//!   (CTIs) on inputs and annotates the output with its own guarantees;
+//! * the **operational module** — the actual incremental computation,
+//!   implemented by the [`OperatorModule`] trait in the sibling modules
+//!   (`stateless`, `join`, `aggregate`, `sequence`, `negation`).
+
+use crate::consistency::ConsistencySpec;
+use crate::stats::OpStats;
+use cedr_streams::{Message, Retraction};
+use cedr_temporal::{Duration, Event, TimePoint};
+use std::collections::BTreeMap;
+
+/// Where operational modules put their output state updates.
+#[derive(Debug, Default)]
+pub struct OutputBuffer {
+    msgs: Vec<Message>,
+}
+
+impl OutputBuffer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emit an insert. Events with empty lifetimes describe no state and
+    /// are silently dropped (boundary pattern matches, fully-clipped
+    /// slices).
+    pub fn insert(&mut self, event: Event) {
+        if event.interval.is_empty() {
+            return;
+        }
+        self.msgs.push(Message::Insert(event));
+    }
+
+    /// Emit a retraction shortening `event` to `[Vs, new_end)`.
+    pub fn retract_to(&mut self, event: Event, new_end: TimePoint) {
+        self.msgs.push(Message::Retract(Retraction::new(event, new_end)));
+    }
+
+    /// Emit a full removal (`Oe := Os` in the paper's terms).
+    pub fn retract_full(&mut self, event: Event) {
+        let vs = event.interval.start;
+        self.msgs.push(Message::Retract(Retraction::new(event, vs)));
+    }
+
+    /// Emit a CTI (used by the shell; modules emit data only).
+    pub(crate) fn cti(&mut self, t: TimePoint) {
+        self.msgs.push(Message::Cti(t));
+    }
+
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    fn drain(&mut self) -> Vec<Message> {
+        std::mem::take(&mut self.msgs)
+    }
+}
+
+/// Execution context handed to operational modules.
+pub struct OpContext<'a> {
+    /// The consistency spec the shell enforces.
+    pub spec: ConsistencySpec,
+    /// The combined input occurrence-time guarantee: no future input
+    /// message has `Sync` below this.
+    pub watermark: TimePoint,
+    /// High-water mark of observed input syncs (the optimist's clock).
+    pub max_seen: TimePoint,
+    /// Output buffer.
+    pub out: &'a mut OutputBuffer,
+}
+
+impl OpContext<'_> {
+    /// The memory horizon: state anchored below this may be forgotten.
+    pub fn horizon(&self) -> TimePoint {
+        self.spec.horizon(self.max_seen)
+    }
+
+    /// Consistency-monitor policy for *module-level* blocking (negation):
+    /// may an output anchored at `anchor` be emitted before its
+    /// confirmation time is covered by the watermark?
+    ///
+    /// * `B = 0` — yes, immediately (optimistic; middle/weak);
+    /// * `B = ∞` — never (strong: wait for the guarantee);
+    /// * finite `B` — once the stream has advanced `B` past the anchor.
+    pub fn may_emit_optimistically(&self, anchor: TimePoint) -> bool {
+        let b = self.spec.max_blocking;
+        if b == Duration::ZERO {
+            true
+        } else if b.is_infinite() {
+            false
+        } else {
+            self.max_seen >= anchor + b
+        }
+    }
+}
+
+/// An operational module: the pure-computation half of Figure 7.
+///
+/// Modules receive state updates *after* the consistency monitor has
+/// applied alignment and forgetting, maintain operator state, and emit
+/// output state updates — optimistically if the spec allows, repairing
+/// themselves with retractions when late input contradicts earlier output.
+pub trait OperatorModule: Send {
+    /// Operator name (plans and stats).
+    fn name(&self) -> &'static str;
+
+    /// Number of input ports.
+    fn arity(&self) -> usize {
+        1
+    }
+
+    /// A new event arrived on `input`.
+    fn on_insert(&mut self, input: usize, event: &Event, ctx: &mut OpContext);
+
+    /// A retraction arrived on `input`.
+    fn on_retract(&mut self, input: usize, r: &Retraction, ctx: &mut OpContext);
+
+    /// Called after every batch of deliveries and after watermark changes:
+    /// confirm pending output, purge state.
+    fn on_advance(&mut self, _ctx: &mut OpContext) {}
+
+    /// Current state footprint, in retained entries (events, pending
+    /// matches, group members…).
+    fn state_size(&self) -> usize {
+        0
+    }
+
+    /// How far the output guarantee trails the input guarantee. Most
+    /// operators propagate the watermark unchanged; UNLESS lags by its
+    /// negation scope `w`.
+    fn cti_lag(&self) -> Duration {
+        Duration::ZERO
+    }
+
+    /// Map an input watermark to the output guarantee the operator can
+    /// legitimately declare. Override for non-monotone lifetime mappings
+    /// (hopping windows, constant relocations).
+    fn map_cti(&self, watermark: TimePoint) -> TimePoint {
+        watermark - self.cti_lag()
+    }
+}
+
+/// Figure 7: consistency monitor + alignment buffer wrapped around an
+/// operational module.
+pub struct OperatorShell {
+    module: Box<dyn OperatorModule>,
+    spec: ConsistencySpec,
+    input_watermarks: Vec<TimePoint>,
+    watermark: TimePoint,
+    max_seen: TimePoint,
+    /// Alignment buffer, ordered by (sync, arrival seq).
+    align: BTreeMap<(TimePoint, u64), (usize, Message, u64)>,
+    seq: u64,
+    /// Reorder guard: disorder can deliver a retraction *before* its own
+    /// insert (their syncs are independent). Retractions of unseen events
+    /// are parked here per input and replayed right after the insert
+    /// arrives; the watermark proves abandoned orphans dead (the insert's
+    /// sync is ≤ the retraction's, so once the watermark passes it the
+    /// insert can no longer arrive).
+    seen_inserts: Vec<std::collections::HashMap<cedr_temporal::EventId, TimePoint>>,
+    orphans: Vec<std::collections::HashMap<cedr_temporal::EventId, Vec<Retraction>>>,
+    out: OutputBuffer,
+    stats: OpStats,
+    last_cti: Option<TimePoint>,
+    /// Output chain generations. The paper's retraction model (Figure 2)
+    /// requires that a completely removed event is gone for good — a
+    /// revival "must be … inserted" as "a new event" with a new chain key.
+    /// Modules think in terms of their stable internal IDs; the shell
+    /// rewrites re-inserted IDs to fresh per-generation identities so every
+    /// downstream chain shrinks monotonically.
+    out_generations: std::collections::HashMap<cedr_temporal::EventId, u64>,
+}
+
+impl OperatorShell {
+    pub fn new(module: Box<dyn OperatorModule>, spec: ConsistencySpec) -> Self {
+        let arity = module.arity();
+        OperatorShell {
+            module,
+            spec,
+            input_watermarks: vec![TimePoint::ZERO; arity],
+            watermark: TimePoint::ZERO,
+            max_seen: TimePoint::ZERO,
+            align: BTreeMap::new(),
+            seq: 0,
+            seen_inserts: vec![Default::default(); arity],
+            orphans: vec![Default::default(); arity],
+            out: OutputBuffer::new(),
+            stats: OpStats::default(),
+            last_cti: None,
+            out_generations: Default::default(),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.module.name()
+    }
+
+    pub fn arity(&self) -> usize {
+        self.input_watermarks.len()
+    }
+
+    pub fn spec(&self) -> ConsistencySpec {
+        self.spec
+    }
+
+    pub fn stats(&self) -> &OpStats {
+        &self.stats
+    }
+
+    /// The combined input guarantee currently in force.
+    pub fn watermark(&self) -> TimePoint {
+        self.watermark
+    }
+
+    /// Feed one message into input port `input` at CEDR tick `now`;
+    /// returns the output state updates (with trailing output CTI if the
+    /// guarantee advanced).
+    pub fn push(&mut self, input: usize, msg: Message, now: u64) -> Vec<Message> {
+        assert!(input < self.arity(), "input port out of range");
+        match msg {
+            Message::Cti(t) => {
+                let w = &mut self.input_watermarks[input];
+                *w = TimePoint::max_of(*w, t);
+                let combined = self
+                    .input_watermarks
+                    .iter()
+                    .copied()
+                    .fold(TimePoint::INFINITY, TimePoint::min_of);
+                if combined > self.watermark {
+                    self.watermark = combined;
+                }
+                // CTIs also advance the optimist's clock.
+                self.max_seen = TimePoint::max_of(self.max_seen, self.watermark);
+            }
+            data => {
+                self.stats.arrivals += 1;
+                let sync = data.sync();
+                // Weak-consistency forgetting: below the memory horizon the
+                // monitor drops the message outright.
+                if self.spec.is_forgetful() && sync < self.spec.horizon(self.max_seen) {
+                    self.stats.forgotten += 1;
+                    return self.finish(now);
+                }
+                self.max_seen = TimePoint::max_of(self.max_seen, sync);
+                if self.spec.is_blocking() && sync >= self.watermark {
+                    self.align.insert((sync, self.seq), (input, data, now));
+                    self.seq += 1;
+                    self.stats.held_peak = self.stats.held_peak.max(self.align.len());
+                } else {
+                    self.deliver(input, data, now, now);
+                }
+            }
+        }
+        self.release(now);
+        self.advance_module();
+        self.emit_cti();
+        self.finish(now)
+    }
+
+    /// Release alignment-buffer entries that are either covered by the
+    /// watermark or have been blocked for the maximum blocking time.
+    fn release(&mut self, now: u64) {
+        loop {
+            let Some((&(sync, seq), _)) = self.align.iter().next() else {
+                break;
+            };
+            let covered = sync < self.watermark;
+            let timed_out = !self.spec.max_blocking.is_infinite()
+                && self
+                    .max_seen
+                    .since(sync)
+                    .is_some_and(|held| held >= self.spec.max_blocking);
+            if !covered && !timed_out {
+                break;
+            }
+            let (input, msg, arrived) = self.align.remove(&(sync, seq)).expect("present");
+            self.deliver(input, msg, arrived, now);
+        }
+    }
+
+    /// The watermark as the *module* may use it: every input message with
+    /// `Sync` below this has been delivered to the module. While the
+    /// alignment buffer still holds messages, the declared guarantee has
+    /// not yet been realised at the module boundary.
+    fn effective_watermark(&self) -> TimePoint {
+        match self.align.keys().next() {
+            Some(&(sync, _)) => TimePoint::min_of(self.watermark, sync),
+            None => self.watermark,
+        }
+    }
+
+    fn deliver(&mut self, input: usize, msg: Message, arrived: u64, now: u64) {
+        self.stats.released += 1;
+        let held = now.saturating_sub(arrived);
+        self.stats.blocked_ticks += held;
+        if held > 0 {
+            self.stats.blocked_messages += 1;
+        }
+        let watermark = self.effective_watermark();
+        match msg {
+            Message::Insert(e) => {
+                self.seen_inserts[input].insert(e.id, e.interval.end);
+                let mut ctx = OpContext {
+                    spec: self.spec,
+                    watermark,
+                    max_seen: self.max_seen,
+                    out: &mut self.out,
+                };
+                self.module.on_insert(input, &e, &mut ctx);
+                // Replay retractions that raced ahead of this insert.
+                if let Some(mut parked) = self.orphans[input].remove(&e.id) {
+                    parked.sort_by_key(|r| std::cmp::Reverse(r.new_end));
+                    for r in parked {
+                        let mut ctx = OpContext {
+                            spec: self.spec,
+                            watermark,
+                            max_seen: self.max_seen,
+                            out: &mut self.out,
+                        };
+                        self.module.on_retract(input, &r, &mut ctx);
+                    }
+                }
+            }
+            Message::Retract(r) => {
+                if self.seen_inserts[input].contains_key(&r.event.id) {
+                    let mut ctx = OpContext {
+                        spec: self.spec,
+                        watermark,
+                        max_seen: self.max_seen,
+                        out: &mut self.out,
+                    };
+                    self.module.on_retract(input, &r, &mut ctx);
+                } else {
+                    self.orphans[input].entry(r.event.id).or_default().push(r);
+                }
+            }
+            Message::Cti(_) => unreachable!("CTIs are handled by the monitor"),
+        }
+        // Guard bookkeeping dies with the watermark: an insert whose
+        // lifetime has ended cannot be retracted any more, and an orphan
+        // whose retraction sync is covered will never see its insert.
+        if watermark > TimePoint::ZERO {
+            self.seen_inserts[input].retain(|_, ve| *ve > watermark);
+            self.orphans[input]
+                .retain(|_, rs| rs.iter().any(|r| r.sync() >= watermark));
+        }
+    }
+
+    fn advance_module(&mut self) {
+        let mut ctx = OpContext {
+            spec: self.spec,
+            watermark: self.effective_watermark(),
+            max_seen: self.max_seen,
+            out: &mut self.out,
+        };
+        self.module.on_advance(&mut ctx);
+    }
+
+    fn emit_cti(&mut self) {
+        if self.watermark == TimePoint::ZERO {
+            return;
+        }
+        let out_cti = self.module.map_cti(self.watermark);
+        if out_cti > TimePoint::ZERO && self.last_cti.map_or(true, |c| out_cti > c) {
+            self.out.cti(out_cti);
+            self.last_cti = Some(out_cti);
+        }
+    }
+
+    /// Remap a module-internal output ID to its current chain generation.
+    fn generation_id(id: cedr_temporal::EventId, gen: u64) -> cedr_temporal::EventId {
+        if gen == 0 {
+            return id;
+        }
+        // SplitMix64 over (id, generation): deterministic fresh chain keys.
+        let mut z = id
+            .0
+            .wrapping_add(gen.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        cedr_temporal::EventId(z ^ (z >> 31))
+    }
+
+    fn finish(&mut self, _now: u64) -> Vec<Message> {
+        let orphan_count: usize = self.orphans.iter().map(|m| m.len()).sum();
+        self.stats.state_peak = self
+            .stats
+            .state_peak
+            .max(self.module.state_size() + self.align.len() + orphan_count);
+        let mut msgs = self.out.drain();
+        for m in &mut msgs {
+            match m {
+                Message::Insert(e) => {
+                    self.stats.out_inserts += 1;
+                    let gen = self.out_generations.get(&e.id).copied().unwrap_or(0);
+                    e.id = Self::generation_id(e.id, gen);
+                }
+                Message::Retract(r) => {
+                    self.stats.out_retractions += 1;
+                    let orig = r.event.id;
+                    let gen = self.out_generations.get(&orig).copied().unwrap_or(0);
+                    r.event.id = Self::generation_id(orig, gen);
+                    if r.is_full_removal() {
+                        // This chain is dead; a future re-insert of the same
+                        // module-internal ID starts a fresh chain.
+                        *self.out_generations.entry(orig).or_insert(0) += 1;
+                    }
+                }
+                Message::Cti(_) => self.stats.out_ctis += 1,
+            }
+        }
+        msgs
+    }
+
+    /// Direct access to the wrapped module (tests, introspection).
+    pub fn module(&self) -> &dyn OperatorModule {
+        &*self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedr_temporal::interval::iv;
+    use cedr_temporal::time::{dur, t};
+    use cedr_temporal::{EventId, Payload};
+
+    /// Echoes inserts/retracts; records delivery order of Vs values.
+    struct Echo {
+        delivered: Vec<TimePoint>,
+    }
+
+    impl OperatorModule for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn on_insert(&mut self, _input: usize, e: &Event, ctx: &mut OpContext) {
+            self.delivered.push(e.vs());
+            ctx.out.insert(e.clone());
+        }
+        fn on_retract(&mut self, _input: usize, r: &Retraction, ctx: &mut OpContext) {
+            ctx.out.retract_to(r.event.clone(), r.new_end);
+        }
+        fn state_size(&self) -> usize {
+            0
+        }
+    }
+
+    fn echo_shell(spec: ConsistencySpec) -> OperatorShell {
+        OperatorShell::new(
+            Box::new(Echo {
+                delivered: Vec::new(),
+            }),
+            spec,
+        )
+    }
+
+    fn ins(id: u64, vs: u64) -> Message {
+        Message::Insert(Event::primitive(
+            EventId(id),
+            iv(vs, vs + 10),
+            Payload::empty(),
+        ))
+    }
+
+    #[test]
+    fn strong_blocks_until_guarantee_and_restores_sync_order() {
+        let mut s = echo_shell(ConsistencySpec::strong());
+        // Out-of-order arrivals: 5 then 2.
+        let out1 = s.push(0, ins(1, 5), 0);
+        assert!(out1.is_empty(), "held in alignment buffer");
+        let out2 = s.push(0, ins(2, 2), 1);
+        assert!(out2.is_empty());
+        // CTI(6) covers both: released in sync order, CTI forwarded.
+        let out3 = s.push(0, Message::Cti(t(6)), 2);
+        let syncs: Vec<TimePoint> = out3
+            .iter()
+            .filter_map(|m| m.as_insert().map(|e| e.vs()))
+            .collect();
+        assert_eq!(syncs, vec![t(2), t(5)]);
+        assert_eq!(out3.last().unwrap().as_cti(), Some(t(6)));
+        assert!(s.stats().blocked_ticks > 0);
+        assert_eq!(s.stats().held_peak, 2);
+    }
+
+    #[test]
+    fn middle_never_blocks() {
+        let mut s = echo_shell(ConsistencySpec::middle());
+        let out1 = s.push(0, ins(1, 5), 0);
+        assert_eq!(out1.len(), 1, "delivered immediately");
+        let out2 = s.push(0, ins(2, 2), 1);
+        assert_eq!(out2.len(), 1, "late event also delivered immediately");
+        assert_eq!(s.stats().blocked_ticks, 0);
+        assert_eq!(s.stats().held_peak, 0);
+    }
+
+    #[test]
+    fn weak_forgets_below_the_horizon() {
+        let mut s = echo_shell(ConsistencySpec::weak(dur(10)));
+        s.push(0, ins(1, 100), 0); // max_seen = 100, horizon = 90
+        let out = s.push(0, ins(2, 50), 1);
+        assert!(out.is_empty(), "below horizon: dropped");
+        assert_eq!(s.stats().forgotten, 1);
+        let out2 = s.push(0, ins(3, 95), 2);
+        assert_eq!(out2.len(), 1, "inside horizon: processed");
+    }
+
+    #[test]
+    fn finite_blocking_releases_on_deadline() {
+        // B = 5: the event at 10 must be released once the stream reaches 15,
+        // even without a CTI.
+        let spec = ConsistencySpec::custom(dur(5), Duration::INFINITE);
+        let mut s = echo_shell(spec);
+        assert!(s.push(0, ins(1, 10), 0).is_empty(), "buffered");
+        assert!(s.push(0, ins(2, 12), 1).is_empty(), "still within B");
+        let out = s.push(0, ins(3, 15), 2);
+        // 15 - 10 >= 5 releases the first event; 15-12=3 < 5 keeps the second.
+        let released: Vec<TimePoint> = out
+            .iter()
+            .filter_map(|m| m.as_insert().map(|e| e.vs()))
+            .collect();
+        assert_eq!(released, vec![t(10)]);
+    }
+
+    #[test]
+    fn binary_watermark_is_min_of_inputs() {
+        struct Two;
+        impl OperatorModule for Two {
+            fn name(&self) -> &'static str {
+                "two"
+            }
+            fn arity(&self) -> usize {
+                2
+            }
+            fn on_insert(&mut self, _i: usize, e: &Event, ctx: &mut OpContext) {
+                ctx.out.insert(e.clone());
+            }
+            fn on_retract(&mut self, _i: usize, _r: &Retraction, _ctx: &mut OpContext) {}
+        }
+        let mut s = OperatorShell::new(Box::new(Two), ConsistencySpec::strong());
+        s.push(0, Message::Cti(t(10)), 0);
+        assert_eq!(s.watermark(), TimePoint::ZERO, "other input still at 0");
+        let out = s.push(1, Message::Cti(t(4)), 1);
+        assert_eq!(s.watermark(), t(4));
+        assert_eq!(out.last().and_then(|m| m.as_cti()), Some(t(4)));
+    }
+
+    #[test]
+    fn output_cti_is_monotone_and_deduplicated() {
+        let mut s = echo_shell(ConsistencySpec::middle());
+        let o1 = s.push(0, Message::Cti(t(5)), 0);
+        assert_eq!(o1.len(), 1);
+        let o2 = s.push(0, Message::Cti(t(5)), 1);
+        assert!(o2.is_empty(), "same CTI not re-emitted");
+        let o3 = s.push(0, Message::Cti(t(3)), 2);
+        assert!(o3.is_empty(), "regressing CTI ignored");
+        let o4 = s.push(0, Message::Cti(t(9)), 3);
+        assert_eq!(o4.last().and_then(|m| m.as_cti()), Some(t(9)));
+    }
+
+    #[test]
+    fn stats_track_released_and_outputs() {
+        let mut s = echo_shell(ConsistencySpec::middle());
+        s.push(0, ins(1, 1), 0);
+        s.push(0, ins(2, 2), 1);
+        s.push(0, Message::Cti(t(10)), 2);
+        assert_eq!(s.stats().arrivals, 2);
+        assert_eq!(s.stats().released, 2);
+        assert_eq!(s.stats().out_inserts, 2);
+        assert_eq!(s.stats().out_ctis, 1);
+    }
+}

@@ -1,0 +1,614 @@
+//! Physical sequencing operators: SEQUENCE and ATLEAST (with ALL/ANY as
+//! planner-level sugar, per the paper's table).
+//!
+//! `SequenceOp` keeps per-slot event state sorted by occurrence (`Vs`) and,
+//! under the default Each/Reuse SC mode, enumerates exactly the *new*
+//! matches each arrival completes — the incremental fast path. Restrictive
+//! SC modes (First/MostRecent selection, Consume) switch the operator to a
+//! recompute-and-diff strategy against the denotational match set, because
+//! selection and consumption are globally order-dependent; the cost of this
+//! is measured by the `sc_modes` ablation bench.
+//!
+//! Out-of-order arrivals are handled structurally: a late contributor
+//! simply completes matches when it arrives; a contributor's full removal
+//! retracts every output it fed (`by_contrib` index).
+
+use crate::operator::{OpContext, OperatorModule};
+use cedr_algebra::expr::Pred;
+use cedr_algebra::idgen::idgen;
+use cedr_algebra::pattern::{apply_sc_modes, atleast_matches, sequence_matches, ScMode};
+use cedr_algebra::EventSet;
+use cedr_streams::Retraction;
+use cedr_temporal::{Duration, Event, EventId, Interval, Lineage, Payload, TimePoint};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+type SlotMap = BTreeMap<(TimePoint, EventId), Event>;
+
+/// Compose the output event for a Vs-ordered contributor tuple (the
+/// paper's SEQUENCE/ATLEAST output schema).
+fn compose(tuple: &[&Event], w: Duration) -> Event {
+    let ids: Vec<EventId> = tuple.iter().map(|e| e.id).collect();
+    let first = tuple.first().expect("non-empty tuple");
+    let last = tuple.last().expect("non-empty tuple");
+    let rt = tuple.iter().map(|e| e.root_time).min().expect("non-empty");
+    Event::composite(
+        idgen(&ids),
+        Interval::new(last.vs(), first.vs() + w),
+        rt,
+        Lineage::of(ids),
+        Payload::concat_all(tuple.iter().map(|e| &e.payload)),
+    )
+}
+
+fn slots_as_sets(slots: &[SlotMap]) -> Vec<EventSet> {
+    slots
+        .iter()
+        .map(|m| m.values().cloned().collect())
+        .collect()
+}
+
+/// Emit the difference between the currently-emitted outputs and a desired
+/// output set (keyed by deterministic output ID).
+fn diff_emitted(
+    emitted: &mut HashMap<EventId, Event>,
+    desired: Vec<Event>,
+    ctx: &mut OpContext,
+) {
+    let desired_map: HashMap<EventId, Event> =
+        desired.into_iter().map(|e| (e.id, e)).collect();
+    for (id, e) in emitted.iter() {
+        if !desired_map.contains_key(id) {
+            ctx.out.retract_full(e.clone());
+        }
+    }
+    for (id, e) in desired_map.iter() {
+        if !emitted.contains_key(id) {
+            ctx.out.insert(e.clone());
+        }
+    }
+    *emitted = desired_map;
+}
+
+/// Physical SEQUENCE(E1, …, Ek, w).
+pub struct SequenceOp {
+    w: Duration,
+    pred: Pred,
+    modes: Vec<ScMode>,
+    restrictive: bool,
+    slots: Vec<SlotMap>,
+    emitted: HashMap<EventId, Event>,
+    by_contrib: HashMap<EventId, Vec<EventId>>,
+}
+
+impl SequenceOp {
+    pub fn new(k: usize, w: Duration, pred: Pred) -> Self {
+        assert!(k >= 1, "SEQUENCE needs at least one contributor");
+        Self::with_modes(k, w, pred, vec![ScMode::EACH_REUSE; k])
+    }
+
+    pub fn with_modes(k: usize, w: Duration, pred: Pred, modes: Vec<ScMode>) -> Self {
+        assert_eq!(modes.len(), k, "one SC mode per input");
+        let restrictive = modes.iter().any(|m| *m != ScMode::EACH_REUSE);
+        SequenceOp {
+            w,
+            pred,
+            modes,
+            restrictive,
+            slots: vec![SlotMap::new(); k],
+            emitted: HashMap::new(),
+            by_contrib: HashMap::new(),
+        }
+    }
+
+    fn k(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Fast path: enumerate all slot-ordered tuples that include `fixed` at
+    /// slot `fixed_slot` and satisfy the strict-Vs-order + scope
+    /// constraints.
+    fn matches_with(&self, fixed_slot: usize, fixed: &Event) -> Vec<Vec<Event>> {
+        let mut out = Vec::new();
+        let mut stack: Vec<Event> = Vec::with_capacity(self.k());
+        self.recurse(0, fixed_slot, fixed, &mut stack, &mut out);
+        out
+    }
+
+    fn recurse(
+        &self,
+        depth: usize,
+        fixed_slot: usize,
+        fixed: &Event,
+        stack: &mut Vec<Event>,
+        out: &mut Vec<Vec<Event>>,
+    ) {
+        if depth == self.k() {
+            out.push(stack.clone());
+            return;
+        }
+        let prev_vs = stack.last().map(|e| e.vs());
+        let first_vs = stack.first().map(|e| e.vs());
+        let deadline = first_vs.map(|v| v + self.w).unwrap_or(TimePoint::INFINITY);
+        if depth == fixed_slot {
+            let v = fixed.vs();
+            if let Some(p) = prev_vs {
+                if v <= p {
+                    return;
+                }
+            }
+            if v > deadline {
+                return;
+            }
+            stack.push(fixed.clone());
+            self.recurse(depth + 1, fixed_slot, fixed, stack, out);
+            stack.pop();
+            return;
+        }
+        // Candidates strictly after prev_vs and within the scope; also, if
+        // the fixed slot is still ahead, candidates must end up before it.
+        let lower = prev_vs;
+        let upper_fixed = if depth < fixed_slot {
+            Some(fixed.vs())
+        } else {
+            None
+        };
+        for ((vs, _), e) in self.slots[depth].iter() {
+            if let Some(p) = lower {
+                if *vs <= p {
+                    continue;
+                }
+            }
+            if *vs > deadline {
+                break;
+            }
+            if let Some(u) = upper_fixed {
+                if *vs >= u {
+                    break;
+                }
+            }
+            stack.push(e.clone());
+            self.recurse(depth + 1, fixed_slot, fixed, stack, out);
+            stack.pop();
+        }
+    }
+
+    fn recompute(&mut self, ctx: &mut OpContext) {
+        let sets = slots_as_sets(&self.slots);
+        let matches = sequence_matches(&sets, self.w, &self.pred);
+        let selected = apply_sc_modes(matches, &self.modes);
+        let desired: Vec<Event> = selected.into_iter().map(|m| m.output).collect();
+        diff_emitted(&mut self.emitted, desired, ctx);
+    }
+}
+
+impl OperatorModule for SequenceOp {
+    fn name(&self) -> &'static str {
+        "sequence"
+    }
+
+    fn arity(&self) -> usize {
+        self.k()
+    }
+
+    fn on_insert(&mut self, input: usize, event: &Event, ctx: &mut OpContext) {
+        if event.interval.is_empty() {
+            return;
+        }
+        let key = (event.vs(), event.id);
+        if self.slots[input].contains_key(&key) {
+            return; // duplicate delivery
+        }
+        self.slots[input].insert(key, event.clone());
+        if self.restrictive {
+            self.recompute(ctx);
+            return;
+        }
+        for tuple in self.matches_with(input, event) {
+            let refs: Vec<&Event> = tuple.iter().collect();
+            if !self.pred.eval_tuple(&refs) {
+                continue;
+            }
+            let out = compose(&refs, self.w);
+            if self.emitted.contains_key(&out.id) {
+                continue;
+            }
+            for e in &tuple {
+                self.by_contrib.entry(e.id).or_default().push(out.id);
+            }
+            self.emitted.insert(out.id, out.clone());
+            ctx.out.insert(out);
+        }
+    }
+
+    fn on_retract(&mut self, input: usize, r: &Retraction, ctx: &mut OpContext) {
+        let key = (r.event.interval.start, r.event.id);
+        if !r.is_full_removal() {
+            // Occurrence (Vs) is what sequencing consumes; a shortened
+            // lifetime only updates the stored copy.
+            if let Some(stored) = self.slots[input].get_mut(&key) {
+                let new_end = TimePoint::min_of(stored.interval.end, r.new_end);
+                stored.interval = Interval::new(stored.interval.start, new_end);
+            }
+            return;
+        }
+        if self.slots[input].remove(&key).is_none() {
+            return; // never seen or already forgotten
+        }
+        if self.restrictive {
+            self.recompute(ctx);
+            return;
+        }
+        for out_id in self.by_contrib.remove(&r.event.id).unwrap_or_default() {
+            if let Some(out) = self.emitted.remove(&out_id) {
+                ctx.out.retract_full(out);
+            }
+        }
+    }
+
+    fn on_advance(&mut self, ctx: &mut OpContext) {
+        // An event can only participate in a *new* match together with some
+        // future arrival (Vs ≥ watermark), which the scope bounds to
+        // Vs ≥ watermark − w. The memory horizon forces earlier forgetting
+        // under weak consistency.
+        let bound = TimePoint::max_of(ctx.watermark - self.w, ctx.horizon());
+        if bound == TimePoint::ZERO {
+            return;
+        }
+        let mut purged: Vec<EventId> = Vec::new();
+        for slot in &mut self.slots {
+            while let Some((&(vs, id), _)) = slot.iter().next() {
+                if vs < bound {
+                    slot.remove(&(vs, id));
+                    purged.push(id);
+                } else {
+                    break;
+                }
+            }
+        }
+        if purged.is_empty() {
+            return;
+        }
+        if self.restrictive {
+            // Flush silently: matches involving purged contributors are
+            // final (no retraction for them can arrive any more).
+            let purged_set: HashSet<EventId> = purged.iter().copied().collect();
+            self.emitted
+                .retain(|_, out| !out.lineage.0.iter().any(|c| purged_set.contains(c)));
+            return;
+        }
+        for id in purged {
+            for out_id in self.by_contrib.remove(&id).unwrap_or_default() {
+                // Only the trigger (last contributor, max Vs) finalises the
+                // record: when it purges, every contributor is immune.
+                if let Some(out) = self.emitted.get(&out_id) {
+                    if out.lineage.0.last() == Some(&id) {
+                        self.emitted.remove(&out_id);
+                    }
+                }
+            }
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.slots.iter().map(|s| s.len()).sum::<usize>() + self.emitted.len()
+    }
+}
+
+/// Physical ATLEAST(n, E1, …, Ek, w); ALL and ANY desugar onto this.
+///
+/// Always recompute-and-diff: subset choice makes per-arrival delta
+/// enumeration subtle, and ATLEAST workloads are small in practice (the
+/// fan-in `k` is a query constant).
+pub struct AtLeastOp {
+    n: usize,
+    w: Duration,
+    pred: Pred,
+    modes: Vec<ScMode>,
+    slots: Vec<SlotMap>,
+    emitted: HashMap<EventId, Event>,
+}
+
+impl AtLeastOp {
+    pub fn new(n: usize, k: usize, w: Duration, pred: Pred) -> Self {
+        Self::with_modes(n, k, w, pred, vec![ScMode::EACH_REUSE; k])
+    }
+
+    pub fn with_modes(n: usize, k: usize, w: Duration, pred: Pred, modes: Vec<ScMode>) -> Self {
+        assert!(n >= 1 && n <= k, "need 1 ≤ n ≤ k");
+        assert_eq!(modes.len(), k);
+        AtLeastOp {
+            n,
+            w,
+            pred,
+            modes,
+            slots: vec![SlotMap::new(); k],
+            emitted: HashMap::new(),
+        }
+    }
+
+    fn recompute(&mut self, ctx: &mut OpContext) {
+        let sets = slots_as_sets(&self.slots);
+        let matches = atleast_matches(self.n, &sets, self.w, &self.pred);
+        let selected = apply_sc_modes(matches, &self.modes);
+        let desired: Vec<Event> = selected.into_iter().map(|m| m.output).collect();
+        diff_emitted(&mut self.emitted, desired, ctx);
+    }
+}
+
+impl OperatorModule for AtLeastOp {
+    fn name(&self) -> &'static str {
+        "atleast"
+    }
+
+    fn arity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn on_insert(&mut self, input: usize, event: &Event, ctx: &mut OpContext) {
+        if event.interval.is_empty() {
+            return;
+        }
+        let key = (event.vs(), event.id);
+        if self.slots[input].contains_key(&key) {
+            return;
+        }
+        self.slots[input].insert(key, event.clone());
+        self.recompute(ctx);
+    }
+
+    fn on_retract(&mut self, input: usize, r: &Retraction, ctx: &mut OpContext) {
+        let key = (r.event.interval.start, r.event.id);
+        if !r.is_full_removal() {
+            if let Some(stored) = self.slots[input].get_mut(&key) {
+                let new_end = TimePoint::min_of(stored.interval.end, r.new_end);
+                stored.interval = Interval::new(stored.interval.start, new_end);
+            }
+            return;
+        }
+        if self.slots[input].remove(&key).is_some() {
+            self.recompute(ctx);
+        }
+    }
+
+    fn on_advance(&mut self, ctx: &mut OpContext) {
+        let bound = TimePoint::max_of(ctx.watermark - self.w, ctx.horizon());
+        if bound == TimePoint::ZERO {
+            return;
+        }
+        let mut purged: HashSet<EventId> = HashSet::new();
+        for slot in &mut self.slots {
+            while let Some((&(vs, id), _)) = slot.iter().next() {
+                if vs < bound {
+                    slot.remove(&(vs, id));
+                    purged.insert(id);
+                } else {
+                    break;
+                }
+            }
+        }
+        if !purged.is_empty() {
+            self.emitted
+                .retain(|_, out| !out.lineage.0.iter().any(|c| purged.contains(c)));
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.slots.iter().map(|s| s.len()).sum::<usize>() + self.emitted.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::ConsistencySpec;
+    use crate::operator::OperatorShell;
+    use cedr_algebra::expr::{CmpOp, Scalar};
+    use cedr_algebra::pattern::{Consumption, Selection};
+    use cedr_streams::Message;
+    use cedr_temporal::time::{dur, t};
+    use cedr_temporal::Value;
+
+    fn pt(id: u64, vs: u64) -> Event {
+        Event::primitive(EventId(id), Interval::point(t(vs)), Payload::empty())
+    }
+
+    fn ptp(id: u64, vs: u64, m: &str) -> Event {
+        Event::primitive(
+            EventId(id),
+            Interval::point(t(vs)),
+            Payload::from_values(vec![Value::str(m)]),
+        )
+    }
+
+    #[test]
+    fn in_order_pair_detection() {
+        let mut s = OperatorShell::new(
+            Box::new(SequenceOp::new(2, dur(10), Pred::True)),
+            ConsistencySpec::middle(),
+        );
+        assert!(s.push(0, Message::Insert(pt(1, 5)), 0).is_empty());
+        let out = s.push(1, Message::Insert(pt(2, 8)), 1);
+        assert_eq!(out.len(), 1);
+        let m = out[0].as_insert().unwrap();
+        assert_eq!(m.interval, Interval::new(t(8), t(15)));
+        assert_eq!(m.root_time, t(5));
+    }
+
+    #[test]
+    fn late_first_contributor_completes_match() {
+        // E2 arrives before E1 (out of order); the late E1 completes it.
+        let mut s = OperatorShell::new(
+            Box::new(SequenceOp::new(2, dur(10), Pred::True)),
+            ConsistencySpec::middle(),
+        );
+        assert!(s.push(1, Message::Insert(pt(2, 8)), 0).is_empty());
+        let out = s.push(0, Message::Insert(pt(1, 5)), 1);
+        assert_eq!(out.len(), 1, "late arrival still yields the match");
+    }
+
+    #[test]
+    fn scope_excludes_distant_pairs() {
+        let mut s = OperatorShell::new(
+            Box::new(SequenceOp::new(2, dur(10), Pred::True)),
+            ConsistencySpec::middle(),
+        );
+        s.push(0, Message::Insert(pt(1, 5)), 0);
+        let out = s.push(1, Message::Insert(pt(2, 16)), 1);
+        assert!(out.is_empty(), "16 − 5 > 10");
+    }
+
+    #[test]
+    fn contributor_removal_retracts_outputs() {
+        let mut s = OperatorShell::new(
+            Box::new(SequenceOp::new(2, dur(10), Pred::True)),
+            ConsistencySpec::middle(),
+        );
+        let e1 = pt(1, 5);
+        s.push(0, Message::Insert(e1.clone()), 0);
+        let out = s.push(1, Message::Insert(pt(2, 8)), 1);
+        let m = out[0].as_insert().unwrap().clone();
+        let out2 = s.push(0, Message::Retract(Retraction::new(e1, t(5))), 2);
+        let r = out2[0].as_retract().unwrap();
+        assert_eq!(r.event.id, m.id);
+        assert!(r.is_full_removal());
+    }
+
+    #[test]
+    fn predicate_injection_correlates() {
+        let pred = Pred::cmp(Scalar::Of(0, 0), CmpOp::Eq, Scalar::Of(1, 0));
+        let mut s = OperatorShell::new(
+            Box::new(SequenceOp::new(2, dur(100), pred)),
+            ConsistencySpec::middle(),
+        );
+        s.push(0, Message::Insert(ptp(1, 1, "m1")), 0);
+        s.push(0, Message::Insert(ptp(2, 2, "m2")), 1);
+        let out = s.push(1, Message::Insert(ptp(3, 5, "m1")), 2);
+        assert_eq!(out.len(), 1, "only the m1 INSTALL correlates");
+    }
+
+    #[test]
+    fn three_slot_sequences_with_middle_arrival_last() {
+        let mut s = OperatorShell::new(
+            Box::new(SequenceOp::new(3, dur(100), Pred::True)),
+            ConsistencySpec::middle(),
+        );
+        s.push(0, Message::Insert(pt(1, 1)), 0);
+        s.push(2, Message::Insert(pt(3, 9)), 1);
+        // The middle contributor arrives last and completes the triple.
+        let out = s.push(1, Message::Insert(pt(2, 4)), 2);
+        assert_eq!(out.len(), 1);
+        let m = out[0].as_insert().unwrap();
+        assert_eq!(
+            m.lineage.0.to_vec(),
+            vec![EventId(1), EventId(2), EventId(3)]
+        );
+    }
+
+    #[test]
+    fn matches_agree_with_denotational_semantics() {
+        let mut s = OperatorShell::new(
+            Box::new(SequenceOp::new(2, dur(7), Pred::True)),
+            ConsistencySpec::middle(),
+        );
+        let e1s: Vec<Event> = vec![pt(1, 1), pt(2, 4), pt(3, 9)];
+        let e2s: Vec<Event> = vec![pt(10, 2), pt(11, 6), pt(12, 14)];
+        let mut emitted = Vec::new();
+        for (i, e) in e1s.iter().enumerate() {
+            emitted.extend(s.push(0, Message::Insert(e.clone()), i as u64));
+        }
+        for (i, e) in e2s.iter().enumerate() {
+            emitted.extend(s.push(1, Message::Insert(e.clone()), (10 + i) as u64));
+        }
+        let expected = cedr_algebra::pattern::sequence(
+            &[e1s, e2s],
+            dur(7),
+            &Pred::True,
+        );
+        let got: HashSet<EventId> = emitted
+            .iter()
+            .filter_map(|m| m.as_insert().map(|e| e.id))
+            .collect();
+        let want: HashSet<EventId> = expected.iter().map(|e| e.id).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn watermark_purges_expired_slot_state() {
+        let mut s = OperatorShell::new(
+            Box::new(SequenceOp::new(2, dur(10), Pred::True)),
+            ConsistencySpec::middle(),
+        );
+        s.push(0, Message::Insert(pt(1, 5)), 0);
+        s.push(1, Message::Insert(pt(2, 8)), 1);
+        assert!(s.module().state_size() > 0);
+        s.push(0, Message::Cti(t(100)), 2);
+        s.push(1, Message::Cti(t(100)), 3);
+        assert_eq!(s.module().state_size(), 0);
+    }
+
+    #[test]
+    fn consume_mode_limits_reuse() {
+        let modes = vec![
+            ScMode::new(Selection::Each, Consumption::Consume),
+            ScMode::EACH_REUSE,
+        ];
+        let mut s = OperatorShell::new(
+            Box::new(SequenceOp::with_modes(2, dur(10), Pred::True, modes)),
+            ConsistencySpec::middle(),
+        );
+        s.push(0, Message::Insert(pt(1, 1)), 0);
+        let o1 = s.push(1, Message::Insert(pt(2, 3)), 1);
+        assert_eq!(o1.iter().filter(|m| m.is_data()).count(), 1);
+        // The second E2 cannot reuse the consumed E1.
+        let o2 = s.push(1, Message::Insert(pt(3, 5)), 2);
+        assert_eq!(o2.iter().filter(|m| m.is_data()).count(), 0);
+    }
+
+    #[test]
+    fn atleast_runtime_matches_denotational() {
+        let mut s = OperatorShell::new(
+            Box::new(AtLeastOp::new(2, 3, dur(10), Pred::True)),
+            ConsistencySpec::middle(),
+        );
+        let events = [pt(1, 1), pt(2, 2), pt(3, 3)];
+        let mut emitted = Vec::new();
+        for (i, e) in events.iter().enumerate() {
+            emitted.extend(s.push(i, Message::Insert(e.clone()), i as u64));
+        }
+        let inserts: Vec<EventId> = emitted
+            .iter()
+            .filter_map(|m| m.as_insert().map(|e| e.id))
+            .collect();
+        let retracts: Vec<EventId> = emitted
+            .iter()
+            .filter_map(|m| m.as_retract().map(|r| r.event.id))
+            .collect();
+        let net: HashSet<EventId> = inserts
+            .into_iter()
+            .filter(|id| !retracts.contains(id))
+            .collect();
+        let expected: HashSet<EventId> = cedr_algebra::pattern::atleast(
+            2,
+            &[vec![pt(1, 1)], vec![pt(2, 2)], vec![pt(3, 3)]],
+            dur(10),
+            &Pred::True,
+        )
+        .iter()
+        .map(|e| e.id)
+        .collect();
+        assert_eq!(net, expected);
+        assert_eq!(net.len(), 3, "pairs (1,2), (1,3), (2,3)");
+    }
+
+    #[test]
+    fn any_via_atleast_one() {
+        let mut s = OperatorShell::new(
+            Box::new(AtLeastOp::new(1, 2, dur(1), Pred::True)),
+            ConsistencySpec::middle(),
+        );
+        let o1 = s.push(0, Message::Insert(pt(1, 1)), 0);
+        let o2 = s.push(1, Message::Insert(pt(2, 5)), 1);
+        assert_eq!(o1.iter().filter(|m| m.is_data()).count(), 1);
+        assert_eq!(o2.iter().filter(|m| m.is_data()).count(), 1);
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-operator runtime metrics.
+//!
+//! These are the observables of Figure 8: **blocking** (alignment-buffer
+//! residency), **state size** (operational-module + buffer footprint) and
+//! **output size** (inserts + retractions emitted). CEDR time is measured
+//! in arrival ticks (one per delivered message; see DESIGN.md).
+
+use serde::{Deserialize, Serialize};
+
+/// Counters and high-water marks for one operator shell.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Data messages that arrived at the shell.
+    pub arrivals: usize,
+    /// Data messages released to the operational module.
+    pub released: usize,
+    /// Messages dropped because they fell below the memory horizon
+    /// (weak-consistency forgetting).
+    pub forgotten: usize,
+    /// Peak number of messages simultaneously held in the alignment buffer.
+    pub held_peak: usize,
+    /// Total blocking: Σ over released messages of (release − arrival)
+    /// in CEDR ticks.
+    pub blocked_ticks: u64,
+    /// Number of messages that were held at all (blocked ≥ 1 tick).
+    pub blocked_messages: usize,
+    /// Peak operational-module state size (events/entries retained).
+    pub state_peak: usize,
+    /// Output inserts emitted.
+    pub out_inserts: usize,
+    /// Output retractions emitted.
+    pub out_retractions: usize,
+    /// Output CTIs emitted.
+    pub out_ctis: usize,
+}
+
+impl OpStats {
+    /// Figure 8's "Output Size": inserts + retractions.
+    pub fn output_size(&self) -> usize {
+        self.out_inserts + self.out_retractions
+    }
+
+    /// Mean blocking per released message, in CEDR ticks.
+    pub fn mean_blocking(&self) -> f64 {
+        if self.released == 0 {
+            0.0
+        } else {
+            self.blocked_ticks as f64 / self.released as f64
+        }
+    }
+
+    /// Fold another operator's stats into this one (plan-level totals).
+    pub fn absorb(&mut self, other: &OpStats) {
+        self.arrivals += other.arrivals;
+        self.released += other.released;
+        self.forgotten += other.forgotten;
+        self.held_peak = self.held_peak.max(other.held_peak);
+        self.blocked_ticks += other.blocked_ticks;
+        self.blocked_messages += other.blocked_messages;
+        self.state_peak = self.state_peak.max(other.state_peak);
+        self.out_inserts += other.out_inserts;
+        self.out_retractions += other.out_retractions;
+        self.out_ctis += other.out_ctis;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_size_sums_inserts_and_retractions() {
+        let s = OpStats {
+            out_inserts: 7,
+            out_retractions: 3,
+            ..OpStats::default()
+        };
+        assert_eq!(s.output_size(), 10);
+    }
+
+    #[test]
+    fn mean_blocking_handles_zero() {
+        assert_eq!(OpStats::default().mean_blocking(), 0.0);
+        let s = OpStats {
+            released: 4,
+            blocked_ticks: 10,
+            ..OpStats::default()
+        };
+        assert_eq!(s.mean_blocking(), 2.5);
+    }
+
+    #[test]
+    fn absorb_takes_maxima_and_sums() {
+        let mut a = OpStats {
+            state_peak: 5,
+            out_inserts: 1,
+            ..OpStats::default()
+        };
+        let b = OpStats {
+            state_peak: 9,
+            out_inserts: 2,
+            blocked_ticks: 4,
+            ..OpStats::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.state_peak, 9);
+        assert_eq!(a.out_inserts, 3);
+        assert_eq!(a.blocked_ticks, 4);
+    }
+}

@@ -1,0 +1,30 @@
+//! # cedr-streams
+//!
+//! The physical stream substrate of the CEDR reproduction: the messages that
+//! flow between operators (inserts, retractions, CTIs/occurrence-time
+//! guarantees), provider and server clocks, the unreliable-delivery
+//! simulator that stands in for the paper's "unreliable (w.r.t. delivery
+//! order) network connections", and collectors that fold a physical stream
+//! back into the history tables of `cedr-temporal` so the paper's
+//! equivalence machinery applies to runtime outputs.
+
+pub mod clock;
+pub mod collect;
+pub mod disorder;
+pub mod message;
+pub mod source;
+
+pub use clock::{CedrClock, LogicalClock};
+pub use collect::{Collector, StreamStats};
+pub use disorder::{scramble, DisorderConfig};
+pub use message::{Message, Retraction, Stamped};
+pub use source::StreamBuilder;
+
+/// Convenience prelude.
+pub mod prelude {
+    pub use crate::clock::{CedrClock, LogicalClock};
+    pub use crate::collect::{Collector, StreamStats};
+    pub use crate::disorder::{scramble, DisorderConfig};
+    pub use crate::message::{Message, Retraction, Stamped};
+    pub use crate::source::StreamBuilder;
+}

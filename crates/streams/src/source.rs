@@ -1,0 +1,147 @@
+//! Building ordered source streams.
+//!
+//! `StreamBuilder` produces a *perfectly ordered* message sequence — sorted
+//! by `Sync` with optional periodic CTIs — which is the canonical member of
+//! its logical-equivalence class (no retraction reordering, no disorder).
+//! Feeding it through [`crate::disorder::scramble`] yields the logically
+//! equivalent but physically perturbed streams the consistency machinery is
+//! tested against.
+
+use crate::message::{Message, Retraction};
+use cedr_temporal::{Duration, Event, EventId, Interval, Payload, TimePoint};
+
+/// Accumulates events and retractions, then emits them in `Sync` order.
+#[derive(Clone, Debug, Default)]
+pub struct StreamBuilder {
+    messages: Vec<Message>,
+    next_id: u64,
+}
+
+impl StreamBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start IDs at `base` (useful to keep IDs disjoint across streams).
+    pub fn with_id_base(base: u64) -> Self {
+        StreamBuilder {
+            messages: Vec::new(),
+            next_id: base,
+        }
+    }
+
+    /// Add a primitive event with an auto-assigned ID; returns the event.
+    pub fn insert(&mut self, interval: Interval, payload: Payload) -> Event {
+        let ev = Event::primitive(EventId(self.next_id), interval, payload);
+        self.next_id += 1;
+        self.messages.push(Message::Insert(ev.clone()));
+        ev
+    }
+
+    /// Add a point event `[t, t+1)` — the common shape for CEP sources.
+    pub fn insert_at(&mut self, t: TimePoint, payload: Payload) -> Event {
+        self.insert(Interval::point(t), payload)
+    }
+
+    /// Add an explicit event (caller-controlled ID).
+    pub fn insert_event(&mut self, ev: Event) {
+        self.messages.push(Message::Insert(ev));
+    }
+
+    /// Add a retraction shortening `event` to `[Vs, new_end)`.
+    pub fn retract(&mut self, event: Event, new_end: TimePoint) {
+        self.messages.push(Message::Retract(Retraction::new(event, new_end)));
+    }
+
+    /// Number of data messages so far.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Emit the stream in `Sync` order (stable for ties), interleaving a
+    /// `CTI` after the batch of messages at each multiple of `cti_every`
+    /// sync ticks, and a final `CTI(∞)` if `seal` is set.
+    pub fn build_ordered(&self, cti_every: Option<Duration>, seal: bool) -> Vec<Message> {
+        let mut data = self.messages.clone();
+        data.sort_by_key(|m| m.sync());
+        let mut out = Vec::with_capacity(data.len() + 8);
+        let mut next_cti: Option<TimePoint> = cti_every.map(|_| TimePoint::ZERO);
+        for m in data {
+            if let (Some(period), Some(due)) = (cti_every, next_cti) {
+                let sync = m.sync();
+                if sync > due {
+                    // The guarantee "no future message has Sync < sync" holds
+                    // because the stream is emitted in sync order.
+                    out.push(Message::Cti(sync));
+                    let mut d = due;
+                    while d <= sync {
+                        d = d + period;
+                    }
+                    next_cti = Some(d);
+                }
+            }
+            out.push(m);
+        }
+        if seal {
+            out.push(Message::Cti(TimePoint::INFINITY));
+        }
+        out
+    }
+
+    /// The messages in insertion order, without CTIs (raw provider output).
+    pub fn build_raw(&self) -> Vec<Message> {
+        self.messages.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedr_temporal::interval::iv;
+    use cedr_temporal::time::{dur, t};
+
+    #[test]
+    fn ordered_stream_sorts_by_sync() {
+        let mut b = StreamBuilder::new();
+        let e1 = b.insert(iv(5, 9), Payload::empty());
+        b.insert(iv(1, 4), Payload::empty());
+        b.retract(e1, t(7)); // sync 7
+        let out = b.build_ordered(None, false);
+        let syncs: Vec<_> = out.iter().map(|m| m.sync()).collect();
+        assert_eq!(syncs, vec![t(1), t(5), t(7)]);
+    }
+
+    #[test]
+    fn ctis_are_legal_watermarks() {
+        let mut b = StreamBuilder::new();
+        for i in 0..10 {
+            b.insert_at(t(i * 3), Payload::empty());
+        }
+        let out = b.build_ordered(Some(dur(5)), true);
+        // Every CTI must be ≤ the sync of every later data message.
+        for (i, m) in out.iter().enumerate() {
+            if let Message::Cti(c) = m {
+                for later in &out[i + 1..] {
+                    if later.is_data() {
+                        assert!(later.sync() >= *c, "illegal CTI {c} before {later:?}");
+                    }
+                }
+            }
+        }
+        assert_eq!(out.last(), Some(&Message::Cti(TimePoint::INFINITY)));
+        assert!(out.iter().filter(|m| !m.is_data()).count() >= 3);
+    }
+
+    #[test]
+    fn ids_are_unique_and_sequential() {
+        let mut b = StreamBuilder::with_id_base(100);
+        let a = b.insert_at(t(1), Payload::empty());
+        let c = b.insert_at(t(2), Payload::empty());
+        assert_eq!(a.id, EventId(100));
+        assert_eq!(c.id, EventId(101));
+    }
+}

@@ -1,0 +1,215 @@
+//! The conceptual bitemporal stream representation of Section 2.
+//!
+//! A stream is modelled as a time-varying relation whose tuples carry a
+//! validity interval `[Vs, Ve)` and an occurrence interval `[Os, Oe)`. An
+//! *insert* event of an ID is the tuple with minimum `Os` among all tuples
+//! with that ID; the others are *modification* events (changes to the
+//! validity interval issued later by the provider).
+//!
+//! Figure 1 of the paper is reproduced verbatim by
+//! [`BiTemporalTable::figure1`] and asserted in the tests.
+
+use crate::event::{EventId, Payload};
+use crate::interval::Interval;
+use crate::time::TimePoint;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One row of the conceptual schema `(ID, Vs, Ve, Os, Oe, Payload)`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BiTemporalRow {
+    pub id: EventId,
+    pub valid: Interval,
+    pub occurrence: Interval,
+    pub payload: Payload,
+}
+
+impl BiTemporalRow {
+    pub fn new(id: EventId, valid: Interval, occurrence: Interval, payload: Payload) -> Self {
+        BiTemporalRow {
+            id,
+            valid,
+            occurrence,
+            payload,
+        }
+    }
+}
+
+impl fmt::Debug for BiTemporalRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} V={} O={} {}",
+            self.id, self.valid, self.occurrence, self.payload
+        )
+    }
+}
+
+/// A bitemporal relation: the input/output type of CEDR query semantics
+/// (Section 3: "the output type of a query should be a bitemporal relation").
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BiTemporalTable {
+    pub rows: Vec<BiTemporalRow>,
+}
+
+impl BiTemporalTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, row: BiTemporalRow) {
+        self.rows.push(row);
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The *insert event* for `id`: the row with minimum `Os` (Section 2).
+    pub fn insert_event(&self, id: EventId) -> Option<&BiTemporalRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.id == id)
+            .min_by_key(|r| r.occurrence.start)
+    }
+
+    /// The *modification events* for `id`: every row that is not the insert
+    /// event, in occurrence-start order.
+    pub fn modification_events(&self, id: EventId) -> Vec<&BiTemporalRow> {
+        let Some(ins) = self.insert_event(id) else {
+            return Vec::new();
+        };
+        let ins_os = ins.occurrence.start;
+        let mut mods: Vec<&BiTemporalRow> = self
+            .rows
+            .iter()
+            .filter(|r| r.id == id && r.occurrence.start != ins_os)
+            .collect();
+        mods.sort_by_key(|r| r.occurrence.start);
+        mods
+    }
+
+    /// The continuous query of Section 2: "at each time instance `t`, return
+    /// all tuples that are still valid at `t`" — evaluated against the
+    /// provider's knowledge *as of occurrence time `as_of`*.
+    ///
+    /// For each ID the authoritative version at `as_of` is the row whose
+    /// occurrence interval contains `as_of`; the tuple is reported if its
+    /// validity interval contains `t`.
+    pub fn valid_at(&self, t: TimePoint, as_of: TimePoint) -> Vec<&BiTemporalRow> {
+        let mut current: BTreeMap<EventId, &BiTemporalRow> = BTreeMap::new();
+        for row in &self.rows {
+            if row.occurrence.contains(as_of) {
+                current.insert(row.id, row);
+            }
+        }
+        current
+            .into_values()
+            .filter(|r| r.valid.contains(t))
+            .collect()
+    }
+
+    /// Distinct IDs, in first-appearance order.
+    pub fn ids(&self) -> Vec<EventId> {
+        let mut seen = Vec::new();
+        for r in &self.rows {
+            if !seen.contains(&r.id) {
+                seen.push(r.id);
+            }
+        }
+        seen
+    }
+
+    /// Figure 1 of the paper: at time 1, `e0` is inserted with validity
+    /// `[1, ∞)`; at time 2 its validity is modified to `[1, 10)`; at time 3
+    /// it is modified to `[1, 5)` and `e1` is inserted with validity `[4, 9)`.
+    pub fn figure1() -> BiTemporalTable {
+        use crate::interval::{iv, iv_inf};
+        let e0 = EventId(0);
+        let e1 = EventId(1);
+        let p = Payload::empty();
+        BiTemporalTable {
+            rows: vec![
+                BiTemporalRow::new(e0, iv_inf(1), iv(1, 2), p.clone()),
+                BiTemporalRow::new(e0, iv(1, 10), iv(2, 3), p.clone()),
+                BiTemporalRow::new(e0, iv(1, 5), iv_inf(3), p.clone()),
+                BiTemporalRow::new(e1, iv(4, 9), iv_inf(3), p),
+            ],
+        }
+    }
+}
+
+impl fmt::Debug for BiTemporalTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ID   Vs   Ve   Os   Oe   Payload")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{}   {}   {}   {}   {}   {}",
+                r.id, r.valid.start, r.valid.end, r.occurrence.start, r.occurrence.end, r.payload
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{iv, iv_inf};
+    use crate::time::t;
+
+    #[test]
+    fn figure1_matches_the_paper() {
+        let tbl = BiTemporalTable::figure1();
+        assert_eq!(tbl.len(), 4);
+        // (ID, Vs, Ve, Os, Oe) columns exactly as printed in Figure 1.
+        assert_eq!(tbl.rows[0].valid, iv_inf(1));
+        assert_eq!(tbl.rows[0].occurrence, iv(1, 2));
+        assert_eq!(tbl.rows[1].valid, iv(1, 10));
+        assert_eq!(tbl.rows[1].occurrence, iv(2, 3));
+        assert_eq!(tbl.rows[2].valid, iv(1, 5));
+        assert_eq!(tbl.rows[2].occurrence, iv_inf(3));
+        assert_eq!(tbl.rows[3].valid, iv(4, 9));
+        assert_eq!(tbl.rows[3].occurrence, iv_inf(3));
+    }
+
+    #[test]
+    fn insert_vs_modification_classification() {
+        let tbl = BiTemporalTable::figure1();
+        let ins = tbl.insert_event(EventId(0)).unwrap();
+        assert_eq!(ins.occurrence.start, t(1));
+        let mods = tbl.modification_events(EventId(0));
+        assert_eq!(mods.len(), 2);
+        assert_eq!(mods[0].occurrence.start, t(2));
+        assert_eq!(mods[1].occurrence.start, t(3));
+        assert!(tbl.modification_events(EventId(1)).is_empty());
+    }
+
+    #[test]
+    fn validity_query_respects_provider_knowledge() {
+        let tbl = BiTemporalTable::figure1();
+        // As of occurrence time 1, e0 is valid forever.
+        assert_eq!(tbl.valid_at(t(100), t(1)).len(), 1);
+        // As of occurrence time 2, e0's validity is [1,10): not valid at 100.
+        assert!(tbl.valid_at(t(100), t(2)).is_empty());
+        assert_eq!(tbl.valid_at(t(7), t(2)).len(), 1);
+        // As of occurrence time 3, e0 is valid on [1,5) and e1 on [4,9).
+        let at4 = tbl.valid_at(t(4), t(3));
+        assert_eq!(at4.len(), 2);
+        let at7 = tbl.valid_at(t(7), t(3));
+        assert_eq!(at7.len(), 1);
+        assert_eq!(at7[0].id, EventId(1));
+    }
+
+    #[test]
+    fn ids_in_first_appearance_order() {
+        let tbl = BiTemporalTable::figure1();
+        assert_eq!(tbl.ids(), vec![EventId(0), EventId(1)]);
+    }
+}

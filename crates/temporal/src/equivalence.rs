@@ -1,0 +1,179 @@
+//! Logical equivalence of streams (Definition 1).
+//!
+//! Two streams are **logically equivalent to `to` (at `to`)** iff their
+//! canonical history tables to `to` (at `to`) agree on the projection
+//! `π_X` where `X` contains every attribute *except* `Cs` and `Ce` — i.e.
+//! they describe the same logical state of the underlying database
+//! regardless of arrival order.
+
+use crate::event::Payload;
+use crate::history::HistoryTable;
+use crate::interval::Interval;
+use crate::time::TimePoint;
+
+/// Attribute-selection options for the `π_X` projection.
+///
+/// The paper's `X` includes everything but the CEDR interval; that is the
+/// default. When comparing outputs of *independent runs* (where chain keys
+/// and generated IDs need not align), `include_k` / `include_id` can be
+/// switched off.
+#[derive(Clone, Copy, Debug)]
+pub struct EquivalenceOptions {
+    pub include_k: bool,
+    pub include_id: bool,
+    pub include_valid: bool,
+    pub include_payload: bool,
+}
+
+impl Default for EquivalenceOptions {
+    fn default() -> Self {
+        EquivalenceOptions {
+            include_k: true,
+            include_id: true,
+            include_valid: true,
+            include_payload: true,
+        }
+    }
+}
+
+impl EquivalenceOptions {
+    /// Paper-faithful Definition 1: everything except `Cs`, `Ce`.
+    pub fn definition1() -> Self {
+        Self::default()
+    }
+
+    /// Content-only comparison: ignores system-assigned identities, keeping
+    /// valid time, occurrence time and payload.
+    pub fn content_only() -> Self {
+        EquivalenceOptions {
+            include_k: false,
+            include_id: false,
+            include_valid: true,
+            include_payload: true,
+        }
+    }
+}
+
+/// The projected row image used for multiset comparison.
+type RowImage = (
+    Option<u64>,          // K
+    Option<u64>,          // ID
+    Option<Interval>,     // valid
+    Interval,             // occurrence (always compared)
+    Option<Payload>,      // payload
+);
+
+fn project(table: &HistoryTable, opts: EquivalenceOptions) -> Vec<RowImage> {
+    let mut rows: Vec<RowImage> = table
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                opts.include_k.then_some(r.k.0),
+                opts.include_id.then_some(r.id.0),
+                opts.include_valid.then_some(r.valid),
+                r.occurrence,
+                opts.include_payload.then(|| r.payload.clone()),
+            )
+        })
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// `π_X(CH1) = π_X(CH2)` on the canonical tables **to** `to`.
+pub fn logically_equivalent_to(
+    s1: &HistoryTable,
+    s2: &HistoryTable,
+    to: TimePoint,
+    opts: EquivalenceOptions,
+) -> bool {
+    project(&s1.canonical_to(to), opts) == project(&s2.canonical_to(to), opts)
+}
+
+/// `π_X(CH1) = π_X(CH2)` on the canonical tables **at** `to`.
+pub fn logically_equivalent_at(
+    s1: &HistoryTable,
+    s2: &HistoryTable,
+    to: TimePoint,
+    opts: EquivalenceOptions,
+) -> bool {
+    project(&s1.canonical_at(to), opts) == project(&s2.canonical_at(to), opts)
+}
+
+/// Equivalence "to infinity" (used by well-behavedness, Definition 6).
+pub fn logically_equivalent(s1: &HistoryTable, s2: &HistoryTable, opts: EquivalenceOptions) -> bool {
+    logically_equivalent_to(s1, s2, TimePoint::INFINITY, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ChainKey;
+    use crate::history::HistoryRow;
+    use crate::interval::{iv, iv_inf};
+    use crate::time::t;
+
+    #[test]
+    fn figure3_streams_are_equivalent_to_and_at_3() {
+        let l = HistoryTable::figure3_left();
+        let r = HistoryTable::figure3_right();
+        let opts = EquivalenceOptions::definition1();
+        assert!(logically_equivalent_to(&l, &r, t(3), opts));
+        assert!(logically_equivalent_at(&l, &r, t(3), opts));
+    }
+
+    #[test]
+    fn figure3_streams_differ_beyond_3() {
+        let l = HistoryTable::figure3_left();
+        let r = HistoryTable::figure3_right();
+        let opts = EquivalenceOptions::definition1();
+        // Left settles at Oe=3, right at Oe=5: they diverge from to=4 on.
+        assert!(!logically_equivalent_to(&l, &r, t(4), opts));
+        assert!(!logically_equivalent(&l, &r, opts));
+    }
+
+    #[test]
+    fn equivalence_ignores_cedr_time() {
+        let mut a = HistoryTable::new();
+        a.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv(0, 9)));
+        let mut b = HistoryTable::new();
+        b.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv(700, 900)));
+        assert!(logically_equivalent(&a, &b, EquivalenceOptions::definition1()));
+    }
+
+    #[test]
+    fn equivalence_is_order_insensitive() {
+        let mut a = HistoryTable::new();
+        a.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv(0, 1)));
+        a.push(HistoryRow::occurrence_only(ChainKey(1), iv(2, 9), iv(1, 2)));
+        let mut b = HistoryTable::new();
+        b.push(HistoryRow::occurrence_only(ChainKey(1), iv(2, 9), iv(5, 6)));
+        b.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv(6, 7)));
+        assert!(logically_equivalent(&a, &b, EquivalenceOptions::definition1()));
+    }
+
+    #[test]
+    fn content_only_ignores_chain_keys() {
+        let mut a = HistoryTable::new();
+        a.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv(0, 1)));
+        let mut b = HistoryTable::new();
+        b.push(HistoryRow::occurrence_only(ChainKey(42), iv(1, 5), iv(0, 1)));
+        assert!(!logically_equivalent(&a, &b, EquivalenceOptions::definition1()));
+        assert!(logically_equivalent(&a, &b, EquivalenceOptions::content_only()));
+    }
+
+    #[test]
+    fn retraction_chains_compare_by_net_effect() {
+        // One stream inserts [1,10) then retracts to [1,4); another inserts
+        // [1,∞) then retracts to [1,6) then to [1,4). Same net effect.
+        let mut a = HistoryTable::new();
+        a.push(HistoryRow::occurrence_only(ChainKey(7), iv(1, 10), iv(0, 1)));
+        a.push(HistoryRow::occurrence_only(ChainKey(7), iv(1, 4), iv_inf(1)));
+        let mut b = HistoryTable::new();
+        b.push(HistoryRow::occurrence_only(ChainKey(7), iv_inf(1), iv(0, 1)));
+        b.push(HistoryRow::occurrence_only(ChainKey(7), iv(1, 6), iv(1, 2)));
+        b.push(HistoryRow::occurrence_only(ChainKey(7), iv(1, 4), iv_inf(2)));
+        assert!(logically_equivalent(&a, &b, EquivalenceOptions::definition1()));
+    }
+}

@@ -1,0 +1,448 @@
+//! Tritemporal history tables (Section 4).
+//!
+//! A history table records everything the CEDR server has seen: for each row
+//! the valid interval `[Vs, Ve)`, the occurrence interval `[Os, Oe)`, the
+//! CEDR interval `[Cs, Ce)` and the chain key `K` grouping an initial insert
+//! with all of its retractions (each retraction *reduces* `Oe` relative to
+//! the previous entry of the same chain).
+//!
+//! Canonicalisation — **reduction** followed by **truncation** — collapses a
+//! history table to the logical state it describes, which is the basis of
+//! logical equivalence (Definition 1) and of every correctness statement in
+//! the paper. Figures 2–6 are reproduced verbatim by the constructors below.
+
+use crate::event::{ChainKey, EventId, Payload};
+use crate::interval::Interval;
+use crate::time::TimePoint;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One row of a tritemporal history table.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HistoryRow {
+    pub id: EventId,
+    pub valid: Interval,
+    pub occurrence: Interval,
+    pub cedr: Interval,
+    pub k: ChainKey,
+    pub payload: Payload,
+}
+
+impl HistoryRow {
+    /// A row carrying only the retraction-relevant columns (K, Os, Oe, Cs,
+    /// Ce), as in Figures 3–6 where the paper drops valid time and IDs.
+    /// Valid time is set to a fixed placeholder so it cannot influence
+    /// equivalence comparisons.
+    pub fn occurrence_only(k: ChainKey, occurrence: Interval, cedr: Interval) -> HistoryRow {
+        HistoryRow {
+            id: EventId(k.0),
+            valid: Interval::from(TimePoint::ZERO),
+            occurrence,
+            cedr,
+            k,
+            payload: Payload::empty(),
+        }
+    }
+}
+
+impl fmt::Debug for HistoryRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} V={} O={} C={} K={} {}",
+            self.id, self.valid, self.occurrence, self.cedr, self.k, self.payload
+        )
+    }
+}
+
+/// A row of the *annotated* history table (Figure 6): a history row plus the
+/// derived `Sync` column. For insertions `Sync = Os`; for retractions
+/// `Sync = Oe`.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnnotatedRow {
+    pub row: HistoryRow,
+    pub sync: TimePoint,
+    pub is_retraction: bool,
+}
+
+impl fmt::Debug for AnnotatedRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "K={} Sync={} O={} C={}{}",
+            self.row.k,
+            self.sync,
+            self.row.occurrence,
+            self.row.cedr,
+            if self.is_retraction { " (retraction)" } else { " (insert)" }
+        )
+    }
+}
+
+/// A tritemporal history table.
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryTable {
+    pub rows: Vec<HistoryRow>,
+}
+
+impl HistoryTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, row: HistoryRow) {
+        self.rows.push(row);
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// **Reduction** (Section 4): for each chain key `K`, retain only the
+    /// entry with the earliest `Oe`. Chains whose surviving occurrence
+    /// interval is empty (`Oe == Os`, i.e. the event was completely removed)
+    /// are dropped — they describe no logical state.
+    pub fn reduce(&self) -> HistoryTable {
+        let mut best: BTreeMap<ChainKey, &HistoryRow> = BTreeMap::new();
+        for row in &self.rows {
+            best.entry(row.k)
+                .and_modify(|cur| {
+                    if row.occurrence.end < cur.occurrence.end {
+                        *cur = row;
+                    }
+                })
+                .or_insert(row);
+        }
+        let mut rows: Vec<HistoryRow> = best
+            .into_values()
+            .filter(|r| !r.occurrence.is_empty())
+            .cloned()
+            .collect();
+        rows.sort_by_key(|r| (r.occurrence.start, r.k));
+        HistoryTable { rows }
+    }
+
+    /// **Truncation** (Section 4): cap every `Oe > to` at `to` and drop rows
+    /// whose `Os > to`.
+    pub fn truncate(&self, to: TimePoint) -> HistoryTable {
+        let rows = self
+            .rows
+            .iter()
+            .filter(|r| r.occurrence.start <= to)
+            .map(|r| {
+                let mut r = r.clone();
+                r.occurrence = r.occurrence.truncate_end(to);
+                r
+            })
+            .collect();
+        HistoryTable { rows }
+    }
+
+    /// The canonical history table **to** `to`: reduction then truncation.
+    pub fn canonical_to(&self, to: TimePoint) -> HistoryTable {
+        self.reduce().truncate(to)
+    }
+
+    /// The canonical history table **at** `to`: the canonical table to `to`
+    /// with rows whose occurrence interval does not reach `to` removed.
+    ///
+    /// "Reach" uses the interval's closure (`Os ≤ to ≤ Oe`): after
+    /// truncation every live chain ends exactly at `to`, and the paper's
+    /// Figure 3 example requires those rows to survive ("the two streams …
+    /// are logically equivalent to 3 *and at 3*").
+    pub fn canonical_at(&self, to: TimePoint) -> HistoryTable {
+        let reduced = self.canonical_to(to);
+        let rows = reduced
+            .rows
+            .into_iter()
+            .filter(|r| r.occurrence.start <= to && r.occurrence.end >= to)
+            .collect();
+        HistoryTable { rows }
+    }
+
+    /// The *ideal history table* (Section 6): the infinite canonical table
+    /// with the CEDR time fields projected out. Retractions and out-of-order
+    /// delivery are resolved away; what remains is pure logical content.
+    pub fn ideal(&self) -> HistoryTable {
+        let mut t = self.reduce();
+        for r in &mut t.rows {
+            r.cedr = Interval::from(TimePoint::ZERO);
+        }
+        t
+    }
+
+    /// The **annotated** history table (Figure 6): adds the `Sync` column.
+    ///
+    /// Rows are classified per chain in CEDR-arrival (`Cs`) order: the first
+    /// entry of a chain is its insertion (`Sync = Os`), every later entry is
+    /// a retraction (`Sync = Oe`).
+    pub fn annotate(&self) -> Vec<AnnotatedRow> {
+        let mut idx: Vec<usize> = (0..self.rows.len()).collect();
+        idx.sort_by_key(|&i| (self.rows[i].cedr.start, i));
+        let mut seen: BTreeMap<ChainKey, bool> = BTreeMap::new();
+        let mut out: Vec<AnnotatedRow> = Vec::with_capacity(self.rows.len());
+        for i in idx {
+            let row = &self.rows[i];
+            let is_retraction = *seen.get(&row.k).unwrap_or(&false);
+            seen.insert(row.k, true);
+            let sync = if is_retraction {
+                row.occurrence.end
+            } else {
+                row.occurrence.start
+            };
+            out.push(AnnotatedRow {
+                row: row.clone(),
+                sync,
+                is_retraction,
+            });
+        }
+        out
+    }
+
+    /// The **shredded canonical form** (Section 3.3.2): starting from the
+    /// canonical table `R*`, each row with occurrence interval `[Os, Oe)` is
+    /// replaced by `Oe − Os` rows identical in all attributes except that
+    /// their occurrence intervals are the unit slices partitioning
+    /// `[Os, Oe)`. Rows with infinite `Oe` must be truncated first.
+    pub fn shredded(&self) -> HistoryTable {
+        let reduced = self.reduce();
+        let mut rows = Vec::new();
+        for r in &reduced.rows {
+            assert!(
+                r.occurrence.end.is_finite(),
+                "shredding requires a truncated (finite) table"
+            );
+            let mut s = r.occurrence.start;
+            while s < r.occurrence.end {
+                let mut slice = r.clone();
+                slice.occurrence = Interval::point(s);
+                rows.push(slice);
+                s = s + crate::time::Duration(1);
+            }
+        }
+        HistoryTable { rows }
+    }
+
+    /// Figure 2 of the paper: a retraction and a modification modelled
+    /// simultaneously in tritemporal form.
+    pub fn figure2() -> HistoryTable {
+        use crate::interval::{iv, iv_inf};
+        let e0 = EventId(0);
+        let p = Payload::empty();
+        let row = |valid: Interval, occ: Interval, cedr: Interval, k: u64| HistoryRow {
+            id: e0,
+            valid,
+            occurrence: occ,
+            cedr,
+            k: ChainKey(k),
+            payload: p.clone(),
+        };
+        HistoryTable {
+            rows: vec![
+                row(iv_inf(1), iv(1, 5), iv(1, 4), 0),
+                row(iv(1, 10), iv_inf(5), iv(2, 6), 1),
+                row(iv_inf(1), iv(1, 3), iv_inf(4), 0),
+                row(iv(1, 10), iv(5, 5), iv_inf(5), 1),
+                row(iv(1, 10), iv_inf(3), iv_inf(6), 2),
+            ],
+        }
+    }
+
+    /// Figure 3, left table: `E0 [1,5) @C[1,3)` then retraction `[1,3) @C[3,∞)`.
+    pub fn figure3_left() -> HistoryTable {
+        use crate::interval::{iv, iv_inf};
+        HistoryTable {
+            rows: vec![
+                HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv(1, 3)),
+                HistoryRow::occurrence_only(ChainKey(0), iv(1, 3), iv_inf(3)),
+            ],
+        }
+    }
+
+    /// Figure 3, right table: `E0 [1,∞) @C[1,2)` then retraction `[1,5) @C[2,∞)`.
+    pub fn figure3_right() -> HistoryTable {
+        use crate::interval::{iv, iv_inf};
+        HistoryTable {
+            rows: vec![
+                HistoryRow::occurrence_only(ChainKey(0), iv_inf(1), iv(1, 2)),
+                HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv_inf(2)),
+            ],
+        }
+    }
+
+    /// Figure 6 of the paper: the annotated history table example.
+    pub fn figure6() -> HistoryTable {
+        use crate::interval::iv;
+        HistoryTable {
+            rows: vec![
+                HistoryRow::occurrence_only(ChainKey(0), iv(1, 10), iv(0, 7)),
+                HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv(7, 10)),
+            ],
+        }
+    }
+
+    /// Render with the paper's column layout (`K Os Oe Cs Ce`).
+    pub fn render_occurrence_table(&self) -> String {
+        let mut s = String::from("K    Os   Oe   Cs   Ce\n");
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<4} {:<4} {:<4} {:<4} {:<4}\n",
+                r.k.to_string(),
+                r.occurrence.start.to_string(),
+                r.occurrence.end.to_string(),
+                r.cedr.start.to_string(),
+                r.cedr.end.to_string(),
+            ));
+        }
+        s
+    }
+}
+
+impl fmt::Debug for HistoryTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.rows {
+            writeln!(f, "{r:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{iv, iv_inf};
+    use crate::time::t;
+
+    #[test]
+    fn reduction_keeps_earliest_oe_per_chain() {
+        // Figure 3 → Figure 4.
+        let left = HistoryTable::figure3_left().reduce();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left.rows[0].occurrence, iv(1, 3));
+        let right = HistoryTable::figure3_right().reduce();
+        assert_eq!(right.len(), 1);
+        assert_eq!(right.rows[0].occurrence, iv(1, 5));
+    }
+
+    #[test]
+    fn truncation_produces_figure5() {
+        // Figure 4 → Figure 5: canonical history tables to 3.
+        let left = HistoryTable::figure3_left().canonical_to(t(3));
+        let right = HistoryTable::figure3_right().canonical_to(t(3));
+        assert_eq!(left.rows[0].occurrence, iv(1, 3));
+        assert_eq!(right.rows[0].occurrence, iv(1, 3));
+    }
+
+    #[test]
+    fn truncation_drops_rows_starting_after_to() {
+        let mut t1 = HistoryTable::new();
+        t1.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv(1, 2)));
+        t1.push(HistoryRow::occurrence_only(ChainKey(1), iv(7, 9), iv(2, 3)));
+        let c = t1.canonical_to(t(4));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.rows[0].k, ChainKey(0));
+        assert_eq!(c.rows[0].occurrence, iv(1, 4));
+    }
+
+    #[test]
+    fn reduction_drops_fully_removed_chains() {
+        // Figure 2's E1 chain is completely removed (Oe set to Os).
+        let fig2 = HistoryTable::figure2().reduce();
+        let chains: Vec<ChainKey> = fig2.rows.iter().map(|r| r.k).collect();
+        assert_eq!(chains, vec![ChainKey(0), ChainKey(2)]);
+        // E0 survives with occurrence [1,3); E2 with [3,∞).
+        assert_eq!(fig2.rows[0].occurrence, iv(1, 3));
+        assert_eq!(fig2.rows[1].occurrence, iv_inf(3));
+    }
+
+    #[test]
+    fn figure2_net_effect_matches_paper_narrative() {
+        // "at CEDR time 7, the stream describes the same valid time change,
+        // except at occurrence time 3 instead of 5": the reduced table holds
+        // an insert whose occurrence ends at 3 and a modification from 3 on.
+        let ideal = HistoryTable::figure2().ideal();
+        assert_eq!(ideal.len(), 2);
+        assert_eq!(ideal.rows[0].valid, iv_inf(1));
+        assert_eq!(ideal.rows[0].occurrence, iv(1, 3));
+        assert_eq!(ideal.rows[1].valid, iv(1, 10));
+        assert_eq!(ideal.rows[1].occurrence, iv_inf(3));
+    }
+
+    #[test]
+    fn canonical_at_keeps_rows_reaching_to() {
+        let left = HistoryTable::figure3_left().canonical_at(t(3));
+        let right = HistoryTable::figure3_right().canonical_at(t(3));
+        assert_eq!(left.len(), 1);
+        assert_eq!(right.len(), 1);
+        // A chain retracted strictly before `to` disappears from the
+        // at-snapshot but stays in the to-table.
+        let mut tbl = HistoryTable::new();
+        tbl.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 2), iv(1, 2)));
+        assert_eq!(tbl.canonical_to(t(3)).len(), 1);
+        assert_eq!(tbl.canonical_at(t(3)).len(), 0);
+    }
+
+    #[test]
+    fn annotate_reproduces_figure6_sync_column() {
+        let ann = HistoryTable::figure6().annotate();
+        assert_eq!(ann.len(), 2);
+        assert_eq!(ann[0].sync, t(1), "insertion: Sync = Os");
+        assert!(!ann[0].is_retraction);
+        assert_eq!(ann[1].sync, t(5), "retraction: Sync = Oe");
+        assert!(ann[1].is_retraction);
+    }
+
+    #[test]
+    fn annotate_orders_by_cedr_arrival() {
+        // Rows stored out of Cs order still classify correctly.
+        let mut tbl = HistoryTable::new();
+        tbl.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv_inf(9)));
+        tbl.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 10), iv(2, 9)));
+        let ann = tbl.annotate();
+        assert!(!ann[0].is_retraction);
+        assert_eq!(ann[0].sync, t(1));
+        assert!(ann[1].is_retraction);
+        assert_eq!(ann[1].sync, t(5));
+    }
+
+    #[test]
+    fn shredding_splits_into_unit_slices() {
+        let mut tbl = HistoryTable::new();
+        tbl.push(HistoryRow::occurrence_only(ChainKey(0), iv(2, 5), iv(0, 1)));
+        let sh = tbl.shredded();
+        assert_eq!(sh.len(), 3);
+        assert_eq!(sh.rows[0].occurrence, iv(2, 3));
+        assert_eq!(sh.rows[1].occurrence, iv(3, 4));
+        assert_eq!(sh.rows[2].occurrence, iv(4, 5));
+        // All other attributes preserved.
+        for r in &sh.rows {
+            assert_eq!(r.k, ChainKey(0));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn shredding_rejects_infinite_tables() {
+        let mut tbl = HistoryTable::new();
+        tbl.push(HistoryRow::occurrence_only(ChainKey(0), iv_inf(2), iv(0, 1)));
+        let _ = tbl.shredded();
+    }
+
+    #[test]
+    fn ideal_projects_out_cedr_time() {
+        let ideal = HistoryTable::figure3_left().ideal();
+        assert_eq!(ideal.rows[0].cedr, Interval::from(TimePoint::ZERO));
+    }
+
+    #[test]
+    fn render_matches_paper_layout() {
+        let s = HistoryTable::figure6().render_occurrence_table();
+        assert!(s.starts_with("K    Os   Oe   Cs   Ce"));
+        assert!(s.contains("E0   1    10   0    7"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Half-open temporal intervals `[start, end)`.
+//!
+//! Every temporal extent in CEDR — validity intervals, occurrence intervals,
+//! CEDR intervals, negation scopes — is a half-open interval. Definition 10
+//! of the paper ("meets", used by coalescing) is implemented here.
+
+use crate::time::{Duration, TimePoint};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open interval `[start, end)` over a temporal axis.
+///
+/// `start == end` denotes the empty interval (the paper uses `Oe = Os` to
+/// mark an event as completely removed, Section 4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    pub start: TimePoint,
+    pub end: TimePoint,
+}
+
+impl Interval {
+    /// Build `[start, end)`. `end < start` is normalised to the empty
+    /// interval at `start`, so callers can clip freely.
+    #[inline]
+    pub fn new(start: TimePoint, end: TimePoint) -> Self {
+        if end < start {
+            Interval { start, end: start }
+        } else {
+            Interval { start, end }
+        }
+    }
+
+    /// `[start, ∞)`.
+    #[inline]
+    pub fn from(start: TimePoint) -> Self {
+        Interval {
+            start,
+            end: TimePoint::INFINITY,
+        }
+    }
+
+    /// `[t, t+1)`: the unit interval used by shredding (Section 3.3.2).
+    #[inline]
+    pub fn point(t: TimePoint) -> Self {
+        Interval {
+            start: t,
+            end: t + Duration(1),
+        }
+    }
+
+    /// The empty interval anchored at `t`.
+    #[inline]
+    pub fn empty_at(t: TimePoint) -> Self {
+        Interval { start: t, end: t }
+    }
+
+    /// Is this interval empty (`start >= end`)?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Does `[start, end)` contain the point `t`?
+    #[inline]
+    pub fn contains(&self, t: TimePoint) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Length of the interval (`∞` for open-ended intervals).
+    #[inline]
+    pub fn duration(&self) -> Duration {
+        self.end.since(self.start).unwrap_or(Duration::ZERO)
+    }
+
+    /// Do two intervals share at least one point?
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.start < other.end
+            && other.start < self.end
+    }
+
+    /// Definition 10: `[T1,T2)` and `[T1',T2')` *meet* iff `T2 == T1'`.
+    #[inline]
+    pub fn meets(&self, other: &Interval) -> bool {
+        self.end == other.start
+    }
+
+    /// Pointwise intersection; empty result anchored at the later start.
+    #[inline]
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let start = TimePoint::max_of(self.start, other.start);
+        let end = TimePoint::min_of(self.end, other.end);
+        Interval::new(start, end)
+    }
+
+    /// Clip the end of the interval to at most `t` (truncation, Section 4).
+    #[inline]
+    pub fn truncate_end(&self, t: TimePoint) -> Interval {
+        Interval::new(self.start, TimePoint::min_of(self.end, t))
+    }
+
+    /// The smallest interval covering both inputs (used by scope analysis).
+    #[inline]
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval::new(
+            TimePoint::min_of(self.start, other.start),
+            TimePoint::max_of(self.end, other.end),
+        )
+    }
+
+    /// Is `self` entirely contained in `other`?
+    #[inline]
+    pub fn within(&self, other: &Interval) -> bool {
+        self.is_empty() || (other.start <= self.start && self.end <= other.end)
+    }
+}
+
+impl fmt::Debug for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Shorthand for `Interval::new(t(a), t(b))` in tests and examples.
+pub fn iv(a: u64, b: u64) -> Interval {
+    Interval::new(TimePoint(a), TimePoint(b))
+}
+
+/// Shorthand for `[a, ∞)`.
+pub fn iv_inf(a: u64) -> Interval {
+    Interval::from(TimePoint(a))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::t;
+
+    #[test]
+    fn construction_normalises_inverted() {
+        let i = Interval::new(t(5), t(3));
+        assert!(i.is_empty());
+        assert_eq!(i.start, t(5));
+    }
+
+    #[test]
+    fn containment_is_half_open() {
+        let i = iv(1, 5);
+        assert!(i.contains(t(1)));
+        assert!(i.contains(t(4)));
+        assert!(!i.contains(t(5)));
+        assert!(!i.contains(t(0)));
+    }
+
+    #[test]
+    fn open_ended_contains_everything_after_start() {
+        let i = iv_inf(4);
+        assert!(i.contains(t(4)));
+        assert!(i.contains(t(1_000_000)));
+        assert!(!i.contains(t(3)));
+        assert!(!i.contains(TimePoint::INFINITY), "∞ itself is never a member");
+    }
+
+    #[test]
+    fn overlap_cases() {
+        assert!(iv(1, 5).overlaps(&iv(4, 9)));
+        assert!(!iv(1, 5).overlaps(&iv(5, 9)), "touching intervals do not overlap");
+        assert!(!iv(1, 5).overlaps(&iv(6, 9)));
+        assert!(iv(1, 10).overlaps(&iv(3, 4)));
+        assert!(!iv(3, 3).overlaps(&iv(1, 10)), "empty never overlaps");
+        assert!(iv_inf(0).overlaps(&iv_inf(1_000)));
+    }
+
+    #[test]
+    fn meets_per_definition_10() {
+        assert!(iv(1, 5).meets(&iv(5, 9)));
+        assert!(!iv(1, 5).meets(&iv(6, 9)));
+        assert!(!iv(1, 5).meets(&iv(4, 9)));
+    }
+
+    #[test]
+    fn intersection_clips() {
+        assert_eq!(iv(1, 5).intersect(&iv(4, 9)), iv(4, 5));
+        assert!(iv(1, 5).intersect(&iv(7, 9)).is_empty());
+        assert_eq!(iv_inf(2).intersect(&iv(0, 6)), iv(2, 6));
+    }
+
+    #[test]
+    fn truncation_caps_end() {
+        assert_eq!(iv_inf(1).truncate_end(t(10)), iv(1, 10));
+        assert_eq!(iv(1, 5).truncate_end(t(10)), iv(1, 5));
+        assert!(iv(4, 9).truncate_end(t(2)).is_empty());
+    }
+
+    #[test]
+    fn hull_and_within() {
+        assert_eq!(iv(1, 3).hull(&iv(6, 9)), iv(1, 9));
+        assert!(iv(2, 3).within(&iv(1, 5)));
+        assert!(!iv(0, 3).within(&iv(1, 5)));
+        assert!(iv(4, 4).within(&iv(1, 2)), "empty is within anything");
+    }
+
+    #[test]
+    fn duration_of_intervals() {
+        assert_eq!(iv(3, 10).duration(), Duration(7));
+        assert_eq!(iv_inf(3).duration(), Duration::INFINITE);
+        assert_eq!(iv(3, 3).duration(), Duration::ZERO);
+    }
+
+    #[test]
+    fn point_interval_is_unit_length() {
+        let p = Interval::point(t(7));
+        assert_eq!(p, iv(7, 8));
+        assert_eq!(p.duration(), Duration(1));
+    }
+}

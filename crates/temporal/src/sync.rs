@@ -1,0 +1,149 @@
+//! Synchronization points (Definition 2).
+//!
+//! A **sync point** w.r.t. an annotated history table `AH` is a pair of
+//! occurrence time and CEDR time `(to, T)` such that for each tuple `e`,
+//! either `e.Cs ≤ T ∧ e.Sync ≤ to`, or `e.Cs > T ∧ e.Sync > to`: a point
+//! that cleanly separates past from future in both time domains at once.
+
+use crate::history::AnnotatedRow;
+use crate::time::TimePoint;
+
+/// A sync point `(to, T)`: occurrence time `to`, CEDR time `T`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SyncPoint {
+    pub occurrence: TimePoint,
+    pub cedr: TimePoint,
+}
+
+/// Definition 2, checked literally against every tuple.
+pub fn is_sync_point(rows: &[AnnotatedRow], to: TimePoint, cedr: TimePoint) -> bool {
+    rows.iter().all(|r| {
+        let cs = r.row.cedr.start;
+        (cs <= cedr && r.sync <= to) || (cs > cedr && r.sync > to)
+    })
+}
+
+/// Enumerate the non-trivial sync points induced by the table's own rows:
+/// for each prefix of the CEDR-arrival order, the candidate
+/// `(max Sync of prefix, max Cs of prefix)` is tested against Definition 2.
+///
+/// The result is deduplicated and sorted. The empty prefix — which is
+/// trivially a sync point below all data — is not reported.
+pub fn sync_points(rows: &[AnnotatedRow]) -> Vec<SyncPoint> {
+    let mut ordered: Vec<&AnnotatedRow> = rows.iter().collect();
+    ordered.sort_by_key(|r| r.row.cedr.start);
+    let mut out = Vec::new();
+    let mut max_sync = TimePoint::ZERO;
+    for (i, r) in ordered.iter().enumerate() {
+        max_sync = TimePoint::max_of(max_sync, r.sync);
+        let cedr = r.row.cedr.start;
+        // Only the last row of a Cs-tie can close a prefix.
+        if i + 1 < ordered.len() && ordered[i + 1].row.cedr.start == cedr {
+            continue;
+        }
+        if is_sync_point(rows, max_sync, cedr) {
+            out.push(SyncPoint {
+                occurrence: max_sync,
+                cedr,
+            });
+        }
+    }
+    out.dedup();
+    out
+}
+
+/// The orderliness criterion of Section 4: a stream has no out-of-order
+/// events iff sorting by `Cs` equals sorting by the compound key
+/// `⟨Sync, Cs⟩`.
+pub fn is_totally_ordered(rows: &[AnnotatedRow]) -> bool {
+    let mut by_cs: Vec<&AnnotatedRow> = rows.iter().collect();
+    by_cs.sort_by_key(|r| r.row.cedr.start);
+    by_cs.windows(2).all(|w| w[0].sync <= w[1].sync)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ChainKey;
+    use crate::history::{HistoryRow, HistoryTable};
+    use crate::interval::{iv, iv_inf};
+    use crate::time::t;
+
+    fn table(rows: Vec<HistoryRow>) -> Vec<AnnotatedRow> {
+        HistoryTable { rows }.annotate()
+    }
+
+    #[test]
+    fn figure6_sync_points() {
+        let ann = HistoryTable::figure6().annotate();
+        // After the insert (Sync=1, Cs=0): (1, 0) separates cleanly since the
+        // retraction has Sync=5 > 1 and Cs=7 > 0.
+        assert!(is_sync_point(&ann, t(1), t(0)));
+        // After both rows: (5, 7).
+        assert!(is_sync_point(&ann, t(5), t(7)));
+        // (5, 0) is not: the retraction has Cs=7 > 0 but Sync=5 ≤ 5.
+        assert!(!is_sync_point(&ann, t(5), t(0)));
+        let pts = sync_points(&ann);
+        assert_eq!(
+            pts,
+            vec![
+                SyncPoint { occurrence: t(1), cedr: t(0) },
+                SyncPoint { occurrence: t(5), cedr: t(7) },
+            ]
+        );
+    }
+
+    #[test]
+    fn out_of_order_arrival_suppresses_sync_points() {
+        // Two inserts delivered in inverted occurrence order: the earlier
+        // arrival (Cs=0) carries the *later* occurrence time, so no prefix
+        // of size 1 separates the domains.
+        let ann = table(vec![
+            HistoryRow::occurrence_only(ChainKey(0), iv_inf(5), iv(0, 1)),
+            HistoryRow::occurrence_only(ChainKey(1), iv_inf(2), iv(1, 2)),
+        ]);
+        assert!(!is_sync_point(&ann, t(5), t(0)));
+        let pts = sync_points(&ann);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0], SyncPoint { occurrence: t(5), cedr: t(1) });
+        assert!(!is_totally_ordered(&ann));
+    }
+
+    #[test]
+    fn ordered_stream_has_sync_point_after_every_row() {
+        let ann = table(vec![
+            HistoryRow::occurrence_only(ChainKey(0), iv_inf(1), iv(0, 1)),
+            HistoryRow::occurrence_only(ChainKey(1), iv_inf(2), iv(1, 2)),
+            HistoryRow::occurrence_only(ChainKey(2), iv_inf(3), iv(2, 3)),
+        ]);
+        assert!(is_totally_ordered(&ann));
+        assert_eq!(sync_points(&ann).len(), 3);
+    }
+
+    #[test]
+    fn strong_consistency_shape_every_entry_is_sync_point() {
+        // Definition 3's condition 2: for each entry E there exists a sync
+        // point (E.Sync, E.Cs). True for ordered streams.
+        let ann = table(vec![
+            HistoryRow::occurrence_only(ChainKey(0), iv(1, 4), iv(0, 1)),
+            HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv(1, 2)),
+        ]);
+        // Insert Sync=1 @Cs=0; retraction of [1,4)?? — here the second row
+        // has *later* Oe so reduction keeps row 1; still, annotation marks
+        // row 2 as retraction with Sync=Oe=5 ≥ 1: ordered.
+        for r in &ann {
+            assert!(is_sync_point(&ann, r.sync, r.row.cedr.start));
+        }
+    }
+
+    #[test]
+    fn cs_ties_close_together() {
+        // Two rows sharing Cs=1: prefix cannot be closed between them.
+        let ann = table(vec![
+            HistoryRow::occurrence_only(ChainKey(0), iv_inf(1), iv(1, 2)),
+            HistoryRow::occurrence_only(ChainKey(1), iv_inf(2), iv(1, 2)),
+        ]);
+        let pts = sync_points(&ann);
+        assert_eq!(pts, vec![SyncPoint { occurrence: t(2), cedr: t(1) }]);
+    }
+}

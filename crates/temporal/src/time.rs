@@ -1,0 +1,322 @@
+//! Logical time points and durations.
+//!
+//! CEDR time values are drawn from a discrete, totally ordered domain with a
+//! distinguished `∞` ("never expires", used e.g. for the valid end time of an
+//! open-ended event, Figure 1 of the paper). We model the domain as `u64`
+//! ticks; `u64::MAX` is reserved for `∞`. Arithmetic saturates at `∞` so that
+//! expressions like `e1.Vs + w` from the operator denotations are total.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point on a CEDR temporal axis (valid, occurrence or CEDR time).
+/// `Default` is the origin of time.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TimePoint(pub u64);
+
+/// A span of logical time. `Duration::INFINITE` represents an unbounded
+/// scope (e.g. the lifetime assigned by `Inserts(S) = Π_{Vs,∞}(S)`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Duration(pub u64);
+
+impl TimePoint {
+    /// The origin of time.
+    pub const ZERO: TimePoint = TimePoint(0);
+    /// The distinguished `∞` value: later than every finite time point.
+    pub const INFINITY: TimePoint = TimePoint(u64::MAX);
+
+    /// Construct a finite time point. Panics if `t` collides with `∞`.
+    #[inline]
+    pub fn new(t: u64) -> Self {
+        assert!(t != u64::MAX, "u64::MAX is reserved for TimePoint::INFINITY");
+        TimePoint(t)
+    }
+
+    /// Whether this is the `∞` sentinel.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self == Self::INFINITY
+    }
+
+    /// Whether this is a finite tick count.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        !self.is_infinite()
+    }
+
+    /// Saturating addition of a duration; `∞` is absorbing.
+    #[inline]
+    pub fn saturating_add(self, d: Duration) -> TimePoint {
+        if self.is_infinite() || d.is_infinite() {
+            Self::INFINITY
+        } else {
+            match self.0.checked_add(d.0) {
+                Some(v) if v != u64::MAX => TimePoint(v),
+                _ => Self::INFINITY,
+            }
+        }
+    }
+
+    /// Saturating subtraction of a duration. `∞ - d = ∞` (the horizon below
+    /// an infinite watermark is still infinite); finite points floor at 0.
+    #[inline]
+    pub fn saturating_sub(self, d: Duration) -> TimePoint {
+        if self.is_infinite() {
+            Self::INFINITY
+        } else if d.is_infinite() {
+            TimePoint::ZERO
+        } else {
+            TimePoint(self.0.saturating_sub(d.0))
+        }
+    }
+
+    /// Distance from `earlier` to `self`; `None` if `self < earlier`.
+    /// `∞ - finite = ∞`; `∞ - ∞ = 0` by convention.
+    #[inline]
+    pub fn since(self, earlier: TimePoint) -> Option<Duration> {
+        if self < earlier {
+            return None;
+        }
+        if self.is_infinite() {
+            if earlier.is_infinite() {
+                Some(Duration::ZERO)
+            } else {
+                Some(Duration::INFINITE)
+            }
+        } else {
+            Some(Duration(self.0 - earlier.0))
+        }
+    }
+
+    /// The smaller of two time points.
+    #[inline]
+    pub fn min_of(a: TimePoint, b: TimePoint) -> TimePoint {
+        if a <= b {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// The larger of two time points.
+    #[inline]
+    pub fn max_of(a: TimePoint, b: TimePoint) -> TimePoint {
+        if a >= b {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0);
+    /// An unbounded duration; absorbing under addition.
+    pub const INFINITE: Duration = Duration(u64::MAX);
+
+    /// Construct a finite duration. Panics on the `∞` sentinel value.
+    #[inline]
+    pub fn new(d: u64) -> Self {
+        assert!(d != u64::MAX, "u64::MAX is reserved for Duration::INFINITE");
+        Duration(d)
+    }
+
+    /// Whether this is the unbounded duration.
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        self == Self::INFINITE
+    }
+
+    /// One tick models one second for the query-language time units.
+    pub fn seconds(n: u64) -> Self {
+        Duration::new(n)
+    }
+
+    /// `n` minutes in ticks.
+    pub fn minutes(n: u64) -> Self {
+        Duration::new(n * 60)
+    }
+
+    /// `n` hours in ticks.
+    pub fn hours(n: u64) -> Self {
+        Duration::new(n * 3600)
+    }
+
+    /// `n` days in ticks.
+    pub fn days(n: u64) -> Self {
+        Duration::new(n * 86_400)
+    }
+
+    /// Saturating addition; `∞` is absorbing.
+    #[inline]
+    pub fn saturating_add(self, other: Duration) -> Duration {
+        if self.is_infinite() || other.is_infinite() {
+            Duration::INFINITE
+        } else {
+            match self.0.checked_add(other.0) {
+                Some(v) if v != u64::MAX => Duration(v),
+                _ => Duration::INFINITE,
+            }
+        }
+    }
+}
+
+impl Add<Duration> for TimePoint {
+    type Output = TimePoint;
+    #[inline]
+    fn add(self, d: Duration) -> TimePoint {
+        self.saturating_add(d)
+    }
+}
+
+impl AddAssign<Duration> for TimePoint {
+    #[inline]
+    fn add_assign(&mut self, d: Duration) {
+        *self = self.saturating_add(d);
+    }
+}
+
+impl Sub<Duration> for TimePoint {
+    type Output = TimePoint;
+    #[inline]
+    fn sub(self, d: Duration) -> TimePoint {
+        self.saturating_sub(d)
+    }
+}
+
+impl From<u64> for TimePoint {
+    fn from(t: u64) -> Self {
+        TimePoint::new(t)
+    }
+}
+
+impl From<u64> for Duration {
+    fn from(d: u64) -> Self {
+        Duration::new(d)
+    }
+}
+
+impl fmt::Debug for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// Shorthand used pervasively in tests and examples: `t(5)` is tick 5.
+pub fn t(v: u64) -> TimePoint {
+    TimePoint::new(v)
+}
+
+/// Shorthand for a finite duration in ticks.
+pub fn dur(v: u64) -> Duration {
+    Duration::new(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinity_ordering() {
+        assert!(TimePoint::INFINITY > t(u64::MAX - 1));
+        assert!(t(0) < t(1));
+        assert!(TimePoint::INFINITY.is_infinite());
+        assert!(t(7).is_finite());
+    }
+
+    #[test]
+    fn saturating_add_absorbs_infinity() {
+        assert_eq!(TimePoint::INFINITY + dur(5), TimePoint::INFINITY);
+        assert_eq!(t(5) + Duration::INFINITE, TimePoint::INFINITY);
+        assert_eq!(t(5) + dur(3), t(8));
+        // Near-overflow saturates rather than wrapping into the sentinel.
+        assert_eq!(t(u64::MAX - 2) + dur(100), TimePoint::INFINITY);
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        assert_eq!(t(5) - dur(10), TimePoint::ZERO);
+        assert_eq!(t(10) - dur(3), t(7));
+        assert_eq!(TimePoint::INFINITY - dur(10), TimePoint::INFINITY);
+        assert_eq!(t(10) - Duration::INFINITE, TimePoint::ZERO);
+    }
+
+    #[test]
+    fn since_measures_distance() {
+        assert_eq!(t(10).since(t(4)), Some(dur(6)));
+        assert_eq!(t(4).since(t(10)), None);
+        assert_eq!(TimePoint::INFINITY.since(t(4)), Some(Duration::INFINITE));
+        assert_eq!(
+            TimePoint::INFINITY.since(TimePoint::INFINITY),
+            Some(Duration::ZERO)
+        );
+    }
+
+    #[test]
+    fn duration_units_scale() {
+        assert_eq!(Duration::minutes(5), dur(300));
+        assert_eq!(Duration::hours(12), dur(43_200));
+        assert_eq!(Duration::days(1), dur(86_400));
+        assert_eq!(Duration::seconds(9), dur(9));
+    }
+
+    #[test]
+    fn duration_saturating_add() {
+        assert_eq!(dur(3).saturating_add(dur(4)), dur(7));
+        assert_eq!(
+            Duration::INFINITE.saturating_add(dur(1)),
+            Duration::INFINITE
+        );
+        assert_eq!(
+            dur(u64::MAX - 1).saturating_add(dur(5)),
+            Duration::INFINITE
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn sentinel_construction_rejected() {
+        let _ = TimePoint::new(u64::MAX);
+    }
+
+    #[test]
+    fn display_uses_infinity_symbol() {
+        assert_eq!(format!("{}", TimePoint::INFINITY), "∞");
+        assert_eq!(format!("{}", t(42)), "42");
+        assert_eq!(format!("{}", Duration::INFINITE), "∞");
+    }
+
+    #[test]
+    fn min_max_helpers() {
+        assert_eq!(TimePoint::min_of(t(3), t(9)), t(3));
+        assert_eq!(TimePoint::max_of(t(3), TimePoint::INFINITY), TimePoint::INFINITY);
+    }
+}

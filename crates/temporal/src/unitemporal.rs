@@ -1,0 +1,319 @@
+//! Unitemporal ideal history tables (Section 6, Figure 10).
+//!
+//! For the run-time operator semantics the paper assumes no modifications
+//! and merges occurrence and valid time into a single valid-time axis whose
+//! lifetimes may only be *shortened* by retractions. The resulting ideal
+//! history tables have one temporal dimension and rows `(ID, Vs, Ve,
+//! Payload)`.
+//!
+//! This module also implements Definition 10 — `meets`, `coalesce` and the
+//! `*` (star) operator — which underpin **view update compliance**
+//! (Definition 11): an operator must be insensitive to how changes in state
+//! are packaged into events.
+
+use crate::event::{EventId, Payload};
+use crate::interval::Interval;
+use crate::time::TimePoint;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One row of a unitemporal ideal history table: `(ID, Vs, Ve, Payload)`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UniTemporalRow {
+    pub id: EventId,
+    pub interval: Interval,
+    pub payload: Payload,
+}
+
+impl UniTemporalRow {
+    pub fn new(id: EventId, interval: Interval, payload: Payload) -> Self {
+        UniTemporalRow {
+            id,
+            interval,
+            payload,
+        }
+    }
+}
+
+impl fmt::Debug for UniTemporalRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.id, self.interval, self.payload)
+    }
+}
+
+/// A unitemporal ideal history table.
+#[derive(Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UniTemporalTable {
+    pub rows: Vec<UniTemporalRow>,
+}
+
+impl UniTemporalTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, row: UniTemporalRow) {
+        self.rows.push(row);
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Drop empty-interval rows (events fully removed by retraction).
+    pub fn without_empty(&self) -> UniTemporalTable {
+        UniTemporalTable {
+            rows: self
+                .rows
+                .iter()
+                .filter(|r| !r.interval.is_empty())
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Definition 10's `*` operator: repeatedly coalesce events with equal
+    /// payloads whose valid intervals *meet*, until no further coalescing is
+    /// possible. IDs are not part of the coalesced image (coalescing is a
+    /// statement about the *state* the table describes), so the result
+    /// carries synthetic IDs in deterministic order.
+    ///
+    /// On tables satisfying the paper's relation precondition (no duplicate
+    /// payloads with overlapping valid intervals — checkable via
+    /// [`UniTemporalTable::check_relation`]) this is exactly repeated
+    /// coalescence. We compute it as the per-payload *coverage union*
+    /// (merging overlapping as well as meeting intervals), which coincides
+    /// on valid relations and degrades gracefully on bag-like inputs.
+    pub fn star(&self) -> UniTemporalTable {
+        let mut by_payload: BTreeMap<Payload, Vec<Interval>> = BTreeMap::new();
+        for r in &self.rows {
+            if r.interval.is_empty() {
+                continue;
+            }
+            by_payload.entry(r.payload.clone()).or_default().push(r.interval);
+        }
+        let mut rows = Vec::new();
+        let mut next_id = 0u64;
+        for (payload, mut ivs) in by_payload {
+            ivs.sort();
+            let mut merged: Vec<Interval> = Vec::with_capacity(ivs.len());
+            for iv in ivs {
+                match merged.last_mut() {
+                    Some(last) if iv.start <= last.end => {
+                        last.end = TimePoint::max_of(last.end, iv.end);
+                    }
+                    _ => merged.push(iv),
+                }
+            }
+            for iv in merged {
+                rows.push(UniTemporalRow::new(EventId(next_id), iv, payload.clone()));
+                next_id += 1;
+            }
+        }
+        UniTemporalTable { rows }
+    }
+
+    /// Do two tables describe identical state after maximal coalescing?
+    /// This is the equality used by view update compliance (Definition 11).
+    pub fn star_equal(&self, other: &UniTemporalTable) -> bool {
+        let image = |t: &UniTemporalTable| {
+            let mut v: Vec<(Payload, Interval)> = t
+                .star()
+                .rows
+                .into_iter()
+                .map(|r| (r.payload, r.interval))
+                .collect();
+            v.sort();
+            v
+        };
+        image(self) == image(other)
+    }
+
+    /// Multiset equality on `(interval, payload)` without coalescing.
+    pub fn content_equal(&self, other: &UniTemporalTable) -> bool {
+        let image = |t: &UniTemporalTable| {
+            let mut v: Vec<(Interval, Payload)> = t
+                .without_empty()
+                .rows
+                .into_iter()
+                .map(|r| (r.interval, r.payload))
+                .collect();
+            v.sort();
+            v
+        };
+        image(self) == image(other)
+    }
+
+    /// Verify the relation precondition: no equal payloads with overlapping
+    /// valid intervals. Returns the first violating pair if any.
+    pub fn check_relation(&self) -> Result<(), (UniTemporalRow, UniTemporalRow)> {
+        let mut by_payload: BTreeMap<Payload, Vec<&UniTemporalRow>> = BTreeMap::new();
+        for r in &self.rows {
+            by_payload.entry(r.payload.clone()).or_default().push(r);
+        }
+        for rows in by_payload.values() {
+            let mut sorted: Vec<&&UniTemporalRow> = rows.iter().collect();
+            sorted.sort_by_key(|r| r.interval);
+            for w in sorted.windows(2) {
+                if w[0].interval.overlaps(&w[1].interval) {
+                    return Err(((*w[0]).clone(), (*w[1]).clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The relation's snapshot at time `t`: payloads valid at `t`.
+    pub fn snapshot_at(&self, t: TimePoint) -> Vec<&UniTemporalRow> {
+        self.rows.iter().filter(|r| r.interval.contains(t)).collect()
+    }
+
+    /// Figure 10 of the paper.
+    pub fn figure10() -> UniTemporalTable {
+        use crate::interval::iv;
+        use crate::value::Value;
+        UniTemporalTable {
+            rows: vec![
+                UniTemporalRow::new(
+                    EventId(0),
+                    iv(1, 5),
+                    Payload::from_values(vec![Value::str("P1")]),
+                ),
+                UniTemporalRow::new(
+                    EventId(1),
+                    iv(4, 9),
+                    Payload::from_values(vec![Value::str("P2")]),
+                ),
+            ],
+        }
+    }
+}
+
+impl fmt::Debug for UniTemporalTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ID   Vs   Ve   Payload")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{}   {}   {}   {}",
+                r.id, r.interval.start, r.interval.end, r.payload
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<UniTemporalRow> for UniTemporalTable {
+    fn from_iter<I: IntoIterator<Item = UniTemporalRow>>(iter: I) -> Self {
+        UniTemporalTable {
+            rows: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::iv;
+    use crate::time::t;
+    use crate::value::Value;
+
+    fn p(s: &str) -> Payload {
+        Payload::from_values(vec![Value::str(s)])
+    }
+
+    fn row(id: u64, a: u64, b: u64, pay: &str) -> UniTemporalRow {
+        UniTemporalRow::new(EventId(id), iv(a, b), p(pay))
+    }
+
+    #[test]
+    fn figure10_matches_paper() {
+        let tbl = UniTemporalTable::figure10();
+        assert_eq!(tbl.len(), 2);
+        assert_eq!(tbl.rows[0].interval, iv(1, 5));
+        assert_eq!(tbl.rows[1].interval, iv(4, 9));
+    }
+
+    #[test]
+    fn star_coalesces_meeting_intervals_with_equal_payloads() {
+        let tbl: UniTemporalTable =
+            vec![row(0, 1, 5, "P"), row(1, 5, 9, "P")].into_iter().collect();
+        let s = tbl.star();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rows[0].interval, iv(1, 9));
+    }
+
+    #[test]
+    fn star_does_not_merge_gaps_or_different_payloads() {
+        let tbl: UniTemporalTable = vec![
+            row(0, 1, 5, "P"),
+            row(1, 6, 9, "P"),  // gap at [5,6)
+            row(2, 5, 6, "Q"),  // different payload
+        ]
+        .into_iter()
+        .collect();
+        let s = tbl.star();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn star_chains_transitively() {
+        let tbl: UniTemporalTable = vec![
+            row(0, 1, 3, "P"),
+            row(1, 3, 5, "P"),
+            row(2, 5, 8, "P"),
+        ]
+        .into_iter()
+        .collect();
+        let s = tbl.star();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rows[0].interval, iv(1, 8));
+    }
+
+    #[test]
+    fn star_equality_is_packaging_insensitive() {
+        // "a payload whose lifetime is chopped into several insert events"
+        // equals "one event with a larger, equivalent lifetime" (Def 11).
+        let chopped: UniTemporalTable = vec![
+            row(0, 1, 4, "P"),
+            row(1, 4, 7, "P"),
+        ]
+        .into_iter()
+        .collect();
+        let whole: UniTemporalTable = vec![row(9, 1, 7, "P")].into_iter().collect();
+        assert!(chopped.star_equal(&whole));
+        assert!(!chopped.content_equal(&whole));
+    }
+
+    #[test]
+    fn relation_check_rejects_overlapping_duplicates() {
+        let bad: UniTemporalTable =
+            vec![row(0, 1, 5, "P"), row(1, 3, 7, "P")].into_iter().collect();
+        assert!(bad.check_relation().is_err());
+        let good: UniTemporalTable =
+            vec![row(0, 1, 5, "P"), row(1, 3, 7, "Q")].into_iter().collect();
+        assert!(good.check_relation().is_ok());
+    }
+
+    #[test]
+    fn snapshot_reports_valid_rows() {
+        let tbl = UniTemporalTable::figure10();
+        assert_eq!(tbl.snapshot_at(t(4)).len(), 2);
+        assert_eq!(tbl.snapshot_at(t(1)).len(), 1);
+        assert_eq!(tbl.snapshot_at(t(8)).len(), 1);
+        assert!(tbl.snapshot_at(t(9)).is_empty());
+    }
+
+    #[test]
+    fn empty_rows_are_invisible() {
+        let tbl: UniTemporalTable =
+            vec![row(0, 5, 5, "P"), row(1, 1, 2, "Q")].into_iter().collect();
+        assert_eq!(tbl.without_empty().len(), 1);
+        assert_eq!(tbl.star().len(), 1);
+    }
+}

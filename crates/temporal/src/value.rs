@@ -1,0 +1,293 @@
+//! Payload values.
+//!
+//! The paper treats payloads as "immediately available data, rather like a
+//! stack frame … opaque to the operator definitions" (Section 3.3.1), but the
+//! WHERE clause compares payload attributes, aggregates fold over them, and
+//! group-by partitions on them, so we need a small dynamically-typed value
+//! domain with total ordering and hashing.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A dynamically typed payload attribute value.
+///
+/// `Value` implements a *total* order and `Eq`/`Hash` (floats are compared by
+/// IEEE bit pattern with NaN canonicalised), so values can serve as group-by
+/// and correlation keys.
+#[derive(Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Type tag used for the cross-type total order.
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    /// Canonicalised float bits: all NaNs collapse to one representation and
+    /// `-0.0` folds onto `0.0`, making `Eq`/`Hash`/`Ord` coherent.
+    fn float_bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+
+    /// Numeric view, coercing ints to floats; `None` for non-numerics.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view; `None` for anything else.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Comparison used by WHERE-clause predicates: numerics compare across
+    /// `Int`/`Float`, otherwise values compare within their own type;
+    /// cross-type comparisons order by type tag (total, never panics).
+    pub fn compare(&self, other: &Value) -> Ordering {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or_else(|| {
+                Value::float_bits(a).cmp(&Value::float_bits(b))
+            }),
+            _ => match (self, other) {
+                (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+                (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+                (Value::Null, Value::Null) => Ordering::Equal,
+                _ => self.tag().cmp(&other.tag()),
+            },
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => {
+                Value::float_bits(*a) == Value::float_bits(*b)
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.tag().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => Value::float_bits(*f).hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Within-type ordering with a type-tag fallback. Note this is
+        // deliberately *not* `compare`: Ord must agree with Eq, so Int(1)
+        // and Float(1.0) are unequal here but `compare` treats them equal.
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => {
+                match a.partial_cmp(b) {
+                    Some(o) => o,
+                    None => Value::float_bits(*a).cmp(&Value::float_bits(*b)),
+                }
+            }
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            _ => self.tag().cmp(&other.tag()),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equality_within_types() {
+        assert_eq!(Value::Int(3), Value::Int(3));
+        assert_ne!(Value::Int(3), Value::Int(4));
+        assert_eq!(Value::str("a"), Value::str("a"));
+        assert_ne!(Value::Int(1), Value::Float(1.0), "Eq is type-strict");
+    }
+
+    #[test]
+    fn float_equality_canonicalises_nan_and_zero() {
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(hash_of(&Value::Float(0.0)), hash_of(&Value::Float(-0.0)));
+        assert_eq!(
+            hash_of(&Value::Float(f64::NAN)),
+            hash_of(&Value::Float(f64::from_bits(0x7ff8_0000_0000_0001)))
+        );
+    }
+
+    #[test]
+    fn compare_coerces_numerics() {
+        assert_eq!(Value::Int(1).compare(&Value::Float(1.0)), Ordering::Equal);
+        assert_eq!(Value::Int(1).compare(&Value::Float(1.5)), Ordering::Less);
+        assert_eq!(Value::Float(2.5).compare(&Value::Int(2)), Ordering::Greater);
+    }
+
+    #[test]
+    fn compare_is_total_across_types() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(5),
+            Value::Float(2.0),
+            Value::str("x"),
+        ];
+        for a in &vals {
+            for b in &vals {
+                // compare never panics and is antisymmetric
+                let ab = a.compare(b);
+                let ba = b.compare(a);
+                assert_eq!(ab, ba.reverse());
+            }
+        }
+    }
+
+    #[test]
+    fn ord_agrees_with_eq() {
+        let a = Value::Int(1);
+        let b = Value::Float(1.0);
+        assert_ne!(a, b);
+        assert_ne!(a.cmp(&b), Ordering::Equal);
+    }
+
+    #[test]
+    fn views() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::str("hi").as_str(), Some("hi"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        assert_eq!(Value::str("BARGA_XP03").to_string(), "'BARGA_XP03'");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+}

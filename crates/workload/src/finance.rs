@@ -1,0 +1,211 @@
+//! The Section 1 financial-services scenarios:
+//!
+//! 1. a trader-desktop **portfolio moving average** (ticks + positions,
+//!    windowed aggregation, tolerant of imperfection → middle/weak);
+//! 2. a trading-floor **market sentiment** feed correlating news with
+//!    market indicators, where "each event has a short shelf life" and
+//!    "late events may result in a retraction" (joins + patterns, middle);
+//! 3. a compliance-office **audit** that "must process all events in
+//!    proper order" (strong).
+
+use cedr_temporal::{Duration, Event, EventId, Interval, Payload, TimePoint, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Market tick generator configuration.
+#[derive(Clone, Debug)]
+pub struct MarketConfig {
+    pub symbols: usize,
+    pub ticks_per_symbol: usize,
+    /// Mean inter-tick gap per symbol, in ticks.
+    pub tick_gap: u64,
+    pub start_price: f64,
+    /// Per-step multiplicative volatility (e.g. 0.01 = 1 %).
+    pub volatility: f64,
+    pub seed: u64,
+}
+
+impl Default for MarketConfig {
+    fn default() -> Self {
+        MarketConfig {
+            symbols: 8,
+            ticks_per_symbol: 200,
+            tick_gap: 5,
+            start_price: 100.0,
+            volatility: 0.01,
+            seed: 7,
+        }
+    }
+}
+
+fn sym_name(i: usize) -> String {
+    format!("SYM{i:03}")
+}
+
+/// Generate price ticks: point events with payload `[sym, px]`.
+/// IDs start at `id_base` to keep streams disjoint.
+pub fn generate_ticks(cfg: &MarketConfig, id_base: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.symbols * cfg.ticks_per_symbol);
+    let mut id = id_base;
+    for s in 0..cfg.symbols {
+        let mut t = rng.gen_range(0..cfg.tick_gap.max(1));
+        let mut px = cfg.start_price * (1.0 + 0.1 * (s as f64 / cfg.symbols as f64));
+        for _ in 0..cfg.ticks_per_symbol {
+            let step: f64 = rng.gen_range(-1.0..1.0) * cfg.volatility;
+            px *= 1.0 + step;
+            out.push(Event::primitive(
+                EventId(id),
+                Interval::point(TimePoint::new(t)),
+                Payload::from_values(vec![Value::str(sym_name(s)), Value::Float(px)]),
+            ));
+            id += 1;
+            t += 1 + rng.gen_range(0..cfg.tick_gap.max(1) * 2);
+        }
+    }
+    out.sort_by_key(|e| (e.vs(), e.id));
+    out
+}
+
+/// News feed configuration.
+#[derive(Clone, Debug)]
+pub struct NewsConfig {
+    pub symbols: usize,
+    pub items: usize,
+    /// Shelf life of a news item (its validity interval length).
+    pub shelf_life: Duration,
+    pub span: u64,
+    pub seed: u64,
+}
+
+impl Default for NewsConfig {
+    fn default() -> Self {
+        NewsConfig {
+            symbols: 8,
+            items: 100,
+            shelf_life: Duration::minutes(5),
+            span: 20_000,
+            seed: 21,
+        }
+    }
+}
+
+/// Generate news events with short shelf lives: payload
+/// `[sym, sentiment ∈ {-1, 0, 1}]`.
+pub fn generate_news(cfg: &NewsConfig, id_base: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.items);
+    for i in 0..cfg.items {
+        let at = rng.gen_range(0..cfg.span);
+        let sym = rng.gen_range(0..cfg.symbols);
+        let sentiment: i64 = rng.gen_range(-1..=1);
+        out.push(Event::primitive(
+            EventId(id_base + i as u64),
+            Interval::new(TimePoint::new(at), TimePoint::new(at) + cfg.shelf_life),
+            Payload::from_values(vec![Value::str(sym_name(sym)), Value::Int(sentiment)]),
+        ));
+    }
+    out.sort_by_key(|e| (e.vs(), e.id));
+    out
+}
+
+/// A trader's portfolio: positions per symbol, as long-lived events with
+/// payload `[sym, qty]` (position changes shorten + re-insert).
+#[derive(Clone, Debug)]
+pub struct PortfolioConfig {
+    pub symbols: usize,
+    pub seed: u64,
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        PortfolioConfig {
+            symbols: 8,
+            seed: 33,
+        }
+    }
+}
+
+/// Generate position events covering the whole session.
+pub fn generate_positions(cfg: &PortfolioConfig, id_base: u64) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.symbols)
+        .map(|s| {
+            let qty: i64 = rng.gen_range(1..100);
+            Event::primitive(
+                EventId(id_base + s as u64),
+                Interval::from(TimePoint::ZERO),
+                Payload::from_values(vec![Value::str(sym_name(s)), Value::Int(qty)]),
+            )
+        })
+        .collect()
+}
+
+/// Turn events into a sealed, sync-ordered stream with periodic CTIs.
+pub fn to_stream(events: &[Event], cti_every: Option<Duration>) -> Vec<cedr_streams::Message> {
+    let mut b = cedr_streams::StreamBuilder::new();
+    for e in events {
+        b.insert_event(e.clone());
+    }
+    b.build_ordered(cti_every, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_deterministic_and_ordered() {
+        let cfg = MarketConfig::default();
+        let a = generate_ticks(&cfg, 0);
+        let b = generate_ticks(&cfg, 0);
+        assert_eq!(a.len(), cfg.symbols * cfg.ticks_per_symbol);
+        assert_eq!(a[10], b[10]);
+        assert!(a.windows(2).all(|w| w[0].vs() <= w[1].vs()));
+    }
+
+    #[test]
+    fn prices_stay_positive() {
+        let ticks = generate_ticks(&MarketConfig::default(), 0);
+        for e in &ticks {
+            let px = e.payload.get(1).and_then(|v| v.as_f64()).unwrap();
+            assert!(px > 0.0);
+        }
+    }
+
+    #[test]
+    fn news_has_shelf_life() {
+        let cfg = NewsConfig::default();
+        let news = generate_news(&cfg, 1_000_000);
+        assert_eq!(news.len(), cfg.items);
+        for e in &news {
+            assert_eq!(e.interval.duration(), cfg.shelf_life);
+            let s = e.payload.get(1).and_then(|v| v.as_i64()).unwrap();
+            assert!((-1..=1).contains(&s));
+        }
+    }
+
+    #[test]
+    fn positions_cover_the_session() {
+        let pos = generate_positions(&PortfolioConfig::default(), 2_000_000);
+        assert_eq!(pos.len(), 8);
+        assert!(pos.iter().all(|p| p.interval.end.is_infinite()));
+    }
+
+    #[test]
+    fn stream_conversion_seals() {
+        let ticks = generate_ticks(
+            &MarketConfig {
+                symbols: 2,
+                ticks_per_symbol: 5,
+                ..Default::default()
+            },
+            0,
+        );
+        let s = to_stream(&ticks, Some(Duration::seconds(50)));
+        assert_eq!(
+            s.last().and_then(|m| m.as_cti()),
+            Some(TimePoint::INFINITY)
+        );
+    }
+}

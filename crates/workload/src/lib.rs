@@ -1,0 +1,20 @@
+//! # cedr-workload
+//!
+//! Workload generators for the paper's motivating scenarios (Section 1's
+//! financial-services triple and Section 3.1's machine monitoring), the
+//! disorder/orderliness controls of Figure 8, and the measurement harness
+//! that turns engine runs into the Figure-8 observables (blocking, state
+//! size, output size) plus accuracy-versus-ideal.
+//!
+//! Everything is seeded and deterministic: the same configuration always
+//! produces the same trace, delivery order and measurements.
+
+pub mod finance;
+pub mod machines;
+pub mod metrics;
+pub mod report;
+
+pub use finance::{MarketConfig, NewsConfig, PortfolioConfig};
+pub use machines::{MachineTrace, MachineWorkloadConfig};
+pub use metrics::{accuracy_f1, merge_scramble, run_experiment, Experiment, ExperimentResult};
+pub use report::Table;

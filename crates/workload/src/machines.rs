@@ -1,0 +1,206 @@
+//! The Section 3.1 machine-monitoring workload (CIDR07_Example).
+//!
+//! Machines emit INSTALL events; most installs are followed by a SHUTDOWN
+//! within 12 hours; some shutdowns are followed by a RESTART within 5
+//! minutes. The CIDR07_Example query alerts on install→shutdown pairs *not*
+//! healed by a restart — the generator tracks the ground-truth alert count
+//! so tests can check end-to-end detection exactly.
+
+use cedr_temporal::{Duration, Event, EventId, Interval, Payload, TimePoint, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct MachineWorkloadConfig {
+    pub machines: usize,
+    /// Install episodes per machine.
+    pub episodes: usize,
+    /// Probability an install is followed by a shutdown within 12 h.
+    pub shutdown_prob: f64,
+    /// Probability a shutdown is healed by a restart within 5 min.
+    pub restart_prob: f64,
+    pub seed: u64,
+}
+
+impl Default for MachineWorkloadConfig {
+    fn default() -> Self {
+        MachineWorkloadConfig {
+            machines: 10,
+            episodes: 20,
+            shutdown_prob: 0.8,
+            restart_prob: 0.5,
+            seed: 2007,
+        }
+    }
+}
+
+/// A generated trace with ground truth.
+#[derive(Clone, Debug, Default)]
+pub struct MachineTrace {
+    pub installs: Vec<Event>,
+    pub shutdowns: Vec<Event>,
+    pub restarts: Vec<Event>,
+    /// Install→shutdown pairs not healed by a restart: the number of alerts
+    /// the CIDR07_Example query must produce.
+    pub expected_alerts: usize,
+    /// The horizon (max occurrence time) of the trace.
+    pub horizon: TimePoint,
+}
+
+/// One machine's payload.
+fn machine_payload(m: usize) -> Payload {
+    Payload::from_values(vec![Value::str(format!("machine-{m:04}"))])
+}
+
+/// Generate a trace. Episodes of one machine are spaced more than
+/// 12 h + 5 min apart so episodes never interfere, keeping the ground truth
+/// exact.
+pub fn generate(cfg: &MachineWorkloadConfig) -> MachineTrace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut trace = MachineTrace::default();
+    let mut next_id = 1u64;
+    let mut id = || {
+        let v = next_id;
+        next_id += 1;
+        EventId(v)
+    };
+    let episode_gap = Duration::hours(13).0;
+    let mut horizon = 0u64;
+    for m in 0..cfg.machines {
+        // Per-machine phase offset so machines interleave in time.
+        let mut t = rng.gen_range(0..3_600u64);
+        for _ in 0..cfg.episodes {
+            let payload = machine_payload(m);
+            let install_at = t + rng.gen_range(0..1_800u64);
+            trace.installs.push(Event::primitive(
+                id(),
+                Interval::point(TimePoint::new(install_at)),
+                payload.clone(),
+            ));
+            let mut last = install_at;
+            if rng.gen_bool(cfg.shutdown_prob) {
+                let shutdown_at = install_at + 1 + rng.gen_range(0..Duration::hours(12).0 - 2);
+                trace.shutdowns.push(Event::primitive(
+                    id(),
+                    Interval::point(TimePoint::new(shutdown_at)),
+                    payload.clone(),
+                ));
+                last = shutdown_at;
+                if rng.gen_bool(cfg.restart_prob) {
+                    let restart_at = shutdown_at + 1 + rng.gen_range(0..Duration::minutes(5).0 - 2);
+                    trace.restarts.push(Event::primitive(
+                        id(),
+                        Interval::point(TimePoint::new(restart_at)),
+                        payload,
+                    ));
+                    last = restart_at;
+                } else {
+                    trace.expected_alerts += 1;
+                }
+            }
+            horizon = horizon.max(last);
+            t = last + episode_gap;
+        }
+    }
+    trace.horizon = TimePoint::new(horizon);
+    trace
+}
+
+impl MachineTrace {
+    /// Total data events.
+    pub fn len(&self) -> usize {
+        self.installs.len() + self.shutdowns.len() + self.restarts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-type sync-ordered streams `(type name, messages)`, sealed with
+    /// `CTI(∞)` and carrying CTIs every `cti_every` ticks.
+    pub fn to_streams(&self, cti_every: Option<Duration>) -> Vec<(String, Vec<cedr_streams::Message>)> {
+        let mk = |events: &[Event]| {
+            let mut b = cedr_streams::StreamBuilder::new();
+            for e in events {
+                b.insert_event(e.clone());
+            }
+            b.build_ordered(cti_every, true)
+        };
+        vec![
+            ("INSTALL".to_string(), mk(&self.installs)),
+            ("SHUTDOWN".to_string(), mk(&self.shutdowns)),
+            ("RESTART".to_string(), mk(&self.restarts)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedr_algebra::expr::{CmpOp, Pred, Scalar};
+
+    #[test]
+    fn trace_is_deterministic() {
+        let cfg = MachineWorkloadConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.installs.len(), b.installs.len());
+        assert_eq!(a.expected_alerts, b.expected_alerts);
+        assert_eq!(a.installs[3], b.installs[3]);
+    }
+
+    #[test]
+    fn ground_truth_matches_denotational_semantics() {
+        let cfg = MachineWorkloadConfig {
+            machines: 5,
+            episodes: 10,
+            ..Default::default()
+        };
+        let trace = generate(&cfg);
+        // Denotational CIDR07_Example: UNLESS(SEQUENCE(INSTALL, SHUTDOWN,
+        // 12h), RESTART, 5min) with Machine_Id correlation.
+        let key01 = Pred::cmp(Scalar::Of(0, 0), CmpOp::Eq, Scalar::Of(1, 0));
+        let seq = cedr_algebra::pattern::sequence(
+            &[trace.installs.clone(), trace.shutdowns.clone()],
+            Duration::hours(12),
+            &key01,
+        );
+        let alerts = cedr_algebra::pattern::unless(
+            &seq,
+            &trace.restarts,
+            Duration::minutes(5),
+            &key01, // seq payload starts with install's Machine_Id
+        );
+        assert_eq!(alerts.len(), trace.expected_alerts);
+    }
+
+    #[test]
+    fn episodes_do_not_interfere() {
+        // With restart_prob 1.0 every shutdown heals: zero alerts.
+        let trace = generate(&MachineWorkloadConfig {
+            restart_prob: 1.0,
+            ..Default::default()
+        });
+        assert_eq!(trace.expected_alerts, 0);
+        // With restart_prob 0.0 every shutdown alerts.
+        let trace2 = generate(&MachineWorkloadConfig {
+            restart_prob: 0.0,
+            ..Default::default()
+        });
+        assert_eq!(trace2.expected_alerts, trace2.shutdowns.len());
+    }
+
+    #[test]
+    fn streams_are_sealed_and_ordered() {
+        let trace = generate(&MachineWorkloadConfig::default());
+        for (_, msgs) in trace.to_streams(Some(Duration::minutes(30))) {
+            assert_eq!(
+                msgs.last().and_then(|m| m.as_cti()),
+                Some(TimePoint::INFINITY)
+            );
+            let syncs: Vec<TimePoint> = msgs.iter().filter(|m| m.is_data()).map(|m| m.sync()).collect();
+            assert!(syncs.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

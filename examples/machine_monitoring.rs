@@ -1,0 +1,102 @@
+//! The paper's own running example (Section 3.1): alert when an INSTALL is
+//! followed by a SHUTDOWN within 12 hours and then *no* RESTART within 5
+//! minutes — UNLESS over SEQUENCE with a Machine_Id correlation key.
+//!
+//! The example runs the same disordered trace at all three consistency
+//! levels and prints the Figure-8 trade-off live.
+//!
+//! Run with: `cargo run --example machine_monitoring`
+
+use cedr::core::prelude::*;
+use cedr::workload::machines::{self, MachineWorkloadConfig};
+use cedr::workload::metrics::{accuracy_f1, merge_scramble};
+
+const QUERY: &str = "\
+EVENT CIDR07_Example
+WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours),
+            RESTART AS z, 5 minutes)
+WHERE {x.Machine_Id = y.Machine_Id} AND
+      {x.Machine_Id = z.Machine_Id}
+OUTPUT x.Machine_Id AS machine";
+
+fn run_at(
+    spec: ConsistencySpec,
+    trace: &machines::MachineTrace,
+) -> Result<(Engine, QueryId), Box<dyn std::error::Error>> {
+    let mut engine = Engine::new();
+    for ty in ["INSTALL", "SHUTDOWN", "RESTART"] {
+        engine.register_event_type(ty, vec![("Machine_Id", FieldType::Str)]);
+    }
+    let q = engine.register_query(QUERY, spec)?;
+
+    // One global delivery timeline with bounded disorder (the "unreliable
+    // network" substrate) — identical for every consistency level.
+    let streams = trace.to_streams(Some(Duration::minutes(10)));
+    let routed: Vec<(usize, &[Message])> = streams
+        .iter()
+        .enumerate()
+        .map(|(i, (_, msgs))| (i, msgs.as_slice()))
+        .collect();
+    let disorder = DisorderConfig::heavy(42, 6 * 3600, 25);
+    for (slot, msg) in merge_scramble(&routed, &disorder) {
+        let ty = &streams[slot].0;
+        engine.push(ty, msg)?;
+    }
+    Ok((engine, q))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = MachineWorkloadConfig {
+        machines: 10,
+        episodes: 20,
+        shutdown_prob: 0.85,
+        restart_prob: 0.5,
+        seed: 2007,
+    };
+    let trace = machines::generate(&cfg);
+    println!(
+        "Machine-monitoring trace: {} installs, {} shutdowns, {} restarts, \
+         {} ground-truth alerts\n",
+        trace.installs.len(),
+        trace.shutdowns.len(),
+        trace.restarts.len(),
+        trace.expected_alerts
+    );
+    println!("Query:\n{QUERY}\n");
+
+    let (ref_engine, ref_q) = run_at(ConsistencySpec::strong(), &trace)?;
+    let reference = ref_engine.output(ref_q).net_table();
+
+    println!(
+        "{:<22} {:>8} {:>12} {:>10} {:>12} {:>9}",
+        "consistency", "alerts", "retractions", "blocked", "peak state", "accuracy"
+    );
+    for (name, spec) in [
+        ("Strong ⟨B=∞,M=∞⟩", ConsistencySpec::strong()),
+        ("Middle ⟨B=0,M=∞⟩", ConsistencySpec::middle()),
+        ("Weak ⟨B=0,M=4h⟩", ConsistencySpec::weak(Duration::hours(4))),
+    ] {
+        let (engine, q) = run_at(spec, &trace)?;
+        let out = engine.output(q);
+        let net = out.net_table();
+        let totals = engine.stats(q);
+        println!(
+            "{:<22} {:>8} {:>12} {:>10} {:>12} {:>9.3}",
+            name,
+            net.len(),
+            out.stats().retractions,
+            totals.blocked_ticks,
+            totals.state_peak,
+            accuracy_f1(&net, &reference),
+        );
+        if spec == ConsistencySpec::strong() {
+            assert_eq!(net.len(), trace.expected_alerts, "strong is exact");
+        }
+    }
+    println!(
+        "\nStrong blocks until guarantees cover the 12h+5min scopes;\n\
+         middle alerts immediately and retracts when a late RESTART heals\n\
+         an episode; weak forgets episodes older than 4 hours."
+    );
+    Ok(())
+}

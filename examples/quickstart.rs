@@ -1,0 +1,72 @@
+//! Quickstart: register a pattern query, stream events (including a
+//! retraction and a late arrival), and watch CEDR repair its output.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cedr::core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the event schema.
+    let mut engine = Engine::new();
+    engine.register_event_type("LOGIN", vec![("user", FieldType::Str)]);
+    engine.register_event_type("PURCHASE", vec![("user", FieldType::Str)]);
+
+    // 2. Register a standing query in the CEDR language: a purchase within
+    //    ten minutes of a login, by the same user. Middle consistency:
+    //    output immediately, repair with retractions if needed.
+    let q = engine.register_query(
+        "EVENT LoginThenPurchase \
+         WHEN SEQUENCE(LOGIN l, PURCHASE p, 10 minutes) \
+         WHERE l.user = p.user \
+         OUTPUT l.user AS user",
+        ConsistencySpec::middle(),
+    )?;
+    println!("Optimized plan:\n{}", engine.explain(q));
+
+    // 3. Stream events. Times are in ticks (1 tick = 1 second).
+    let login = engine.event("LOGIN", 100, vec![Value::str("ada")])?;
+    engine.push_insert("LOGIN", login)?;
+    let purchase = engine.event("PURCHASE", 400, vec![Value::str("ada")])?;
+    engine.push_insert("PURCHASE", purchase.clone())?;
+
+    println!(
+        "\nAfter ada's purchase: {} detection(s)",
+        engine.output(q).stats().inserts
+    );
+
+    // 4. The provider retracts the purchase (it bounced): CEDR retracts the
+    //    detection it had optimistically emitted.
+    engine.push_retract("PURCHASE", purchase, t(400))?;
+    let stats = engine.output(q).stats().clone();
+    println!(
+        "After the retraction: {} insert(s), {} retraction(s) -> net {}",
+        stats.inserts,
+        stats.retractions,
+        engine.output(q).net_table().len()
+    );
+
+    // 5. A *late* pair arrives out of order (purchase first, login after) —
+    //    the match is still found, because CEDR state is ordered by
+    //    occurrence time, not arrival time.
+    let purchase2 = engine.event("PURCHASE", 950, vec![Value::str("bob")])?;
+    engine.push_insert("PURCHASE", purchase2)?;
+    let login2 = engine.event("LOGIN", 900, vec![Value::str("bob")])?;
+    engine.push_insert("LOGIN", login2)?;
+
+    // 6. Seal the streams (CTI ∞: no more input) and inspect.
+    engine.seal();
+    let out = engine.output(q);
+    println!("\nFinal detections:");
+    for row in &out.net_table().rows {
+        println!("  {} valid {}", row.payload, row.interval);
+    }
+    let totals = engine.stats(q);
+    println!(
+        "\nRuntime: {} arrivals, peak state {}, output size {}",
+        totals.arrivals,
+        totals.state_peak,
+        totals.output_size()
+    );
+    assert_eq!(out.net_table().len(), 1, "bob's match survives");
+    Ok(())
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the CEDR reproduction.
+//!
+//! Re-exports the public API of every sub-crate so that examples and
+//! integration tests can `use cedr::...` uniformly. See `cedr-core` for the
+//! engine facade and `README.md` for a tour.
+
+pub use cedr_algebra as algebra;
+pub use cedr_core as core;
+pub use cedr_lang as lang;
+pub use cedr_runtime as runtime;
+pub use cedr_streams as streams;
+pub use cedr_temporal as temporal;
+pub use cedr_workload as workload;
+
+pub use cedr_core::prelude::*;

@@ -1,0 +1,100 @@
+//! View update compliance (Definition 11) checked END TO END through the
+//! physical runtime: the same coalesced input state, packaged differently
+//! into events, must drive view-update-compliant operators to `*`-equal
+//! outputs — while AlterLifetime-derived operators legitimately diverge.
+//!
+//! This extends the denotational checks in `cedr-algebra::compliance` to
+//! the incremental operators, including their retraction handling.
+
+use cedr::algebra::compliance::{chop_event, fixture_events};
+use cedr::algebra::expr::{CmpOp, Pred, Scalar};
+use cedr::algebra::relational::AggFunc;
+use cedr::runtime::prelude::*;
+use cedr::streams::{Collector, StreamBuilder};
+use cedr::temporal::time::dur;
+use cedr::temporal::{Event, UniTemporalTable};
+use proptest::prelude::*;
+
+fn run_packaging(module: Box<dyn OperatorModule>, events: &[Event]) -> UniTemporalTable {
+    let mut b = StreamBuilder::new();
+    for e in events {
+        b.insert_event(e.clone());
+    }
+    let mut shell = OperatorShell::new(module, ConsistencySpec::middle());
+    let mut c = Collector::new();
+    for (i, m) in b.build_ordered(Some(dur(10)), true).into_iter().enumerate() {
+        c.push_all(shell.push(0, m, i as u64));
+    }
+    c.net_table()
+}
+
+fn repackaged(events: &[Event], salt: usize) -> Vec<Event> {
+    let mut out = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        out.extend(chop_event(e, 1 + (i + salt) % 3));
+    }
+    out
+}
+
+#[test]
+fn physical_selection_is_view_update_compliant() {
+    let events = fixture_events(30, 80, 8);
+    let pred = Pred::cmp(Scalar::Field(0), CmpOp::Ge, Scalar::lit(3i64));
+    let reference = run_packaging(Box::new(SelectOp::new(pred.clone())), &events);
+    for salt in 1..4 {
+        let alt = run_packaging(Box::new(SelectOp::new(pred.clone())), &repackaged(&events, salt));
+        assert!(
+            reference.star_equal(&alt),
+            "selection output depended on event packaging (salt {salt})"
+        );
+    }
+}
+
+#[test]
+fn physical_aggregate_is_view_update_compliant() {
+    let events = fixture_events(24, 60, 5);
+    let mk = || {
+        Box::new(GroupAggregateOp::new(
+            vec![Scalar::Field(0)],
+            AggFunc::Count,
+        ))
+    };
+    let reference = run_packaging(mk(), &events);
+    for salt in 1..4 {
+        let alt = run_packaging(mk(), &repackaged(&events, salt));
+        assert!(reference.star_equal(&alt), "aggregate not packaging-insensitive");
+    }
+}
+
+#[test]
+fn physical_window_is_not_view_update_compliant_but_well_behaved() {
+    // One long event vs the same payload chopped: W_5 must differ (the
+    // paper's central observation about windows) …
+    let long = vec![Event::primitive(
+        cedr::temporal::EventId(1),
+        cedr::temporal::interval::iv(0, 30),
+        cedr::temporal::Payload::empty(),
+    )];
+    let chopped = repackaged(&long, 1);
+    assert!(cedr::algebra::to_table(&long).star_equal(&cedr::algebra::to_table(&chopped)));
+    let a = run_packaging(Box::new(AlterLifetimeOp::window(dur(5))), &long);
+    let b = run_packaging(Box::new(AlterLifetimeOp::window(dur(5))), &chopped);
+    assert!(!a.star_equal(&b), "W_5 must expose packaging (Def 11 fails)");
+    // … yet each packaging individually converges to its denotational
+    // value (well-behavedness, Def 6).
+    let want_a = cedr::algebra::to_table(&cedr::algebra::moving_window(&long, dur(5)));
+    assert!(a.star_equal(&want_a));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn compliance_holds_under_random_fixtures(n in 5u64..40, kinds in 1u64..8, salt in 1usize..5) {
+        let events = fixture_events(n, 64, kinds);
+        let pred = Pred::cmp(Scalar::Field(0), CmpOp::Ge, Scalar::lit(1i64));
+        let reference = run_packaging(Box::new(SelectOp::new(pred.clone())), &events);
+        let alt = run_packaging(Box::new(SelectOp::new(pred)), &repackaged(&events, salt));
+        prop_assert!(reference.star_equal(&alt));
+    }
+}

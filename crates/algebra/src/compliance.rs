@@ -36,8 +36,7 @@ pub fn chop_event(e: &Event, pieces: usize) -> Vec<Event> {
         let mut piece = e.clone();
         // High-bit tagged so piece IDs can never collide with source IDs.
         piece.id = EventId(
-            0x9E37_79B9_0000_0000
-                ^ e.id.0.wrapping_mul(1_000_003).wrapping_add(i as u64 + 1),
+            0x9E37_79B9_0000_0000 ^ e.id.0.wrapping_mul(1_000_003).wrapping_add(i as u64 + 1),
         );
         piece.interval = Interval::new(start, end);
         piece.root_time = piece.interval.start;
@@ -101,7 +100,11 @@ pub fn fixture_events(n: u64, span: u64, payload_kinds: u64) -> EventSet {
     for i in 0..n {
         let kind = step() % kinds;
         // Every third event meets the previous one of its kind exactly.
-        let gap = if step() % 3 == 0 { 0 } else { 1 + step() % (span / 8 + 1) };
+        let gap = if step() % 3 == 0 {
+            0
+        } else {
+            1 + step() % (span / 8 + 1)
+        };
         let len = 1 + step() % (span / 4 + 1);
         let vs = cursors[kind as usize] + gap;
         cursors[kind as usize] = vs + len;

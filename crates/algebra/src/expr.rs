@@ -89,18 +89,22 @@ impl Scalar {
                 .cloned()
                 .unwrap_or(Value::Null),
             Scalar::Lit(v) => v.clone(),
-            Scalar::Add(a, b) => Self::arith(a.eval_tuple(tuple), b.eval_tuple(tuple), |x, y| x + y),
-            Scalar::Sub(a, b) => Self::arith(a.eval_tuple(tuple), b.eval_tuple(tuple), |x, y| x - y),
-            Scalar::Mul(a, b) => Self::arith(a.eval_tuple(tuple), b.eval_tuple(tuple), |x, y| x * y),
-            Scalar::Div(a, b) => {
-                Self::arith(a.eval_tuple(tuple), b.eval_tuple(tuple), |x, y| {
-                    if y == 0.0 {
-                        f64::NAN
-                    } else {
-                        x / y
-                    }
-                })
+            Scalar::Add(a, b) => {
+                Self::arith(a.eval_tuple(tuple), b.eval_tuple(tuple), |x, y| x + y)
             }
+            Scalar::Sub(a, b) => {
+                Self::arith(a.eval_tuple(tuple), b.eval_tuple(tuple), |x, y| x - y)
+            }
+            Scalar::Mul(a, b) => {
+                Self::arith(a.eval_tuple(tuple), b.eval_tuple(tuple), |x, y| x * y)
+            }
+            Scalar::Div(a, b) => Self::arith(a.eval_tuple(tuple), b.eval_tuple(tuple), |x, y| {
+                if y == 0.0 {
+                    f64::NAN
+                } else {
+                    x / y
+                }
+            }),
         }
     }
 
@@ -188,9 +192,11 @@ impl Pred {
     /// The `[attr EQUAL 'literal']` shorthand: every contributor in `slots`
     /// has `col == value`.
     pub fn correlation_key_equal(col: usize, slots: &[usize], value: Value) -> Pred {
-        Pred::and_all(slots.iter().map(|&s| {
-            Pred::Cmp(Scalar::Of(s, col), CmpOp::Eq, Scalar::Lit(value.clone()))
-        }))
+        Pred::and_all(
+            slots
+                .iter()
+                .map(|&s| Pred::Cmp(Scalar::Of(s, col), CmpOp::Eq, Scalar::Lit(value.clone()))),
+        )
     }
 
     pub fn eval_tuple(&self, tuple: &[&Event]) -> bool {

@@ -223,6 +223,7 @@ pub fn atleast_matches(
     // Enumerate n-subsets of slots.
     let mut subset: Vec<usize> = Vec::with_capacity(n);
 
+    #[allow(clippy::too_many_arguments)]
     fn choose_slots(
         k: usize,
         n: usize,
@@ -264,11 +265,8 @@ pub fn atleast_matches(
         ) {
             if idx == subset.len() {
                 // Order the picks by Vs; require strict increase and scope.
-                let mut ordered: Vec<(usize, &Event)> = subset
-                    .iter()
-                    .copied()
-                    .zip(picks.iter().copied())
-                    .collect();
+                let mut ordered: Vec<(usize, &Event)> =
+                    subset.iter().copied().zip(picks.iter().copied()).collect();
                 ordered.sort_by_key(|(_, e)| (e.vs(), e.id));
                 for pair in ordered.windows(2) {
                     if pair[0].1.vs() >= pair[1].1.vs() {
@@ -396,8 +394,7 @@ pub fn unless_prime(
     neg_pred: &Pred,
     contributor_pool: &[Event],
 ) -> EventSet {
-    let by_id: HashMap<EventId, &Event> =
-        contributor_pool.iter().map(|e| (e.id, e)).collect();
+    let by_id: HashMap<EventId, &Event> = contributor_pool.iter().map(|e| (e.id, e)).collect();
     let mut out = Vec::new();
     for e1 in e1s {
         let Some(cbt_n_id) = e1.lineage.nth(n) else {
@@ -498,9 +495,9 @@ pub fn cancel_when(e1s: &[Event], e2s: &[Event], neg_pred: &Pred) -> EventSet {
 pub fn apply_sc_modes(matches: Vec<PatternMatch>, modes: &[ScMode]) -> Vec<PatternMatch> {
     use std::collections::HashSet;
 
-    let all_each_reuse = modes.iter().all(|m| {
-        m.selection == Selection::Each && m.consumption == Consumption::Reuse
-    });
+    let all_each_reuse = modes
+        .iter()
+        .all(|m| m.selection == Selection::Each && m.consumption == Consumption::Reuse);
     if all_each_reuse {
         return matches;
     }
@@ -527,14 +524,15 @@ pub fn apply_sc_modes(matches: Vec<PatternMatch>, modes: &[ScMode]) -> Vec<Patte
         let mut group: Vec<&PatternMatch> = ordered[i..group_end]
             .iter()
             .filter(|m| {
-                m.contributors.iter().flatten().all(|e| !consumed.contains(&e.id))
+                m.contributors
+                    .iter()
+                    .flatten()
+                    .all(|e| !consumed.contains(&e.id))
             })
             .collect();
         // Selection: order the group per slot policy and keep the best if
         // any slot restricts selection.
-        let restrictive = modes
-            .iter()
-            .any(|m| m.selection != Selection::Each);
+        let restrictive = modes.iter().any(|m| m.selection != Selection::Each);
         if restrictive && group.len() > 1 {
             group.sort_by(|a, b| {
                 for (slot, mode) in modes.iter().enumerate() {
@@ -674,12 +672,7 @@ mod tests {
     #[test]
     fn atleast_orders_by_vs_not_slot() {
         // Slot 0's event occurs after slot 1's: ATLEAST doesn't care.
-        let out = atleast(
-            2,
-            &[vec![pt(1, 9)], vec![pt(2, 4)]],
-            dur(10),
-            &Pred::True,
-        );
+        let out = atleast(2, &[vec![pt(1, 9)], vec![pt(2, 4)]], dur(10), &Pred::True);
         assert_eq!(out.len(), 1);
         // ei1 = the earlier event (id 2), ein = id 1: interval [9, 4+10).
         assert_eq!(out[0].interval, Interval::new(t(9), t(14)));
@@ -706,7 +699,10 @@ mod tests {
         let out = atmost(1, &[vec![pt(1, 0)], vec![pt(2, 2)]], dur(5));
         let mut ivs: Vec<Interval> = out.iter().map(|e| e.interval).collect();
         ivs.sort();
-        assert_eq!(ivs, vec![Interval::new(t(0), t(2)), Interval::new(t(5), t(7))]);
+        assert_eq!(
+            ivs,
+            vec![Interval::new(t(0), t(2)), Interval::new(t(5), t(7))]
+        );
         // With n=2 the whole span qualifies.
         let out2 = atmost(2, &[vec![pt(1, 0)], vec![pt(2, 2)]], dur(5));
         assert_eq!(out2.len(), 3);
@@ -762,9 +758,23 @@ mod tests {
         );
         let pool = vec![c1.clone(), c2.clone()];
         // Scope from cbt[1] (Vs=2), w=5: negation window (2,7).
-        let out = unless_prime(&[e1.clone()], &[pt(5, 5)], 1, dur(5), &Pred::True, &pool);
+        let out = unless_prime(
+            std::slice::from_ref(&e1),
+            &[pt(5, 5)],
+            1,
+            dur(5),
+            &Pred::True,
+            &pool,
+        );
         assert!(out.is_empty(), "e2 at 5 ∈ (2,7) negates");
-        let out2 = unless_prime(&[e1.clone()], &[pt(5, 8)], 1, dur(5), &Pred::True, &pool);
+        let out2 = unless_prime(
+            std::slice::from_ref(&e1),
+            &[pt(5, 8)],
+            1,
+            dur(5),
+            &Pred::True,
+            &pool,
+        );
         assert_eq!(out2.len(), 1);
         // Output Vs = max(cbt[1].Vs + w, e1.Vs) = max(7, 10) = 10.
         assert_eq!(out2[0].interval.start, t(10));
@@ -781,7 +791,13 @@ mod tests {
         let out = not_sequence(&[pt(3, 5)], &inputs, dur(20), &Pred::True, &Pred::True);
         assert!(out.is_empty());
         // At the boundary (Vs=1 or Vs=10): survives (strict inequalities).
-        let out2 = not_sequence(&[pt(3, 1), pt(4, 10)], &inputs, dur(20), &Pred::True, &Pred::True);
+        let out2 = not_sequence(
+            &[pt(3, 1), pt(4, 10)],
+            &inputs,
+            dur(20),
+            &Pred::True,
+            &Pred::True,
+        );
         assert_eq!(out2.len(), 1);
     }
 
@@ -807,10 +823,16 @@ mod tests {
             Lineage::of(vec![EventId(1), EventId(2)]),
             Payload::empty(),
         );
-        assert!(cancel_when(&[e1.clone()], &[pt(9, 5)], &Pred::True).is_empty());
+        assert!(cancel_when(std::slice::from_ref(&e1), &[pt(9, 5)], &Pred::True).is_empty());
         // Outside (rt, Vs): survives.
-        assert_eq!(cancel_when(&[e1.clone()], &[pt(9, 1)], &Pred::True).len(), 1);
-        assert_eq!(cancel_when(&[e1.clone()], &[pt(9, 10)], &Pred::True).len(), 1);
+        assert_eq!(
+            cancel_when(std::slice::from_ref(&e1), &[pt(9, 1)], &Pred::True).len(),
+            1
+        );
+        assert_eq!(
+            cancel_when(std::slice::from_ref(&e1), &[pt(9, 10)], &Pred::True).len(),
+            1
+        );
         assert_eq!(cancel_when(&[e1], &[pt(9, 30)], &Pred::True).len(), 1);
     }
 

@@ -9,9 +9,7 @@
 use crate::expr::{Pred, Scalar};
 use crate::idgen::{idgen, idgen2};
 use crate::EventSet;
-use cedr_temporal::{
-    Duration, Event, Interval, Lineage, Payload, TimePoint, Value,
-};
+use cedr_temporal::{Duration, Event, Interval, Lineage, Payload, TimePoint, Value};
 use std::collections::BTreeMap;
 
 /// Definition 7 — SQL projection `π_f(S)`:
@@ -23,8 +21,7 @@ pub fn project(input: &[Event], exprs: &[Scalar]) -> EventSet {
     input
         .iter()
         .map(|e| {
-            let payload =
-                Payload::from_values(exprs.iter().map(|x| x.eval_event(e)).collect());
+            let payload = Payload::from_values(exprs.iter().map(|x| x.eval_event(e)).collect());
             Event {
                 id: e.id,
                 interval: e.interval,
@@ -39,7 +36,11 @@ pub fn project(input: &[Event], exprs: &[Scalar]) -> EventSet {
 /// Definition 8 — Selection `σ_f(S)`:
 /// `{(e.Vs, e.Ve, e.Payload) | e ∈ E(S) where f(e.Payload)}`.
 pub fn select(input: &[Event], pred: &Pred) -> EventSet {
-    input.iter().filter(|e| pred.eval_event(e)).cloned().collect()
+    input
+        .iter()
+        .filter(|e| pred.eval_event(e))
+        .cloned()
+        .collect()
 }
 
 /// Definition 9 — Join `⋈_θ(S1, S2)`: payload concatenation over the
@@ -84,12 +85,20 @@ pub fn difference(left: &[Event], right: &[Event]) -> EventSet {
     let mut cover: BTreeMap<Payload, (Vec<Interval>, Vec<Interval>)> = BTreeMap::new();
     for e in left {
         if !e.interval.is_empty() {
-            cover.entry(e.payload.clone()).or_default().0.push(e.interval);
+            cover
+                .entry(e.payload.clone())
+                .or_default()
+                .0
+                .push(e.interval);
         }
     }
     for e in right {
         if !e.interval.is_empty() {
-            cover.entry(e.payload.clone()).or_default().1.push(e.interval);
+            cover
+                .entry(e.payload.clone())
+                .or_default()
+                .1
+                .push(e.interval);
         }
     }
     let mut out = Vec::new();
@@ -137,8 +146,10 @@ impl AggFunc {
                 .max_by(|a, b| a.compare(b))
                 .unwrap_or(Value::Null),
             AggFunc::Avg(s) => {
-                let vals: Vec<f64> =
-                    live.iter().filter_map(|e| s.eval_event(e).as_f64()).collect();
+                let vals: Vec<f64> = live
+                    .iter()
+                    .filter_map(|e| s.eval_event(e).as_f64())
+                    .collect();
                 if vals.is_empty() {
                     Value::Null
                 } else {
@@ -289,10 +300,7 @@ mod tests {
     #[test]
     fn projection_rewrites_payload_only() {
         let input = vec![ev(1, 2, 9, vec![Value::Int(10), Value::Int(20)])];
-        let out = project(
-            &input,
-            &[Scalar::Field(1), Scalar::lit(99i64)],
-        );
+        let out = project(&input, &[Scalar::Field(1), Scalar::lit(99i64)]);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].interval, iv(2, 9), "f cannot affect timestamps");
         assert_eq!(out[0].payload.get(0), Some(&Value::Int(20)));
@@ -398,11 +406,7 @@ mod tests {
             ev(2, 0, 5, vec![Value::str("b"), Value::Int(20)]),
             ev(3, 0, 5, vec![Value::str("a"), Value::Int(30)]),
         ];
-        let out = group_aggregate(
-            &input,
-            &[Scalar::Field(0)],
-            &AggFunc::Sum(Scalar::Field(1)),
-        );
+        let out = group_aggregate(&input, &[Scalar::Field(0)], &AggFunc::Sum(Scalar::Field(1)));
         assert_eq!(out.len(), 2);
         let mut by_key: Vec<(Value, Value)> = out
             .iter()
@@ -443,13 +447,23 @@ mod tests {
 
     #[test]
     fn cover_arithmetic() {
-        assert_eq!(merge_cover(&[iv(0, 3), iv(2, 5), iv(7, 8)]), vec![iv(0, 5), iv(7, 8)]);
-        assert_eq!(merge_cover(&[iv(0, 3), iv(3, 5)]), vec![iv(0, 5)], "meeting fuses");
+        assert_eq!(
+            merge_cover(&[iv(0, 3), iv(2, 5), iv(7, 8)]),
+            vec![iv(0, 5), iv(7, 8)]
+        );
+        assert_eq!(
+            merge_cover(&[iv(0, 3), iv(3, 5)]),
+            vec![iv(0, 5)],
+            "meeting fuses"
+        );
         assert_eq!(
             subtract_cover(&[iv(0, 10)], &[iv(2, 4), iv(6, 7)]),
             vec![iv(0, 2), iv(4, 6), iv(7, 10)]
         );
-        assert_eq!(subtract_cover(&[iv(0, 5)], &[iv(0, 5)]), Vec::<Interval>::new());
+        assert_eq!(
+            subtract_cover(&[iv(0, 5)], &[iv(0, 5)]),
+            Vec::<Interval>::new()
+        );
     }
 
     #[test]
@@ -464,10 +478,8 @@ mod tests {
         let out = join(&l, &r, &theta);
         let out_table = to_table(&out);
         for probe in [0u64, 2, 4, 6, 8] {
-            let live_l: Vec<&Event> =
-                l.iter().filter(|e| e.interval.contains(t(probe))).collect();
-            let live_r: Vec<&Event> =
-                r.iter().filter(|e| e.interval.contains(t(probe))).collect();
+            let live_l: Vec<&Event> = l.iter().filter(|e| e.interval.contains(t(probe))).collect();
+            let live_r: Vec<&Event> = r.iter().filter(|e| e.interval.contains(t(probe))).collect();
             let mut expected = 0;
             for a in &live_l {
                 for b in &live_r {
@@ -476,7 +488,11 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(out_table.snapshot_at(t(probe)).len(), expected, "probe {probe}");
+            assert_eq!(
+                out_table.snapshot_at(t(probe)).len(),
+                expected,
+                "probe {probe}"
+            );
         }
     }
 }

@@ -31,7 +31,7 @@ fn bench_alignment_overhead(c: &mut Criterion) {
     let events = point_events(4_000, 8);
     let mut msgs = Vec::with_capacity(events.len() * 2);
     for e in &events {
-        msgs.push(Message::Insert(e.clone()));
+        msgs.push(Message::insert_event(e.clone()));
         msgs.push(Message::Cti(e.vs()));
     }
     msgs.push(Message::Cti(TimePoint::INFINITY));
@@ -77,8 +77,10 @@ fn bench_join_retraction(c: &mut Criterion) {
                 let mut n = 0;
                 for (i, e) in events.iter().enumerate() {
                     let port = i % 2;
-                    n += shell.push(port, Message::Insert(e.clone()), i as u64).len();
-                    if pct > 0 && (i as u64) % (100 / pct) == 0 {
+                    n += shell
+                        .push(port, Message::insert_event(e.clone()), i as u64)
+                        .len();
+                    if pct > 0 && (i as u64).is_multiple_of(100 / pct) {
                         let r = Retraction::new(e.clone(), e.vs() + cedr_temporal::Duration(5));
                         n += shell.push(port, Message::Retract(r), i as u64).len();
                     }
@@ -123,7 +125,7 @@ fn bench_sc_modes(c: &mut Criterion) {
                 let mut n = 0;
                 for (i, e) in events.iter().enumerate() {
                     n += shell
-                        .push(i % 2, Message::Insert(e.clone()), i as u64)
+                        .push(i % 2, Message::insert_event(e.clone()), i as u64)
                         .len();
                 }
                 n

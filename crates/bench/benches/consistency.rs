@@ -23,8 +23,14 @@ fn bench_consistency_matrix(c: &mut Criterion) {
     ];
     for (sname, spec) in specs {
         for (oname, mk) in [
-            ("high_order", high_orderliness as fn(u64) -> cedr_streams::DisorderConfig),
-            ("low_order", low_orderliness as fn(u64) -> cedr_streams::DisorderConfig),
+            (
+                "high_order",
+                high_orderliness as fn(u64) -> cedr_streams::DisorderConfig,
+            ),
+            (
+                "low_order",
+                low_orderliness as fn(u64) -> cedr_streams::DisorderConfig,
+            ),
         ] {
             g.bench_with_input(
                 BenchmarkId::new(sname, oname),

@@ -1,0 +1,122 @@
+//! Fan-out benchmark: per-event `Engine::push` vs `Engine::push_batch`
+//! with 8 standing queries subscribed to one input stream.
+//!
+//! This is the workload the Arc-shared, batch-at-a-time core was built
+//! for: every message fans out to every query, so the old clone-per-query
+//! ingestion paid 8 payload deep-copies and 8 full cascades per event.
+//! The batched path pays 8 refcount bumps and one amortised drain per
+//! query per batch.
+//!
+//! Besides the criterion groups, the harness emits `BENCH_fanout.json` at
+//! the repository root so future PRs can track the trajectory.
+
+use cedr_core::prelude::*;
+use cedr_streams::MessageBatch;
+use cedr_temporal::time::dur;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+
+const N_EVENTS: u64 = 2_000;
+const N_QUERIES: usize = 8;
+
+/// An engine with `N_QUERIES` windowed-count queries over one stream.
+fn engine() -> Engine {
+    let mut e = Engine::new();
+    e.register_event_type(
+        "TICK",
+        vec![("sym", FieldType::Int), ("px", FieldType::Int)],
+    );
+    for i in 0..N_QUERIES {
+        let plan = PlanBuilder::source("TICK")
+            .select(Pred::cmp(Scalar::Field(0), CmpOp::Ge, Scalar::lit(0i64)))
+            .window(dur(20 + i as u64))
+            .group_aggregate(vec![Scalar::Field(0)], AggFunc::Count)
+            .into_plan();
+        e.register_plan(&format!("q{i}"), plan, ConsistencySpec::middle())
+            .unwrap();
+    }
+    e
+}
+
+fn workload() -> Vec<Message> {
+    let mut b = StreamBuilder::new();
+    for i in 0..N_EVENTS {
+        b.insert(
+            Interval::new(t(i), t(i + 10)),
+            Payload::from_values(vec![Value::Int((i % 16) as i64), Value::Int(i as i64)]),
+        );
+    }
+    b.build_ordered(Some(dur(50)), true)
+}
+
+fn run_per_event(msgs: &[Message]) -> Engine {
+    let mut e = engine();
+    for m in msgs {
+        e.push("TICK", m.clone()).unwrap();
+    }
+    e
+}
+
+fn run_batched(msgs: &[Message]) -> Engine {
+    let mut e = engine();
+    let batch = MessageBatch::from(msgs.to_vec());
+    e.push_batch("TICK", &batch).unwrap();
+    e
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let msgs = workload();
+    let mut g = c.benchmark_group("fanout_8_queries");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N_EVENTS));
+    g.bench_function("push_per_event", |b| b.iter(|| run_per_event(&msgs)));
+    g.bench_function("push_batch", |b| b.iter(|| run_batched(&msgs)));
+    g.finish();
+
+    write_summary(&msgs);
+}
+
+/// Time both paths explicitly and record a machine-readable summary.
+fn write_summary(msgs: &[Message]) {
+    const REPS: u32 = 5;
+    let time = |f: &dyn Fn(&[Message]) -> Engine| {
+        let mut best = f64::INFINITY;
+        f(msgs); // warm-up
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let e = f(msgs);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert!(e.query_count() == N_QUERIES);
+            best = best.min(elapsed);
+        }
+        best
+    };
+    let per_event_s = time(&run_per_event);
+    let batch_s = time(&run_batched);
+
+    // Sanity: both paths agree on every query's net output.
+    let a = run_per_event(msgs);
+    let b = run_batched(msgs);
+    for q in 0..N_QUERIES {
+        assert!(
+            a.output(QueryId(q))
+                .net_table()
+                .star_equal(&b.output(QueryId(q)).net_table()),
+            "fan-out paths diverged on q{q}"
+        );
+    }
+    let amortisation = b.stats(QueryId(0)).mean_batch_len();
+
+    let json = format!(
+        "{{\n  \"bench\": \"fanout\",\n  \"events\": {N_EVENTS},\n  \"queries\": {N_QUERIES},\n  \
+         \"per_event_seconds\": {per_event_s:.6},\n  \"push_batch_seconds\": {batch_s:.6},\n  \
+         \"speedup\": {:.3},\n  \"mean_batch_len\": {amortisation:.2}\n}}\n",
+        per_event_s / batch_s,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fanout.json");
+    std::fs::write(path, &json).expect("write BENCH_fanout.json");
+    println!("wrote {path}:\n{json}");
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

@@ -18,7 +18,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 fn events(n: u64, kinds: u64) -> Vec<Message> {
     (0..n)
         .map(|i| {
-            Message::Insert(Event::primitive(
+            Message::insert_event(Event::primitive(
                 EventId(i),
                 Interval::new(t(i), t(i + 20)),
                 Payload::from_values(vec![Value::Int((i % kinds) as i64), Value::Int(i as i64)]),
@@ -34,7 +34,9 @@ fn drive(module: impl Fn() -> Box<dyn OperatorModule>, msgs: &[Message], two_por
         let port = if two_ports { i % 2 } else { 0 };
         out += shell.push(port, m.clone(), i as u64).len();
     }
-    out += shell.push(0, Message::Cti(TimePoint::INFINITY), msgs.len() as u64).len();
+    out += shell
+        .push(0, Message::Cti(TimePoint::INFINITY), msgs.len() as u64)
+        .len();
     if two_ports {
         out += shell
             .push(1, Message::Cti(TimePoint::INFINITY), msgs.len() as u64 + 1)

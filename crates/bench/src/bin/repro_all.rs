@@ -1,5 +1,6 @@
 //! Regenerates every figure and table of the paper in one run; the output
 //! is what EXPERIMENTS.md records.
+#[allow(clippy::type_complexity)]
 fn main() {
     let artifacts: [(&str, fn() -> String); 12] = [
         ("Figure 1", cedr_bench::figures::fig01),

@@ -2,9 +2,7 @@
 //! report; the `src/bin/*` targets are thin wrappers, and `repro_all` runs
 //! everything (this is what EXPERIMENTS.md records).
 
-use crate::{
-    high_orderliness, low_orderliness, machine_catalog, machine_streams, run_cell,
-};
+use crate::{high_orderliness, low_orderliness, machine_catalog, machine_streams, run_cell};
 use cedr_algebra::expr::{CmpOp, Pred, Scalar};
 use cedr_algebra::pattern as pat;
 use cedr_runtime::{ConsistencySpec, OperatorShell};
@@ -36,7 +34,11 @@ pub fn fig01() -> String {
     for (tv, o) in [(100u64, 1u64), (7, 2), (4, 3), (7, 3)] {
         let rows = tbl.valid_at(t(tv), t(o));
         let ids: Vec<String> = rows.iter().map(|r| r.id.to_string()).collect();
-        let _ = writeln!(out, "  valid at t={tv:<3} as of o={o}: {{{}}}", ids.join(", "));
+        let _ = writeln!(
+            out,
+            "  valid at t={tv:<3} as of o={o}: {{{}}}",
+            ids.join(", ")
+        );
     }
     out
 }
@@ -70,8 +72,16 @@ pub fn fig03_05() -> String {
     let _ = writeln!(out, "LEFT:\n{}", left.reduce().render_occurrence_table());
     let _ = writeln!(out, "RIGHT:\n{}", right.reduce().render_occurrence_table());
     let _ = writeln!(out, "Figure 5 — Canonical to 3");
-    let _ = writeln!(out, "LEFT:\n{}", left.canonical_to(t(3)).render_occurrence_table());
-    let _ = writeln!(out, "RIGHT:\n{}", right.canonical_to(t(3)).render_occurrence_table());
+    let _ = writeln!(
+        out,
+        "LEFT:\n{}",
+        left.canonical_to(t(3)).render_occurrence_table()
+    );
+    let _ = writeln!(
+        out,
+        "RIGHT:\n{}",
+        right.canonical_to(t(3)).render_occurrence_table()
+    );
     let opts = cedr_temporal::EquivalenceOptions::definition1();
     let _ = writeln!(
         out,
@@ -132,7 +142,14 @@ pub fn fig07() -> String {
     );
     let mut table = Table::new(
         "operator anatomy in action",
-        &["spec", "held peak", "blocked msgs", "blocked ticks", "out inserts", "out retractions"],
+        &[
+            "spec",
+            "held peak",
+            "blocked msgs",
+            "blocked ticks",
+            "out inserts",
+            "out retractions",
+        ],
     );
     for (name, spec) in [
         ("Strong ⟨B=∞,M=∞⟩", ConsistencySpec::strong()),
@@ -140,15 +157,19 @@ pub fn fig07() -> String {
         ("Weak ⟨B=0,M=40⟩", ConsistencySpec::weak(dur(40))),
     ] {
         let mut shell = OperatorShell::new(
-            Box::new(cedr_runtime::sequence::SequenceOp::new(2, dur(30), Pred::True)),
+            Box::new(cedr_runtime::sequence::SequenceOp::new(
+                2,
+                dur(30),
+                Pred::True,
+            )),
             spec,
         );
         // Out-of-order arrivals on both ports, then a closing guarantee.
         let deliveries: Vec<(usize, Message)> = vec![
-            (0, Message::Insert(pt_ev(1, 50))),
-            (1, Message::Insert(pt_ev(10, 60))),
-            (0, Message::Insert(pt_ev(2, 10))), // late
-            (1, Message::Insert(pt_ev(11, 20))), // late
+            (0, Message::insert_event(pt_ev(1, 50))),
+            (1, Message::insert_event(pt_ev(10, 60))),
+            (0, Message::insert_event(pt_ev(2, 10))), // late
+            (1, Message::insert_event(pt_ev(11, 20))), // late
             (0, Message::Cti(TimePoint::INFINITY)),
             (1, Message::Cti(TimePoint::INFINITY)),
         ];
@@ -177,7 +198,10 @@ pub fn fig08() -> String {
         ..Default::default()
     };
     let (streams, expected) = machine_streams(&cfg, Duration::minutes(10));
-    let data_events: usize = streams.iter().map(|(_, s)| s.iter().filter(|m| m.is_data()).count()).sum();
+    let data_events: usize = streams
+        .iter()
+        .map(|(_, s)| s.iter().filter(|m| m.is_data()).count())
+        .sum();
 
     let mut out = String::new();
     let _ = writeln!(
@@ -210,7 +234,13 @@ pub fn fig08() -> String {
     );
     let mut qual = Table::new(
         "qualitative (paper vocabulary; units = the ordered Strong/Middle cells)",
-        &["Consistency", "Orderliness", "Blocking", "State Size", "Output Size"],
+        &[
+            "Consistency",
+            "Orderliness",
+            "Blocking",
+            "State Size",
+            "Output Size",
+        ],
     );
     // Yardsticks: Strong/High for blocking, Middle/High for state & output,
     // mirroring the paper's own calibration points.
@@ -221,10 +251,7 @@ pub fn fig08() -> String {
     let unit_output = 1.0_f64.max(middle_hi.output.data_messages as f64);
 
     for (sname, spec) in specs {
-        for (oname, disorder) in [
-            ("High", high_orderliness(3)),
-            ("Low", low_orderliness(3)),
-        ] {
+        for (oname, disorder) in [("High", high_orderliness(3)), ("Low", low_orderliness(3))] {
             let r = run_cell(spec, disorder, &streams);
             let f1 = accuracy_f1(&r.sink_net, &reference);
             table.row(vec![
@@ -325,10 +352,7 @@ pub fn fig08b() -> String {
         ("Middle", ConsistencySpec::middle()),
         ("Weak", ConsistencySpec::weak(crate::weak_memory())),
     ] {
-        for (oname, disorder) in [
-            ("High", high_orderliness(5)),
-            ("Low", low_orderliness(5)),
-        ] {
+        for (oname, disorder) in [("High", high_orderliness(5)), ("Low", low_orderliness(5))] {
             let r = run(spec, disorder);
             let f1 = accuracy_f1(&r.sink_net, &reference);
             table.row(vec![
@@ -365,7 +389,15 @@ pub fn fig09() -> String {
     );
     let mut table = Table::new(
         "spectrum sweep",
-        &["M", "B", "Blocking(ticks)", "State(peak)", "Output(msgs)", "Forgotten", "Accuracy(F1)"],
+        &[
+            "M",
+            "B",
+            "Blocking(ticks)",
+            "State(peak)",
+            "Output(msgs)",
+            "Forgotten",
+            "Accuracy(F1)",
+        ],
     );
     let axis = [
         Duration::ZERO,
@@ -409,18 +441,33 @@ pub fn fig10() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Figure 10 — Unitemporal ideal history table");
     let _ = writeln!(out, "{tbl:?}");
-    let _ = writeln!(out, "Snapshots: t=4 -> {} rows; t=8 -> {} rows",
-        tbl.snapshot_at(t(4)).len(), tbl.snapshot_at(t(8)).len());
+    let _ = writeln!(
+        out,
+        "Snapshots: t=4 -> {} rows; t=8 -> {} rows",
+        tbl.snapshot_at(t(4)).len(),
+        tbl.snapshot_at(t(8)).len()
+    );
     // Coalescing demo (Definition 10).
     let chopped: UniTemporalTable = vec![
-        cedr_temporal::UniTemporalRow::new(EventId(0), cedr_temporal::interval::iv(1, 4),
-            Payload::from_values(vec![cedr_temporal::Value::str("P")])),
-        cedr_temporal::UniTemporalRow::new(EventId(1), cedr_temporal::interval::iv(4, 7),
-            Payload::from_values(vec![cedr_temporal::Value::str("P")])),
+        cedr_temporal::UniTemporalRow::new(
+            EventId(0),
+            cedr_temporal::interval::iv(1, 4),
+            Payload::from_values(vec![cedr_temporal::Value::str("P")]),
+        ),
+        cedr_temporal::UniTemporalRow::new(
+            EventId(1),
+            cedr_temporal::interval::iv(4, 7),
+            Payload::from_values(vec![cedr_temporal::Value::str("P")]),
+        ),
     ]
     .into_iter()
     .collect();
-    let _ = writeln!(out, "\nDefinition 10 — coalescing `*`:\n{:?}*(that) =\n{:?}", chopped, chopped.star());
+    let _ = writeln!(
+        out,
+        "\nDefinition 10 — coalescing `*`:\n{:?}*(that) =\n{:?}",
+        chopped,
+        chopped.star()
+    );
     out
 }
 
@@ -510,23 +557,46 @@ pub fn tab02() -> String {
     table.row(vec![
         "UNLESS'(E1,E2,n=1,5)".into(),
         "scope (2,7); E2@8 outside".into(),
-        fmt(&pat::unless_prime(&[comp.clone()], &[pt_ev(5, 8)], 1, dur(5), &Pred::True, &pool)),
+        fmt(&pat::unless_prime(
+            std::slice::from_ref(&comp),
+            &[pt_ev(5, 8)],
+            1,
+            dur(5),
+            &Pred::True,
+            &pool,
+        )),
     ]);
     let seq_inputs = [vec![pt_ev(1, 1)], vec![pt_ev(2, 10)]];
     table.row(vec![
         "NOT(E,SEQ(E1,E2,20))".into(),
         "E@5 between contributors".into(),
-        fmt(&pat::not_sequence(&[pt_ev(3, 5)], &seq_inputs, dur(20), &Pred::True, &Pred::True)),
+        fmt(&pat::not_sequence(
+            &[pt_ev(3, 5)],
+            &seq_inputs,
+            dur(20),
+            &Pred::True,
+            &Pred::True,
+        )),
     ]);
     table.row(vec![
         "NOT(E,SEQ(E1,E2,20))".into(),
         "E@25 outside".into(),
-        fmt(&pat::not_sequence(&[pt_ev(3, 25)], &seq_inputs, dur(20), &Pred::True, &Pred::True)),
+        fmt(&pat::not_sequence(
+            &[pt_ev(3, 25)],
+            &seq_inputs,
+            dur(20),
+            &Pred::True,
+            &Pred::True,
+        )),
     ]);
     table.row(vec![
         "CANCEL-WHEN(E1,E2)".into(),
         "E2@5 ∈ (rt=2, Vs=10)".into(),
-        fmt(&pat::cancel_when(&[comp.clone()], &[pt_ev(4, 5)], &Pred::True)),
+        fmt(&pat::cancel_when(
+            std::slice::from_ref(&comp),
+            &[pt_ev(4, 5)],
+            &Pred::True,
+        )),
     ]);
     table.row(vec![
         "CANCEL-WHEN(E1,E2)".into(),
@@ -581,12 +651,8 @@ pub fn tab04() -> String {
     ]);
     table.row(vec![
         "π (projection)".into(),
-        check_view_update_compliance(
-            |i| rel::project(i, &[Scalar::Field(0)]),
-            &events,
-            4,
-        )
-        .to_string(),
+        check_view_update_compliance(|i| rel::project(i, &[Scalar::Field(0)]), &events, 4)
+            .to_string(),
     ]);
     table.row(vec![
         "count aggregate".into(),
@@ -608,7 +674,7 @@ pub fn tab04() -> String {
     ]);
     table.row(vec![
         "Inserts = Π(Vs,∞)".into(),
-        check_view_update_compliance(|i| al::inserts(i), &long, 4).to_string(),
+        check_view_update_compliance(al::inserts, &long, 4).to_string(),
     ]);
     out.push_str(&table.render());
     let _ = writeln!(
@@ -618,12 +684,32 @@ pub fn tab04() -> String {
          separation are NOT (yet all are well behaved, Def 6 — checked by\n\
          the property suite in tests/)."
     );
-    let e = Event::primitive(EventId(9), cedr_temporal::interval::iv(2, 9), Payload::empty());
+    let e = Event::primitive(
+        EventId(9),
+        cedr_temporal::interval::iv(2, 9),
+        Payload::empty(),
+    );
     let _ = writeln!(out, "\nAlterLifetime family on one event [2,9):");
-    let _ = writeln!(out, "  W_3       -> {:?}", al::moving_window(&[e.clone()], dur(3))[0].interval);
-    let _ = writeln!(out, "  Inserts   -> {:?}", al::inserts(&[e.clone()])[0].interval);
-    let _ = writeln!(out, "  Deletes   -> {:?}", al::deletes(&[e.clone()])[0].interval);
-    let _ = writeln!(out, "  Hop(5,5)  -> {:?}", al::hopping_window(&[e], 5, dur(5))[0].interval);
+    let _ = writeln!(
+        out,
+        "  W_3       -> {:?}",
+        al::moving_window(std::slice::from_ref(&e), dur(3))[0].interval
+    );
+    let _ = writeln!(
+        out,
+        "  Inserts   -> {:?}",
+        al::inserts(std::slice::from_ref(&e))[0].interval
+    );
+    let _ = writeln!(
+        out,
+        "  Deletes   -> {:?}",
+        al::deletes(std::slice::from_ref(&e))[0].interval
+    );
+    let _ = writeln!(
+        out,
+        "  Hop(5,5)  -> {:?}",
+        al::hopping_window(&[e], 5, dur(5))[0].interval
+    );
     out
 }
 

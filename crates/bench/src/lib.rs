@@ -62,11 +62,7 @@ pub fn run_cell(
     disorder: DisorderConfig,
     streams: &[(String, Vec<Message>)],
 ) -> ExperimentResult {
-    run_experiment(
-        cidr07_plan(spec),
-        streams,
-        &Experiment { spec, disorder },
-    )
+    run_experiment(cidr07_plan(spec), streams, &Experiment { spec, disorder })
 }
 
 #[cfg(test)]
@@ -83,16 +79,8 @@ mod tests {
         };
         let (streams, expected) = machine_streams(&cfg, Duration::minutes(10));
 
-        let strong_lo = run_cell(
-            ConsistencySpec::strong(),
-            low_orderliness(5),
-            &streams,
-        );
-        let middle_lo = run_cell(
-            ConsistencySpec::middle(),
-            low_orderliness(5),
-            &streams,
-        );
+        let strong_lo = run_cell(ConsistencySpec::strong(), low_orderliness(5), &streams);
+        let middle_lo = run_cell(ConsistencySpec::middle(), low_orderliness(5), &streams);
 
         // Both converge to the ground truth…
         assert_eq!(strong_lo.sink_net.len(), expected);

@@ -253,7 +253,11 @@ mod tests {
             .unwrap();
         for (i, px) in [10.0, 20.0, 30.0].iter().enumerate() {
             let ev = e
-                .event("TICK", i as u64, vec![Value::str("MSFT"), Value::Float(*px)])
+                .event(
+                    "TICK",
+                    i as u64,
+                    vec![Value::str("MSFT"), Value::Float(*px)],
+                )
                 .unwrap();
             e.push_insert("TICK", ev).unwrap();
         }

@@ -1,16 +1,29 @@
-//! The CEDR engine: standing-query registration, stream routing, output
-//! collection and per-query consistency.
+//! The CEDR engine: standing-query registration, shared-source routing,
+//! batch ingestion and per-query consistency.
 //!
 //! Applications "specify consistency requirements on a per query basis"
 //! (Section 1): each registered query gets its own operator instances
 //! running at its own ⟨M, B⟩ spectrum point, fed from shared named input
 //! streams.
+//!
+//! Ingestion is built for fan-out at scale. The engine maintains a
+//! **routing table** from event-type name to the `(query, source port)`
+//! pairs consuming it, refreshed at registration time, so [`Engine::push`]
+//! is a table lookup plus one `Arc`-shared [`Message`] clone per
+//! subscriber — never a payload deep-copy, regardless of how many standing
+//! queries share a stream. [`Engine::push_batch`] hands whole
+//! [`MessageBatch`]es to each subscriber's batch-at-a-time dataflow, and
+//! the [`Engine::enqueue_batch`]/[`Engine::run_to_quiescence`] pair lets
+//! callers stage several per-type batches (e.g. one per provider stream)
+//! and then drain every query's dataflow once, maximising the runs the
+//! schedulers can amortise.
 
 use cedr_lang::catalog::{Catalog, EventTypeDef, FieldType};
 use cedr_lang::{compile, lower, optimize, LangError, LogicalOp, LoweredPlan};
 use cedr_runtime::{ConsistencySpec, OpStats};
-use cedr_streams::{Collector, Message, Retraction};
+use cedr_streams::{Collector, Message, MessageBatch, Retraction};
 use cedr_temporal::{Event, EventId, Interval, Payload, TimePoint, Value};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Handle to a registered standing query.
@@ -67,6 +80,10 @@ struct RunningQuery {
 pub struct Engine {
     catalog: Catalog,
     queries: Vec<RunningQuery>,
+    /// Event-type name → `(query index, source port)` subscribers. Rebuilt
+    /// incrementally at registration; makes `push` a lookup instead of a
+    /// scan over every standing query.
+    routing: HashMap<String, Vec<(usize, usize)>>,
     next_event_id: u64,
 }
 
@@ -75,7 +92,15 @@ impl Engine {
         Engine {
             catalog: Catalog::new(),
             queries: Vec::new(),
+            routing: HashMap::new(),
             next_event_id: 1,
+        }
+    }
+
+    /// Record the sources a freshly-registered query consumes.
+    fn index_query(&mut self, q: usize) {
+        for (port, ty) in self.queries[q].plan.source_types.iter().enumerate() {
+            self.routing.entry(ty.clone()).or_default().push((q, port));
         }
     }
 
@@ -94,19 +119,16 @@ impl Engine {
         text: &str,
         spec: ConsistencySpec,
     ) -> Result<QueryId, EngineError> {
-        let parsed = cedr_lang::parse_query(text)?;
-        let bound = cedr_lang::bind(&parsed, &self.catalog)?;
-        let optimized = optimize(bound.root);
-        let explain = format!("{optimized}");
-        let plan = lower(&optimized, &self.catalog, spec)?;
-        let _ = compile; // compile() = the above pipeline in one call
+        let compiled = compile(text, &self.catalog, spec)?;
         self.queries.push(RunningQuery {
-            name: bound.name,
-            plan,
+            name: compiled.name,
+            plan: compiled.plan,
             spec,
-            explain,
+            explain: compiled.explain,
         });
-        Ok(QueryId(self.queries.len() - 1))
+        let q = self.queries.len() - 1;
+        self.index_query(q);
+        Ok(QueryId(q))
     }
 
     /// Register a programmatic plan (see [`crate::builder::PlanBuilder`]).
@@ -125,7 +147,9 @@ impl Engine {
             spec,
             explain,
         });
-        Ok(QueryId(self.queries.len() - 1))
+        let q = self.queries.len() - 1;
+        self.index_query(q);
+        Ok(QueryId(q))
     }
 
     /// Mint a point event `[vs, vs+1)` of a registered type with a fresh ID.
@@ -135,11 +159,7 @@ impl Engine {
         vs: u64,
         payload: Vec<Value>,
     ) -> Result<Event, EngineError> {
-        self.event_with_interval(
-            event_type,
-            Interval::point(TimePoint::new(vs)),
-            payload,
-        )
+        self.event_with_interval(event_type, Interval::point(TimePoint::new(vs)), payload)
     }
 
     /// Mint an event with an explicit validity interval.
@@ -162,26 +182,75 @@ impl Engine {
         }
         let id = EventId(self.next_event_id);
         self.next_event_id += 1;
-        Ok(Event::primitive(id, interval, Payload::from_values(payload)))
+        Ok(Event::primitive(
+            id,
+            interval,
+            Payload::from_values(payload),
+        ))
     }
 
     /// Push a message on the named input stream; every query consuming the
-    /// type receives it.
+    /// type receives it via the routing table. Fan-out is one `Arc`-shared
+    /// `Message` clone per subscriber — the event payload is never
+    /// deep-copied, no matter how many queries share the stream.
     pub fn push(&mut self, event_type: &str, msg: Message) -> Result<(), EngineError> {
         if !self.catalog.contains(event_type) {
             return Err(EngineError::UnknownEventType(event_type.to_string()));
         }
-        for q in &mut self.queries {
-            if let Some(idx) = q.plan.source_index(event_type) {
-                q.plan.dataflow.push_source(idx, msg.clone());
+        if let Some(subs) = self.routing.get(event_type) {
+            for &(q, port) in subs {
+                self.queries[q].plan.dataflow.push_source(port, msg.clone());
             }
         }
         Ok(())
     }
 
+    /// Push a whole batch on the named input stream. Every subscriber
+    /// receives the same `Arc`-backed batch and processes it through its
+    /// batch-at-a-time dataflow scheduler in amortised runs.
+    pub fn push_batch(
+        &mut self,
+        event_type: &str,
+        batch: &MessageBatch,
+    ) -> Result<(), EngineError> {
+        self.enqueue_batch(event_type, batch)?;
+        self.run_to_quiescence();
+        Ok(())
+    }
+
+    /// Stage a batch on the named input stream without draining the
+    /// dataflows. Pair with [`Engine::run_to_quiescence`] to ingest several
+    /// per-type batches (one per provider stream, say) and then run every
+    /// query's graph once over the union.
+    pub fn enqueue_batch(
+        &mut self,
+        event_type: &str,
+        batch: &MessageBatch,
+    ) -> Result<(), EngineError> {
+        if !self.catalog.contains(event_type) {
+            return Err(EngineError::UnknownEventType(event_type.to_string()));
+        }
+        if let Some(subs) = self.routing.get(event_type) {
+            for &(q, port) in subs {
+                self.queries[q]
+                    .plan
+                    .dataflow
+                    .enqueue_source_batch(port, batch);
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain every registered query's dataflow to quiescence.
+    pub fn run_to_quiescence(&mut self) {
+        for q in &mut self.queries {
+            q.plan.dataflow.run_to_quiescence();
+        }
+    }
+
     /// Push an insert.
     pub fn push_insert(&mut self, event_type: &str, event: Event) -> Result<(), EngineError> {
-        self.push(event_type, Message::Insert(event))
+        self.push(event_type, Message::insert_event(event))
     }
 
     /// Push a retraction shortening `event` to `[Vs, new_end)`.
@@ -191,7 +260,10 @@ impl Engine {
         event: Event,
         new_end: TimePoint,
     ) -> Result<(), EngineError> {
-        self.push(event_type, Message::Retract(Retraction::new(event, new_end)))
+        self.push(
+            event_type,
+            Message::Retract(Retraction::new(event, new_end)),
+        )
     }
 
     /// Declare an occurrence-time guarantee on one input stream.
@@ -200,12 +272,21 @@ impl Engine {
     }
 
     /// Declare a guarantee on *all* registered event types (a provider-wide
-    /// sync point).
+    /// sync point). Staged through the batch path: every input's CTI is
+    /// enqueued first, then all dataflows drain once.
     pub fn advance_all(&mut self, t: TimePoint) {
-        let types: Vec<String> = self.catalog.type_names().iter().map(|s| s.to_string()).collect();
+        let types: Vec<String> = self
+            .catalog
+            .type_names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut cti = MessageBatch::new();
+        cti.push_cti(t);
         for ty in types {
-            let _ = self.push_cti(&ty, t);
+            let _ = self.enqueue_batch(&ty, &cti);
         }
+        self.run_to_quiescence();
     }
 
     /// Seal every input with `CTI(∞)` — no more data will arrive.
@@ -273,10 +354,7 @@ mod tests {
     fn register_and_run_text_query() {
         let mut e = machine_engine();
         let q = e
-            .register_query(
-                cedr_lang::parser::CIDR07_EXAMPLE,
-                ConsistencySpec::middle(),
-            )
+            .register_query(cedr_lang::parser::CIDR07_EXAMPLE, ConsistencySpec::middle())
             .unwrap();
         assert_eq!(e.query_name(q), "CIDR07_Example");
         assert!(e.explain(q).contains("Unless"));
@@ -311,7 +389,10 @@ mod tests {
         e.seal();
         assert_eq!(e.output(q_strong).stats().inserts, 1);
         assert_eq!(e.output(q_middle).stats().inserts, 1);
-        assert_eq!(e.query_spec(q_strong).level(), cedr_runtime::ConsistencyLevel::Strong);
+        assert_eq!(
+            e.query_spec(q_strong).level(),
+            cedr_runtime::ConsistencyLevel::Strong
+        );
     }
 
     #[test]

@@ -43,7 +43,9 @@ pub mod prelude {
     pub use cedr_algebra::relational::AggFunc;
     pub use cedr_lang::catalog::{Catalog, EventTypeDef, FieldType};
     pub use cedr_runtime::{ConsistencyLevel, ConsistencySpec};
-    pub use cedr_streams::{Collector, DisorderConfig, Message, Retraction, StreamBuilder};
+    pub use cedr_streams::{
+        Collector, DisorderConfig, Message, MessageBatch, Retraction, StreamBuilder,
+    };
     pub use cedr_temporal::prelude::*;
     pub use cedr_temporal::time::{dur, t};
 }

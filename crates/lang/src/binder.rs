@@ -121,7 +121,9 @@ pub fn bind(query: &Query, catalog: &Catalog) -> Result<BoundQuery, LangError> {
                 }
                 OutputItem::Lit { value, name } => {
                     exprs.push(Scalar::Lit(lit_value(value)));
-                    let n = name.clone().unwrap_or_else(|| format!("col{}", names.len()));
+                    let n = name
+                        .clone()
+                        .unwrap_or_else(|| format!("col{}", names.len()));
                     names.push(n.clone());
                     cols.push(LayoutCol {
                         alias: None,
@@ -280,11 +282,7 @@ impl Binder<'_> {
             }
             Expr::Any { args } => self.build_nary(
                 args,
-                |children, w| BKind::AtLeast {
-                    n: 1,
-                    children,
-                    w,
-                },
+                |children, w| BKind::AtLeast { n: 1, children, w },
                 Duration(1),
                 false,
             ),
@@ -332,12 +330,7 @@ impl Binder<'_> {
                 let m = self.build(main)?;
                 let n = self.build(neg)?;
                 let layout = m.layout.clone();
-                let aliases = m
-                    .aliases
-                    .iter()
-                    .chain(n.aliases.iter())
-                    .cloned()
-                    .collect();
+                let aliases = m.aliases.iter().chain(n.aliases.iter()).cloned().collect();
                 Ok(BNode {
                     kind: BKind::Unless {
                         main: Box::new(m),
@@ -356,12 +349,7 @@ impl Binder<'_> {
                 }
                 let n = self.build(neg)?;
                 let layout = s.layout.clone();
-                let aliases = s
-                    .aliases
-                    .iter()
-                    .chain(n.aliases.iter())
-                    .cloned()
-                    .collect();
+                let aliases = s.aliases.iter().chain(n.aliases.iter()).cloned().collect();
                 Ok(BNode {
                     kind: BKind::NotSeq {
                         main: Box::new(s),
@@ -376,12 +364,7 @@ impl Binder<'_> {
                 let m = self.build(main)?;
                 let n = self.build(neg)?;
                 let layout = m.layout.clone();
-                let aliases = m
-                    .aliases
-                    .iter()
-                    .chain(n.aliases.iter())
-                    .cloned()
-                    .collect();
+                let aliases = m.aliases.iter().chain(n.aliases.iter()).cloned().collect();
                 Ok(BNode {
                     kind: BKind::CancelWhen {
                         main: Box::new(m),
@@ -717,11 +700,12 @@ mod tests {
     #[test]
     fn single_alias_predicates_push_down() {
         let mut c = machine_catalog();
-        c.register_type("QUOTE", vec![("sym", FieldType::Str), ("px", FieldType::Float)]);
-        let q = parse_query(
-            "EVENT q WHEN SEQUENCE(QUOTE a, QUOTE b, 1 minutes) WHERE a.px > 100",
-        )
-        .unwrap();
+        c.register_type(
+            "QUOTE",
+            vec![("sym", FieldType::Str), ("px", FieldType::Float)],
+        );
+        let q = parse_query("EVENT q WHEN SEQUENCE(QUOTE a, QUOTE b, 1 minutes) WHERE a.px > 100")
+            .unwrap();
         let b = bind(&q, &c).unwrap();
         let LogicalOp::Sequence { inputs, pred, .. } = &b.root else {
             panic!()
@@ -754,10 +738,9 @@ mod tests {
     fn unknown_type_and_attribute_rejected() {
         let q = parse_query("EVENT q WHEN SEQUENCE(NOPE x, SHUTDOWN y, 1 hours)").unwrap();
         assert!(bind(&q, &machine_catalog()).is_err());
-        let q2 = parse_query(
-            "EVENT q WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 1 hours) WHERE x.Nope = 1",
-        )
-        .unwrap();
+        let q2 =
+            parse_query("EVENT q WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 1 hours) WHERE x.Nope = 1")
+                .unwrap();
         assert!(bind(&q2, &machine_catalog()).is_err());
     }
 

@@ -252,7 +252,15 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let t = lex("EVENT x -- this is a comment\nWHEN").unwrap();
-        assert_eq!(t, vec![Token::Event, Token::Ident("x".into()), Token::When, Token::Eof]);
+        assert_eq!(
+            t,
+            vec![
+                Token::Event,
+                Token::Ident("x".into()),
+                Token::When,
+                Token::Eof
+            ]
+        );
     }
 
     #[test]

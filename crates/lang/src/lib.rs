@@ -32,14 +32,28 @@ pub use optimizer::optimize;
 pub use parser::parse_query;
 pub use physical::{lower, LoweredPlan};
 
+/// A fully compiled query: the declared name, the optimized logical plan
+/// rendered for `EXPLAIN`, and the lowered physical dataflow.
+pub struct CompiledQuery {
+    pub name: String,
+    pub explain: String,
+    pub plan: LoweredPlan,
+}
+
 /// Parse, bind, optimise and lower a query in one call.
 pub fn compile(
     text: &str,
     catalog: &Catalog,
     spec: cedr_runtime::ConsistencySpec,
-) -> Result<LoweredPlan, LangError> {
+) -> Result<CompiledQuery, LangError> {
     let query = parse_query(text)?;
     let bound = bind(&query, catalog)?;
     let optimized = optimize(bound.root);
-    lower(&optimized, catalog, spec)
+    let explain = format!("{optimized}");
+    let plan = lower(&optimized, catalog, spec)?;
+    Ok(CompiledQuery {
+        name: bound.name,
+        explain,
+        plan,
+    })
 }

@@ -56,7 +56,11 @@ impl Layout {
 
     /// All aliases present.
     pub fn aliases(&self) -> Vec<&str> {
-        let mut v: Vec<&str> = self.cols.iter().filter_map(|c| c.alias.as_deref()).collect();
+        let mut v: Vec<&str> = self
+            .cols
+            .iter()
+            .filter_map(|c| c.alias.as_deref())
+            .collect();
         v.dedup();
         v
     }
@@ -235,7 +239,9 @@ impl LogicalOp {
                 writeln!(f, "{pad}GroupAggregate[keys={}, {agg:?}]", key.len())?;
                 input.write_indented(f, depth + 1)
             }
-            LogicalOp::Join { left, right, theta, .. } => {
+            LogicalOp::Join {
+                left, right, theta, ..
+            } => {
                 writeln!(f, "{pad}Join[{theta}]")?;
                 left.write_indented(f, depth + 1)?;
                 right.write_indented(f, depth + 1)
@@ -245,14 +251,18 @@ impl LogicalOp {
                 left.write_indented(f, depth + 1)?;
                 right.write_indented(f, depth + 1)
             }
-            LogicalOp::Sequence { inputs, w, pred, .. } => {
+            LogicalOp::Sequence {
+                inputs, w, pred, ..
+            } => {
                 writeln!(f, "{pad}Sequence[w={w}, {pred}]")?;
                 for i in inputs {
                     i.write_indented(f, depth + 1)?;
                 }
                 Ok(())
             }
-            LogicalOp::AtLeast { n, inputs, w, pred, .. } => {
+            LogicalOp::AtLeast {
+                n, inputs, w, pred, ..
+            } => {
                 writeln!(f, "{pad}AtLeast[n={n}, w={w}, {pred}]")?;
                 for i in inputs {
                     i.write_indented(f, depth + 1)?;

@@ -554,21 +554,21 @@ mod tests {
     #[test]
     fn parses_nested_composition() {
         // "All aspects of the language are fully composable."
-        let q = parse_query(
-            "EVENT q WHEN ALL(A, NOT(E2, SEQUENCE(E3, E4, 5 ticks)), 20 ticks)",
-        )
-        .unwrap();
-        let Expr::All { args, .. } = q.when else { panic!() };
+        let q = parse_query("EVENT q WHEN ALL(A, NOT(E2, SEQUENCE(E3, E4, 5 ticks)), 20 ticks)")
+            .unwrap();
+        let Expr::All { args, .. } = q.when else {
+            panic!()
+        };
         assert!(matches!(args[1], Expr::Not { .. }));
     }
 
     #[test]
     fn parses_sc_modes() {
-        let q = parse_query(
-            "EVENT q WHEN SEQUENCE(A x WITH SC(FIRST, CONSUME), B y, 1 minutes)",
-        )
-        .unwrap();
-        let Expr::Sequence { args, .. } = q.when else { panic!() };
+        let q = parse_query("EVENT q WHEN SEQUENCE(A x WITH SC(FIRST, CONSUME), B y, 1 minutes)")
+            .unwrap();
+        let Expr::Sequence { args, .. } = q.when else {
+            panic!()
+        };
         let Expr::Atom { sc: Some(sc), .. } = &args[0] else {
             panic!()
         };
@@ -591,10 +591,9 @@ mod tests {
 
     #[test]
     fn parses_output_clause() {
-        let q = parse_query(
-            "EVENT q WHEN SEQUENCE(A x, B y, 1 hours) OUTPUT x.id AS machine, y.ts",
-        )
-        .unwrap();
+        let q =
+            parse_query("EVENT q WHEN SEQUENCE(A x, B y, 1 hours) OUTPUT x.id AS machine, y.ts")
+                .unwrap();
         let out = q.output.unwrap();
         assert_eq!(out.len(), 2);
         assert!(matches!(&out[0], OutputItem::Path { name: Some(n), .. } if n == "machine"));
@@ -602,12 +601,12 @@ mod tests {
 
     #[test]
     fn parses_temporal_slices() {
-        let q = parse_query(
-            "EVENT q WHEN SEQUENCE(A, B, 1 hours) @ [10, 20) # [0, INF)",
-        )
-        .unwrap();
+        let q = parse_query("EVENT q WHEN SEQUENCE(A, B, 1 hours) @ [10, 20) # [0, INF)").unwrap();
         assert_eq!(q.occ_slice, Some((TimePoint::new(10), TimePoint::new(20))));
-        assert_eq!(q.valid_slice, Some((TimePoint::new(0), TimePoint::INFINITY)));
+        assert_eq!(
+            q.valid_slice,
+            Some((TimePoint::new(0), TimePoint::INFINITY))
+        );
     }
 
     #[test]

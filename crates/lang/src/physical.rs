@@ -42,11 +42,7 @@ pub fn lower(
     // The sink must be a node so it can be watched; wrap bare sources.
     let sink = match port {
         Port::Node(n) => n,
-        src @ Port::Source(_) => b.add_node(
-            Box::new(SelectOp::new(Pred::True)),
-            spec,
-            vec![src],
-        ),
+        src @ Port::Source(_) => b.add_node(Box::new(SelectOp::new(Pred::True)), spec, vec![src]),
     };
     let dataflow = b.build(&[sink]);
     Ok(LoweredPlan {
@@ -80,11 +76,7 @@ fn build(
         }
         LogicalOp::AlterLifetime { input, fvs, fdelta } => {
             let p = build(input, sources, b, spec)?;
-            Port::Node(b.add_node(
-                Box::new(AlterLifetimeOp::new(*fvs, *fdelta)),
-                spec,
-                vec![p],
-            ))
+            Port::Node(b.add_node(Box::new(AlterLifetimeOp::new(*fvs, *fdelta)), spec, vec![p]))
         }
         LogicalOp::GroupAggregate { input, key, agg } => {
             let p = build(input, sources, b, spec)?;
@@ -287,11 +279,13 @@ mod tests {
         let mut sb2 = StreamBuilder::with_id_base(1000);
         let e2 = sb2.insert_at(t(200), machine("m1"));
         let _ = (e1, e2);
-        plan.dataflow
-            .push_source(install, Message::Insert(sb.build_raw()[0].as_insert().unwrap().clone()));
+        plan.dataflow.push_source(
+            install,
+            Message::insert_event(sb.build_raw()[0].as_insert().unwrap().clone()),
+        );
         plan.dataflow.push_source(
             shutdown,
-            Message::Insert(sb2.build_raw()[0].as_insert().unwrap().clone()),
+            Message::insert_event(sb2.build_raw()[0].as_insert().unwrap().clone()),
         );
         // Seal all three inputs.
         for src in [install, shutdown, restart] {
@@ -311,7 +305,7 @@ mod tests {
         let restart = plan.source_index("RESTART").unwrap();
 
         let mk = |id: u64, vs: u64, m: &str| {
-            Message::Insert(cedr_temporal::Event::primitive(
+            Message::insert_event(cedr_temporal::Event::primitive(
                 cedr_temporal::EventId(id),
                 cedr_temporal::Interval::point(t(vs)),
                 machine(m),
@@ -339,7 +333,7 @@ mod tests {
         let shutdown = plan.source_index("SHUTDOWN").unwrap();
         let restart = plan.source_index("RESTART").unwrap();
         let mk = |id: u64, vs: u64, m: &str| {
-            Message::Insert(cedr_temporal::Event::primitive(
+            Message::insert_event(cedr_temporal::Event::primitive(
                 cedr_temporal::EventId(id),
                 cedr_temporal::Interval::point(t(vs)),
                 machine(m),
@@ -365,7 +359,7 @@ mod tests {
         let install = plan.source_index("INSTALL").unwrap();
         let shutdown = plan.source_index("SHUTDOWN").unwrap();
         let mk = |id: u64, vs: u64| {
-            Message::Insert(cedr_temporal::Event::primitive(
+            Message::insert_event(cedr_temporal::Event::primitive(
                 cedr_temporal::EventId(id),
                 cedr_temporal::Interval::point(t(vs)),
                 machine("m"),
@@ -391,7 +385,7 @@ mod tests {
         let install = plan.source_index("INSTALL").unwrap();
         let shutdown = plan.source_index("SHUTDOWN").unwrap();
         let mk = |id: u64, vs: u64| {
-            Message::Insert(cedr_temporal::Event::primitive(
+            Message::insert_event(cedr_temporal::Event::primitive(
                 cedr_temporal::EventId(id),
                 cedr_temporal::Interval::point(t(vs)),
                 machine("m"),

@@ -66,10 +66,8 @@ impl GroupAggregateOp {
             .members
             .values()
             .filter_map(|e| {
-                let iv = Interval::new(
-                    TimePoint::max_of(e.interval.start, g.floor),
-                    e.interval.end,
-                );
+                let iv =
+                    Interval::new(TimePoint::max_of(e.interval.start, g.floor), e.interval.end);
                 if iv.is_empty() {
                     None
                 } else {
@@ -80,10 +78,8 @@ impl GroupAggregateOp {
             })
             .collect();
         let fresh = cedr_algebra::relational::group_aggregate(&clipped, key, agg);
-        let fresh_by_start: BTreeMap<TimePoint, Event> = fresh
-            .into_iter()
-            .map(|e| (e.interval.start, e))
-            .collect();
+        let fresh_by_start: BTreeMap<TimePoint, Event> =
+            fresh.into_iter().map(|e| (e.interval.start, e)).collect();
 
         // Diff: identical (interval, payload) pairs are kept; everything
         // else is retracted/inserted. IDs are deterministic in (payload,
@@ -230,8 +226,8 @@ mod tests {
     fn count_steps_up_and_down() {
         let mut s = OperatorShell::new(Box::new(count_by_group()), ConsistencySpec::middle());
         let mut all = Vec::new();
-        all.extend(s.push(0, Message::Insert(ev(1, 0, 10, "g", 0)), 0));
-        all.extend(s.push(0, Message::Insert(ev(2, 4, 6, "g", 0)), 1));
+        all.extend(s.push(0, Message::insert_event(ev(1, 0, 10, "g", 0)), 0));
+        all.extend(s.push(0, Message::insert_event(ev(2, 4, 6, "g", 0)), 1));
         let rows = net(&all);
         assert_eq!(
             rows,
@@ -247,9 +243,9 @@ mod tests {
     fn late_event_repairs_with_retractions() {
         let mut s = OperatorShell::new(Box::new(count_by_group()), ConsistencySpec::middle());
         let mut all = Vec::new();
-        all.extend(s.push(0, Message::Insert(ev(1, 0, 10, "g", 0)), 0));
+        all.extend(s.push(0, Message::insert_event(ev(1, 0, 10, "g", 0)), 0));
         // Late overlapping event: previously-emitted [0,10)@1 is repaired.
-        all.extend(s.push(0, Message::Insert(ev(2, 2, 5, "g", 0)), 1));
+        all.extend(s.push(0, Message::insert_event(ev(2, 2, 5, "g", 0)), 1));
         assert!(s.stats().out_retractions > 0, "optimistic output repaired");
         let rows = net(&all);
         assert_eq!(
@@ -267,8 +263,8 @@ mod tests {
         let mut s = OperatorShell::new(Box::new(count_by_group()), ConsistencySpec::middle());
         let e1 = ev(1, 0, 10, "g", 0);
         let mut all = Vec::new();
-        all.extend(s.push(0, Message::Insert(e1.clone()), 0));
-        all.extend(s.push(0, Message::Insert(ev(2, 0, 10, "g", 0)), 1));
+        all.extend(s.push(0, Message::insert_event(e1.clone()), 0));
+        all.extend(s.push(0, Message::insert_event(ev(2, 0, 10, "g", 0)), 1));
         all.extend(s.push(0, Message::Retract(Retraction::new(e1, t(4))), 2));
         let rows = net(&all);
         assert_eq!(
@@ -283,8 +279,8 @@ mod tests {
     #[test]
     fn groups_are_independent() {
         let mut s = OperatorShell::new(Box::new(count_by_group()), ConsistencySpec::middle());
-        let o1 = s.push(0, Message::Insert(ev(1, 0, 10, "a", 0)), 0);
-        let o2 = s.push(0, Message::Insert(ev(2, 0, 10, "b", 0)), 1);
+        let o1 = s.push(0, Message::insert_event(ev(1, 0, 10, "a", 0)), 0);
+        let o2 = s.push(0, Message::insert_event(ev(2, 0, 10, "b", 0)), 1);
         // The second insert does not disturb group "a": no retraction.
         assert_eq!(o1.iter().filter(|m| m.is_data()).count(), 1);
         assert_eq!(o2.iter().filter(|m| m.is_data()).count(), 1);
@@ -293,8 +289,8 @@ mod tests {
     #[test]
     fn watermark_flushes_and_frees_state() {
         let mut s = OperatorShell::new(Box::new(count_by_group()), ConsistencySpec::middle());
-        s.push(0, Message::Insert(ev(1, 0, 10, "g", 0)), 0);
-        s.push(0, Message::Insert(ev(2, 20, 30, "g", 0)), 1);
+        s.push(0, Message::insert_event(ev(1, 0, 10, "g", 0)), 0);
+        s.push(0, Message::insert_event(ev(2, 20, 30, "g", 0)), 1);
         let before = s.module().state_size();
         s.push(0, Message::Cti(t(15)), 2);
         let after = s.module().state_size();
@@ -306,10 +302,10 @@ mod tests {
         // Flushing must not perturb the still-live region.
         let mut s = OperatorShell::new(Box::new(count_by_group()), ConsistencySpec::middle());
         let mut all = Vec::new();
-        all.extend(s.push(0, Message::Insert(ev(1, 0, 8, "g", 0)), 0));
-        all.extend(s.push(0, Message::Insert(ev(2, 4, 20, "g", 0)), 1));
+        all.extend(s.push(0, Message::insert_event(ev(1, 0, 8, "g", 0)), 0));
+        all.extend(s.push(0, Message::insert_event(ev(2, 4, 20, "g", 0)), 1));
         all.extend(s.push(0, Message::Cti(t(6)), 2));
-        all.extend(s.push(0, Message::Insert(ev(3, 10, 12, "g", 0)), 3));
+        all.extend(s.push(0, Message::insert_event(ev(3, 10, 12, "g", 0)), 3));
         all.extend(s.push(0, Message::Cti(TimePoint::INFINITY), 4));
         let rows = net(&all);
         // Denotational: count is 1 on [0,4), 2 on [4,8), 1 on [8,10),
@@ -338,8 +334,8 @@ mod tests {
             ConsistencySpec::middle(),
         );
         let mut all = Vec::new();
-        all.extend(s.push(0, Message::Insert(ev(1, 0, 10, "g", 10)), 0));
-        all.extend(s.push(0, Message::Insert(ev(2, 0, 10, "g", 20)), 1));
+        all.extend(s.push(0, Message::insert_event(ev(1, 0, 10, "g", 10)), 0));
+        all.extend(s.push(0, Message::insert_event(ev(2, 0, 10, "g", 20)), 1));
         let rows = net(&all);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].1[1], Value::Float(15.0));

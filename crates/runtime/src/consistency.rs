@@ -102,7 +102,7 @@ impl ConsistencySpec {
 
     /// Does this spec ever forget state before it is provably dead?
     pub fn is_forgetful(&self) -> bool {
-        self.max_memory.is_infinite() == false
+        !self.max_memory.is_infinite()
     }
 
     /// The memory horizon induced by the high-water mark of observed syncs:
@@ -164,7 +164,11 @@ mod tests {
         assert_eq!(weak.horizon(t(25)), t(15));
         assert_eq!(weak.horizon(t(5)), t(0), "floors at zero");
         let middle = ConsistencySpec::middle();
-        assert_eq!(middle.horizon(t(1_000_000)), t(0), "unbounded memory never forgets");
+        assert_eq!(
+            middle.horizon(t(1_000_000)),
+            t(0),
+            "unbounded memory never forgets"
+        );
     }
 
     #[test]

@@ -241,8 +241,10 @@ mod tests {
     #[test]
     fn insert_probe_emits_intersection() {
         let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
-        assert!(s.push(0, Message::Insert(ev(1, 0, 10, 7)), 0).is_empty());
-        let out = s.push(1, Message::Insert(ev(2, 5, 20, 7)), 1);
+        assert!(s
+            .push(0, Message::insert_event(ev(1, 0, 10, 7)), 0)
+            .is_empty());
+        let out = s.push(1, Message::insert_event(ev(2, 5, 20, 7)), 1);
         assert_eq!(out.len(), 1);
         let j = out[0].as_insert().unwrap();
         assert_eq!(j.interval, iv(5, 10));
@@ -252,8 +254,8 @@ mod tests {
     #[test]
     fn key_mismatch_produces_nothing() {
         let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
-        s.push(0, Message::Insert(ev(1, 0, 10, 7)), 0);
-        let out = s.push(1, Message::Insert(ev(2, 5, 20, 8)), 1);
+        s.push(0, Message::insert_event(ev(1, 0, 10, 7)), 0);
+        let out = s.push(1, Message::insert_event(ev(2, 5, 20, 8)), 1);
         assert!(out.is_empty());
     }
 
@@ -261,8 +263,8 @@ mod tests {
     fn retraction_shrinks_derived_output() {
         let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
         let l = ev(1, 0, 10, 7);
-        s.push(0, Message::Insert(l.clone()), 0);
-        let out = s.push(1, Message::Insert(ev(2, 2, 20, 7)), 1);
+        s.push(0, Message::insert_event(l.clone()), 0);
+        let out = s.push(1, Message::insert_event(ev(2, 2, 20, 7)), 1);
         let joined = out[0].as_insert().unwrap().clone();
         assert_eq!(joined.interval, iv(2, 10));
         // Retract left to [0,5): output shrinks to [2,5).
@@ -276,8 +278,8 @@ mod tests {
     fn retraction_below_partner_start_removes_output() {
         let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
         let l = ev(1, 0, 10, 7);
-        s.push(0, Message::Insert(l.clone()), 0);
-        s.push(1, Message::Insert(ev(2, 6, 20, 7)), 1);
+        s.push(0, Message::insert_event(l.clone()), 0);
+        s.push(1, Message::insert_event(ev(2, 6, 20, 7)), 1);
         // [0,10) → [0,3): intersection with [6,20) becomes empty.
         let out = s.push(0, Message::Retract(Retraction::new(l, t(3))), 2);
         let r = out[0].as_retract().unwrap();
@@ -289,8 +291,8 @@ mod tests {
         let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
         let l = ev(1, 0, 100, 7);
         let rr = ev(2, 0, 100, 7);
-        s.push(0, Message::Insert(l.clone()), 0);
-        s.push(1, Message::Insert(rr.clone()), 1);
+        s.push(0, Message::insert_event(l.clone()), 0);
+        s.push(1, Message::insert_event(rr.clone()), 1);
         // Shrink right to [0,50): output [0,100) → [0,50).
         let o1 = s.push(1, Message::Retract(Retraction::new(rr, t(50))), 2);
         assert_eq!(o1[0].as_retract().unwrap().new_end, t(50));
@@ -304,17 +306,17 @@ mod tests {
     #[test]
     fn duplicate_inserts_are_idempotent() {
         let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
-        s.push(0, Message::Insert(ev(1, 0, 10, 7)), 0);
-        s.push(1, Message::Insert(ev(2, 0, 10, 7)), 1);
-        let out = s.push(1, Message::Insert(ev(2, 0, 10, 7)), 2);
+        s.push(0, Message::insert_event(ev(1, 0, 10, 7)), 0);
+        s.push(1, Message::insert_event(ev(2, 0, 10, 7)), 1);
+        let out = s.push(1, Message::insert_event(ev(2, 0, 10, 7)), 2);
         assert!(out.is_empty(), "duplicate delivery produces no new output");
     }
 
     #[test]
     fn watermark_purges_dead_state() {
         let mut s = OperatorShell::new(Box::new(equi_join()), ConsistencySpec::middle());
-        s.push(0, Message::Insert(ev(1, 0, 10, 7)), 0);
-        s.push(1, Message::Insert(ev(2, 0, 10, 7)), 1);
+        s.push(0, Message::insert_event(ev(1, 0, 10, 7)), 0);
+        s.push(1, Message::insert_event(ev(2, 0, 10, 7)), 1);
         assert_eq!(s.module().state_size(), 2);
         s.push(0, Message::Cti(t(50)), 2);
         s.push(1, Message::Cti(t(50)), 3);
@@ -326,9 +328,9 @@ mod tests {
         // Non-equi θ: left.value < right.value.
         let theta = Pred::cmp(Scalar::Of(0, 0), CmpOp::Lt, Scalar::Of(1, 0));
         let mut s = OperatorShell::new(Box::new(JoinOp::new(theta)), ConsistencySpec::middle());
-        s.push(0, Message::Insert(ev(1, 0, 10, 5)), 0);
-        s.push(0, Message::Insert(ev(2, 0, 10, 9)), 1);
-        let out = s.push(1, Message::Insert(ev(3, 0, 10, 7)), 2);
+        s.push(0, Message::insert_event(ev(1, 0, 10, 5)), 0);
+        s.push(0, Message::insert_event(ev(2, 0, 10, 9)), 1);
+        let out = s.push(1, Message::insert_event(ev(3, 0, 10, 7)), 2);
         assert_eq!(out.len(), 1, "only 5 < 7 qualifies");
     }
 

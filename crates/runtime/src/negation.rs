@@ -370,14 +370,14 @@ mod tests {
     #[test]
     fn middle_emits_optimistically_then_retracts() {
         let mut s = unless_shell(ConsistencySpec::middle());
-        let out = s.push(0, Message::Insert(pt(1, 5)), 0);
+        let out = s.push(0, Message::insert_event(pt(1, 5)), 0);
         assert_eq!(
             out.iter().filter(|m| m.is_data()).count(),
             1,
             "optimistic UNLESS output at once"
         );
         // The negating event arrives: the output is repaired.
-        let out2 = s.push(1, Message::Insert(pt(2, 8)), 1);
+        let out2 = s.push(1, Message::insert_event(pt(2, 8)), 1);
         let r = out2[0].as_retract().unwrap();
         assert!(r.is_full_removal());
         assert_eq!(r.event.id, EventId(1));
@@ -389,7 +389,7 @@ mod tests {
         // Deliver candidate under a watermark that covers it but not its scope.
         s.push(0, Message::Cti(t(6)), 0);
         s.push(1, Message::Cti(t(6)), 1);
-        let out = s.push(0, Message::Insert(pt(1, 5)), 2);
+        let out = s.push(0, Message::insert_event(pt(1, 5)), 2);
         assert_eq!(
             out.iter().filter(|m| m.is_data()).count(),
             0,
@@ -405,8 +405,8 @@ mod tests {
     #[test]
     fn strong_suppresses_negated_candidates_silently() {
         let mut s = unless_shell(ConsistencySpec::strong());
-        s.push(0, Message::Insert(pt(1, 5)), 0);
-        s.push(1, Message::Insert(pt(2, 8)), 1);
+        s.push(0, Message::insert_event(pt(1, 5)), 0);
+        s.push(1, Message::insert_event(pt(2, 8)), 1);
         let out1 = s.push(0, Message::Cti(t(30)), 2);
         let out2 = s.push(1, Message::Cti(t(30)), 3);
         let data: usize = [&out1, &out2]
@@ -420,8 +420,8 @@ mod tests {
     fn negator_removal_revives_candidate() {
         let mut s = unless_shell(ConsistencySpec::middle());
         let e2 = pt(2, 8);
-        s.push(1, Message::Insert(e2.clone()), 0);
-        let out = s.push(0, Message::Insert(pt(1, 5)), 1);
+        s.push(1, Message::insert_event(e2.clone()), 0);
+        let out = s.push(0, Message::insert_event(pt(1, 5)), 1);
         assert_eq!(
             out.iter().filter(|m| m.is_data()).count(),
             0,
@@ -436,10 +436,10 @@ mod tests {
     #[test]
     fn unless_scope_bounds_are_strict() {
         let mut s = unless_shell(ConsistencySpec::middle());
-        s.push(0, Message::Insert(pt(1, 5)), 0);
+        s.push(0, Message::insert_event(pt(1, 5)), 0);
         // Negators exactly at Vs and Vs+w do not kill.
-        let o1 = s.push(1, Message::Insert(pt(2, 5)), 1);
-        let o2 = s.push(1, Message::Insert(pt(3, 15)), 2);
+        let o1 = s.push(1, Message::insert_event(pt(2, 5)), 1);
+        let o2 = s.push(1, Message::insert_event(pt(3, 15)), 2);
         assert!(o1.iter().all(|m| !m.is_data()));
         assert!(o2.iter().all(|m| !m.is_data()));
     }
@@ -451,12 +451,12 @@ mod tests {
             Box::new(NegationOp::unless(dur(10), pred)),
             ConsistencySpec::middle(),
         );
-        s.push(0, Message::Insert(ptp(1, 5, "m1")), 0);
+        s.push(0, Message::insert_event(ptp(1, 5, "m1")), 0);
         // Other machine's restart: no kill.
-        let o = s.push(1, Message::Insert(ptp(2, 8, "m2")), 1);
+        let o = s.push(1, Message::insert_event(ptp(2, 8, "m2")), 1);
         assert!(o.iter().all(|m| !m.is_data()));
         // Same machine: kill.
-        let o2 = s.push(1, Message::Insert(ptp(3, 9, "m1")), 2);
+        let o2 = s.push(1, Message::insert_event(ptp(3, 9, "m1")), 2);
         assert_eq!(o2.iter().filter(|m| m.is_data()).count(), 1);
         assert!(o2[0].as_retract().is_some());
     }
@@ -486,8 +486,8 @@ mod tests {
             ConsistencySpec::middle(),
         );
         // Canceller at 5 ∈ (1,10), arrives first.
-        s.push(1, Message::Insert(pt(9, 5)), 0);
-        let out = s.push(0, Message::Insert(e1.clone()), 1);
+        s.push(1, Message::insert_event(pt(9, 5)), 0);
+        let out = s.push(0, Message::insert_event(e1.clone()), 1);
         assert!(out.iter().all(|m| !m.is_data()), "cancelled");
         // A candidate with rt after the canceller survives.
         let e1b = Event::composite(
@@ -497,7 +497,7 @@ mod tests {
             Lineage::of(vec![EventId(3), EventId(4)]),
             Payload::empty(),
         );
-        let out2 = s.push(0, Message::Insert(e1b), 2);
+        let out2 = s.push(0, Message::insert_event(e1b), 2);
         assert_eq!(out2.iter().filter(|m| m.is_data()).count(), 1);
     }
 
@@ -514,28 +514,48 @@ mod tests {
             Box::new(NegationOp::history(Pred::True)),
             ConsistencySpec::middle(),
         );
-        let out = s.push(0, Message::Insert(e1), 0);
+        let out = s.push(0, Message::insert_event(e1), 0);
         assert_eq!(out.iter().filter(|m| m.is_data()).count(), 1, "optimistic");
         // Canceller arrives late (out of order): repair.
-        let out2 = s.push(1, Message::Insert(pt(9, 5)), 1);
+        let out2 = s.push(1, Message::insert_event(pt(9, 5)), 1);
         assert_eq!(out2.iter().filter(|m| m.is_data()).count(), 1);
         assert!(out2[0].as_retract().is_some());
     }
 
     #[test]
+    fn strong_release_run_cannot_outrun_candidates_own_removal() {
+        // Regression: a candidate and its own full removal (same sync)
+        // align together and release in one same-port run. The run's
+        // watermark must not overtake the still-undelivered removal, or
+        // Strong would confirm the UNLESS output and then retract it —
+        // the per-message path emits nothing here.
+        let mut s = OperatorShell::new(
+            Box::new(NegationOp::unless(dur(2), Pred::True)),
+            ConsistencySpec::strong(),
+        );
+        let e1 = Event::primitive(EventId(1), Interval::new(t(5), t(30)), Payload::empty());
+        s.push(0, Message::insert_event(e1.clone()), 0);
+        s.push(0, Message::Retract(Retraction::new(e1, t(5))), 1);
+        let mut out = s.push(0, Message::Cti(t(10)), 2);
+        out.extend(s.push(1, Message::Cti(t(10)), 3));
+        assert!(
+            out.iter().all(|m| !m.is_data()),
+            "removed candidate must be suppressed silently, got {out:?}"
+        );
+        assert_eq!(s.stats().out_retractions, 0, "strong never repairs");
+    }
+
+    #[test]
     fn weak_forgets_and_leaves_output_unrepaired() {
         let spec = ConsistencySpec::weak(dur(5));
-        let mut s = OperatorShell::new(
-            Box::new(NegationOp::unless(dur(10), Pred::True)),
-            spec,
-        );
-        let out = s.push(0, Message::Insert(pt(1, 5)), 0);
+        let mut s = OperatorShell::new(Box::new(NegationOp::unless(dur(10), Pred::True)), spec);
+        let out = s.push(0, Message::insert_event(pt(1, 5)), 0);
         assert_eq!(out.iter().filter(|m| m.is_data()).count(), 1);
         // Advance far ahead; the entry is forgotten.
-        s.push(0, Message::Insert(pt(2, 100)), 1);
+        s.push(0, Message::insert_event(pt(2, 100)), 1);
         // The late negator (sync 8 < horizon 95) is dropped by the monitor:
         // the incorrect optimistic output stands (weak's documented bet).
-        let out2 = s.push(1, Message::Insert(pt(3, 8)), 2);
+        let out2 = s.push(1, Message::insert_event(pt(3, 8)), 2);
         assert!(out2.iter().all(|m| !m.is_data()));
         assert_eq!(s.stats().forgotten, 1);
     }
@@ -543,8 +563,8 @@ mod tests {
     #[test]
     fn state_purges_after_confirmation() {
         let mut s = unless_shell(ConsistencySpec::middle());
-        s.push(0, Message::Insert(pt(1, 5)), 0);
-        s.push(1, Message::Insert(pt(2, 8)), 1);
+        s.push(0, Message::insert_event(pt(1, 5)), 0);
+        s.push(1, Message::insert_event(pt(2, 8)), 1);
         assert!(s.module().state_size() > 0);
         s.push(0, Message::Cti(t(100)), 2);
         s.push(1, Message::Cti(t(100)), 3);

@@ -17,6 +17,7 @@ use crate::stats::OpStats;
 use cedr_streams::{Message, Retraction};
 use cedr_temporal::{Duration, Event, TimePoint};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Where operational modules put their output state updates.
 #[derive(Debug, Default)]
@@ -29,10 +30,12 @@ impl OutputBuffer {
         Self::default()
     }
 
-    /// Emit an insert. Events with empty lifetimes describe no state and
-    /// are silently dropped (boundary pattern matches, fully-clipped
-    /// slices).
-    pub fn insert(&mut self, event: Event) {
+    /// Emit an insert. Accepts owned events or already-shared `Arc`s
+    /// (pass-through operators forward their input at refcount cost).
+    /// Events with empty lifetimes describe no state and are silently
+    /// dropped (boundary pattern matches, fully-clipped slices).
+    pub fn insert(&mut self, event: impl Into<Arc<Event>>) {
+        let event = event.into();
         if event.interval.is_empty() {
             return;
         }
@@ -40,12 +43,14 @@ impl OutputBuffer {
     }
 
     /// Emit a retraction shortening `event` to `[Vs, new_end)`.
-    pub fn retract_to(&mut self, event: Event, new_end: TimePoint) {
-        self.msgs.push(Message::Retract(Retraction::new(event, new_end)));
+    pub fn retract_to(&mut self, event: impl Into<Arc<Event>>, new_end: TimePoint) {
+        self.msgs
+            .push(Message::Retract(Retraction::new(event, new_end)));
     }
 
     /// Emit a full removal (`Oe := Os` in the paper's terms).
-    pub fn retract_full(&mut self, event: Event) {
+    pub fn retract_full(&mut self, event: impl Into<Arc<Event>>) {
+        let event = event.into();
         let vs = event.interval.start;
         self.msgs.push(Message::Retract(Retraction::new(event, vs)));
     }
@@ -127,6 +132,31 @@ pub trait OperatorModule: Send {
     /// A retraction arrived on `input`.
     fn on_retract(&mut self, input: usize, r: &Retraction, ctx: &mut OpContext);
 
+    /// A run of data messages arrived on `input`, already admitted by the
+    /// consistency monitor and in delivery order.
+    ///
+    /// The shell routes **all** module deliveries through this hook; the
+    /// default implementation dispatches per message to
+    /// [`OperatorModule::on_insert`]/[`OperatorModule::on_retract`], so
+    /// existing operators work unmodified. Operators with per-call overhead
+    /// worth amortising (index lookups, group resolution) may override it.
+    ///
+    /// Contract: `ctx.watermark` is honest for the run as a whole — every
+    /// input message with `Sync` below it has either been delivered in an
+    /// earlier call or is contained in `msgs` itself. CTIs never appear in
+    /// `msgs` (the monitor consumes them).
+    fn on_batch(&mut self, input: usize, msgs: &[Message], ctx: &mut OpContext) {
+        for m in msgs {
+            match m {
+                Message::Insert(e) => self.on_insert(input, e, ctx),
+                Message::Retract(r) => self.on_retract(input, r, ctx),
+                Message::Cti(_) => {
+                    debug_assert!(false, "CTIs are consumed by the consistency monitor")
+                }
+            }
+        }
+    }
+
     /// Called after every batch of deliveries and after watermark changes:
     /// confirm pending output, purge state.
     fn on_advance(&mut self, _ctx: &mut OpContext) {}
@@ -171,6 +201,9 @@ pub struct OperatorShell {
     /// insert can no longer arrive).
     seen_inserts: Vec<std::collections::HashMap<cedr_temporal::EventId, TimePoint>>,
     orphans: Vec<std::collections::HashMap<cedr_temporal::EventId, Vec<Retraction>>>,
+    /// Messages admitted by the monitor but not yet delivered to the
+    /// module; drained into per-input runs by `flush_pending`.
+    pending: Vec<PendingDelivery>,
     out: OutputBuffer,
     stats: OpStats,
     last_cti: Option<TimePoint>,
@@ -181,6 +214,13 @@ pub struct OperatorShell {
     /// rewrites re-inserted IDs to fresh per-generation identities so every
     /// downstream chain shrinks monotonically.
     out_generations: std::collections::HashMap<cedr_temporal::EventId, u64>,
+}
+
+/// An admitted message awaiting delivery to the operational module.
+struct PendingDelivery {
+    input: usize,
+    msg: Message,
+    arrived: u64,
 }
 
 impl OperatorShell {
@@ -196,6 +236,7 @@ impl OperatorShell {
             seq: 0,
             seen_inserts: vec![Default::default(); arity],
             orphans: vec![Default::default(); arity],
+            pending: Vec::new(),
             out: OutputBuffer::new(),
             stats: OpStats::default(),
             last_cti: None,
@@ -226,52 +267,103 @@ impl OperatorShell {
 
     /// Feed one message into input port `input` at CEDR tick `now`;
     /// returns the output state updates (with trailing output CTI if the
-    /// guarantee advanced).
+    /// guarantee advanced). Equivalent to a `push_batch` of one message.
     pub fn push(&mut self, input: usize, msg: Message, now: u64) -> Vec<Message> {
+        self.push_batch(input, std::slice::from_ref(&msg), now)
+    }
+
+    /// Feed a run of messages into input port `input` at CEDR tick `now`;
+    /// returns the output state updates (with trailing output CTI if the
+    /// guarantee advanced).
+    ///
+    /// The consistency monitor admits messages one at a time (so
+    /// forgetting, alignment and watermark bookkeeping are exactly as in
+    /// the per-message path), but module delivery is batched: admitted
+    /// messages accumulate into per-input runs handed to
+    /// [`OperatorModule::on_batch`], and `on_advance`/output-CTI handling
+    /// run once per call instead of once per message. Each run's
+    /// `ctx.watermark` is capped by the sync of every message delivered
+    /// after it, so no module ever sees a guarantee that overtakes an
+    /// undelivered input.
+    pub fn push_batch(&mut self, input: usize, batch: &[Message], now: u64) -> Vec<Message> {
         assert!(input < self.arity(), "input port out of range");
-        match msg {
-            Message::Cti(t) => {
-                let w = &mut self.input_watermarks[input];
-                *w = TimePoint::max_of(*w, t);
-                let combined = self
-                    .input_watermarks
-                    .iter()
-                    .copied()
-                    .fold(TimePoint::INFINITY, TimePoint::min_of);
-                if combined > self.watermark {
-                    self.watermark = combined;
+        for msg in batch {
+            match msg {
+                Message::Cti(t) => {
+                    // Deliver everything admitted under the current
+                    // guarantee before the guarantee moves.
+                    self.flush_pending(now);
+                    let before = self.watermark;
+                    self.observe_cti(input, *t);
+                    self.release(now);
+                    self.flush_pending(now);
+                    // Give the module its watermark-change hook mid-batch
+                    // and forward the guarantee downstream *at its position
+                    // in the stream*: confirmation, state flushing and the
+                    // output CTI cadence must track the guarantee, not the
+                    // batch boundary — otherwise every consumer's state
+                    // grows with the batch instead of the live window.
+                    if self.watermark > before {
+                        self.advance_module();
+                        self.emit_cti();
+                    }
                 }
-                // CTIs also advance the optimist's clock.
-                self.max_seen = TimePoint::max_of(self.max_seen, self.watermark);
-            }
-            data => {
-                self.stats.arrivals += 1;
-                let sync = data.sync();
-                // Weak-consistency forgetting: below the memory horizon the
-                // monitor drops the message outright.
-                if self.spec.is_forgetful() && sync < self.spec.horizon(self.max_seen) {
-                    self.stats.forgotten += 1;
-                    return self.finish(now);
-                }
-                self.max_seen = TimePoint::max_of(self.max_seen, sync);
-                if self.spec.is_blocking() && sync >= self.watermark {
-                    self.align.insert((sync, self.seq), (input, data, now));
-                    self.seq += 1;
-                    self.stats.held_peak = self.stats.held_peak.max(self.align.len());
-                } else {
-                    self.deliver(input, data, now, now);
+                data => {
+                    self.stats.arrivals += 1;
+                    let sync = data.sync();
+                    // Weak-consistency forgetting: below the memory horizon
+                    // the monitor drops the message outright.
+                    if self.spec.is_forgetful() && sync < self.spec.horizon(self.max_seen) {
+                        self.stats.forgotten += 1;
+                        continue;
+                    }
+                    self.max_seen = TimePoint::max_of(self.max_seen, sync);
+                    if self.spec.is_blocking() && sync >= self.watermark {
+                        self.align
+                            .insert((sync, self.seq), (input, data.clone(), now));
+                        self.seq += 1;
+                        self.stats.held_peak = self.stats.held_peak.max(self.align.len());
+                    } else {
+                        self.pending.push(PendingDelivery {
+                            input,
+                            msg: data.clone(),
+                            arrived: now,
+                        });
+                    }
+                    // A data arrival can advance `max_seen` past a finite
+                    // blocking deadline (first loop iteration breaks when
+                    // nothing is due).
+                    self.release(now);
                 }
             }
         }
-        self.release(now);
+        self.flush_pending(now);
         self.advance_module();
         self.emit_cti();
         self.finish(now)
     }
 
-    /// Release alignment-buffer entries that are either covered by the
-    /// watermark or have been blocked for the maximum blocking time.
-    fn release(&mut self, now: u64) {
+    /// Fold a CTI into the per-input watermarks and the combined guarantee.
+    fn observe_cti(&mut self, input: usize, t: TimePoint) {
+        let w = &mut self.input_watermarks[input];
+        *w = TimePoint::max_of(*w, t);
+        let combined = self
+            .input_watermarks
+            .iter()
+            .copied()
+            .fold(TimePoint::INFINITY, TimePoint::min_of);
+        if combined > self.watermark {
+            self.watermark = combined;
+        }
+        // CTIs also advance the optimist's clock.
+        self.max_seen = TimePoint::max_of(self.max_seen, self.watermark);
+    }
+
+    /// Move alignment-buffer entries that are either covered by the
+    /// watermark or have been blocked for the maximum blocking time into
+    /// the pending delivery buffer (in sync order).
+    #[allow(clippy::while_let_loop)] // while-let would hold the align borrow over the body
+    fn release(&mut self, _now: u64) {
         loop {
             let Some((&(sync, seq), _)) = self.align.iter().next() else {
                 break;
@@ -286,7 +378,11 @@ impl OperatorShell {
                 break;
             }
             let (input, msg, arrived) = self.align.remove(&(sync, seq)).expect("present");
-            self.deliver(input, msg, arrived, now);
+            self.pending.push(PendingDelivery {
+                input,
+                msg,
+                arrived,
+            });
         }
     }
 
@@ -301,60 +397,95 @@ impl OperatorShell {
         }
     }
 
-    fn deliver(&mut self, input: usize, msg: Message, arrived: u64, now: u64) {
-        self.stats.released += 1;
-        let held = now.saturating_sub(arrived);
-        self.stats.blocked_ticks += held;
-        if held > 0 {
-            self.stats.blocked_messages += 1;
+    /// Deliver the pending buffer to the module as per-input runs.
+    ///
+    /// Messages are grouped into maximal runs of consecutive same-input
+    /// entries (preserving admission order) and each run goes to the module
+    /// in one `on_batch` call. The run's watermark is
+    /// `min(effective watermark, sync of every pending message after the
+    /// run's first)` — capping by the run's *own* later messages as well as
+    /// later runs, because the default `on_batch` dispatches sequentially
+    /// and an early message must never see a guarantee that overtakes an
+    /// undelivered sibling (e.g. its own still-queued removal, which under
+    /// Strong would turn a silent suppression into an emit-then-retract).
+    /// This matches the per-message path exactly for the run's first
+    /// message and is conservative for the rest; emissions a larger
+    /// watermark would have confirmed mid-run surface at the next
+    /// `on_advance`, which follows every flush.
+    fn flush_pending(&mut self, now: u64) {
+        if self.pending.is_empty() {
+            return;
         }
-        let watermark = self.effective_watermark();
-        match msg {
-            Message::Insert(e) => {
-                self.seen_inserts[input].insert(e.id, e.interval.end);
+        let pending = std::mem::take(&mut self.pending);
+        let base = self.effective_watermark();
+        let n = pending.len();
+        let mut suffix_min = vec![TimePoint::INFINITY; n + 1];
+        for i in (0..n).rev() {
+            suffix_min[i] = TimePoint::min_of(suffix_min[i + 1], pending[i].msg.sync());
+        }
+        let mut run: Vec<Message> = Vec::new();
+        let mut i = 0;
+        while i < n {
+            let input = pending[i].input;
+            let mut j = i;
+            while j < n && pending[j].input == input {
+                let p = &pending[j];
+                self.stats.released += 1;
+                let held = now.saturating_sub(p.arrived);
+                self.stats.blocked_ticks += held;
+                if held > 0 {
+                    self.stats.blocked_messages += 1;
+                }
+                match &p.msg {
+                    Message::Insert(e) => {
+                        self.seen_inserts[input].insert(e.id, e.interval.end);
+                        run.push(p.msg.clone());
+                        // Replay retractions that raced ahead of this
+                        // insert, directly after it in the same run.
+                        if let Some(mut parked) = self.orphans[input].remove(&e.id) {
+                            parked.sort_by_key(|r| std::cmp::Reverse(r.new_end));
+                            run.extend(parked.into_iter().map(Message::Retract));
+                        }
+                    }
+                    Message::Retract(r) => {
+                        if self.seen_inserts[input].contains_key(&r.event.id) {
+                            run.push(p.msg.clone());
+                        } else {
+                            self.orphans[input]
+                                .entry(r.event.id)
+                                .or_default()
+                                .push(r.clone());
+                        }
+                    }
+                    Message::Cti(_) => unreachable!("CTIs are handled by the monitor"),
+                }
+                j += 1;
+            }
+            if !run.is_empty() {
+                let watermark = TimePoint::min_of(base, suffix_min[i + 1]);
+                self.stats.batches += 1;
+                self.stats.delivered += run.len();
+                self.stats.batch_peak = self.stats.batch_peak.max(run.len());
                 let mut ctx = OpContext {
                     spec: self.spec,
                     watermark,
                     max_seen: self.max_seen,
                     out: &mut self.out,
                 };
-                self.module.on_insert(input, &e, &mut ctx);
-                // Replay retractions that raced ahead of this insert.
-                if let Some(mut parked) = self.orphans[input].remove(&e.id) {
-                    parked.sort_by_key(|r| std::cmp::Reverse(r.new_end));
-                    for r in parked {
-                        let mut ctx = OpContext {
-                            spec: self.spec,
-                            watermark,
-                            max_seen: self.max_seen,
-                            out: &mut self.out,
-                        };
-                        self.module.on_retract(input, &r, &mut ctx);
-                    }
-                }
+                self.module.on_batch(input, &run, &mut ctx);
+                run.clear();
             }
-            Message::Retract(r) => {
-                if self.seen_inserts[input].contains_key(&r.event.id) {
-                    let mut ctx = OpContext {
-                        spec: self.spec,
-                        watermark,
-                        max_seen: self.max_seen,
-                        out: &mut self.out,
-                    };
-                    self.module.on_retract(input, &r, &mut ctx);
-                } else {
-                    self.orphans[input].entry(r.event.id).or_default().push(r);
-                }
-            }
-            Message::Cti(_) => unreachable!("CTIs are handled by the monitor"),
+            i = j;
         }
         // Guard bookkeeping dies with the watermark: an insert whose
         // lifetime has ended cannot be retracted any more, and an orphan
         // whose retraction sync is covered will never see its insert.
+        let watermark = self.effective_watermark();
         if watermark > TimePoint::ZERO {
-            self.seen_inserts[input].retain(|_, ve| *ve > watermark);
-            self.orphans[input]
-                .retain(|_, rs| rs.iter().any(|r| r.sync() >= watermark));
+            for input in 0..self.seen_inserts.len() {
+                self.seen_inserts[input].retain(|_, ve| *ve > watermark);
+                self.orphans[input].retain(|_, rs| rs.iter().any(|r| r.sync() >= watermark));
+            }
         }
     }
 
@@ -373,7 +504,7 @@ impl OperatorShell {
             return;
         }
         let out_cti = self.module.map_cti(self.watermark);
-        if out_cti > TimePoint::ZERO && self.last_cti.map_or(true, |c| out_cti > c) {
+        if out_cti > TimePoint::ZERO && self.last_cti.is_none_or(|c| out_cti > c) {
             self.out.cti(out_cti);
             self.last_cti = Some(out_cti);
         }
@@ -385,9 +516,7 @@ impl OperatorShell {
             return id;
         }
         // SplitMix64 over (id, generation): deterministic fresh chain keys.
-        let mut z = id
-            .0
-            .wrapping_add(gen.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut z = id.0.wrapping_add(gen.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         cedr_temporal::EventId(z ^ (z >> 31))
@@ -405,13 +534,21 @@ impl OperatorShell {
                 Message::Insert(e) => {
                     self.stats.out_inserts += 1;
                     let gen = self.out_generations.get(&e.id).copied().unwrap_or(0);
-                    e.id = Self::generation_id(e.id, gen);
+                    if gen != 0 {
+                        // Freshly-emitted events are unshared, so this
+                        // `make_mut` never copies on the hot path.
+                        let id = Self::generation_id(e.id, gen);
+                        Arc::make_mut(e).id = id;
+                    }
                 }
                 Message::Retract(r) => {
                     self.stats.out_retractions += 1;
                     let orig = r.event.id;
                     let gen = self.out_generations.get(&orig).copied().unwrap_or(0);
-                    r.event.id = Self::generation_id(orig, gen);
+                    if gen != 0 {
+                        let id = Self::generation_id(orig, gen);
+                        Arc::make_mut(&mut r.event).id = id;
+                    }
                     if r.is_full_removal() {
                         // This chain is dead; a future re-insert of the same
                         // module-internal ID starts a fresh chain.
@@ -468,7 +605,7 @@ mod tests {
     }
 
     fn ins(id: u64, vs: u64) -> Message {
-        Message::Insert(Event::primitive(
+        Message::insert_event(Event::primitive(
             EventId(id),
             iv(vs, vs + 10),
             Payload::empty(),
@@ -568,6 +705,74 @@ mod tests {
         assert!(o3.is_empty(), "regressing CTI ignored");
         let o4 = s.push(0, Message::Cti(t(9)), 3);
         assert_eq!(o4.last().and_then(|m| m.as_cti()), Some(t(9)));
+    }
+
+    #[test]
+    fn push_batch_groups_runs_and_counts_them() {
+        let mut s = echo_shell(ConsistencySpec::middle());
+        let batch = vec![ins(1, 1), ins(2, 2), Message::Cti(t(5)), ins(3, 6)];
+        let out = s.push_batch(0, &batch, 0);
+        assert_eq!(out.iter().filter(|m| m.is_data()).count(), 3);
+        assert_eq!(s.stats().released, 3);
+        assert_eq!(s.stats().batches, 2, "delivery run split at the CTI");
+        assert_eq!(s.stats().batch_peak, 2);
+        // The CTI is forwarded at its position in the stream: after the
+        // data admitted under the old guarantee, before the sync-6 insert.
+        assert_eq!(out[2].as_cti(), Some(t(5)));
+        assert!(out[3].as_insert().is_some());
+    }
+
+    #[test]
+    fn push_batch_restores_sync_order_under_strong() {
+        let mut s = echo_shell(ConsistencySpec::strong());
+        let out = s.push_batch(0, &[ins(1, 5), ins(2, 2), Message::Cti(t(6))], 0);
+        let syncs: Vec<TimePoint> = out
+            .iter()
+            .filter_map(|m| m.as_insert().map(|e| e.vs()))
+            .collect();
+        assert_eq!(syncs, vec![t(2), t(5)], "alignment still applies in-batch");
+        assert_eq!(out.last().unwrap().as_cti(), Some(t(6)));
+    }
+
+    #[test]
+    fn run_watermark_never_overtakes_undelivered_messages() {
+        use std::sync::{Arc as StdArc, Mutex};
+
+        /// Records the watermark each delivery run was handed.
+        struct Probe {
+            seen: StdArc<Mutex<Vec<(usize, TimePoint)>>>,
+        }
+        impl OperatorModule for Probe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn arity(&self) -> usize {
+                2
+            }
+            fn on_insert(&mut self, input: usize, _e: &Event, ctx: &mut OpContext) {
+                self.seen.lock().unwrap().push((input, ctx.watermark));
+            }
+            fn on_retract(&mut self, _i: usize, _r: &Retraction, _ctx: &mut OpContext) {}
+        }
+
+        let seen = StdArc::new(Mutex::new(Vec::new()));
+        let mut s = OperatorShell::new(
+            Box::new(Probe { seen: seen.clone() }),
+            ConsistencySpec::strong(),
+        );
+        // Two aligned inserts on different ports; the guarantee then jumps
+        // past both at once.
+        s.push(0, ins(1, 5), 0);
+        s.push(1, ins(2, 6), 1);
+        s.push(0, Message::Cti(t(10)), 2);
+        s.push(1, Message::Cti(t(10)), 3);
+        let seen = seen.lock().unwrap();
+        assert_eq!(
+            *seen,
+            vec![(0, t(6)), (1, t(10))],
+            "the first run's watermark must be capped by the undelivered \
+             sync-6 message behind it"
+        );
     }
 
     #[test]

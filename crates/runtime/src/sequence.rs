@@ -49,13 +49,8 @@ fn slots_as_sets(slots: &[SlotMap]) -> Vec<EventSet> {
 
 /// Emit the difference between the currently-emitted outputs and a desired
 /// output set (keyed by deterministic output ID).
-fn diff_emitted(
-    emitted: &mut HashMap<EventId, Event>,
-    desired: Vec<Event>,
-    ctx: &mut OpContext,
-) {
-    let desired_map: HashMap<EventId, Event> =
-        desired.into_iter().map(|e| (e.id, e)).collect();
+fn diff_emitted(emitted: &mut HashMap<EventId, Event>, desired: Vec<Event>, ctx: &mut OpContext) {
+    let desired_map: HashMap<EventId, Event> = desired.into_iter().map(|e| (e.id, e)).collect();
     for (id, e) in emitted.iter() {
         if !desired_map.contains_key(id) {
             ctx.out.retract_full(e.clone());
@@ -426,8 +421,8 @@ mod tests {
             Box::new(SequenceOp::new(2, dur(10), Pred::True)),
             ConsistencySpec::middle(),
         );
-        assert!(s.push(0, Message::Insert(pt(1, 5)), 0).is_empty());
-        let out = s.push(1, Message::Insert(pt(2, 8)), 1);
+        assert!(s.push(0, Message::insert_event(pt(1, 5)), 0).is_empty());
+        let out = s.push(1, Message::insert_event(pt(2, 8)), 1);
         assert_eq!(out.len(), 1);
         let m = out[0].as_insert().unwrap();
         assert_eq!(m.interval, Interval::new(t(8), t(15)));
@@ -441,8 +436,8 @@ mod tests {
             Box::new(SequenceOp::new(2, dur(10), Pred::True)),
             ConsistencySpec::middle(),
         );
-        assert!(s.push(1, Message::Insert(pt(2, 8)), 0).is_empty());
-        let out = s.push(0, Message::Insert(pt(1, 5)), 1);
+        assert!(s.push(1, Message::insert_event(pt(2, 8)), 0).is_empty());
+        let out = s.push(0, Message::insert_event(pt(1, 5)), 1);
         assert_eq!(out.len(), 1, "late arrival still yields the match");
     }
 
@@ -452,8 +447,8 @@ mod tests {
             Box::new(SequenceOp::new(2, dur(10), Pred::True)),
             ConsistencySpec::middle(),
         );
-        s.push(0, Message::Insert(pt(1, 5)), 0);
-        let out = s.push(1, Message::Insert(pt(2, 16)), 1);
+        s.push(0, Message::insert_event(pt(1, 5)), 0);
+        let out = s.push(1, Message::insert_event(pt(2, 16)), 1);
         assert!(out.is_empty(), "16 − 5 > 10");
     }
 
@@ -464,8 +459,8 @@ mod tests {
             ConsistencySpec::middle(),
         );
         let e1 = pt(1, 5);
-        s.push(0, Message::Insert(e1.clone()), 0);
-        let out = s.push(1, Message::Insert(pt(2, 8)), 1);
+        s.push(0, Message::insert_event(e1.clone()), 0);
+        let out = s.push(1, Message::insert_event(pt(2, 8)), 1);
         let m = out[0].as_insert().unwrap().clone();
         let out2 = s.push(0, Message::Retract(Retraction::new(e1, t(5))), 2);
         let r = out2[0].as_retract().unwrap();
@@ -480,9 +475,9 @@ mod tests {
             Box::new(SequenceOp::new(2, dur(100), pred)),
             ConsistencySpec::middle(),
         );
-        s.push(0, Message::Insert(ptp(1, 1, "m1")), 0);
-        s.push(0, Message::Insert(ptp(2, 2, "m2")), 1);
-        let out = s.push(1, Message::Insert(ptp(3, 5, "m1")), 2);
+        s.push(0, Message::insert_event(ptp(1, 1, "m1")), 0);
+        s.push(0, Message::insert_event(ptp(2, 2, "m2")), 1);
+        let out = s.push(1, Message::insert_event(ptp(3, 5, "m1")), 2);
         assert_eq!(out.len(), 1, "only the m1 INSTALL correlates");
     }
 
@@ -492,10 +487,10 @@ mod tests {
             Box::new(SequenceOp::new(3, dur(100), Pred::True)),
             ConsistencySpec::middle(),
         );
-        s.push(0, Message::Insert(pt(1, 1)), 0);
-        s.push(2, Message::Insert(pt(3, 9)), 1);
+        s.push(0, Message::insert_event(pt(1, 1)), 0);
+        s.push(2, Message::insert_event(pt(3, 9)), 1);
         // The middle contributor arrives last and completes the triple.
-        let out = s.push(1, Message::Insert(pt(2, 4)), 2);
+        let out = s.push(1, Message::insert_event(pt(2, 4)), 2);
         assert_eq!(out.len(), 1);
         let m = out[0].as_insert().unwrap();
         assert_eq!(
@@ -514,16 +509,12 @@ mod tests {
         let e2s: Vec<Event> = vec![pt(10, 2), pt(11, 6), pt(12, 14)];
         let mut emitted = Vec::new();
         for (i, e) in e1s.iter().enumerate() {
-            emitted.extend(s.push(0, Message::Insert(e.clone()), i as u64));
+            emitted.extend(s.push(0, Message::insert_event(e.clone()), i as u64));
         }
         for (i, e) in e2s.iter().enumerate() {
-            emitted.extend(s.push(1, Message::Insert(e.clone()), (10 + i) as u64));
+            emitted.extend(s.push(1, Message::insert_event(e.clone()), (10 + i) as u64));
         }
-        let expected = cedr_algebra::pattern::sequence(
-            &[e1s, e2s],
-            dur(7),
-            &Pred::True,
-        );
+        let expected = cedr_algebra::pattern::sequence(&[e1s, e2s], dur(7), &Pred::True);
         let got: HashSet<EventId> = emitted
             .iter()
             .filter_map(|m| m.as_insert().map(|e| e.id))
@@ -538,8 +529,8 @@ mod tests {
             Box::new(SequenceOp::new(2, dur(10), Pred::True)),
             ConsistencySpec::middle(),
         );
-        s.push(0, Message::Insert(pt(1, 5)), 0);
-        s.push(1, Message::Insert(pt(2, 8)), 1);
+        s.push(0, Message::insert_event(pt(1, 5)), 0);
+        s.push(1, Message::insert_event(pt(2, 8)), 1);
         assert!(s.module().state_size() > 0);
         s.push(0, Message::Cti(t(100)), 2);
         s.push(1, Message::Cti(t(100)), 3);
@@ -556,11 +547,11 @@ mod tests {
             Box::new(SequenceOp::with_modes(2, dur(10), Pred::True, modes)),
             ConsistencySpec::middle(),
         );
-        s.push(0, Message::Insert(pt(1, 1)), 0);
-        let o1 = s.push(1, Message::Insert(pt(2, 3)), 1);
+        s.push(0, Message::insert_event(pt(1, 1)), 0);
+        let o1 = s.push(1, Message::insert_event(pt(2, 3)), 1);
         assert_eq!(o1.iter().filter(|m| m.is_data()).count(), 1);
         // The second E2 cannot reuse the consumed E1.
-        let o2 = s.push(1, Message::Insert(pt(3, 5)), 2);
+        let o2 = s.push(1, Message::insert_event(pt(3, 5)), 2);
         assert_eq!(o2.iter().filter(|m| m.is_data()).count(), 0);
     }
 
@@ -573,7 +564,7 @@ mod tests {
         let events = [pt(1, 1), pt(2, 2), pt(3, 3)];
         let mut emitted = Vec::new();
         for (i, e) in events.iter().enumerate() {
-            emitted.extend(s.push(i, Message::Insert(e.clone()), i as u64));
+            emitted.extend(s.push(i, Message::insert_event(e.clone()), i as u64));
         }
         let inserts: Vec<EventId> = emitted
             .iter()
@@ -606,8 +597,8 @@ mod tests {
             Box::new(AtLeastOp::new(1, 2, dur(1), Pred::True)),
             ConsistencySpec::middle(),
         );
-        let o1 = s.push(0, Message::Insert(pt(1, 1)), 0);
-        let o2 = s.push(1, Message::Insert(pt(2, 5)), 1);
+        let o1 = s.push(0, Message::insert_event(pt(1, 1)), 0);
+        let o2 = s.push(1, Message::insert_event(pt(2, 5)), 1);
         assert_eq!(o1.iter().filter(|m| m.is_data()).count(), 1);
         assert_eq!(o2.iter().filter(|m| m.is_data()).count(), 1);
     }

@@ -54,8 +54,7 @@ impl ProjectOp {
     }
 
     fn transform(&self, e: &Event) -> Event {
-        let payload =
-            Payload::from_values(self.exprs.iter().map(|x| x.eval_event(e)).collect());
+        let payload = Payload::from_values(self.exprs.iter().map(|x| x.eval_event(e)).collect());
         Event {
             id: e.id,
             interval: e.interval,
@@ -310,8 +309,8 @@ mod tests {
         let out = run(
             &mut s,
             vec![
-                Message::Insert(keep.clone()),
-                Message::Insert(drop.clone()),
+                Message::insert_event(keep.clone()),
+                Message::insert_event(drop.clone()),
                 Message::Retract(Retraction::new(keep, t(4))),
                 Message::Retract(Retraction::new(drop, t(4))),
             ],
@@ -335,7 +334,7 @@ mod tests {
         let out = run(
             &mut s,
             vec![
-                Message::Insert(e.clone()),
+                Message::insert_event(e.clone()),
                 Message::Retract(Retraction::new(e, t(5))),
             ],
         );
@@ -356,7 +355,7 @@ mod tests {
         let out = run(
             &mut s,
             vec![
-                Message::Insert(e.clone()),
+                Message::insert_event(e.clone()),
                 // Retract to [0,3): the windowed output [0,5) shortens to [0,3).
                 Message::Retract(Retraction::new(e, t(3))),
             ],
@@ -376,7 +375,7 @@ mod tests {
         let out = run(
             &mut s,
             vec![
-                Message::Insert(e.clone()),
+                Message::insert_event(e.clone()),
                 // [0,100) → [0,50): the window output [0,5) is unaffected.
                 Message::Retract(Retraction::new(e, t(50))),
             ],
@@ -394,7 +393,7 @@ mod tests {
         let out = run(
             &mut s,
             vec![
-                Message::Insert(e.clone()),
+                Message::insert_event(e.clone()),
                 Message::Retract(Retraction::new(e, t(6))),
             ],
         );
@@ -415,7 +414,7 @@ mod tests {
         let out = run(
             &mut s,
             vec![
-                Message::Insert(e.clone()),
+                Message::insert_event(e.clone()),
                 Message::Retract(Retraction::new(e, t(2))),
             ],
         );
@@ -435,8 +434,8 @@ mod tests {
     #[test]
     fn union_merges_two_ports() {
         let mut s = OperatorShell::new(Box::new(UnionOp), ConsistencySpec::middle());
-        let o1 = s.push(0, Message::Insert(ev(1, 0, 5, 1)), 0);
-        let o2 = s.push(1, Message::Insert(ev(2, 3, 8, 2)), 1);
+        let o1 = s.push(0, Message::insert_event(ev(1, 0, 5, 1)), 0);
+        let o2 = s.push(1, Message::insert_event(ev(2, 3, 8, 2)), 1);
         assert_eq!(o1.len(), 1);
         assert_eq!(o2.len(), 1);
     }

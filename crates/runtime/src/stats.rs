@@ -26,6 +26,14 @@ pub struct OpStats {
     pub blocked_messages: usize,
     /// Peak operational-module state size (events/entries retained).
     pub state_peak: usize,
+    /// Module delivery runs (`on_batch` invocations with ≥ 1 message).
+    pub batches: usize,
+    /// Messages handed to the module inside delivery runs (includes
+    /// replayed orphan retractions; excludes parked ones — `released`
+    /// counts monitor admissions instead, a different population).
+    pub delivered: usize,
+    /// Largest single delivery run handed to the module.
+    pub batch_peak: usize,
     /// Output inserts emitted.
     pub out_inserts: usize,
     /// Output retractions emitted.
@@ -49,6 +57,16 @@ impl OpStats {
         }
     }
 
+    /// Mean messages per module delivery run — the amortisation factor of
+    /// the batch scheduler (1.0 ⇔ strictly per-message delivery).
+    pub fn mean_batch_len(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.batches as f64
+        }
+    }
+
     /// Fold another operator's stats into this one (plan-level totals).
     pub fn absorb(&mut self, other: &OpStats) {
         self.arrivals += other.arrivals;
@@ -58,6 +76,9 @@ impl OpStats {
         self.blocked_ticks += other.blocked_ticks;
         self.blocked_messages += other.blocked_messages;
         self.state_peak = self.state_peak.max(other.state_peak);
+        self.batches += other.batches;
+        self.delivered += other.delivered;
+        self.batch_peak = self.batch_peak.max(other.batch_peak);
         self.out_inserts += other.out_inserts;
         self.out_retractions += other.out_retractions;
         self.out_ctis += other.out_ctis;

@@ -1,0 +1,137 @@
+//! Message batches: the unit of work of the batch-at-a-time runtime.
+//!
+//! A [`MessageBatch`] is an ordered run of [`Message`]s from one logical
+//! stream. Because messages carry their events behind `Arc`, a batch can be
+//! handed to any number of consumers by cloning it — the events are shared,
+//! never deep-copied. Batching exists purely at the physical layer: a batch
+//! has no temporal meaning beyond the concatenation of its messages, so any
+//! stream may be cut into batches at arbitrary points without changing the
+//! logical (net) content of what flows through an operator graph.
+
+use crate::message::Message;
+use cedr_temporal::TimePoint;
+use serde::{Deserialize, Serialize};
+
+/// An ordered run of messages, cheap to clone (events are `Arc`-shared).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageBatch {
+    msgs: Vec<Message>,
+}
+
+impl MessageBatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        MessageBatch {
+            msgs: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn push(&mut self, msg: Message) {
+        self.msgs.push(msg);
+    }
+
+    pub fn extend(&mut self, msgs: impl IntoIterator<Item = Message>) {
+        self.msgs.extend(msgs);
+    }
+
+    /// Append a sealing `CTI(t)` guarantee.
+    pub fn push_cti(&mut self, t: TimePoint) {
+        self.msgs.push(Message::Cti(t));
+    }
+
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Number of data (non-CTI) messages.
+    pub fn data_messages(&self) -> usize {
+        self.msgs.iter().filter(|m| m.is_data()).count()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Message> {
+        self.msgs.iter()
+    }
+
+    pub fn as_slice(&self) -> &[Message] {
+        &self.msgs
+    }
+
+    /// Highest `Sync` value in the batch, if any.
+    pub fn max_sync(&self) -> Option<TimePoint> {
+        self.msgs.iter().map(|m| m.sync()).max()
+    }
+
+    pub fn clear(&mut self) {
+        self.msgs.clear();
+    }
+
+    pub fn into_messages(self) -> Vec<Message> {
+        self.msgs
+    }
+}
+
+impl From<Vec<Message>> for MessageBatch {
+    fn from(msgs: Vec<Message>) -> Self {
+        MessageBatch { msgs }
+    }
+}
+
+impl FromIterator<Message> for MessageBatch {
+    fn from_iter<I: IntoIterator<Item = Message>>(iter: I) -> Self {
+        MessageBatch {
+            msgs: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for MessageBatch {
+    type Item = Message;
+    type IntoIter = std::vec::IntoIter<Message>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.msgs.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a MessageBatch {
+    type Item = &'a Message;
+    type IntoIter = std::slice::Iter<'a, Message>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.msgs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedr_temporal::interval::iv;
+    use cedr_temporal::time::t;
+    use cedr_temporal::Payload;
+
+    #[test]
+    fn batch_accumulates_and_counts() {
+        let mut b = MessageBatch::new();
+        b.push(Message::insert(1, iv(0, 5), Payload::empty()));
+        b.push(Message::insert(2, iv(3, 8), Payload::empty()));
+        b.push_cti(t(3));
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.data_messages(), 2);
+        assert_eq!(b.max_sync(), Some(t(3)));
+    }
+
+    #[test]
+    fn batch_round_trips_through_vec() {
+        let msgs = vec![Message::Cti(t(1)), Message::Cti(t(2))];
+        let b = MessageBatch::from(msgs.clone());
+        assert_eq!(b.clone().into_messages(), msgs);
+        assert_eq!(b.iter().count(), 2);
+    }
+}

@@ -31,7 +31,7 @@ impl LogicalClock {
 
     /// Advance by `d`, returning the new time.
     pub fn advance(&mut self, d: Duration) -> TimePoint {
-        self.now = self.now + d;
+        self.now += d;
         self.now
     }
 

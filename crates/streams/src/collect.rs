@@ -88,6 +88,14 @@ impl Collector {
         }
     }
 
+    /// Ingest every message of a batch. Events stay shared with the batch
+    /// (`Arc` clones); only history-table rows copy payloads out.
+    pub fn absorb_batch(&mut self, batch: &crate::batch::MessageBatch) {
+        for m in batch {
+            self.push(m.clone());
+        }
+    }
+
     /// The tritemporal history table accumulated so far.
     pub fn history(&self) -> &HistoryTable {
         &self.history
@@ -147,7 +155,7 @@ mod tests {
     fn full_removals_vanish_from_net_content() {
         let mut c = Collector::new();
         let e = Event::primitive(EventId(9), iv(2, 8), Payload::empty());
-        c.push(Message::Insert(e.clone()));
+        c.push(Message::insert_event(e.clone()));
         c.push(Message::Retract(Retraction::new(e, t(2))));
         assert_eq!(c.stats().full_removals, 1);
         assert!(c.net_table().is_empty());

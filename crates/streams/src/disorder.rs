@@ -101,8 +101,9 @@ pub fn scramble(source: &[Message], cfg: &DisorderConfig) -> Vec<Message> {
         *remaining.entry(m.sync()).or_insert(0) += 1;
     }
 
-    let mut out =
-        Vec::with_capacity(keyed.len() + keyed.len() / cfg.cti_period.unwrap_or(usize::MAX).max(1) + 2);
+    let mut out = Vec::with_capacity(
+        keyed.len() + keyed.len() / cfg.cti_period.unwrap_or(usize::MAX).max(1) + 2,
+    );
     let mut since_cti = 0usize;
     let mut last_cti = TimePoint::ZERO;
     for (_, _, m) in keyed {
@@ -187,10 +188,7 @@ mod tests {
             if let Message::Cti(c) = m {
                 for later in &stream[i + 1..] {
                     if later.is_data() {
-                        assert!(
-                            later.sync() >= *c,
-                            "CTI {c} violated by later {later:?}"
-                        );
+                        assert!(later.sync() >= *c, "CTI {c} violated by later {later:?}");
                     }
                 }
             }

@@ -8,12 +8,14 @@
 //! back into the history tables of `cedr-temporal` so the paper's
 //! equivalence machinery applies to runtime outputs.
 
+pub mod batch;
 pub mod clock;
 pub mod collect;
 pub mod disorder;
 pub mod message;
 pub mod source;
 
+pub use batch::MessageBatch;
 pub use clock::{CedrClock, LogicalClock};
 pub use collect::{Collector, StreamStats};
 pub use disorder::{scramble, DisorderConfig};
@@ -22,6 +24,7 @@ pub use source::StreamBuilder;
 
 /// Convenience prelude.
 pub mod prelude {
+    pub use crate::batch::MessageBatch;
     pub use crate::clock::{CedrClock, LogicalClock};
     pub use crate::collect::{Collector, StreamStats};
     pub use crate::disorder::{scramble, DisorderConfig};

@@ -13,23 +13,30 @@
 //! The `Sync` attribute follows Figure 6: `Sync = Vs` for an insert and
 //! `Sync = new_end` for a retraction (valid time playing the role of
 //! occurrence time in the merged unitemporal regime).
+//!
+//! Events are carried behind [`Arc`] so that fanning a message out to many
+//! standing queries or dataflow subscribers is a reference-count bump, not
+//! a payload deep-copy. `Message::clone` is therefore O(1) and safe to use
+//! on every edge of a dataflow graph.
 
 use cedr_temporal::{Event, EventId, Interval, Payload, TimePoint};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A retraction: shorten `event`'s lifetime to `[Vs, new_end)`.
 ///
-/// The full pre-retraction event is carried so that stateless operators can
-/// transform retractions without consulting state.
+/// The full pre-retraction event is carried (shared) so that stateless
+/// operators can transform retractions without consulting state.
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Retraction {
-    pub event: Event,
+    pub event: Arc<Event>,
     pub new_end: TimePoint,
 }
 
 impl Retraction {
-    pub fn new(event: Event, new_end: TimePoint) -> Self {
+    pub fn new(event: impl Into<Arc<Event>>, new_end: TimePoint) -> Self {
+        let event = event.into();
         debug_assert!(
             new_end <= event.interval.end,
             "retractions may only shorten lifetimes"
@@ -67,10 +74,11 @@ impl fmt::Debug for Retraction {
     }
 }
 
-/// A physical stream message.
+/// A physical stream message. Data variants share their [`Event`] behind an
+/// [`Arc`]: cloning a `Message` never copies the payload.
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Message {
-    Insert(Event),
+    Insert(Arc<Event>),
     Retract(Retraction),
     Cti(TimePoint),
 }
@@ -78,7 +86,17 @@ pub enum Message {
 impl Message {
     /// Build an insert message for a primitive event.
     pub fn insert(id: u64, interval: Interval, payload: Payload) -> Message {
-        Message::Insert(Event::primitive(EventId(id), interval, payload))
+        Message::Insert(Arc::new(Event::primitive(EventId(id), interval, payload)))
+    }
+
+    /// Wrap an event (owned or already shared) as an insert message.
+    pub fn insert_event(event: impl Into<Arc<Event>>) -> Message {
+        Message::Insert(event.into())
+    }
+
+    /// Build a retraction message shortening `event` to `[Vs, new_end)`.
+    pub fn retract_event(event: impl Into<Arc<Event>>, new_end: TimePoint) -> Message {
+        Message::Retract(Retraction::new(event, new_end))
     }
 
     /// The `Sync` value inducing the global out-of-order criterion
@@ -154,7 +172,7 @@ mod tests {
 
     #[test]
     fn sync_values_follow_figure6() {
-        assert_eq!(Message::Insert(ev(1, 3, 9)).sync(), t(3));
+        assert_eq!(Message::insert_event(ev(1, 3, 9)).sync(), t(3));
         let r = Retraction::new(ev(1, 3, 9), t(5));
         assert_eq!(Message::Retract(r).sync(), t(5));
         assert_eq!(Message::Cti(t(7)).sync(), t(7));
@@ -184,5 +202,15 @@ mod tests {
         assert!(m.as_retract().is_none());
         assert_eq!(Message::Cti(t(4)).as_cti(), Some(t(4)));
         assert!(!Message::Cti(t(4)).is_data());
+    }
+
+    #[test]
+    fn cloning_a_message_shares_the_event() {
+        let m = Message::insert_event(ev(1, 3, 9));
+        let m2 = m.clone();
+        let (Message::Insert(a), Message::Insert(b)) = (&m, &m2) else {
+            panic!("inserts expected");
+        };
+        assert!(Arc::ptr_eq(a, b), "clone must share, not deep-copy");
     }
 }

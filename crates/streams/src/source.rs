@@ -34,7 +34,7 @@ impl StreamBuilder {
     pub fn insert(&mut self, interval: Interval, payload: Payload) -> Event {
         let ev = Event::primitive(EventId(self.next_id), interval, payload);
         self.next_id += 1;
-        self.messages.push(Message::Insert(ev.clone()));
+        self.messages.push(Message::insert_event(ev.clone()));
         ev
     }
 
@@ -44,13 +44,14 @@ impl StreamBuilder {
     }
 
     /// Add an explicit event (caller-controlled ID).
-    pub fn insert_event(&mut self, ev: Event) {
-        self.messages.push(Message::Insert(ev));
+    pub fn insert_event(&mut self, ev: impl Into<std::sync::Arc<Event>>) {
+        self.messages.push(Message::insert_event(ev));
     }
 
     /// Add a retraction shortening `event` to `[Vs, new_end)`.
     pub fn retract(&mut self, event: Event, new_end: TimePoint) {
-        self.messages.push(Message::Retract(Retraction::new(event, new_end)));
+        self.messages
+            .push(Message::Retract(Retraction::new(event, new_end)));
     }
 
     /// Number of data messages so far.
@@ -79,7 +80,7 @@ impl StreamBuilder {
                     out.push(Message::Cti(sync));
                     let mut d = due;
                     while d <= sync {
-                        d = d + period;
+                        d += period;
                     }
                     next_cti = Some(d);
                 }

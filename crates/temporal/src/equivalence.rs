@@ -56,11 +56,11 @@ impl EquivalenceOptions {
 
 /// The projected row image used for multiset comparison.
 type RowImage = (
-    Option<u64>,          // K
-    Option<u64>,          // ID
-    Option<Interval>,     // valid
-    Interval,             // occurrence (always compared)
-    Option<Payload>,      // payload
+    Option<u64>,      // K
+    Option<u64>,      // ID
+    Option<Interval>, // valid
+    Interval,         // occurrence (always compared)
+    Option<Payload>,  // payload
 );
 
 fn project(table: &HistoryTable, opts: EquivalenceOptions) -> Vec<RowImage> {
@@ -102,7 +102,11 @@ pub fn logically_equivalent_at(
 }
 
 /// Equivalence "to infinity" (used by well-behavedness, Definition 6).
-pub fn logically_equivalent(s1: &HistoryTable, s2: &HistoryTable, opts: EquivalenceOptions) -> bool {
+pub fn logically_equivalent(
+    s1: &HistoryTable,
+    s2: &HistoryTable,
+    opts: EquivalenceOptions,
+) -> bool {
     logically_equivalent_to(s1, s2, TimePoint::INFINITY, opts)
 }
 
@@ -138,8 +142,16 @@ mod tests {
         let mut a = HistoryTable::new();
         a.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv(0, 9)));
         let mut b = HistoryTable::new();
-        b.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv(700, 900)));
-        assert!(logically_equivalent(&a, &b, EquivalenceOptions::definition1()));
+        b.push(HistoryRow::occurrence_only(
+            ChainKey(0),
+            iv(1, 5),
+            iv(700, 900),
+        ));
+        assert!(logically_equivalent(
+            &a,
+            &b,
+            EquivalenceOptions::definition1()
+        ));
     }
 
     #[test]
@@ -150,7 +162,11 @@ mod tests {
         let mut b = HistoryTable::new();
         b.push(HistoryRow::occurrence_only(ChainKey(1), iv(2, 9), iv(5, 6)));
         b.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv(6, 7)));
-        assert!(logically_equivalent(&a, &b, EquivalenceOptions::definition1()));
+        assert!(logically_equivalent(
+            &a,
+            &b,
+            EquivalenceOptions::definition1()
+        ));
     }
 
     #[test]
@@ -158,9 +174,21 @@ mod tests {
         let mut a = HistoryTable::new();
         a.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv(0, 1)));
         let mut b = HistoryTable::new();
-        b.push(HistoryRow::occurrence_only(ChainKey(42), iv(1, 5), iv(0, 1)));
-        assert!(!logically_equivalent(&a, &b, EquivalenceOptions::definition1()));
-        assert!(logically_equivalent(&a, &b, EquivalenceOptions::content_only()));
+        b.push(HistoryRow::occurrence_only(
+            ChainKey(42),
+            iv(1, 5),
+            iv(0, 1),
+        ));
+        assert!(!logically_equivalent(
+            &a,
+            &b,
+            EquivalenceOptions::definition1()
+        ));
+        assert!(logically_equivalent(
+            &a,
+            &b,
+            EquivalenceOptions::content_only()
+        ));
     }
 
     #[test]
@@ -168,12 +196,32 @@ mod tests {
         // One stream inserts [1,10) then retracts to [1,4); another inserts
         // [1,∞) then retracts to [1,6) then to [1,4). Same net effect.
         let mut a = HistoryTable::new();
-        a.push(HistoryRow::occurrence_only(ChainKey(7), iv(1, 10), iv(0, 1)));
-        a.push(HistoryRow::occurrence_only(ChainKey(7), iv(1, 4), iv_inf(1)));
+        a.push(HistoryRow::occurrence_only(
+            ChainKey(7),
+            iv(1, 10),
+            iv(0, 1),
+        ));
+        a.push(HistoryRow::occurrence_only(
+            ChainKey(7),
+            iv(1, 4),
+            iv_inf(1),
+        ));
         let mut b = HistoryTable::new();
-        b.push(HistoryRow::occurrence_only(ChainKey(7), iv_inf(1), iv(0, 1)));
+        b.push(HistoryRow::occurrence_only(
+            ChainKey(7),
+            iv_inf(1),
+            iv(0, 1),
+        ));
         b.push(HistoryRow::occurrence_only(ChainKey(7), iv(1, 6), iv(1, 2)));
-        b.push(HistoryRow::occurrence_only(ChainKey(7), iv(1, 4), iv_inf(2)));
-        assert!(logically_equivalent(&a, &b, EquivalenceOptions::definition1()));
+        b.push(HistoryRow::occurrence_only(
+            ChainKey(7),
+            iv(1, 4),
+            iv_inf(2),
+        ));
+        assert!(logically_equivalent(
+            &a,
+            &b,
+            EquivalenceOptions::definition1()
+        ));
     }
 }

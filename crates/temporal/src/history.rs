@@ -75,7 +75,11 @@ impl fmt::Debug for AnnotatedRow {
             self.sync,
             self.row.occurrence,
             self.row.cedr,
-            if self.is_retraction { " (retraction)" } else { " (insert)" }
+            if self.is_retraction {
+                " (retraction)"
+            } else {
+                " (insert)"
+            }
         )
     }
 }
@@ -222,7 +226,7 @@ impl HistoryTable {
                 let mut slice = r.clone();
                 slice.occurrence = Interval::point(s);
                 rows.push(slice);
-                s = s + crate::time::Duration(1);
+                s += crate::time::Duration(1);
             }
         }
         HistoryTable { rows }
@@ -401,8 +405,16 @@ mod tests {
     fn annotate_orders_by_cedr_arrival() {
         // Rows stored out of Cs order still classify correctly.
         let mut tbl = HistoryTable::new();
-        tbl.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 5), iv_inf(9)));
-        tbl.push(HistoryRow::occurrence_only(ChainKey(0), iv(1, 10), iv(2, 9)));
+        tbl.push(HistoryRow::occurrence_only(
+            ChainKey(0),
+            iv(1, 5),
+            iv_inf(9),
+        ));
+        tbl.push(HistoryRow::occurrence_only(
+            ChainKey(0),
+            iv(1, 10),
+            iv(2, 9),
+        ));
         let ann = tbl.annotate();
         assert!(!ann[0].is_retraction);
         assert_eq!(ann[0].sync, t(1));
@@ -429,7 +441,11 @@ mod tests {
     #[should_panic]
     fn shredding_rejects_infinite_tables() {
         let mut tbl = HistoryTable::new();
-        tbl.push(HistoryRow::occurrence_only(ChainKey(0), iv_inf(2), iv(0, 1)));
+        tbl.push(HistoryRow::occurrence_only(
+            ChainKey(0),
+            iv_inf(2),
+            iv(0, 1),
+        ));
         let _ = tbl.shredded();
     }
 

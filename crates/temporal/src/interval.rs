@@ -75,10 +75,7 @@ impl Interval {
     /// Do two intervals share at least one point?
     #[inline]
     pub fn overlaps(&self, other: &Interval) -> bool {
-        !self.is_empty()
-            && !other.is_empty()
-            && self.start < other.end
-            && other.start < self.end
+        !self.is_empty() && !other.is_empty() && self.start < other.end && other.start < self.end
     }
 
     /// Definition 10: `[T1,T2)` and `[T1',T2')` *meet* iff `T2 == T1'`.
@@ -166,13 +163,19 @@ mod tests {
         assert!(i.contains(t(4)));
         assert!(i.contains(t(1_000_000)));
         assert!(!i.contains(t(3)));
-        assert!(!i.contains(TimePoint::INFINITY), "∞ itself is never a member");
+        assert!(
+            !i.contains(TimePoint::INFINITY),
+            "∞ itself is never a member"
+        );
     }
 
     #[test]
     fn overlap_cases() {
         assert!(iv(1, 5).overlaps(&iv(4, 9)));
-        assert!(!iv(1, 5).overlaps(&iv(5, 9)), "touching intervals do not overlap");
+        assert!(
+            !iv(1, 5).overlaps(&iv(5, 9)),
+            "touching intervals do not overlap"
+        );
         assert!(!iv(1, 5).overlaps(&iv(6, 9)));
         assert!(iv(1, 10).overlaps(&iv(3, 4)));
         assert!(!iv(3, 3).overlaps(&iv(1, 10)), "empty never overlaps");

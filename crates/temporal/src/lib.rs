@@ -45,8 +45,7 @@ pub use value::Value;
 pub mod prelude {
     pub use crate::bitemporal::{BiTemporalRow, BiTemporalTable};
     pub use crate::equivalence::{
-        logically_equivalent, logically_equivalent_at, logically_equivalent_to,
-        EquivalenceOptions,
+        logically_equivalent, logically_equivalent_at, logically_equivalent_to, EquivalenceOptions,
     };
     pub use crate::event::{ChainKey, Event, EventId, Lineage, Payload};
     pub use crate::history::{AnnotatedRow, HistoryRow, HistoryTable};

@@ -87,8 +87,14 @@ mod tests {
         assert_eq!(
             pts,
             vec![
-                SyncPoint { occurrence: t(1), cedr: t(0) },
-                SyncPoint { occurrence: t(5), cedr: t(7) },
+                SyncPoint {
+                    occurrence: t(1),
+                    cedr: t(0)
+                },
+                SyncPoint {
+                    occurrence: t(5),
+                    cedr: t(7)
+                },
             ]
         );
     }
@@ -105,7 +111,13 @@ mod tests {
         assert!(!is_sync_point(&ann, t(5), t(0)));
         let pts = sync_points(&ann);
         assert_eq!(pts.len(), 1);
-        assert_eq!(pts[0], SyncPoint { occurrence: t(5), cedr: t(1) });
+        assert_eq!(
+            pts[0],
+            SyncPoint {
+                occurrence: t(5),
+                cedr: t(1)
+            }
+        );
         assert!(!is_totally_ordered(&ann));
     }
 
@@ -144,6 +156,12 @@ mod tests {
             HistoryRow::occurrence_only(ChainKey(1), iv_inf(2), iv(1, 2)),
         ]);
         let pts = sync_points(&ann);
-        assert_eq!(pts, vec![SyncPoint { occurrence: t(2), cedr: t(1) }]);
+        assert_eq!(
+            pts,
+            vec![SyncPoint {
+                occurrence: t(2),
+                cedr: t(1)
+            }]
+        );
     }
 }

@@ -29,7 +29,10 @@ impl TimePoint {
     /// Construct a finite time point. Panics if `t` collides with `∞`.
     #[inline]
     pub fn new(t: u64) -> Self {
-        assert!(t != u64::MAX, "u64::MAX is reserved for TimePoint::INFINITY");
+        assert!(
+            t != u64::MAX,
+            "u64::MAX is reserved for TimePoint::INFINITY"
+        );
         TimePoint(t)
     }
 
@@ -295,10 +298,7 @@ mod tests {
             Duration::INFINITE.saturating_add(dur(1)),
             Duration::INFINITE
         );
-        assert_eq!(
-            dur(u64::MAX - 1).saturating_add(dur(5)),
-            Duration::INFINITE
-        );
+        assert_eq!(dur(u64::MAX - 1).saturating_add(dur(5)), Duration::INFINITE);
     }
 
     #[test]
@@ -317,6 +317,9 @@ mod tests {
     #[test]
     fn min_max_helpers() {
         assert_eq!(TimePoint::min_of(t(3), t(9)), t(3));
-        assert_eq!(TimePoint::max_of(t(3), TimePoint::INFINITY), TimePoint::INFINITY);
+        assert_eq!(
+            TimePoint::max_of(t(3), TimePoint::INFINITY),
+            TimePoint::INFINITY
+        );
     }
 }

@@ -95,7 +95,10 @@ impl UniTemporalTable {
             if r.interval.is_empty() {
                 continue;
             }
-            by_payload.entry(r.payload.clone()).or_default().push(r.interval);
+            by_payload
+                .entry(r.payload.clone())
+                .or_default()
+                .push(r.interval);
         }
         let mut rows = Vec::new();
         let mut next_id = 0u64;
@@ -170,7 +173,10 @@ impl UniTemporalTable {
 
     /// The relation's snapshot at time `t`: payloads valid at `t`.
     pub fn snapshot_at(&self, t: TimePoint) -> Vec<&UniTemporalRow> {
-        self.rows.iter().filter(|r| r.interval.contains(t)).collect()
+        self.rows
+            .iter()
+            .filter(|r| r.interval.contains(t))
+            .collect()
     }
 
     /// Figure 10 of the paper.
@@ -241,8 +247,9 @@ mod tests {
 
     #[test]
     fn star_coalesces_meeting_intervals_with_equal_payloads() {
-        let tbl: UniTemporalTable =
-            vec![row(0, 1, 5, "P"), row(1, 5, 9, "P")].into_iter().collect();
+        let tbl: UniTemporalTable = vec![row(0, 1, 5, "P"), row(1, 5, 9, "P")]
+            .into_iter()
+            .collect();
         let s = tbl.star();
         assert_eq!(s.len(), 1);
         assert_eq!(s.rows[0].interval, iv(1, 9));
@@ -252,8 +259,8 @@ mod tests {
     fn star_does_not_merge_gaps_or_different_payloads() {
         let tbl: UniTemporalTable = vec![
             row(0, 1, 5, "P"),
-            row(1, 6, 9, "P"),  // gap at [5,6)
-            row(2, 5, 6, "Q"),  // different payload
+            row(1, 6, 9, "P"), // gap at [5,6)
+            row(2, 5, 6, "Q"), // different payload
         ]
         .into_iter()
         .collect();
@@ -263,13 +270,9 @@ mod tests {
 
     #[test]
     fn star_chains_transitively() {
-        let tbl: UniTemporalTable = vec![
-            row(0, 1, 3, "P"),
-            row(1, 3, 5, "P"),
-            row(2, 5, 8, "P"),
-        ]
-        .into_iter()
-        .collect();
+        let tbl: UniTemporalTable = vec![row(0, 1, 3, "P"), row(1, 3, 5, "P"), row(2, 5, 8, "P")]
+            .into_iter()
+            .collect();
         let s = tbl.star();
         assert_eq!(s.len(), 1);
         assert_eq!(s.rows[0].interval, iv(1, 8));
@@ -279,12 +282,9 @@ mod tests {
     fn star_equality_is_packaging_insensitive() {
         // "a payload whose lifetime is chopped into several insert events"
         // equals "one event with a larger, equivalent lifetime" (Def 11).
-        let chopped: UniTemporalTable = vec![
-            row(0, 1, 4, "P"),
-            row(1, 4, 7, "P"),
-        ]
-        .into_iter()
-        .collect();
+        let chopped: UniTemporalTable = vec![row(0, 1, 4, "P"), row(1, 4, 7, "P")]
+            .into_iter()
+            .collect();
         let whole: UniTemporalTable = vec![row(9, 1, 7, "P")].into_iter().collect();
         assert!(chopped.star_equal(&whole));
         assert!(!chopped.content_equal(&whole));
@@ -292,11 +292,13 @@ mod tests {
 
     #[test]
     fn relation_check_rejects_overlapping_duplicates() {
-        let bad: UniTemporalTable =
-            vec![row(0, 1, 5, "P"), row(1, 3, 7, "P")].into_iter().collect();
+        let bad: UniTemporalTable = vec![row(0, 1, 5, "P"), row(1, 3, 7, "P")]
+            .into_iter()
+            .collect();
         assert!(bad.check_relation().is_err());
-        let good: UniTemporalTable =
-            vec![row(0, 1, 5, "P"), row(1, 3, 7, "Q")].into_iter().collect();
+        let good: UniTemporalTable = vec![row(0, 1, 5, "P"), row(1, 3, 7, "Q")]
+            .into_iter()
+            .collect();
         assert!(good.check_relation().is_ok());
     }
 
@@ -311,8 +313,9 @@ mod tests {
 
     #[test]
     fn empty_rows_are_invisible() {
-        let tbl: UniTemporalTable =
-            vec![row(0, 5, 5, "P"), row(1, 1, 2, "Q")].into_iter().collect();
+        let tbl: UniTemporalTable = vec![row(0, 5, 5, "P"), row(1, 1, 2, "Q")]
+            .into_iter()
+            .collect();
         assert_eq!(tbl.without_empty().len(), 1);
         assert_eq!(tbl.star().len(), 1);
     }

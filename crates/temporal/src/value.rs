@@ -93,9 +93,9 @@ impl Value {
     /// cross-type comparisons order by type tag (total, never panics).
     pub fn compare(&self, other: &Value) -> Ordering {
         match (self.as_f64(), other.as_f64()) {
-            (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or_else(|| {
-                Value::float_bits(a).cmp(&Value::float_bits(b))
-            }),
+            (Some(a), Some(b)) => a
+                .partial_cmp(&b)
+                .unwrap_or_else(|| Value::float_bits(a).cmp(&Value::float_bits(b))),
             _ => match (self, other) {
                 (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
                 (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
@@ -112,9 +112,7 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
-            (Value::Float(a), Value::Float(b)) => {
-                Value::float_bits(*a) == Value::float_bits(*b)
-            }
+            (Value::Float(a), Value::Float(b)) => Value::float_bits(*a) == Value::float_bits(*b),
             (Value::Str(a), Value::Str(b)) => a == b,
             _ => false,
         }
@@ -151,12 +149,10 @@ impl Ord for Value {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
-            (Value::Float(a), Value::Float(b)) => {
-                match a.partial_cmp(b) {
-                    Some(o) => o,
-                    None => Value::float_bits(*a).cmp(&Value::float_bits(*b)),
-                }
-            }
+            (Value::Float(a), Value::Float(b)) => match a.partial_cmp(b) {
+                Some(o) => o,
+                None => Value::float_bits(*a).cmp(&Value::float_bits(*b)),
+            },
             (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
             _ => self.tag().cmp(&other.tag()),
         }

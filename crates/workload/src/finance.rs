@@ -203,9 +203,6 @@ mod tests {
             0,
         );
         let s = to_stream(&ticks, Some(Duration::seconds(50)));
-        assert_eq!(
-            s.last().and_then(|m| m.as_cti()),
-            Some(TimePoint::INFINITY)
-        );
+        assert_eq!(s.last().and_then(|m| m.as_cti()), Some(TimePoint::INFINITY));
     }
 }

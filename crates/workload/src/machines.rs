@@ -119,7 +119,10 @@ impl MachineTrace {
 
     /// Per-type sync-ordered streams `(type name, messages)`, sealed with
     /// `CTI(∞)` and carrying CTIs every `cti_every` ticks.
-    pub fn to_streams(&self, cti_every: Option<Duration>) -> Vec<(String, Vec<cedr_streams::Message>)> {
+    pub fn to_streams(
+        &self,
+        cti_every: Option<Duration>,
+    ) -> Vec<(String, Vec<cedr_streams::Message>)> {
         let mk = |events: &[Event]| {
             let mut b = cedr_streams::StreamBuilder::new();
             for e in events {
@@ -199,7 +202,11 @@ mod tests {
                 msgs.last().and_then(|m| m.as_cti()),
                 Some(TimePoint::INFINITY)
             );
-            let syncs: Vec<TimePoint> = msgs.iter().filter(|m| m.is_data()).map(|m| m.sync()).collect();
+            let syncs: Vec<TimePoint> = msgs
+                .iter()
+                .filter(|m| m.is_data())
+                .map(|m| m.sync())
+                .collect();
             assert!(syncs.windows(2).all(|w| w[0] <= w[1]));
         }
     }

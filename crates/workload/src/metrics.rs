@@ -69,9 +69,8 @@ pub fn merge_scramble(
     let mut sealed: Vec<bool> = Vec::new();
     let mut seq = 0usize;
     for (src, msgs) in streams {
-        let mut rng = StdRng::seed_from_u64(
-            cfg.seed ^ (*src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(cfg.seed ^ (*src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut rem: BTreeMap<TimePoint, usize> = BTreeMap::new();
         sealed.push(matches!(msgs.last(), Some(Message::Cti(t)) if t.is_infinite()));
         for m in msgs.iter() {
@@ -219,11 +218,17 @@ mod tests {
         let mk = |base: u64, n: u64, gap: u64| {
             let mut b = cedr_streams::StreamBuilder::with_id_base(base);
             for i in 0..n {
-                b.insert_at(TimePoint::new(i * gap + base % 7), Payload::from_values(vec![Value::Int(i as i64)]));
+                b.insert_at(
+                    TimePoint::new(i * gap + base % 7),
+                    Payload::from_values(vec![Value::Int(i as i64)]),
+                );
             }
             b.build_ordered(Some(Duration(20)), true)
         };
-        vec![("A".to_string(), mk(0, 50, 13)), ("B".to_string(), mk(10_000, 50, 17))]
+        vec![
+            ("A".to_string(), mk(0, 50, 13)),
+            ("B".to_string(), mk(10_000, 50, 17)),
+        ]
     }
 
     #[test]
@@ -285,11 +290,13 @@ mod tests {
 
     #[test]
     fn f1_accuracy_measures_overlap() {
-        let row = |a: u64, b: u64, v: i64| UniTemporalRow::new(
-            EventId(a * 1000 + b),
-            Interval::new(TimePoint::new(a), TimePoint::new(b)),
-            Payload::from_values(vec![Value::Int(v)]),
-        );
+        let row = |a: u64, b: u64, v: i64| {
+            UniTemporalRow::new(
+                EventId(a * 1000 + b),
+                Interval::new(TimePoint::new(a), TimePoint::new(b)),
+                Payload::from_values(vec![Value::Int(v)]),
+            )
+        };
         let t1: UniTemporalTable = vec![row(0, 5, 1), row(5, 9, 2)].into_iter().collect();
         let t2: UniTemporalTable = vec![row(0, 5, 1)].into_iter().collect();
         assert!((accuracy_f1(&t1, &t1) - 1.0).abs() < 1e-9);

@@ -73,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Interval::point(t(*at)),
                 Payload::from_values(vec![Value::str(trader), Value::Int(*oid)]),
             );
-            msgs.push(Message::Insert(ev));
+            msgs.push(Message::insert_event(ev));
         }
         msgs.sort_by_key(|m| m.sync());
         let mut stream: Vec<Message> = Vec::new();

@@ -38,9 +38,21 @@ fn run_at(
         .map(|(i, (_, msgs))| (i, msgs.as_slice()))
         .collect();
     let disorder = DisorderConfig::heavy(42, 6 * 3600, 25);
-    for (slot, msg) in merge_scramble(&routed, &disorder) {
-        let ty = &streams[slot].0;
-        engine.push(ty, msg)?;
+    // Ingest in micro-batches: stage each chunk per event type, then drain
+    // every dataflow once per chunk — the engine's batch-at-a-time hot
+    // path, preserving the disordered timeline chunk by chunk.
+    let tape = merge_scramble(&routed, &disorder);
+    for chunk in tape.chunks(16) {
+        let mut per_type = vec![MessageBatch::new(); streams.len()];
+        for (slot, msg) in chunk {
+            per_type[*slot].push(msg.clone());
+        }
+        for (slot, batch) in per_type.iter().enumerate() {
+            if !batch.is_empty() {
+                engine.enqueue_batch(&streams[slot].0, batch)?;
+            }
+        }
+        engine.run_to_quiescence();
     }
     Ok((engine, q))
 }

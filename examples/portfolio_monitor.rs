@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Positions cover the session; ticks stream in with mild disorder.
     for p in finance::generate_positions(&PortfolioConfig::default(), 1_000_000) {
-        engine.push("POSITION", Message::Insert(p))?;
+        engine.push("POSITION", Message::insert_event(p))?;
     }
     engine.push_cti("POSITION", TimePoint::INFINITY)?;
 

@@ -47,11 +47,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. A *late* pair arrives out of order (purchase first, login after) —
     //    the match is still found, because CEDR state is ordered by
-    //    occurrence time, not arrival time.
+    //    occurrence time, not arrival time. The burst is ingested as staged
+    //    batches: both streams enqueue, then every dataflow drains once.
     let purchase2 = engine.event("PURCHASE", 950, vec![Value::str("bob")])?;
-    engine.push_insert("PURCHASE", purchase2)?;
     let login2 = engine.event("LOGIN", 900, vec![Value::str("bob")])?;
-    engine.push_insert("LOGIN", login2)?;
+    let mut purchases = MessageBatch::new();
+    purchases.push(Message::insert_event(purchase2));
+    let mut logins = MessageBatch::new();
+    logins.push(Message::insert_event(login2));
+    engine.enqueue_batch("PURCHASE", &purchases)?;
+    engine.enqueue_batch("LOGIN", &logins)?;
+    engine.run_to_quiescence();
 
     // 6. Seal the streams (CTI ∞: no more input) and inspect.
     engine.seal();

@@ -38,7 +38,10 @@ mod cedr_bench_shim {
             ..Default::default()
         };
         let trace = machines::generate(&cfg);
-        (trace.to_streams(Some(Duration::minutes(10))), trace.expected_alerts)
+        (
+            trace.to_streams(Some(Duration::minutes(10))),
+            trace.expected_alerts,
+        )
     }
 }
 
@@ -178,7 +181,10 @@ fn blocking_grows_along_b_and_corners_bound_output() {
         outputs.push(r.output.data_messages);
         retractions.push(r.output.retractions);
     }
-    assert!(blocked[0] <= blocked[1] && blocked[1] <= blocked[2], "blocking grows with B: {blocked:?}");
+    assert!(
+        blocked[0] <= blocked[1] && blocked[1] <= blocked[2],
+        "blocking grows with B: {blocked:?}"
+    );
     assert_eq!(retractions[2], 0, "the strong corner never repairs");
     assert!(
         outputs[2] <= outputs[0],
@@ -226,10 +232,7 @@ fn consistency_switching_at_a_sync_point_is_seamless() {
             .dataflow
             .push_source(src, Message::Cti(TimePoint::INFINITY));
     }
-    let prefix_net = strong_half
-        .dataflow
-        .collector(strong_half.sink)
-        .net_table();
+    let prefix_net = strong_half.dataflow.collector(strong_half.sink).net_table();
 
     let mut middle_full = plan(ConsistencySpec::middle());
     for (src, m) in merged.iter().cloned() {

@@ -14,9 +14,7 @@ fn engine3() -> Engine {
 }
 
 fn push_pt(e: &mut Engine, ty: &str, vs: u64, k: &str, v: i64) -> Event {
-    let ev = e
-        .event(ty, vs, vec![Value::str(k), Value::Int(v)])
-        .unwrap();
+    let ev = e.event(ty, vs, vec![Value::str(k), Value::Int(v)]).unwrap();
     e.push_insert(ty, ev.clone()).unwrap();
     ev
 }
@@ -184,7 +182,10 @@ fn helpful_errors_surface() {
     let mut e = engine3();
     // Unknown type.
     assert!(e
-        .register_query("EVENT q WHEN SEQUENCE(NOPE x, B y, 1 seconds)", ConsistencySpec::middle())
+        .register_query(
+            "EVENT q WHEN SEQUENCE(NOPE x, B y, 1 seconds)",
+            ConsistencySpec::middle()
+        )
         .is_err());
     // Unknown attribute.
     assert!(e
@@ -195,7 +196,10 @@ fn helpful_errors_surface() {
         .is_err());
     // Syntax error.
     assert!(e
-        .register_query("EVENT q WHEN SEQUENCE(A x B y, 1 seconds)", ConsistencySpec::middle())
+        .register_query(
+            "EVENT q WHEN SEQUENCE(A x B y, 1 seconds)",
+            ConsistencySpec::middle()
+        )
         .is_err());
 }
 

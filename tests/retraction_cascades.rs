@@ -133,16 +133,13 @@ fn cascades_are_delivery_order_insensitive() {
                 levents.push(ev);
             }
         } else {
-            let ev = rstream.insert(
-                iv(vs, vs + len),
-                Payload::from_values(vec![Value::Int(k)]),
-            );
+            let ev = rstream.insert(iv(vs, vs + len), Payload::from_values(vec![Value::Int(k)]));
             revents.push(ev);
         }
     }
     let want = denotational(&levents, &revents);
 
-    let streams = vec![
+    let streams = [
         ("L".to_string(), lstream.build_ordered(Some(dur(10)), true)),
         ("R".to_string(), rstream.build_ordered(Some(dur(10)), true)),
     ];

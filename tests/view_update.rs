@@ -42,7 +42,10 @@ fn physical_selection_is_view_update_compliant() {
     let pred = Pred::cmp(Scalar::Field(0), CmpOp::Ge, Scalar::lit(3i64));
     let reference = run_packaging(Box::new(SelectOp::new(pred.clone())), &events);
     for salt in 1..4 {
-        let alt = run_packaging(Box::new(SelectOp::new(pred.clone())), &repackaged(&events, salt));
+        let alt = run_packaging(
+            Box::new(SelectOp::new(pred.clone())),
+            &repackaged(&events, salt),
+        );
         assert!(
             reference.star_equal(&alt),
             "selection output depended on event packaging (salt {salt})"
@@ -62,7 +65,10 @@ fn physical_aggregate_is_view_update_compliant() {
     let reference = run_packaging(mk(), &events);
     for salt in 1..4 {
         let alt = run_packaging(mk(), &repackaged(&events, salt));
-        assert!(reference.star_equal(&alt), "aggregate not packaging-insensitive");
+        assert!(
+            reference.star_equal(&alt),
+            "aggregate not packaging-insensitive"
+        );
     }
 }
 
@@ -79,7 +85,10 @@ fn physical_window_is_not_view_update_compliant_but_well_behaved() {
     assert!(cedr::algebra::to_table(&long).star_equal(&cedr::algebra::to_table(&chopped)));
     let a = run_packaging(Box::new(AlterLifetimeOp::window(dur(5))), &long);
     let b = run_packaging(Box::new(AlterLifetimeOp::window(dur(5))), &chopped);
-    assert!(!a.star_equal(&b), "W_5 must expose packaging (Def 11 fails)");
+    assert!(
+        !a.star_equal(&b),
+        "W_5 must expose packaging (Def 11 fails)"
+    );
     // … yet each packaging individually converges to its denotational
     // value (well-behavedness, Def 6).
     let want_a = cedr::algebra::to_table(&cedr::algebra::moving_window(&long, dur(5)));

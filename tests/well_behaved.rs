@@ -60,7 +60,6 @@ impl LogicalStream {
             })
             .collect()
     }
-
 }
 
 /// Build the ordered message stream: inserts in sync order, retractions at

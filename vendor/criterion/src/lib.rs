@@ -1,0 +1,177 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API the benches in `crates/bench`
+//! use — `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock harness: a warm-up run followed by `sample_size` timed
+//! iterations, reporting the mean per-iteration time. No statistics, plots
+//! or baselines; good enough to rank implementations and spot regressions
+//! by eye or by script.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Top-level harness state (sample-size default mirrors criterion's spirit,
+/// scaled down since there is no outlier analysis to feed).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench("", &id.into(), self.sample_size, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&self.name, &id.into(), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&self.name, &id.into(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(group: &str, id: &BenchmarkId, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        total_nanos: 0,
+        iterations: 0,
+    };
+    f(&mut b); // warm-up
+    b.total_nanos = 0;
+    b.iterations = 0;
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let label = if group.is_empty() {
+        id.0.clone()
+    } else {
+        format!("{group}/{}", id.0)
+    };
+    println!("bench {label}: {:.1} ns/iter", b.mean_nanos());
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    total_nanos: u128,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.total_nanos += start.elapsed().as_nanos();
+        self.iterations += 1;
+    }
+
+    /// Mean wall-clock nanoseconds per [`Bencher::iter`] call.
+    pub fn mean_nanos(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.iterations as f64
+        }
+    }
+}
+
+/// Benchmark identifier (group + optional parameter).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Declared throughput of a benchmark (accepted, not reported).
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,192 @@
+//! Offline stand-in for `rand`.
+//!
+//! Implements exactly the API surface this repository uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen_range` over integer/float
+//! ranges, and `Rng::gen_bool` — on top of the SplitMix64/xoshiro256**
+//! generators. All workload generation in the repo is seeded, so the only
+//! requirement is determinism and reasonable statistical quality, both of
+//! which xoshiro256** provides.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding interface (only the `seed_from_u64` entry point is used here).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that knows how to draw a uniform sample of `T` from an RNG.
+///
+/// Like real rand, `SampleRange` has single blanket impls over
+/// `Range<T>`/`RangeInclusive<T>` so type inference unifies integer
+/// literals in the range with the expected result type.
+pub trait SampleRange<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types that can be drawn uniformly from a bounded range.
+pub trait SampleUniform: Sized {
+    /// Draw from `[low, high)` (`inclusive = false`) or `[low, high]`.
+    fn sample_between<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in gen_range");
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Clone> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "empty range in gen_range");
+        T::sample_between(start, end, true, rng)
+    }
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 high bits → uniform in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let span = (high as i128 - low as i128) as u128 + inclusive as u128;
+                let draw = ((rng.next_u64() as u128) % span) as i128;
+                (low as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        low + unit_f64(rng.next_u64()) * (high - low)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded via SplitMix64, mirroring rand's `StdRng` role:
+    /// a deterministic, decent-quality generator for simulations.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let u = r.gen_range(3u64..=9);
+            assert!((3..=9).contains(&u));
+            let f = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! vendored crate provides the two derive macros the codebase names —
+//! `Serialize` and `Deserialize` — as no-ops. The repo only ever *derives*
+//! the traits (no code calls `serialize`/`deserialize`), so expanding to
+//! nothing keeps every type compiling while adding zero runtime surface.
+//! Swapping in real serde later is a one-line Cargo.toml change per crate.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -6,17 +6,29 @@
 //! running at its own ⟨M, B⟩ spectrum point, fed from shared named input
 //! streams.
 //!
-//! Ingestion is built for fan-out at scale. The engine maintains a
-//! **routing table** from event-type name to the `(query, source port)`
-//! pairs consuming it, refreshed at registration time, so [`Engine::push`]
-//! is a table lookup plus one `Arc`-shared [`Message`] clone per
-//! subscriber — never a payload deep-copy, regardless of how many standing
-//! queries share a stream. [`Engine::push_batch`] hands whole
-//! [`MessageBatch`]es to each subscriber's batch-at-a-time dataflow, and
-//! the [`Engine::enqueue_batch`]/[`Engine::run_to_quiescence`] pair lets
+//! Ingestion is built for fan-out at scale. The engine's event-type
+//! routing table is **sharded**: queries are assigned round-robin to
+//! [`EngineConfig::threads`] shards at registration, and each shard owns
+//! its slice of the event-type → `(query, source port)` table plus its own
+//! ingress queue. [`Engine::push`] is per-shard table lookups plus one
+//! `Arc`-shared [`Message`] clone per subscriber — never a payload
+//! deep-copy, regardless of how many standing queries share a stream.
+//! [`Engine::push_batch`] hands whole [`MessageBatch`]es to each
+//! subscriber's batch-at-a-time dataflow, and the
+//! [`Engine::enqueue_batch`]/[`Engine::run_to_quiescence`] pair lets
 //! callers stage several per-type batches (e.g. one per provider stream)
 //! and then drain every query's dataflow once, maximising the runs the
 //! schedulers can amortise.
+//!
+//! With `threads > 1`, [`Engine::run_to_quiescence`] drains the shards on
+//! scoped worker threads — each worker owns its shard's ingress queue and
+//! queries outright, so the hot path takes **no global lock** (routing is
+//! resolved at staging time, and shard state is disjoint by construction).
+//! Every query's dataflow still sees its staged batches in exactly the
+//! enqueue order, so threaded and serial drains produce bit-identical
+//! outputs at every consistency level; queries are independent dataflows,
+//! which makes the deterministic merge argument of
+//! [`cedr_runtime::scheduler`] trivial at this layer.
 
 use cedr_lang::catalog::{Catalog, EventTypeDef, FieldType};
 use cedr_lang::{compile, lower, optimize, LangError, LogicalOp, LoweredPlan};
@@ -76,31 +88,114 @@ struct RunningQuery {
     explain: String,
 }
 
+/// Execution configuration of an [`Engine`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads for [`Engine::run_to_quiescence`]; also the number
+    /// of routing-table shards. `1` = fully serial.
+    pub threads: usize,
+}
+
+impl EngineConfig {
+    /// Single-threaded execution (one shard, serial drain).
+    pub fn serial() -> Self {
+        EngineConfig { threads: 1 }
+    }
+
+    /// `threads` workers / routing shards (clamped to at least 1).
+    pub fn threaded(threads: usize) -> Self {
+        EngineConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Read `CEDR_THREADS` from the environment (default: 1). This is the
+    /// knob the CI matrix turns to run the whole test suite serial and
+    /// threaded — outputs are bit-identical either way.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("CEDR_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or(1);
+        EngineConfig { threads }
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig::from_env()
+    }
+}
+
+/// One slice of the sharded routing table: the queries assigned to one
+/// worker, their event-type subscriptions, and their staged ingress.
+#[derive(Default)]
+struct EngineShard {
+    /// Event-type name → `(query index, source port)` subscribers whose
+    /// query lives in this shard.
+    routing: HashMap<String, Vec<(usize, usize)>>,
+    /// Staged batches awaiting the next drain, in enqueue order, each with
+    /// the `(query, port)` subscribers it fans out to (one shared batch
+    /// clone per shard, not per subscriber).
+    ingress: Vec<(MessageBatch, Vec<(usize, usize)>)>,
+}
+
 /// The CEDR engine.
 pub struct Engine {
     catalog: Catalog,
     queries: Vec<RunningQuery>,
-    /// Event-type name → `(query index, source port)` subscribers. Rebuilt
-    /// incrementally at registration; makes `push` a lookup instead of a
-    /// scan over every standing query.
-    routing: HashMap<String, Vec<(usize, usize)>>,
+    /// Routing shards; query `q` lives in shard `shard_of_query[q]`.
+    /// Rebuilt incrementally at registration; makes `push` lookups instead
+    /// of a scan over every standing query.
+    shards: Vec<EngineShard>,
+    shard_of_query: Vec<usize>,
+    config: EngineConfig,
     next_event_id: u64,
 }
 
 impl Engine {
+    /// An engine configured from the environment
+    /// ([`EngineConfig::from_env`]; serial unless `CEDR_THREADS` is set).
     pub fn new() -> Self {
+        Engine::with_config(EngineConfig::from_env())
+    }
+
+    /// An engine with an explicit execution configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        let n = config.threads.max(1);
         Engine {
             catalog: Catalog::new(),
             queries: Vec::new(),
-            routing: HashMap::new(),
+            shards: (0..n).map(|_| EngineShard::default()).collect(),
+            shard_of_query: Vec::new(),
+            config,
             next_event_id: 1,
         }
     }
 
-    /// Record the sources a freshly-registered query consumes.
+    /// The active execution configuration.
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Number of routing-table shards (== configured threads).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Record the sources a freshly-registered query consumes in its
+    /// shard's routing table. Queries are spread round-robin, which keeps
+    /// shard loads balanced for homogeneous standing queries.
     fn index_query(&mut self, q: usize) {
+        let shard = q % self.shards.len();
+        self.shard_of_query.push(shard);
         for (port, ty) in self.queries[q].plan.source_types.iter().enumerate() {
-            self.routing.entry(ty.clone()).or_default().push((q, port));
+            self.shards[shard]
+                .routing
+                .entry(ty.clone())
+                .or_default()
+                .push((q, port));
         }
     }
 
@@ -193,13 +288,23 @@ impl Engine {
     /// type receives it via the routing table. Fan-out is one `Arc`-shared
     /// `Message` clone per subscriber — the event payload is never
     /// deep-copied, no matter how many queries share the stream.
+    ///
+    /// Ingestion order is preserved across the two APIs: if batches are
+    /// still staged from [`Engine::enqueue_batch`], they are drained
+    /// first, so a direct push (a CTI, say) can never overtake data that
+    /// was enqueued before it.
     pub fn push(&mut self, event_type: &str, msg: Message) -> Result<(), EngineError> {
         if !self.catalog.contains(event_type) {
             return Err(EngineError::UnknownEventType(event_type.to_string()));
         }
-        if let Some(subs) = self.routing.get(event_type) {
-            for &(q, port) in subs {
-                self.queries[q].plan.dataflow.push_source(port, msg.clone());
+        if self.shards.iter().any(|s| !s.ingress.is_empty()) {
+            self.run_to_quiescence();
+        }
+        for shard in &self.shards {
+            if let Some(subs) = shard.routing.get(event_type) {
+                for &(q, port) in subs {
+                    self.queries[q].plan.dataflow.push_source(port, msg.clone());
+                }
             }
         }
         Ok(())
@@ -219,9 +324,11 @@ impl Engine {
     }
 
     /// Stage a batch on the named input stream without draining the
-    /// dataflows. Pair with [`Engine::run_to_quiescence`] to ingest several
-    /// per-type batches (one per provider stream, say) and then run every
-    /// query's graph once over the union.
+    /// dataflows: each shard resolves its own subscribers and queues an
+    /// `Arc`-shared clone on its ingress — no cross-shard coordination.
+    /// Pair with [`Engine::run_to_quiescence`] to ingest several per-type
+    /// batches (one per provider stream, say) and then run every query's
+    /// graph once over the union.
     pub fn enqueue_batch(
         &mut self,
         event_type: &str,
@@ -230,22 +337,75 @@ impl Engine {
         if !self.catalog.contains(event_type) {
             return Err(EngineError::UnknownEventType(event_type.to_string()));
         }
-        if let Some(subs) = self.routing.get(event_type) {
-            for &(q, port) in subs {
-                self.queries[q]
-                    .plan
-                    .dataflow
-                    .enqueue_source_batch(port, batch);
+        for shard in &mut self.shards {
+            if let Some(subs) = shard.routing.get(event_type) {
+                // One `Arc`-shared batch clone per shard, however many of
+                // its queries subscribe; fan-out to subscribers happens at
+                // drain time.
+                shard.ingress.push((batch.clone(), subs.clone()));
             }
         }
         Ok(())
     }
 
-    /// Drain every registered query's dataflow to quiescence.
+    /// Drain every shard's staged ingress into its queries' dataflows and
+    /// run them to quiescence — serially, or on one worker thread per
+    /// shard when configured with more than one thread. Each query always
+    /// receives its batches in enqueue order, so the two modes are
+    /// bit-identical.
     pub fn run_to_quiescence(&mut self) {
-        for q in &mut self.queries {
-            q.plan.dataflow.run_to_quiescence();
+        let busy = self.shards.iter().filter(|s| !s.ingress.is_empty()).count();
+        if self.config.threads <= 1 || busy <= 1 {
+            for shard in &mut self.shards {
+                for (batch, subs) in std::mem::take(&mut shard.ingress) {
+                    for (q, port) in subs {
+                        self.queries[q]
+                            .plan
+                            .dataflow
+                            .enqueue_source_batch(port, &batch);
+                    }
+                }
+            }
+            for q in &mut self.queries {
+                q.plan.dataflow.run_to_quiescence();
+            }
+            return;
         }
+        // Parallel drain: hand each shard its own queries. Buckets are
+        // disjoint because every query belongs to exactly one shard, and
+        // ordered by query index, so per-shard drain order is
+        // deterministic.
+        let shard_of = &self.shard_of_query;
+        let mut buckets: Vec<Vec<(usize, &mut RunningQuery)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (qi, rq) in self.queries.iter_mut().enumerate() {
+            buckets[shard_of[qi]].push((qi, rq));
+        }
+        std::thread::scope(|scope| {
+            for (shard, mut bucket) in self.shards.iter_mut().zip(buckets) {
+                if shard.ingress.is_empty() && bucket.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    for (batch, subs) in std::mem::take(&mut shard.ingress) {
+                        for (q, port) in subs {
+                            // `bucket` is sorted ascending by query index.
+                            let slot = bucket
+                                .binary_search_by_key(&q, |(qi, _)| *qi)
+                                .expect("query routed to its own shard");
+                            bucket[slot]
+                                .1
+                                .plan
+                                .dataflow
+                                .enqueue_source_batch(port, &batch);
+                        }
+                    }
+                    for (_, rq) in bucket {
+                        rq.plan.dataflow.run_to_quiescence();
+                    }
+                });
+            }
+        });
     }
 
     /// Push an insert.
@@ -415,5 +575,111 @@ mod tests {
     fn push_to_unknown_type_fails() {
         let mut e = machine_engine();
         assert!(e.push_cti("NOPE", t(5)).is_err());
+    }
+
+    #[test]
+    fn push_after_enqueue_drains_staged_ingress_first() {
+        use crate::builder::PlanBuilder;
+        use cedr_algebra::expr::Pred;
+        // A direct push (here: a CTI) must never overtake batches that
+        // were staged before it — the guarantee would otherwise reach the
+        // shells ahead of the data it covers.
+        let build = || {
+            let mut e = Engine::with_config(EngineConfig::threaded(2));
+            e.register_event_type("T", vec![("v", FieldType::Int)]);
+            let plan = PlanBuilder::source("T").select(Pred::True).into_plan();
+            let q = e
+                .register_plan("q", plan, ConsistencySpec::strong())
+                .unwrap();
+            let mut batch = MessageBatch::new();
+            for i in 0..10u64 {
+                batch.push(Message::insert(
+                    i + 1,
+                    Interval::new(t(i), t(i + 3)),
+                    cedr_temporal::Payload::from_values(vec![Value::Int(i as i64)]),
+                ));
+            }
+            (e, q, batch)
+        };
+        // Reference: explicit drain between staging and the CTI.
+        let (mut a, qa, batch) = build();
+        a.enqueue_batch("T", &batch).unwrap();
+        a.run_to_quiescence();
+        a.push_cti("T", t(100)).unwrap();
+        // Same calls without the explicit drain: push must flush first.
+        let (mut b, qb, batch) = build();
+        b.enqueue_batch("T", &batch).unwrap();
+        b.push_cti("T", t(100)).unwrap();
+        assert_eq!(a.output(qa).stamped(), b.output(qb).stamped());
+    }
+
+    #[test]
+    fn queries_spread_round_robin_over_shards() {
+        let mut e = Engine::with_config(EngineConfig::threaded(3));
+        assert_eq!(e.shard_count(), 3);
+        for ty in ["INSTALL", "SHUTDOWN", "RESTART"] {
+            e.register_event_type(ty, vec![("Machine_Id", FieldType::Str)]);
+        }
+        for i in 0..5 {
+            e.register_query(
+                &format!("EVENT Q{i} WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 1 hours)"),
+                ConsistencySpec::middle(),
+            )
+            .unwrap();
+        }
+        assert_eq!(e.shard_of_query, vec![0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn threaded_drain_is_bit_identical_to_serial() {
+        let run = |threads: usize| {
+            let mut e = Engine::with_config(EngineConfig::threaded(threads));
+            for ty in ["INSTALL", "SHUTDOWN", "RESTART"] {
+                e.register_event_type(ty, vec![("Machine_Id", FieldType::Str)]);
+            }
+            let mut qs = Vec::new();
+            for i in 0..5 {
+                qs.push(
+                    e.register_query(
+                        &format!("EVENT Q{i} WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 1 hours)"),
+                        ConsistencySpec::middle(),
+                    )
+                    .unwrap(),
+                );
+            }
+            let mut installs = MessageBatch::new();
+            let mut shutdowns = MessageBatch::new();
+            for i in 0..20u64 {
+                let ev = e
+                    .event("INSTALL", 10 * i, vec![Value::str(format!("m{}", i % 4))])
+                    .unwrap();
+                installs.push(Message::insert_event(ev));
+                let ev = e
+                    .event(
+                        "SHUTDOWN",
+                        10 * i + 5,
+                        vec![Value::str(format!("m{}", i % 4))],
+                    )
+                    .unwrap();
+                shutdowns.push(Message::insert_event(ev));
+            }
+            e.enqueue_batch("INSTALL", &installs).unwrap();
+            e.enqueue_batch("SHUTDOWN", &shutdowns).unwrap();
+            e.run_to_quiescence();
+            e.seal();
+            (e, qs)
+        };
+        let (serial, qs) = run(1);
+        for threads in [2, 4] {
+            let (par, qp) = run(threads);
+            for (a, b) in qs.iter().zip(qp.iter()) {
+                assert_eq!(
+                    serial.output(*a).stamped(),
+                    par.output(*b).stamped(),
+                    "threads={threads}: output diverged"
+                );
+                assert_eq!(serial.stats(*a), par.stats(*b));
+            }
+        }
     }
 }

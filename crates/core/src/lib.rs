@@ -32,12 +32,12 @@ pub mod builder;
 pub mod engine;
 
 pub use builder::PlanBuilder;
-pub use engine::{Engine, EngineError, QueryId};
+pub use engine::{Engine, EngineConfig, EngineError, QueryId};
 
 /// Convenience prelude for applications.
 pub mod prelude {
     pub use crate::builder::PlanBuilder;
-    pub use crate::engine::{Engine, EngineError, QueryId};
+    pub use crate::engine::{Engine, EngineConfig, EngineError, QueryId};
     pub use cedr_algebra::expr::{CmpOp, Pred, Scalar};
     pub use cedr_algebra::pattern::{Consumption, ScMode, Selection};
     pub use cedr_algebra::relational::AggFunc;

@@ -62,7 +62,7 @@ impl GroupAggregateOp {
     /// Recompute the group's segments above its floor and emit the diff.
     fn refresh(key: &[Scalar], agg: &AggFunc, g: &mut GroupState, ctx: &mut OpContext) {
         // Clip members to the floor; drop empties.
-        let clipped: Vec<Event> = g
+        let mut clipped: Vec<Event> = g
             .members
             .values()
             .filter_map(|e| {
@@ -77,6 +77,11 @@ impl GroupAggregateOp {
                 }
             })
             .collect();
+        // Deterministic member order before aggregation: float Sum/Avg are
+        // order-sensitive, so hash-iteration order must not reach the
+        // evaluator (the sharded scheduler's serial-equivalence guarantee
+        // needs output to be a pure function of delivered input).
+        clipped.sort_unstable_by_key(|e| (e.interval.start, e.id));
         let fresh = cedr_algebra::relational::group_aggregate(&clipped, key, agg);
         let fresh_by_start: BTreeMap<TimePoint, Event> =
             fresh.into_iter().map(|e| (e.interval.start, e)).collect();

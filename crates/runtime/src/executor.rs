@@ -3,11 +3,11 @@
 //! (Section 5).
 //!
 //! Plans are DAGs of [`OperatorShell`]s fed by named external sources.
-//! Execution is single-threaded and deterministic, but scheduled a **batch
-//! at a time** rather than a message at a time: every node owns an input
-//! queue of `(port, message)` pairs; producers enqueue (an `Arc`
-//! refcount bump per subscriber — events are never deep-copied on fan-out)
-//! and [`Dataflow::run_to_quiescence`] drains nodes in topological order,
+//! Execution is deterministic and scheduled a **batch at a time** rather
+//! than a message at a time: every node owns an input queue of
+//! `(port, message)` pairs; producers enqueue (an `Arc` refcount bump per
+//! subscriber — events are never deep-copied on fan-out) and
+//! [`Dataflow::run_to_quiescence`] drains nodes in topological order,
 //! handing each node its queued messages as maximal same-port runs via
 //! [`OperatorShell::push_batch`]. Draining upstream nodes before
 //! downstream ones means a node sees everything its producers emitted this
@@ -16,17 +16,73 @@
 //! the historical message-at-a-time cascade, so operator semantics are
 //! unchanged.
 //!
+//! # Scheduling and threading
+//!
+//! Because nodes may only reference earlier nodes, a quiescence pass is a
+//! single sweep in ascending node-id order. The serial scheduler drives
+//! that sweep from a **ready queue** — an ordered worklist of dirty nodes,
+//! seeded with the staged sources and extended as producers emit — so a
+//! pass costs O(dirty·log) instead of rescanning every node per step.
+//!
+//! With [`Dataflow::set_threads`] the same pass runs on the **sharded
+//! multi-worker scheduler** of [`crate::scheduler`]: the graph is
+//! partitioned into connected-component/chain shards, each shard runs on
+//! its own worker thread, bounded channels carry output runs across shard
+//! edges, and each consumer stably merges its input by origin stamp
+//! `(producer, seq)` — reproducing the serial delivery order bit for bit.
+//! Serial and parallel execution are therefore interchangeable at every
+//! consistency level; see the scheduler module docs for the argument,
+//! including why Weak-consistency forgetting cannot diverge across thread
+//! counts (per-shell arrival order is preserved; only *caller-side batch
+//! splitting* moves Weak's forgetting horizon race, as documented at
+//! [`Dataflow::enqueue_source_batch`]).
+//!
 //! Sink outputs are folded into [`cedr_streams::Collector`]s so the
 //! temporal equivalence machinery applies to query results directly.
 
 use crate::consistency::ConsistencySpec;
 use crate::operator::{OperatorModule, OperatorShell};
+use crate::scheduler::{self, SchedStats, ShardPlan};
 use crate::stats::OpStats;
 use cedr_streams::{Collector, Message, MessageBatch};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Identifies an operator node in a dataflow.
 pub type NodeId = usize;
+
+/// Deliver one node's drained input to its shell as **maximal same-port
+/// runs** in arrival order (messages move into each run — no re-clone),
+/// absorb any outputs into the node's collector, and hand each run's
+/// output batch to `route` for fan-out.
+///
+/// This is the single definition of per-node delivery: the serial sweep
+/// and every sharded-scheduler worker call exactly this loop, differing
+/// only in the `route` sink. The parallel≡serial bit-identity guarantee
+/// rests on the two paths sharing it — do not fork this logic.
+pub(crate) fn deliver_runs(
+    shell: &mut OperatorShell,
+    mut collector: Option<&mut Collector>,
+    input: impl IntoIterator<Item = (usize, Message)>,
+    now: u64,
+    mut route: impl FnMut(&MessageBatch),
+) {
+    let mut iter = input.into_iter().peekable();
+    while let Some((port, first)) = iter.next() {
+        let mut run = vec![first];
+        while iter.peek().is_some_and(|(p, _)| *p == port) {
+            run.push(iter.next().expect("peeked").1);
+        }
+        let outs = shell.push_batch(port, &run, now);
+        if outs.is_empty() {
+            continue;
+        }
+        let outs = MessageBatch::from(outs);
+        if let Some(c) = collector.as_deref_mut() {
+            c.absorb_batch(&outs);
+        }
+        route(&outs);
+    }
+}
 
 /// A connection endpoint feeding an operator input port.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -107,6 +163,9 @@ impl DataflowBuilder {
             collectors,
             queues,
             tick: 0,
+            threads: 1,
+            shard_plan: None,
+            sched: SchedStats::default(),
         }
     }
 }
@@ -121,9 +180,33 @@ pub struct Dataflow {
     /// Per-node FIFO of `(port, message)` awaiting delivery.
     queues: Vec<VecDeque<(usize, Message)>>,
     tick: u64,
+    /// Worker threads for `run_to_quiescence` (1 = serial sweep).
+    threads: usize,
+    /// Lazily computed shard partition (topology is fixed after build).
+    shard_plan: Option<ShardPlan>,
+    sched: SchedStats,
 }
 
 impl Dataflow {
+    /// Set the number of worker threads used by
+    /// [`Dataflow::run_to_quiescence`]. `1` (the default) keeps the serial
+    /// sweep; more threads run the sharded scheduler of
+    /// [`crate::scheduler`], whose results are bit-identical to serial.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+        self.shard_plan = None;
+    }
+
+    /// Worker threads currently configured.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Sharded-scheduler counters (all zero while running serially).
+    pub fn sched_stats(&self) -> &SchedStats {
+        &self.sched
+    }
+
     /// Enqueue one source message to its subscribers without running the
     /// scheduler. Each subscriber receives an `Arc`-shared clone.
     pub fn enqueue_source(&mut self, source: usize, msg: Message) {
@@ -135,45 +218,112 @@ impl Dataflow {
 
     /// Enqueue a whole batch to one source's subscribers without running
     /// the scheduler.
+    ///
+    /// # Tick semantics
+    ///
+    /// The CEDR tick is an *ingestion-round* counter, not a message
+    /// counter: staging a batch advances it **once**, however many
+    /// messages the batch carries, while the per-message
+    /// [`Dataflow::enqueue_source`] advances it per call. Blocking
+    /// durations ([`OpStats::blocked_ticks`]) therefore measure how many
+    /// ingestion rounds a message waited in an alignment buffer —
+    /// comparable across batch sizes — and never affect *what* is
+    /// delivered: release decisions are driven by syncs and CTIs
+    /// (occurrence time), not by the tick.
     pub fn enqueue_source_batch(&mut self, source: usize, batch: &MessageBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        self.tick += 1;
         for m in batch {
-            self.enqueue_source(source, m.clone());
+            for &(node, port) in &self.source_subs[source] {
+                self.queues[node].push_back((port, m.clone()));
+            }
         }
     }
 
-    /// Drain all node queues in topological order until the graph is quiet.
-    ///
-    /// Nodes only reference earlier nodes, so scanning for the smallest
-    /// non-empty queue processes every producer before its consumers: by
-    /// the time a node runs, it holds everything upstream emitted this
-    /// round and processes it as one batch.
+    /// Drain all node queues until the graph is quiet — serially or on the
+    /// sharded multi-worker scheduler, per [`Dataflow::set_threads`]. Both
+    /// paths deliver bit-identical streams to every node (see the module
+    /// docs).
     pub fn run_to_quiescence(&mut self) {
-        while let Some(node) = (0..self.nodes.len()).find(|&n| !self.queues[n].is_empty()) {
-            let now = self.tick;
-            let drained: Vec<(usize, Message)> = self.queues[node].drain(..).collect();
-            // Maximal same-port runs, in arrival order; messages move into
-            // the run (no re-clone).
-            let mut iter = drained.into_iter().peekable();
-            while let Some((port, first)) = iter.next() {
-                let mut run = vec![first];
-                while iter.peek().is_some_and(|(p, _)| *p == port) {
-                    run.push(iter.next().expect("peeked").1);
-                }
-                let outs = self.nodes[node].push_batch(port, &run, now);
-                if !outs.is_empty() {
-                    if let Some(c) = self.collectors.get_mut(&node) {
-                        for o in &outs {
-                            c.push(o.clone());
-                        }
-                    }
-                    for &(next, next_port) in &self.node_subs[node] {
-                        for o in &outs {
-                            self.queues[next].push_back((next_port, o.clone()));
-                        }
-                    }
-                }
-            }
+        if self.threads > 1 && self.nodes.len() > 1 {
+            self.run_to_quiescence_parallel();
+        } else {
+            self.run_to_quiescence_serial();
         }
+    }
+
+    /// The serial sweep, driven by a ready queue: an ordered worklist of
+    /// nodes with pending input. Edges only point forward, so popping the
+    /// smallest dirty node processes every producer before its consumers —
+    /// by the time a node runs it holds everything upstream emitted this
+    /// round — without the historical O(nodes) rescan per step.
+    fn run_to_quiescence_serial(&mut self) {
+        let now = self.tick;
+        let Dataflow {
+            nodes,
+            node_subs,
+            collectors,
+            queues,
+            ..
+        } = self;
+        let mut ready: BTreeSet<NodeId> = (0..nodes.len())
+            .filter(|&n| !queues[n].is_empty())
+            .collect();
+        while let Some(node) = ready.pop_first() {
+            let drained: Vec<(usize, Message)> = queues[node].drain(..).collect();
+            deliver_runs(
+                &mut nodes[node],
+                collectors.get_mut(&node),
+                drained,
+                now,
+                |outs| {
+                    for &(next, next_port) in &node_subs[node] {
+                        for o in outs {
+                            queues[next].push_back((next_port, o.clone()));
+                        }
+                        ready.insert(next);
+                    }
+                },
+            );
+        }
+    }
+
+    /// One pass of the sharded scheduler: stage the source queues, hand
+    /// the graph to per-shard workers, and merge deterministically.
+    fn run_to_quiescence_parallel(&mut self) {
+        if self.queues.iter().all(|q| q.is_empty()) {
+            return;
+        }
+        if self.shard_plan.is_none() {
+            self.shard_plan = Some(ShardPlan::partition(
+                self.nodes.len(),
+                &self.node_subs,
+                self.threads,
+            ));
+        }
+        let plan = self.shard_plan.take().expect("just installed");
+        if plan.shards.len() <= 1 {
+            self.shard_plan = Some(plan);
+            self.run_to_quiescence_serial();
+            return;
+        }
+        let staged: Vec<Vec<(usize, Message)>> = self
+            .queues
+            .iter_mut()
+            .map(|q| q.drain(..).collect())
+            .collect();
+        scheduler::run_sharded(
+            &mut self.nodes,
+            &self.node_subs,
+            &mut self.collectors,
+            staged,
+            &plan,
+            self.tick,
+            &mut self.sched,
+        );
+        self.shard_plan = Some(plan);
     }
 
     /// Feed one message into external source `source`, cascading it through
@@ -374,6 +524,145 @@ mod tests {
             ConsistencySpec::middle(),
             vec![Port::Source(0)], // needs 2
         );
+    }
+
+    /// A two-component graph (two sources, each σ → W → count) for the
+    /// parallel≡serial checks.
+    fn two_component_df() -> (Dataflow, Vec<NodeId>) {
+        let mut b = DataflowBuilder::new(2);
+        let mut sinks = Vec::new();
+        for s in 0..2 {
+            let sel = b.add_node(
+                Box::new(SelectOp::new(Pred::cmp(
+                    Scalar::Field(0),
+                    CmpOp::Ge,
+                    Scalar::lit(0i64),
+                ))),
+                ConsistencySpec::middle(),
+                vec![Port::Source(s)],
+            );
+            let win = b.add_node(
+                Box::new(AlterLifetimeOp::window(dur(5 + s as u64))),
+                ConsistencySpec::middle(),
+                vec![Port::Node(sel)],
+            );
+            sinks.push(b.add_node(
+                Box::new(GroupAggregateOp::global(AggFunc::Count)),
+                ConsistencySpec::middle(),
+                vec![Port::Node(win)],
+            ));
+        }
+        let df = b.build(&sinks);
+        (df, sinks)
+    }
+
+    fn feed(df: &mut Dataflow) {
+        for s in 0..2usize {
+            let mut sb = StreamBuilder::with_id_base(1000 * s as u64);
+            for i in 0..30u64 {
+                sb.insert(
+                    Interval::from(t((i * 7 + s as u64) % 50)),
+                    Payload::from_values(vec![Value::Int(i as i64 - 3)]),
+                );
+            }
+            let batch: cedr_streams::MessageBatch =
+                sb.build_ordered(Some(dur(5)), true).into_iter().collect();
+            df.enqueue_source_batch(s, &batch);
+        }
+        df.run_to_quiescence();
+    }
+
+    #[test]
+    fn parallel_components_match_serial_bit_for_bit() {
+        let (mut serial, sinks) = two_component_df();
+        feed(&mut serial);
+        for threads in [2, 4] {
+            let (mut par, psinks) = two_component_df();
+            par.set_threads(threads);
+            feed(&mut par);
+            assert!(par.sched_stats().parallel_runs > 0, "parallel path unused");
+            for (a, b) in sinks.iter().zip(psinks.iter()) {
+                assert_eq!(
+                    serial.collector(*a).stamped(),
+                    par.collector(*b).stamped(),
+                    "threads={threads}: output stream diverged"
+                );
+                assert_eq!(serial.collector(*a).stats(), par.collector(*b).stats());
+            }
+            for n in 0..serial.node_count() {
+                assert_eq!(serial.stats(n), par.stats(n), "node {n} stats diverged");
+            }
+            if threads == 2 {
+                // One component per worker: no cross-shard traffic needed.
+                assert_eq!(par.sched_stats().cross_messages, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_split_pipeline_matches_serial_bit_for_bit() {
+        // A single 4-node component forced onto 4 workers: the scheduler
+        // must split it into chain shards and move every edge's traffic
+        // through cross-shard channels — the deterministic (origin, seq)
+        // merge is what keeps the output identical.
+        fn pipeline() -> (Dataflow, NodeId) {
+            let mut b = DataflowBuilder::new(1);
+            let sel = b.add_node(
+                Box::new(SelectOp::new(Pred::cmp(
+                    Scalar::Field(0),
+                    CmpOp::Ge,
+                    Scalar::lit(2i64),
+                ))),
+                ConsistencySpec::strong(),
+                vec![Port::Source(0)],
+            );
+            let win = b.add_node(
+                Box::new(AlterLifetimeOp::window(dur(7))),
+                ConsistencySpec::strong(),
+                vec![Port::Node(sel)],
+            );
+            let sel2 = b.add_node(
+                Box::new(SelectOp::new(Pred::True)),
+                ConsistencySpec::strong(),
+                vec![Port::Node(win)],
+            );
+            let cnt = b.add_node(
+                Box::new(GroupAggregateOp::global(AggFunc::Count)),
+                ConsistencySpec::strong(),
+                vec![Port::Node(sel2)],
+            );
+            (b.build(&[cnt]), cnt)
+        }
+        let run = |threads: usize| {
+            let (mut df, sink) = pipeline();
+            df.set_threads(threads);
+            let mut sb = StreamBuilder::new();
+            for i in 0..40u64 {
+                sb.insert(
+                    Interval::from(t((i * 13) % 60)),
+                    Payload::from_values(vec![Value::Int((i % 7) as i64)]),
+                );
+            }
+            let batch: cedr_streams::MessageBatch =
+                sb.build_ordered(Some(dur(10)), true).into_iter().collect();
+            df.enqueue_source_batch(0, &batch);
+            df.run_to_quiescence();
+            (df, sink)
+        };
+        let (serial, s_sink) = run(1);
+        let (par, p_sink) = run(4);
+        assert_eq!(par.sched_stats().shards, 4, "expected a 4-way chain split");
+        assert!(
+            par.sched_stats().cross_messages > 0,
+            "chain shards must talk over channels"
+        );
+        assert_eq!(
+            serial.collector(s_sink).stamped(),
+            par.collector(p_sink).stamped()
+        );
+        for n in 0..serial.node_count() {
+            assert_eq!(serial.stats(n), par.stats(n), "node {n} stats diverged");
+        }
     }
 
     #[test]

@@ -79,9 +79,13 @@ impl JoinOp {
         }
     }
 
-    /// Candidate partner IDs on `side` for an event with the given key.
+    /// Candidate partner IDs on `side` for an event with the given key, in
+    /// ascending ID order. The probe's *emission order* follows this list,
+    /// and downstream consumers (the sharded scheduler's deterministic
+    /// merge in particular) rely on operator output being a pure function
+    /// of delivered input — hash-iteration order must never leak out.
     fn candidates(&self, side: usize, key: &Value) -> Vec<EventId> {
-        if self.keys.is_some() {
+        let mut ids: Vec<EventId> = if self.keys.is_some() {
             self.sides[side]
                 .by_key
                 .get(key)
@@ -89,7 +93,9 @@ impl JoinOp {
                 .unwrap_or_default()
         } else {
             self.sides[side].events.keys().copied().collect()
-        }
+        };
+        ids.sort_unstable();
+        ids
     }
 
     fn oriented<'a>(&self, input: usize, e: &'a Event, p: &'a Event) -> (&'a Event, &'a Event) {

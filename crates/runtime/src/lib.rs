@@ -26,6 +26,22 @@
 //! points are logically equivalent — well-behavedness, Definition 6 — and
 //! Strong/Middle runs produce identical canonical output state at shared
 //! sync points (the Section 5 switching claim).
+//!
+//! # Threading model
+//!
+//! The consistency spectrum is defined **per operator**, never per thread,
+//! so execution may be parallelised freely as long as each operator shell
+//! sees its input in the same order. The [`executor::Dataflow`] scheduler
+//! exploits exactly that freedom: with [`executor::Dataflow::set_threads`]
+//! the graph is partitioned into connected-component/chain shards
+//! ([`scheduler::ShardPlan`]), each shard runs on its own worker thread,
+//! bounded channels carry `Arc`-shared output runs across shard edges, and
+//! every consumer merges its input deterministically by origin stamp —
+//! reproducing the serial delivery order bit for bit. Parallel and serial
+//! runs are therefore indistinguishable at Strong, Middle *and* Weak
+//! consistency (Weak's forgetting horizon races per-shell arrival order,
+//! which sharding preserves; only caller-side batch splitting can move
+//! it — see [`scheduler`] and `executor`'s module docs).
 
 pub mod aggregate;
 pub mod consistency;
@@ -33,6 +49,7 @@ pub mod executor;
 pub mod join;
 pub mod negation;
 pub mod operator;
+pub mod scheduler;
 pub mod sequence;
 pub mod stateless;
 pub mod stats;
@@ -40,6 +57,7 @@ pub mod stats;
 pub use consistency::{ConsistencyLevel, ConsistencySpec};
 pub use executor::{Dataflow, DataflowBuilder, NodeId, Port};
 pub use operator::{OpContext, OperatorModule, OperatorShell, OutputBuffer};
+pub use scheduler::{SchedStats, ShardPlan};
 pub use stats::OpStats;
 
 /// Convenience prelude.
@@ -50,6 +68,7 @@ pub mod prelude {
     pub use crate::join::JoinOp;
     pub use crate::negation::{NegationOp, NegationScope};
     pub use crate::operator::{OpContext, OperatorModule, OperatorShell, OutputBuffer};
+    pub use crate::scheduler::{SchedStats, ShardPlan};
     pub use crate::sequence::{AtLeastOp, SequenceOp};
     pub use crate::stateless::{AlterLifetimeOp, ProjectOp, SelectOp, SliceOp, UnionOp};
     pub use crate::stats::OpStats;

@@ -197,7 +197,9 @@ impl OperatorModule for NegationOp {
                         .map(|((_, id), _)| *id)
                         .collect()
                 }
-                NegationScope::History => self.entries.keys().copied().collect(),
+                // (vs, id) index order, not hash order: the kill sweep's
+                // emission order must be deterministic.
+                NegationScope::History => self.entries_by_vs.keys().map(|&(_, id)| id).collect(),
             };
             for e1_id in affected {
                 let Some(e1) = self.entries.get(&e1_id).map(|en| en.e1.clone()) else {

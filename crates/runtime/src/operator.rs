@@ -60,6 +60,12 @@ impl OutputBuffer {
         self.msgs.push(Message::Cti(t));
     }
 
+    /// Pre-size the buffer for a batch-native module about to emit up to
+    /// `n` more messages.
+    pub fn reserve(&mut self, n: usize) {
+        self.msgs.reserve(n);
+    }
+
     pub fn len(&self) -> usize {
         self.msgs.len()
     }

@@ -1,0 +1,529 @@
+//! Sharded, multi-worker scheduling of a dataflow graph.
+//!
+//! The serial executor drains nodes in topological order, so a quiescence
+//! pass is a single sweep in node-id order (edges only point from lower to
+//! higher ids). This module parallelises that sweep without changing a
+//! single delivered byte:
+//!
+//! * **Partitioning** ([`ShardPlan::partition`]): the graph is cut into
+//!   shards along connected components. Components never exchange
+//!   messages, so distributing whole components across worker threads
+//!   needs no synchronisation at all. When there are fewer components
+//!   than workers, large components are additionally split into
+//!   *chain shards* — contiguous ranges of the component's node-id order —
+//!   which turns the component into a pipeline of shards connected by
+//!   channels. Because edges go from lower to higher node ids, chain
+//!   shards form an acyclic shard DAG (lower shard index feeds higher).
+//!
+//! * **Workers**: one thread per shard processes its nodes in ascending
+//!   node-id order. Cross-shard edges carry whole output runs as
+//!   [`Message`] vectors over bounded channels — events are `Arc`-shared,
+//!   so a cross-shard send is a refcount bump per message, never a payload
+//!   copy.
+//!
+//! * **Deterministic merge**: every message bound for a node is stamped
+//!   with its *origin* — `(producer key, emission seq)`, where the key is
+//!   `0` for external sources and `node id + 1` for operator outputs, and
+//!   the seq counts the producer's pushes in its own emission order. A
+//!   consumer waits until every upstream shard has progressed past its
+//!   producers, then stably sorts its pending input by origin stamp. That
+//!   order — sources first in arrival order, then producers in ascending
+//!   topological id, each in emission order — is exactly the order in
+//!   which the serial sweep fills the node's input queue. Delivered input
+//!   sequences are therefore *bit-identical* to serial execution, which
+//!   makes every downstream observable identical too: operator state,
+//!   emitted messages, collector contents and statistics, at **every**
+//!   consistency level. Even Weak-consistency forgetting — which is
+//!   sensitive to per-shell arrival order — cannot diverge, because
+//!   arrival order per shell is preserved (batch *splitting* by callers
+//!   remains the only source of Weak divergence; see the module docs of
+//!   [`crate::executor`]).
+//!
+//! Progress is tracked per upstream shard: a worker announces each
+//! finished cross-shard producer, and a final `Done`, so consumers block
+//! only on the producers they actually depend on. Channels are bounded;
+//! the acyclic shard DAG plus the drain-while-waiting receive loop keeps
+//! the system deadlock-free.
+
+use crate::executor::NodeId;
+use crate::operator::OperatorShell;
+use cedr_streams::{Collector, Message};
+use std::collections::HashMap;
+use std::sync::mpsc;
+
+/// Bound on each cross-shard channel (in in-flight `Cross` items).
+const CROSS_CHANNEL_BOUND: usize = 256;
+
+/// A partition of the dataflow nodes into worker shards.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Node id → shard index.
+    pub shard_of: Vec<usize>,
+    /// Shard index → its nodes, in ascending node-id order.
+    pub shards: Vec<Vec<NodeId>>,
+}
+
+impl ShardPlan {
+    /// Partition `n_nodes` nodes (with `node_subs[p]` listing the
+    /// `(consumer, port)` subscribers of node `p`) into at most `threads`
+    /// shards.
+    ///
+    /// Components are distributed whole when possible (no cross-shard
+    /// edges); only when the component count is below the thread budget are
+    /// the largest components split into contiguous chain shards.
+    pub fn partition(n_nodes: usize, node_subs: &[Vec<(NodeId, usize)>], threads: usize) -> Self {
+        let target = threads.max(1).min(n_nodes.max(1));
+        // Union-find with the smaller id as root, so each component's root
+        // is its minimum node and component order follows node order.
+        let mut parent: Vec<usize> = (0..n_nodes).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (p, subs) in node_subs.iter().enumerate() {
+            for &(c, _) in subs {
+                let (a, b) = (find(&mut parent, p), find(&mut parent, c));
+                if a != b {
+                    parent[a.max(b)] = a.min(b);
+                }
+            }
+        }
+        let mut comp_index: HashMap<usize, usize> = HashMap::new();
+        let mut comps: Vec<Vec<usize>> = Vec::new();
+        for n in 0..n_nodes {
+            let root = find(&mut parent, n);
+            let i = *comp_index.entry(root).or_insert_with(|| {
+                comps.push(Vec::new());
+                comps.len() - 1
+            });
+            comps[i].push(n);
+        }
+
+        let shards: Vec<Vec<NodeId>> = if comps.len() >= target {
+            // Whole components, greedily balanced over `target` bins
+            // (largest first; ties resolved by component order, and
+            // `min_by_key` picks the first least-loaded bin — fully
+            // deterministic).
+            let mut order: Vec<usize> = (0..comps.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(comps[i].len()));
+            let mut bins: Vec<Vec<usize>> = vec![Vec::new(); target];
+            let mut loads = vec![0usize; target];
+            for i in order {
+                let b = (0..target).min_by_key(|&b| loads[b]).expect("target >= 1");
+                loads[b] += comps[i].len();
+                bins[b].push(i);
+            }
+            bins.into_iter()
+                .filter(|b| !b.is_empty())
+                .map(|b| {
+                    let mut nodes: Vec<usize> =
+                        b.into_iter().flat_map(|i| comps[i].clone()).collect();
+                    nodes.sort_unstable();
+                    nodes
+                })
+                .collect()
+        } else {
+            // Fewer components than workers: split the biggest components
+            // into contiguous chain shards. Pieces of one component get
+            // consecutive shard indices in node order, so every cross-shard
+            // edge goes from a lower to a higher shard index.
+            let mut pieces = vec![1usize; comps.len()];
+            let mut extra = target - comps.len();
+            while extra > 0 {
+                let mut best: Option<usize> = None;
+                for i in 0..comps.len() {
+                    if pieces[i] >= comps[i].len() {
+                        continue; // cannot split below one node per piece
+                    }
+                    let chunk = comps[i].len().div_ceil(pieces[i]);
+                    let better = match best {
+                        None => true,
+                        Some(j) => chunk > comps[j].len().div_ceil(pieces[j]),
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+                match best {
+                    Some(i) => pieces[i] += 1,
+                    None => break,
+                }
+                extra -= 1;
+            }
+            let mut shards = Vec::new();
+            for (i, comp) in comps.iter().enumerate() {
+                let k = pieces[i];
+                let base = comp.len() / k;
+                let rem = comp.len() % k;
+                let mut at = 0;
+                for piece in 0..k {
+                    let len = base + usize::from(piece < rem);
+                    shards.push(comp[at..at + len].to_vec());
+                    at += len;
+                }
+            }
+            shards
+        };
+
+        let mut shard_of = vec![0usize; n_nodes];
+        for (s, nodes) in shards.iter().enumerate() {
+            for &n in nodes {
+                shard_of[n] = s;
+            }
+        }
+        if cfg!(debug_assertions) {
+            for (p, subs) in node_subs.iter().enumerate() {
+                for &(c, _) in subs {
+                    debug_assert!(
+                        shard_of[p] <= shard_of[c],
+                        "cross-shard edge {p}->{c} must point to a later shard"
+                    );
+                }
+            }
+        }
+        ShardPlan { shard_of, shards }
+    }
+}
+
+/// Counters for the sharded scheduler (plan-wide, accumulated over runs).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Shards of the current plan (0 until the first parallel run).
+    pub shards: usize,
+    /// Parallel quiescence passes executed.
+    pub parallel_runs: usize,
+    /// Output runs sent across shard boundaries.
+    pub cross_batches: usize,
+    /// Messages carried inside those runs (each an `Arc` bump).
+    pub cross_messages: usize,
+}
+
+/// Derived routing facts shared read-only by all workers.
+struct Topology {
+    shard_of: Vec<usize>,
+    /// Per node: `(upstream shard, highest producer id there)` it waits on.
+    cross_deps: Vec<Vec<(usize, NodeId)>>,
+    /// Per node: downstream shards to notify once the node is finished.
+    cross_out: Vec<Vec<usize>>,
+    /// Per shard: every downstream shard it ever sends to.
+    out_shards: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    fn build(plan: &ShardPlan, node_subs: &[Vec<(NodeId, usize)>]) -> Self {
+        let n = node_subs.len();
+        let mut cross_deps: Vec<Vec<(usize, NodeId)>> = vec![Vec::new(); n];
+        let mut cross_out: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut out_shards: Vec<Vec<usize>> = vec![Vec::new(); plan.shards.len()];
+        for (p, subs) in node_subs.iter().enumerate() {
+            for &(c, _) in subs {
+                let (sp, sc) = (plan.shard_of[p], plan.shard_of[c]);
+                if sp == sc {
+                    continue;
+                }
+                if !cross_out[p].contains(&sc) {
+                    cross_out[p].push(sc);
+                }
+                if !out_shards[sp].contains(&sc) {
+                    out_shards[sp].push(sc);
+                }
+                match cross_deps[c].iter_mut().find(|(s, _)| *s == sp) {
+                    Some((_, maxp)) => *maxp = (*maxp).max(p),
+                    None => cross_deps[c].push((sp, p)),
+                }
+            }
+        }
+        Topology {
+            shard_of: plan.shard_of.clone(),
+            cross_deps,
+            cross_out,
+            out_shards,
+        }
+    }
+}
+
+/// A cross-shard wire item.
+enum Cross {
+    /// One output run of `producer` bound for `(consumer, port)`, stamped
+    /// from `base_seq` in emission order.
+    Batch {
+        producer: NodeId,
+        consumer: NodeId,
+        port: usize,
+        base_seq: u64,
+        msgs: Vec<Message>,
+    },
+    /// Cross-shard producer `upto` has finished this pass.
+    Progress { upto: NodeId },
+    /// The sending shard has finished every node.
+    Done { from: usize },
+}
+
+/// Origin stamp: `(producer key, emission seq)`. Key `0` is reserved for
+/// external sources; node `p` stamps as `p + 1`. Sorting pending input by
+/// this stamp reproduces the serial queue-fill order exactly.
+type Stamp = (u64, u64);
+
+const PROGRESS_DONE: u64 = u64::MAX;
+
+/// Run one quiescence pass over `nodes` with one worker thread per shard.
+///
+/// `staged[n]` holds node `n`'s externally staged `(port, message)` input
+/// (drained source queues). Delivered input sequences — and therefore all
+/// outputs, collector contents and statistics — are bit-identical to the
+/// serial sweep.
+pub(crate) fn run_sharded(
+    nodes: &mut [OperatorShell],
+    node_subs: &[Vec<(NodeId, usize)>],
+    collectors: &mut HashMap<NodeId, Collector>,
+    staged: Vec<Vec<(usize, Message)>>,
+    plan: &ShardPlan,
+    now: u64,
+    stats: &mut SchedStats,
+) {
+    let n_shards = plan.shards.len();
+    let topo = Topology::build(plan, node_subs);
+
+    // One inbox per shard; senders handed only to its upstream shards.
+    let mut rxs: Vec<Option<mpsc::Receiver<Cross>>> = Vec::with_capacity(n_shards);
+    let mut txs0: Vec<mpsc::SyncSender<Cross>> = Vec::with_capacity(n_shards);
+    for _ in 0..n_shards {
+        let (tx, rx) = mpsc::sync_channel(CROSS_CHANNEL_BOUND);
+        txs0.push(tx);
+        rxs.push(Some(rx));
+    }
+    let mut shard_txs: Vec<HashMap<usize, mpsc::SyncSender<Cross>>> = (0..n_shards)
+        .map(|s| {
+            topo.out_shards[s]
+                .iter()
+                .map(|&t| (t, txs0[t].clone()))
+                .collect()
+        })
+        .collect();
+    drop(txs0); // workers hold the only senders: disconnect == all upstream done
+
+    // Split the mutable state by shard.
+    let mut shard_nodes: Vec<Vec<(NodeId, &mut OperatorShell)>> =
+        (0..n_shards).map(|_| Vec::new()).collect();
+    for (n, shell) in nodes.iter_mut().enumerate() {
+        shard_nodes[topo.shard_of[n]].push((n, shell));
+    }
+    let mut shard_cols: Vec<HashMap<NodeId, &mut Collector>> =
+        (0..n_shards).map(|_| HashMap::new()).collect();
+    for (&n, c) in collectors.iter_mut() {
+        shard_cols[topo.shard_of[n]].insert(n, c);
+    }
+    let mut shard_staged: Vec<HashMap<NodeId, Vec<(usize, Message)>>> =
+        (0..n_shards).map(|_| HashMap::new()).collect();
+    for (n, q) in staged.into_iter().enumerate() {
+        if !q.is_empty() {
+            shard_staged[topo.shard_of[n]].insert(n, q);
+        }
+    }
+
+    let topo_ref = &topo;
+    let results: Vec<(usize, usize)> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_shards);
+        for sid in (0..n_shards).rev() {
+            let bucket = shard_nodes.pop().expect("one bucket per shard");
+            let cols = shard_cols.pop().expect("one collector map per shard");
+            let stage = shard_staged.pop().expect("one stage map per shard");
+            let rx = rxs[sid].take().expect("one inbox per shard");
+            let txs = std::mem::take(&mut shard_txs[sid]);
+            handles.push(scope.spawn(move || {
+                worker(sid, bucket, cols, stage, rx, txs, topo_ref, node_subs, now)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    stats.shards = n_shards;
+    stats.parallel_runs += 1;
+    for (b, m) in results {
+        stats.cross_batches += b;
+        stats.cross_messages += m;
+    }
+}
+
+/// The per-shard worker: process own nodes in ascending id order, waiting
+/// on upstream shard progress only where a cross-shard edge demands it.
+#[allow(clippy::too_many_arguments)]
+fn worker(
+    sid: usize,
+    nodes: Vec<(NodeId, &mut OperatorShell)>,
+    mut collectors: HashMap<NodeId, &mut Collector>,
+    staged: HashMap<NodeId, Vec<(usize, Message)>>,
+    rx: mpsc::Receiver<Cross>,
+    txs: HashMap<usize, mpsc::SyncSender<Cross>>,
+    topo: &Topology,
+    node_subs: &[Vec<(NodeId, usize)>],
+    now: u64,
+) -> (usize, usize) {
+    let mut pending: HashMap<NodeId, Vec<(Stamp, usize, Message)>> = HashMap::new();
+    for (n, q) in staged {
+        pending.insert(
+            n,
+            q.into_iter()
+                .enumerate()
+                .map(|(i, (port, m))| ((0, i as u64), port, m))
+                .collect(),
+        );
+    }
+    let mut progress = vec![0u64; topo.out_shards.len()];
+    let mut cross_batches = 0usize;
+    let mut cross_messages = 0usize;
+
+    let handle = |c: Cross,
+                  pending: &mut HashMap<NodeId, Vec<(Stamp, usize, Message)>>,
+                  progress: &mut [u64]| match c {
+        Cross::Batch {
+            producer,
+            consumer,
+            port,
+            base_seq,
+            msgs,
+        } => {
+            let v = pending.entry(consumer).or_default();
+            v.reserve(msgs.len());
+            for (i, m) in msgs.into_iter().enumerate() {
+                v.push(((producer as u64 + 1, base_seq + i as u64), port, m));
+            }
+        }
+        Cross::Progress { upto } => {
+            let s = topo.shard_of[upto];
+            progress[s] = progress[s].max(upto as u64 + 1);
+        }
+        Cross::Done { from } => progress[from] = PROGRESS_DONE,
+    };
+
+    for (nid, shell) in nodes {
+        // Block until every upstream shard has finished the producers this
+        // node consumes from (draining the inbox while we wait).
+        for &(s, maxp) in &topo.cross_deps[nid] {
+            while progress[s] < maxp as u64 + 1 {
+                match rx.recv() {
+                    Ok(c) => handle(c, &mut pending, &mut progress),
+                    // All senders finished and the buffer is drained.
+                    Err(_) => progress.iter_mut().for_each(|p| *p = PROGRESS_DONE),
+                }
+            }
+        }
+        if let Some(mut input) = pending.remove(&nid) {
+            // The deterministic merge: origin-stamp order == serial order.
+            input.sort_by_key(|(stamp, _, _)| *stamp);
+            let mut seq: u64 = 0;
+            crate::executor::deliver_runs(
+                shell,
+                collectors.get_mut(&nid).map(|c| &mut **c),
+                input.into_iter().map(|(_, port, m)| (port, m)),
+                now,
+                |outs| {
+                    for &(next, nport) in &node_subs[nid] {
+                        let t = topo.shard_of[next];
+                        if t == sid {
+                            let v = pending.entry(next).or_default();
+                            v.reserve(outs.len());
+                            for m in outs {
+                                v.push(((nid as u64 + 1, seq), nport, m.clone()));
+                                seq += 1;
+                            }
+                        } else {
+                            txs[&t]
+                                .send(Cross::Batch {
+                                    producer: nid,
+                                    consumer: next,
+                                    port: nport,
+                                    base_seq: seq,
+                                    msgs: outs.as_slice().to_vec(),
+                                })
+                                .expect("downstream shard hung up");
+                            seq += outs.len() as u64;
+                            cross_batches += 1;
+                            cross_messages += outs.len();
+                        }
+                    }
+                },
+            );
+        }
+        for &t in &topo.cross_out[nid] {
+            txs[&t]
+                .send(Cross::Progress { upto: nid })
+                .expect("downstream shard hung up");
+        }
+    }
+    for tx in txs.into_values() {
+        let _ = tx.send(Cross::Done { from: sid });
+    }
+    // Keep draining until every upstream sender disconnects, so bounded
+    // upstream sends can never block against an exited consumer.
+    while rx.recv().is_ok() {}
+    (cross_batches, cross_messages)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subs(n: usize, edges: &[(usize, usize)]) -> Vec<Vec<(NodeId, usize)>> {
+        let mut s = vec![Vec::new(); n];
+        for &(p, c) in edges {
+            s[p].push((c, 0));
+        }
+        s
+    }
+
+    #[test]
+    fn components_are_distributed_whole() {
+        // Two 2-node chains + two singletons over 3 threads: no splitting,
+        // components stay intact.
+        let s = subs(6, &[(0, 1), (2, 3)]);
+        let plan = ShardPlan::partition(6, &s, 3);
+        assert!(plan.shards.len() <= 3);
+        for &(p, c) in &[(0, 1), (2, 3)] {
+            assert_eq!(
+                plan.shard_of[p], plan.shard_of[c],
+                "component split needlessly"
+            );
+        }
+        let total: usize = plan.shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn single_component_splits_into_ordered_chain_shards() {
+        // One 6-node chain over 3 threads: contiguous pieces, edges always
+        // to an equal-or-later shard.
+        let s = subs(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let plan = ShardPlan::partition(6, &s, 3);
+        assert_eq!(plan.shards.len(), 3);
+        for (p, subs) in s.iter().enumerate() {
+            for &(c, _) in subs {
+                assert!(plan.shard_of[p] <= plan.shard_of[c]);
+            }
+        }
+        assert_eq!(plan.shards[0], vec![0, 1]);
+        assert_eq!(plan.shards[2], vec![4, 5]);
+    }
+
+    #[test]
+    fn more_threads_than_nodes_is_capped() {
+        let s = subs(2, &[]);
+        let plan = ShardPlan::partition(2, &s, 16);
+        assert_eq!(plan.shards.len(), 2);
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let s = subs(9, &[(0, 3), (1, 4), (2, 5), (3, 6), (4, 7), (5, 8)]);
+        let a = ShardPlan::partition(9, &s, 4);
+        let b = ShardPlan::partition(9, &s, 4);
+        assert_eq!(a.shard_of, b.shard_of);
+        assert_eq!(a.shards, b.shards);
+    }
+}

@@ -49,19 +49,32 @@ fn slots_as_sets(slots: &[SlotMap]) -> Vec<EventSet> {
 
 /// Emit the difference between the currently-emitted outputs and a desired
 /// output set (keyed by deterministic output ID).
+///
+/// Emission order is deterministic — retractions in ascending output-ID
+/// order, then inserts in enumeration order — never hash-iteration order:
+/// operator output must be a pure function of delivered input for the
+/// sharded scheduler's serial-equivalence guarantee to hold.
 fn diff_emitted(emitted: &mut HashMap<EventId, Event>, desired: Vec<Event>, ctx: &mut OpContext) {
-    let desired_map: HashMap<EventId, Event> = desired.into_iter().map(|e| (e.id, e)).collect();
-    for (id, e) in emitted.iter() {
-        if !desired_map.contains_key(id) {
-            ctx.out.retract_full(e.clone());
-        }
+    let desired_ids: HashSet<EventId> = desired.iter().map(|e| e.id).collect();
+    let mut stale: Vec<Event> = emitted
+        .iter()
+        .filter(|(id, _)| !desired_ids.contains(id))
+        .map(|(_, e)| e.clone())
+        .collect();
+    stale.sort_by_key(|e| e.id);
+    for e in stale {
+        ctx.out.retract_full(e);
     }
-    for (id, e) in desired_map.iter() {
-        if !emitted.contains_key(id) {
+    // Clone only the freshly-inserted events; the rest move into the new
+    // emitted map untouched.
+    let mut next: HashMap<EventId, Event> = HashMap::with_capacity(desired.len());
+    for e in desired {
+        if !emitted.contains_key(&e.id) && !next.contains_key(&e.id) {
             ctx.out.insert(e.clone());
         }
+        next.insert(e.id, e);
     }
-    *emitted = desired_map;
+    *emitted = next;
 }
 
 /// Physical SEQUENCE(E1, …, Ek, w).

@@ -5,11 +5,22 @@
 //! mechanical: transform the retracted event the same way as the original
 //! insert and emit the difference. They hold no state at any consistency
 //! level (the "Minimal"/"Low" state rows of Figure 8 for simple plans).
+//!
+//! Being stateless also makes them the natural first family to go
+//! **batch-native**: the filter/map/pass-through operators (select,
+//! project, union) override [`OperatorModule::on_batch`] to process a
+//! whole delivery run as one tight loop over a pre-sized output `Vec`,
+//! matching each message exactly once. The trait's default — which
+//! already dispatches to `on_insert`/`on_retract` statically per
+//! monomorphized module — remains right for operators whose per-message
+//! transform is the whole cost (alter-lifetime, slice), so those keep
+//! it. Batch and per-message delivery are behaviourally identical by
+//! construction either way.
 
 use crate::operator::{OpContext, OperatorModule};
 use cedr_algebra::alter_lifetime::{DeltaFn, VsFn};
 use cedr_algebra::expr::{Pred, Scalar};
-use cedr_streams::Retraction;
+use cedr_streams::{Message, Retraction};
 use cedr_temporal::{Event, Interval, Payload, TimePoint};
 
 /// Physical selection σ_f (Definition 8).
@@ -39,6 +50,29 @@ impl OperatorModule for SelectOp {
         // filter iff its retraction does.
         if self.pred.eval_event(&r.event) {
             ctx.out.retract_to(r.event.clone(), r.new_end);
+        }
+    }
+
+    /// Batch-native filtering: evaluate the predicate across the run and
+    /// emit the survivors (`Arc` clones) into one output buffer.
+    fn on_batch(&mut self, _input: usize, msgs: &[Message], ctx: &mut OpContext) {
+        ctx.out.reserve(msgs.len());
+        for m in msgs {
+            match m {
+                Message::Insert(e) => {
+                    if self.pred.eval_event(e) {
+                        ctx.out.insert(e.clone());
+                    }
+                }
+                Message::Retract(r) => {
+                    if self.pred.eval_event(&r.event) {
+                        ctx.out.retract_to(r.event.clone(), r.new_end);
+                    }
+                }
+                Message::Cti(_) => {
+                    debug_assert!(false, "CTIs are consumed by the consistency monitor")
+                }
+            }
         }
     }
 }
@@ -76,6 +110,22 @@ impl OperatorModule for ProjectOp {
 
     fn on_retract(&mut self, _input: usize, r: &Retraction, ctx: &mut OpContext) {
         ctx.out.retract_to(self.transform(&r.event), r.new_end);
+    }
+
+    /// Batch-native mapping: transform the run in one pass into one
+    /// pre-sized output buffer (projection is total, so the output length
+    /// is known up front).
+    fn on_batch(&mut self, _input: usize, msgs: &[Message], ctx: &mut OpContext) {
+        ctx.out.reserve(msgs.len());
+        for m in msgs {
+            match m {
+                Message::Insert(e) => ctx.out.insert(self.transform(e)),
+                Message::Retract(r) => ctx.out.retract_to(self.transform(&r.event), r.new_end),
+                Message::Cti(_) => {
+                    debug_assert!(false, "CTIs are consumed by the consistency monitor")
+                }
+            }
+        }
     }
 }
 
@@ -270,6 +320,21 @@ impl OperatorModule for UnionOp {
 
     fn on_retract(&mut self, _input: usize, r: &Retraction, ctx: &mut OpContext) {
         ctx.out.retract_to(r.event.clone(), r.new_end);
+    }
+
+    /// Batch-native pass-through: the whole run is forwarded as `Arc`
+    /// clones in one pre-sized append.
+    fn on_batch(&mut self, _input: usize, msgs: &[Message], ctx: &mut OpContext) {
+        ctx.out.reserve(msgs.len());
+        for m in msgs {
+            match m {
+                Message::Insert(e) => ctx.out.insert(e.clone()),
+                Message::Retract(r) => ctx.out.retract_to(r.event.clone(), r.new_end),
+                Message::Cti(_) => {
+                    debug_assert!(false, "CTIs are consumed by the consistency monitor")
+                }
+            }
+        }
     }
 }
 

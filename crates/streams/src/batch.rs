@@ -75,6 +75,40 @@ impl MessageBatch {
     pub fn into_messages(self) -> Vec<Message> {
         self.msgs
     }
+
+    /// Split into `[0, mid)` and `[mid, len)` without copying payloads
+    /// (messages are `Arc`-shared clones). `mid` is clamped to the length.
+    pub fn split_at(&self, mid: usize) -> (MessageBatch, MessageBatch) {
+        let mid = mid.min(self.msgs.len());
+        (
+            MessageBatch::from(self.msgs[..mid].to_vec()),
+            MessageBatch::from(self.msgs[mid..].to_vec()),
+        )
+    }
+
+    /// Cut into `n` contiguous, near-equal chunks (lengths differ by at
+    /// most one; earlier chunks are larger). Chunks preserve order, so
+    /// concatenating them always reconstructs the batch; re-merging them
+    /// with [`merge_by_sync`](crate::merge::merge_by_sync) does too **for
+    /// sync-ordered batches** (a disordered tape — e.g. one produced by
+    /// `disorder::scramble` — would be re-sorted by the merge rule).
+    /// Returns fewer than `n` chunks when the batch is shorter than `n`.
+    pub fn chunks(&self, n: usize) -> Vec<MessageBatch> {
+        let n = n.max(1).min(self.msgs.len().max(1));
+        let base = self.msgs.len() / n;
+        let rem = self.msgs.len() % n;
+        let mut out = Vec::with_capacity(n);
+        let mut at = 0;
+        for i in 0..n {
+            let len = base + usize::from(i < rem);
+            if len == 0 {
+                break;
+            }
+            out.push(MessageBatch::from(self.msgs[at..at + len].to_vec()));
+            at += len;
+        }
+        out
+    }
 }
 
 impl From<Vec<Message>> for MessageBatch {

@@ -12,6 +12,7 @@ pub mod batch;
 pub mod clock;
 pub mod collect;
 pub mod disorder;
+pub mod merge;
 pub mod message;
 pub mod source;
 
@@ -19,6 +20,7 @@ pub use batch::MessageBatch;
 pub use clock::{CedrClock, LogicalClock};
 pub use collect::{Collector, StreamStats};
 pub use disorder::{scramble, DisorderConfig};
+pub use merge::merge_by_sync;
 pub use message::{Message, Retraction, Stamped};
 pub use source::StreamBuilder;
 
@@ -28,6 +30,7 @@ pub mod prelude {
     pub use crate::clock::{CedrClock, LogicalClock};
     pub use crate::collect::{Collector, StreamStats};
     pub use crate::disorder::{scramble, DisorderConfig};
+    pub use crate::merge::merge_by_sync;
     pub use crate::message::{Message, Retraction, Stamped};
     pub use crate::source::StreamBuilder;
 }

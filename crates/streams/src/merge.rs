@@ -1,0 +1,113 @@
+//! Deterministic merging of message batches.
+//!
+//! Parallel ingestion produces independent per-provider (or per-shard)
+//! batches that must be combined into one stream without introducing
+//! nondeterminism. [`merge_by_sync`] is the canonical rule: a stable
+//! k-way merge keyed by **`(sync, input index, position)`** — messages are
+//! interleaved by their Figure-6 `Sync` value, ties broken first by which
+//! input batch they came from and then by their position within it. The
+//! result is a single batch whose content is a pure function of the
+//! inputs, so any number of workers staging the same batches always feeds
+//! downstream operators identically. Events stay `Arc`-shared throughout:
+//! merging is refcount bumps, never payload copies.
+//!
+//! The complementary *splitting* helpers live on
+//! [`MessageBatch`](crate::batch::MessageBatch) (`split_at`, `chunks`);
+//! splitting a batch and re-merging the pieces with this rule round-trips
+//! to the original batch, because each piece preserves relative order and
+//! sync values are non-decreasing within an ordered stream.
+
+use crate::batch::MessageBatch;
+use crate::message::Message;
+
+/// Stable k-way merge of independent batches by `(sync, input index,
+/// position)`. Per-batch relative order is always preserved; across
+/// batches, the message with the smaller `Sync` goes first, earlier inputs
+/// winning ties. `O(total · k)` — the fan-in `k` is small (providers or
+/// shards, not messages).
+pub fn merge_by_sync(batches: &[MessageBatch]) -> MessageBatch {
+    let total = batches.iter().map(MessageBatch::len).sum();
+    let mut out = MessageBatch::with_capacity(total);
+    let mut idx = vec![0usize; batches.len()];
+    loop {
+        let mut best: Option<(usize, &Message)> = None;
+        for (b, batch) in batches.iter().enumerate() {
+            let Some(m) = batch.as_slice().get(idx[b]) else {
+                continue;
+            };
+            let better = match best {
+                None => true,
+                // Strictly smaller sync wins; ties keep the earlier input.
+                Some((_, bm)) => m.sync() < bm.sync(),
+            };
+            if better {
+                best = Some((b, m));
+            }
+        }
+        match best {
+            Some((b, m)) => {
+                out.push(m.clone());
+                idx[b] += 1;
+            }
+            None => return out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cedr_temporal::interval::iv;
+    use cedr_temporal::time::t;
+    use cedr_temporal::Payload;
+
+    fn ins(id: u64, vs: u64) -> Message {
+        Message::insert(id, iv(vs, vs + 5), Payload::empty())
+    }
+
+    #[test]
+    fn merges_by_sync_with_stable_ties() {
+        let a = MessageBatch::from(vec![ins(1, 0), ins(2, 4), ins(3, 9)]);
+        let b = MessageBatch::from(vec![ins(10, 0), ins(11, 4), ins(12, 6)]);
+        let merged = merge_by_sync(&[a, b]);
+        let ids: Vec<u64> = merged
+            .iter()
+            .filter_map(|m| m.as_insert().map(|e| e.id.0))
+            .collect();
+        // Ties at 0 and 4 resolve to input 0 first.
+        assert_eq!(ids, vec![1, 10, 2, 11, 12, 3]);
+    }
+
+    #[test]
+    fn merge_handles_ctis_and_empty_inputs() {
+        let a = MessageBatch::from(vec![ins(1, 2), Message::Cti(t(5))]);
+        let b = MessageBatch::new();
+        let c = MessageBatch::from(vec![ins(2, 3)]);
+        let merged = merge_by_sync(&[a, b, c]);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(merged.as_slice()[2].as_cti(), Some(t(5)));
+    }
+
+    #[test]
+    fn split_then_merge_round_trips_an_ordered_batch() {
+        let msgs: Vec<Message> = (0..20).map(|i| ins(i, i)).collect();
+        let batch = MessageBatch::from(msgs);
+        let chunks = batch.chunks(3);
+        assert_eq!(chunks.len(), 3);
+        assert_eq!(merge_by_sync(&chunks), batch);
+        let (lo, hi) = batch.split_at(7);
+        assert_eq!(lo.len(), 7);
+        assert_eq!(hi.len(), 13);
+        assert_eq!(merge_by_sync(&[lo, hi]), batch);
+    }
+
+    #[test]
+    fn merge_is_deterministic() {
+        let a = MessageBatch::from(vec![ins(1, 3), ins(2, 3)]);
+        let b = MessageBatch::from(vec![ins(3, 3)]);
+        assert_eq!(
+            merge_by_sync(&[a.clone(), b.clone()]),
+            merge_by_sync(&[a, b])
+        );
+    }
+}

@@ -100,7 +100,15 @@ fn run_single(spec: ConsistencySpec, tape: &[(&'static str, Message)]) -> (Engin
 
 /// Drive the tape as one staged batch per event type, drained in one go.
 fn run_batched(spec: ConsistencySpec, tape: &[(&'static str, Message)]) -> (Engine, Vec<QueryId>) {
-    let mut engine = Engine::new();
+    run_batched_threads(spec, tape, Engine::new())
+}
+
+/// Same staging, explicit engine (worker-thread configurations).
+fn run_batched_threads(
+    spec: ConsistencySpec,
+    tape: &[(&'static str, Message)],
+    mut engine: Engine,
+) -> (Engine, Vec<QueryId>) {
     let qs = register_queries(&mut engine, spec);
     for ty in ["A_T", "B_T", "C_T"] {
         let batch: MessageBatch = tape
@@ -219,6 +227,56 @@ fn batched_ingestion_actually_amortises() {
         stats.mean_batch_len(),
         single_stats.mean_batch_len(),
     );
+}
+
+/// Parallel≡serial: the sharded multi-worker drain must be **bit-identical**
+/// to single-threaded execution — not merely logically equivalent — for the
+/// five operator families, at every consistency level, under every worker
+/// count. Property-style: seeds × levels × thread counts, comparing the
+/// exact stamped output streams, output guarantees, and plan statistics.
+#[test]
+fn parallel_workers_match_serial_bit_for_bit_at_all_levels() {
+    let levels: [(ConsistencySpec, &str); 4] = [
+        (ConsistencySpec::strong(), "strong"),
+        (ConsistencySpec::middle(), "middle"),
+        (ConsistencySpec::weak(dur(100_000)), "weak"),
+        // A horizon that bites: forgetting is arrival-order-sensitive, and
+        // sharding preserves per-query arrival order, so even lossy Weak
+        // must not diverge across thread counts.
+        (ConsistencySpec::weak(dur(20)), "weak-biting"),
+    ];
+    for (spec, level) in levels {
+        for seed in [0xA11CE_u64, 0x5EED5] {
+            let tape = workload(seed);
+            let (serial, qs) =
+                run_batched_threads(spec, &tape, Engine::with_config(EngineConfig::threaded(1)));
+            for threads in [2, 4] {
+                let (par, qp) = run_batched_threads(
+                    spec,
+                    &tape,
+                    Engine::with_config(EngineConfig::threaded(threads)),
+                );
+                for (a, b) in qs.iter().zip(qp.iter()) {
+                    assert_eq!(
+                        serial.output(*a).stamped(),
+                        par.output(*b).stamped(),
+                        "{level}/seed {seed:#x}/threads {threads}: {} diverged",
+                        serial.query_name(*a),
+                    );
+                    assert_eq!(
+                        serial.output(*a).max_cti(),
+                        par.output(*b).max_cti(),
+                        "{level}/threads {threads}: guarantee diverged"
+                    );
+                    assert_eq!(
+                        serial.stats(*a),
+                        par.stats(*b),
+                        "{level}/threads {threads}: plan stats diverged"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

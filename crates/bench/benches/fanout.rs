@@ -1,11 +1,16 @@
-//! Fan-out benchmark: per-event `Engine::push` vs `Engine::push_batch`
-//! with 8 standing queries subscribed to one input stream.
+//! Fan-out benchmark: string-keyed per-event `Engine::push` vs batched
+//! ingestion vs the sessioned `SourceHandle` paths, with 8 standing
+//! queries subscribed to one input stream.
 //!
 //! This is the workload the Arc-shared, batch-at-a-time core was built
 //! for: every message fans out to every query, so the old clone-per-query
 //! ingestion paid 8 payload deep-copies and 8 full cascades per event.
 //! The batched path pays 8 refcount bumps and one amortised drain per
-//! query per batch.
+//! query per batch. The sessioned paths resolve the event type and shard
+//! routing **once** per handle instead of once per push:
+//! `handle_per_event` isolates that resolve-once saving at identical
+//! (per-message) delivery semantics, while `handle_stream` adds staged
+//! batching — the mode a continuous provider would actually run.
 //!
 //! Besides the criterion groups, the harness emits `BENCH_fanout.json` at
 //! the repository root so future PRs can track the trajectory.
@@ -49,6 +54,8 @@ fn workload() -> Vec<Message> {
     b.build_ordered(Some(dur(50)), true)
 }
 
+/// The historical string-keyed shim: catalog + routing lookups per push.
+#[allow(deprecated)]
 fn run_per_event(msgs: &[Message]) -> Engine {
     let mut e = engine();
     for m in msgs {
@@ -57,10 +64,36 @@ fn run_per_event(msgs: &[Message]) -> Engine {
     e
 }
 
+#[allow(deprecated)]
 fn run_batched(msgs: &[Message]) -> Engine {
     let mut e = engine();
     let batch = MessageBatch::from(msgs.to_vec());
     e.push_batch("TICK", &batch).unwrap();
+    e
+}
+
+/// Sessioned, per-message: resolve once, then `send` each message with
+/// the same immediate-cascade semantics as `run_per_event`.
+fn run_handle_per_event(msgs: &[Message]) -> Engine {
+    let mut e = engine();
+    let mut h = e.source("TICK").unwrap();
+    for m in msgs {
+        h.send(m.clone());
+    }
+    drop(h);
+    e
+}
+
+/// Sessioned, streaming: resolve once, stage through the handle's local
+/// batch, auto-flushing against the bounded ingress.
+fn run_handle_stream(msgs: &[Message]) -> Engine {
+    let mut e = engine();
+    let mut h = e.source("TICK").unwrap();
+    for m in msgs {
+        h.stage(m.clone());
+    }
+    h.sync();
+    drop(h);
     e
 }
 
@@ -71,47 +104,80 @@ fn bench_fanout(c: &mut Criterion) {
     g.throughput(Throughput::Elements(N_EVENTS));
     g.bench_function("push_per_event", |b| b.iter(|| run_per_event(&msgs)));
     g.bench_function("push_batch", |b| b.iter(|| run_batched(&msgs)));
+    g.bench_function("handle_per_event", |b| {
+        b.iter(|| run_handle_per_event(&msgs))
+    });
+    g.bench_function("handle_stream", |b| b.iter(|| run_handle_stream(&msgs)));
     g.finish();
 
     write_summary(&msgs);
 }
 
-/// Time both paths explicitly and record a machine-readable summary.
+/// Time every path explicitly and record a machine-readable summary.
+/// Reps are interleaved round-robin across the paths so machine drift
+/// (noisy neighbours on a shared core) biases every column equally
+/// instead of whichever path happened to be measured last.
 fn write_summary(msgs: &[Message]) {
-    const REPS: u32 = 5;
-    let time = |f: &dyn Fn(&[Message]) -> Engine| {
-        let mut best = f64::INFINITY;
+    const REPS: u32 = 7;
+    let paths: [fn(&[Message]) -> Engine; 4] = [
+        run_per_event,
+        run_batched,
+        run_handle_per_event,
+        run_handle_stream,
+    ];
+    let mut best = [f64::INFINITY; 4];
+    for f in paths {
         f(msgs); // warm-up
-        for _ in 0..REPS {
+    }
+    for _ in 0..REPS {
+        for (slot, f) in paths.iter().enumerate() {
             let start = Instant::now();
             let e = f(msgs);
             let elapsed = start.elapsed().as_secs_f64();
             assert!(e.query_count() == N_QUERIES);
-            best = best.min(elapsed);
+            best[slot] = best[slot].min(elapsed);
         }
-        best
-    };
-    let per_event_s = time(&run_per_event);
-    let batch_s = time(&run_batched);
+    }
+    let [per_event_s, batch_s, handle_event_s, handle_stream_s] = best;
 
-    // Sanity: both paths agree on every query's net output.
+    // Sanity: every path agrees on every query's net output, and the
+    // handle path's subscription view matches its collector.
     let a = run_per_event(msgs);
     let b = run_batched(msgs);
+    let h = run_handle_stream(msgs);
     for q in 0..N_QUERIES {
+        let q = QueryId(q);
         assert!(
-            a.output(QueryId(q))
+            a.collector(q)
                 .net_table()
-                .star_equal(&b.output(QueryId(q)).net_table()),
-            "fan-out paths diverged on q{q}"
+                .star_equal(&b.collector(q).net_table()),
+            "fan-out paths diverged on {q:?}"
+        );
+        assert!(
+            a.collector(q)
+                .net_table()
+                .star_equal(&h.collector(q).net_table()),
+            "handle path diverged on {q:?}"
+        );
+        let mut sub = h.subscribe(q).unwrap();
+        assert_eq!(
+            sub.drain_ready(&h).len(),
+            h.collector(q).delta_log().len(),
+            "subscription must observe the whole change stream"
         );
     }
-    let amortisation = b.stats(QueryId(0)).mean_batch_len();
+    let amortisation = h.stats(QueryId(0)).mean_batch_len();
 
     let json = format!(
         "{{\n  \"bench\": \"fanout\",\n  \"events\": {N_EVENTS},\n  \"queries\": {N_QUERIES},\n  \
          \"per_event_seconds\": {per_event_s:.6},\n  \"push_batch_seconds\": {batch_s:.6},\n  \
-         \"speedup\": {:.3},\n  \"mean_batch_len\": {amortisation:.2}\n}}\n",
+         \"handle_per_event_seconds\": {handle_event_s:.6},\n  \
+         \"handle_stream_seconds\": {handle_stream_s:.6},\n  \
+         \"speedup\": {:.3},\n  \"handle_resolve_once_speedup\": {:.3},\n  \
+         \"handle_stream_speedup\": {:.3},\n  \"mean_batch_len\": {amortisation:.2}\n}}\n",
         per_event_s / batch_s,
+        per_event_s / handle_event_s,
+        per_event_s / handle_stream_s,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fanout.json");
     std::fs::write(path, &json).expect("write BENCH_fanout.json");

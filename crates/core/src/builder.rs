@@ -251,18 +251,15 @@ mod tests {
         let q = e
             .register_plan("moving_avg", plan, ConsistencySpec::middle())
             .unwrap();
+        let mut ticks = e.source("TICK").unwrap();
         for (i, px) in [10.0, 20.0, 30.0].iter().enumerate() {
-            let ev = e
-                .event(
-                    "TICK",
-                    i as u64,
-                    vec![Value::str("MSFT"), Value::Float(*px)],
-                )
+            ticks
+                .insert(i as u64, vec![Value::str("MSFT"), Value::Float(*px)])
                 .unwrap();
-            e.push_insert("TICK", ev).unwrap();
         }
+        drop(ticks);
         e.seal();
-        let net = e.output(q).net_table();
+        let net = e.collector(q).net_table();
         // At time 2 all three ticks are in the 10-tick window: avg = 20.
         let snap = net.snapshot_at(t(2));
         assert_eq!(snap.len(), 1);
@@ -291,24 +288,22 @@ mod tests {
         let q = e
             .register_plan("hot_news", plan, ConsistencySpec::middle())
             .unwrap();
-        let t1 = e
-            .event_with_interval(
-                "TICK",
+        e.source("TICK")
+            .unwrap()
+            .insert_for(
                 cedr_temporal::Interval::new(t(0), t(10)),
                 vec![Value::str("MSFT"), Value::Float(150.0)],
             )
             .unwrap();
-        e.push_insert("TICK", t1).unwrap();
-        let n1 = e
-            .event_with_interval(
-                "NEWS",
+        e.source("NEWS")
+            .unwrap()
+            .insert_for(
                 cedr_temporal::Interval::new(t(5), t(8)),
                 vec![Value::str("MSFT"), Value::Int(1)],
             )
             .unwrap();
-        e.push_insert("NEWS", n1).unwrap();
         e.seal();
-        let net = e.output(q).net_table();
+        let net = e.collector(q).net_table();
         assert_eq!(net.len(), 1);
         assert_eq!(net.rows[0].interval, cedr_temporal::interval::iv(5, 8));
         // Equi-keys extracted by the optimizer.
@@ -327,15 +322,16 @@ mod tests {
         let q = e
             .register_plan("pairs", seq, ConsistencySpec::middle())
             .unwrap();
+        let mut ticks = e.source("TICK").unwrap();
         for i in 0..3u64 {
-            let ev = e
-                .event("TICK", i, vec![Value::str("A"), Value::Float(1.0)])
+            ticks
+                .insert(i, vec![Value::str("A"), Value::Float(1.0)])
                 .unwrap();
-            e.push_insert("TICK", ev).unwrap();
         }
+        drop(ticks);
         e.seal();
         // Pairs with strictly increasing Vs within scope 5: (0,1), (0,2), (1,2).
-        assert_eq!(e.output(q).stats().inserts, 3);
+        assert_eq!(e.collector(q).stats().inserts, 3);
     }
 
     #[test]
@@ -348,16 +344,15 @@ mod tests {
                 ConsistencySpec::middle(),
             )
             .unwrap();
-        let ev = e
-            .event_with_interval(
-                "TICK",
+        e.source("TICK")
+            .unwrap()
+            .insert_for(
                 cedr_temporal::Interval::new(t(2), t(9)),
                 vec![Value::str("A"), Value::Float(1.0)],
             )
             .unwrap();
-        e.push_insert("TICK", ev).unwrap();
         e.seal();
-        let net = e.output(q).net_table();
+        let net = e.collector(q).net_table();
         assert_eq!(net.rows[0].interval, cedr_temporal::interval::iv_inf(9));
     }
 }

@@ -1,20 +1,62 @@
 //! The CEDR engine: standing-query registration, shared-source routing,
-//! batch ingestion and per-query consistency.
+//! sessioned I/O and per-query consistency.
 //!
 //! Applications "specify consistency requirements on a per query basis"
 //! (Section 1): each registered query gets its own operator instances
 //! running at its own ⟨M, B⟩ spectrum point, fed from shared named input
 //! streams.
 //!
+//! # Sessioned I/O
+//!
+//! The engine is a *standing-query server*: providers feed streams in
+//! continuously and consumers observe a consistent, repairing output
+//! stream. Both directions are **sessions**:
+//!
+//! * **Ingestion** — [`Engine::source`] opens a typed
+//!   [`SourceHandle`] on one input stream. The
+//!   handle resolves the event type and its shard routing **once**,
+//!   offers typed `insert`/`retract`/`cti` builders, stages a local
+//!   [`MessageBatch`], and flushes it against a **bounded per-shard
+//!   ingress queue** ([`EngineConfig::ingress_capacity`]). The blocking
+//!   [`flush`](crate::SourceHandle::flush) drains the engine when the
+//!   ingress is full; [`try_flush`](crate::SourceHandle::try_flush)
+//!   surfaces [`EngineError::IngressFull`] instead — real backpressure,
+//!   never unbounded growth.
+//! * **Consumption** — [`Engine::subscribe`] opens a
+//!   [`Subscription`] cursoring the query
+//!   collector's append-only [`OutputDelta`](cedr_streams::OutputDelta)
+//!   log. Polling drains staged work and returns exactly the
+//!   insert/retract/CTI deltas appended since the last poll —
+//!   bit-identical to the collector's stamped tape at every consistency
+//!   level and thread count — instead of re-reading whole output tables.
+//!
+//! # Migration (string-keyed shims → sessions)
+//!
+//! The historical fire-and-forget surface still works but is deprecated:
+//!
+//! | old (deprecated)                  | new                                       |
+//! |-----------------------------------|-------------------------------------------|
+//! | `engine.push_insert(ty, ev)?`     | `engine.source(ty)?.insert(at, fields)?`  |
+//! | `engine.push_retract(ty, ev, e)?` | `handle.retract(&ev, e)`                  |
+//! | `engine.push_cti(ty, t)?`         | `handle.cti(t)`                           |
+//! | `engine.push(ty, msg)?`           | `handle.send(msg)` (or `stage` + `flush`) |
+//! | `engine.push_batch(ty, &b)?`      | `handle.stage_batch(&b); handle.flush()`  |
+//! | `engine.output(q)`                | `engine.collector(q)`; incrementally: `engine.subscribe(q)?` |
+//!
+//! One handle per burst amortises resolution over every message staged
+//! through it; the shims open a throwaway session per call and are
+//! therefore never faster than the handles they wrap.
+//!
+//! # Sharding and threading
+//!
 //! Ingestion is built for fan-out at scale. The engine's event-type
 //! routing table is **sharded**: queries are assigned round-robin to
 //! [`EngineConfig::threads`] shards at registration, and each shard owns
 //! its slice of the event-type → `(query, source port)` table plus its own
-//! ingress queue. [`Engine::push`] is per-shard table lookups plus one
-//! `Arc`-shared [`Message`] clone per subscriber — never a payload
-//! deep-copy, regardless of how many standing queries share a stream.
-//! [`Engine::push_batch`] hands whole [`MessageBatch`]es to each
-//! subscriber's batch-at-a-time dataflow, and the
+//! bounded ingress queue. Staging is per-shard table lookups (or none at
+//! all, through a resolved handle) plus one `Arc`-shared [`MessageBatch`]
+//! clone per shard — never a payload deep-copy, regardless of how many
+//! standing queries share a stream. The
 //! [`Engine::enqueue_batch`]/[`Engine::run_to_quiescence`] pair lets
 //! callers stage several per-type batches (e.g. one per provider stream)
 //! and then drain every query's dataflow once, maximising the runs the
@@ -30,6 +72,7 @@
 //! which makes the deterministic merge argument of
 //! [`cedr_runtime::scheduler`] trivial at this layer.
 
+use crate::session::{SourceHandle, Subscription};
 use cedr_lang::catalog::{Catalog, EventTypeDef, FieldType};
 use cedr_lang::{compile, lower, optimize, LangError, LogicalOp, LoweredPlan};
 use cedr_runtime::{ConsistencySpec, OpStats};
@@ -37,29 +80,66 @@ use cedr_streams::{Collector, Message, MessageBatch, Retraction};
 use cedr_temporal::{Event, EventId, Interval, Payload, TimePoint, Value};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Handle to a registered standing query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct QueryId(pub usize);
 
 /// Engine errors.
+///
+/// Marked `#[non_exhaustive]`: future PRs may add variants (as this one
+/// added [`EngineError::IngressFull`] and [`EngineError::Sealed`]) without
+/// breaking downstream matches.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum EngineError {
     Lang(LangError),
-    UnknownEventType(String),
+    /// The named event type was never registered. Carries the names that
+    /// *are* registered, so the message can point at the likely typo.
+    UnknownEventType {
+        name: String,
+        registered: Vec<String>,
+    },
     UnknownQuery(QueryId),
     PayloadArity {
         event_type: String,
         expected: usize,
         got: usize,
     },
+    /// A bounded per-shard ingress queue has no room for the batch being
+    /// staged. Returned only by the `try_*` admission paths
+    /// ([`crate::SourceHandle::try_flush`], [`Engine::try_enqueue_batch`]);
+    /// the blocking paths drain the engine instead of failing. This is the
+    /// backpressure signal: the caller should drain
+    /// ([`Engine::run_to_quiescence`]) or slow down.
+    IngressFull {
+        event_type: String,
+        shard: usize,
+        capacity: usize,
+        staged: usize,
+        batch: usize,
+    },
+    /// The engine was sealed ([`Engine::seal`]): every input already
+    /// carries `CTI(∞)`, so no further ingestion is possible.
+    Sealed,
 }
 
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::Lang(e) => write!(f, "{e}"),
-            EngineError::UnknownEventType(t) => write!(f, "unknown event type '{t}'"),
+            EngineError::UnknownEventType { name, registered } => {
+                if registered.is_empty() {
+                    write!(f, "unknown event type '{name}' (no types registered)")
+                } else {
+                    write!(
+                        f,
+                        "unknown event type '{name}' (registered: {})",
+                        registered.join(", ")
+                    )
+                }
+            }
             EngineError::UnknownQuery(q) => write!(f, "unknown query {q:?}"),
             EngineError::PayloadArity {
                 event_type,
@@ -68,6 +148,22 @@ impl fmt::Display for EngineError {
             } => write!(
                 f,
                 "payload arity mismatch for {event_type}: expected {expected}, got {got}"
+            ),
+            EngineError::IngressFull {
+                event_type,
+                shard,
+                capacity,
+                staged,
+                batch,
+            } => write!(
+                f,
+                "ingress full for '{event_type}': shard {shard} holds {staged}/{capacity} \
+                 staged messages, batch of {batch} does not fit; drain with \
+                 run_to_quiescence() or use the blocking flush"
+            ),
+            EngineError::Sealed => write!(
+                f,
+                "engine is sealed (CTI ∞ broadcast); no further ingestion is possible"
             ),
         }
     }
@@ -88,37 +184,69 @@ struct RunningQuery {
     explain: String,
 }
 
+/// Default bound on staged messages per routing shard (see
+/// [`EngineConfig::ingress_capacity`]).
+pub const DEFAULT_INGRESS_CAPACITY: usize = 65_536;
+
 /// Execution configuration of an [`Engine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Worker threads for [`Engine::run_to_quiescence`]; also the number
     /// of routing-table shards. `1` = fully serial.
     pub threads: usize,
+    /// Bound on *staged* messages per routing shard: admission fails
+    /// ([`EngineError::IngressFull`], on the `try_*` paths) or drains the
+    /// engine (on the blocking paths) once a shard's ingress queue holds
+    /// this many messages. This is what keeps a fast provider from growing
+    /// the staging queues without bound. A single batch larger than the
+    /// capacity is admitted alone into an empty shard (it could never fit
+    /// otherwise), so the bound is `capacity + one oversized batch` in the
+    /// worst case.
+    pub ingress_capacity: usize,
 }
 
 impl EngineConfig {
     /// Single-threaded execution (one shard, serial drain).
     pub fn serial() -> Self {
-        EngineConfig { threads: 1 }
+        EngineConfig {
+            threads: 1,
+            ingress_capacity: DEFAULT_INGRESS_CAPACITY,
+        }
     }
 
     /// `threads` workers / routing shards (clamped to at least 1).
     pub fn threaded(threads: usize) -> Self {
         EngineConfig {
             threads: threads.max(1),
+            ingress_capacity: DEFAULT_INGRESS_CAPACITY,
         }
     }
 
-    /// Read `CEDR_THREADS` from the environment (default: 1). This is the
-    /// knob the CI matrix turns to run the whole test suite serial and
-    /// threaded — outputs are bit-identical either way.
+    /// Same configuration with a different per-shard ingress bound
+    /// (clamped to at least 1 message).
+    pub fn with_ingress_capacity(self, capacity: usize) -> Self {
+        EngineConfig {
+            ingress_capacity: capacity.max(1),
+            ..self
+        }
+    }
+
+    /// Read `CEDR_THREADS` and `CEDR_INGRESS_CAPACITY` from the
+    /// environment (defaults: 1 thread, [`DEFAULT_INGRESS_CAPACITY`]).
+    /// `CEDR_THREADS` is the knob the CI matrix turns to run the whole
+    /// test suite serial and threaded — outputs are bit-identical either
+    /// way.
     pub fn from_env() -> Self {
-        let threads = std::env::var("CEDR_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&t| t >= 1)
-            .unwrap_or(1);
-        EngineConfig { threads }
+        let parse = |var: &str| {
+            std::env::var(var)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&t| t >= 1)
+        };
+        EngineConfig {
+            threads: parse("CEDR_THREADS").unwrap_or(1),
+            ingress_capacity: parse("CEDR_INGRESS_CAPACITY").unwrap_or(DEFAULT_INGRESS_CAPACITY),
+        }
     }
 }
 
@@ -128,17 +256,24 @@ impl Default for EngineConfig {
     }
 }
 
+/// The `(query index, source port)` subscribers of one event type within
+/// one shard, shared behind `Arc` so that resolved [`SourceHandle`]s and
+/// staged ingress entries alias the routing table instead of copying it.
+pub(crate) type SubscriberList = Arc<Vec<(usize, usize)>>;
+
 /// One slice of the sharded routing table: the queries assigned to one
 /// worker, their event-type subscriptions, and their staged ingress.
 #[derive(Default)]
 struct EngineShard {
-    /// Event-type name → `(query index, source port)` subscribers whose
-    /// query lives in this shard.
-    routing: HashMap<String, Vec<(usize, usize)>>,
+    /// Event-type name → subscribers whose query lives in this shard.
+    routing: HashMap<String, SubscriberList>,
     /// Staged batches awaiting the next drain, in enqueue order, each with
     /// the `(query, port)` subscribers it fans out to (one shared batch
     /// clone per shard, not per subscriber).
-    ingress: Vec<(MessageBatch, Vec<(usize, usize)>)>,
+    ingress: Vec<(MessageBatch, SubscriberList)>,
+    /// Total messages across `ingress` — the quantity bounded by
+    /// [`EngineConfig::ingress_capacity`].
+    staged_msgs: usize,
 }
 
 /// The CEDR engine.
@@ -152,6 +287,9 @@ pub struct Engine {
     shard_of_query: Vec<usize>,
     config: EngineConfig,
     next_event_id: u64,
+    /// Set by [`Engine::seal`]: every input carries `CTI(∞)`, ingestion is
+    /// over. Sealing is idempotent; ingestion afterwards is a typed error.
+    sealed: bool,
 }
 
 impl Engine {
@@ -171,6 +309,7 @@ impl Engine {
             shard_of_query: Vec::new(),
             config,
             next_event_id: 1,
+            sealed: false,
         }
     }
 
@@ -191,11 +330,10 @@ impl Engine {
         let shard = q % self.shards.len();
         self.shard_of_query.push(shard);
         for (port, ty) in self.queries[q].plan.source_types.iter().enumerate() {
-            self.shards[shard]
-                .routing
-                .entry(ty.clone())
-                .or_default()
-                .push((q, port));
+            let subs = self.shards[shard].routing.entry(ty.clone()).or_default();
+            // Copy-on-write: batches already staged (and handles already
+            // resolved) keep routing as of their staging time.
+            Arc::make_mut(subs).push((q, port));
         }
     }
 
@@ -264,10 +402,10 @@ impl Engine {
         interval: Interval,
         payload: Vec<Value>,
     ) -> Result<Event, EngineError> {
-        let def = self
-            .catalog
-            .lookup(event_type)
-            .map_err(|_| EngineError::UnknownEventType(event_type.to_string()))?;
+        let def = match self.catalog.lookup(event_type) {
+            Ok(def) => def,
+            Err(_) => return Err(self.unknown_type(event_type)),
+        };
         if def.fields.len() != payload.len() {
             return Err(EngineError::PayloadArity {
                 event_type: event_type.to_string(),
@@ -284,43 +422,69 @@ impl Engine {
         ))
     }
 
-    /// Push a message on the named input stream; every query consuming the
-    /// type receives it via the routing table. Fan-out is one `Arc`-shared
-    /// `Message` clone per subscriber — the event payload is never
-    /// deep-copied, no matter how many queries share the stream.
+    // ------------------------------------------------------------------
+    // Sessioned ingestion: typed handles over a bounded ingress
+    // ------------------------------------------------------------------
+
+    /// Open a typed ingestion session on the named input stream.
     ///
-    /// Ingestion order is preserved across the two APIs: if batches are
-    /// still staged from [`Engine::enqueue_batch`], they are drained
-    /// first, so a direct push (a CTI, say) can never overtake data that
-    /// was enqueued before it.
-    pub fn push(&mut self, event_type: &str, msg: Message) -> Result<(), EngineError> {
-        if !self.catalog.contains(event_type) {
-            return Err(EngineError::UnknownEventType(event_type.to_string()));
+    /// Resolution happens **once**: the handle captures the event type's
+    /// payload schema and its `(query, port)` subscriber lists per routing
+    /// shard, so staging and flushing never repeat the string-keyed
+    /// lookups the deprecated [`Engine::push`] paid per message. The
+    /// handle stages a local [`MessageBatch`] via its typed
+    /// [`insert`](SourceHandle::insert) / [`retract`](SourceHandle::retract)
+    /// / [`cti`](SourceHandle::cti) builders and flushes it against the
+    /// bounded per-shard ingress ([`EngineConfig::ingress_capacity`]) —
+    /// blocking-style via [`flush`](SourceHandle::flush) (drains the
+    /// engine when full) or with real backpressure via
+    /// [`try_flush`](SourceHandle::try_flush), which surfaces
+    /// [`EngineError::IngressFull`].
+    ///
+    /// The handle borrows the engine exclusively, so the routing it
+    /// resolved cannot go stale and the engine cannot be sealed while a
+    /// session is open. Errors: [`EngineError::UnknownEventType`],
+    /// [`EngineError::Sealed`].
+    pub fn source(&mut self, event_type: &str) -> Result<SourceHandle<'_>, EngineError> {
+        if self.sealed {
+            return Err(EngineError::Sealed);
         }
-        if self.shards.iter().any(|s| !s.ingress.is_empty()) {
-            self.run_to_quiescence();
-        }
-        for shard in &self.shards {
-            if let Some(subs) = shard.routing.get(event_type) {
-                for &(q, port) in subs {
-                    self.queries[q].plan.dataflow.push_source(port, msg.clone());
-                }
-            }
-        }
-        Ok(())
+        let arity = match self.catalog.lookup(event_type) {
+            Ok(def) => def.fields.len(),
+            Err(_) => return Err(self.unknown_type(event_type)),
+        };
+        let subs = self.resolve_subs(event_type);
+        Ok(SourceHandle::new(self, event_type.to_string(), arity, subs))
     }
 
-    /// Push a whole batch on the named input stream. Every subscriber
-    /// receives the same `Arc`-backed batch and processes it through its
-    /// batch-at-a-time dataflow scheduler in amortised runs.
-    pub fn push_batch(
-        &mut self,
-        event_type: &str,
-        batch: &MessageBatch,
-    ) -> Result<(), EngineError> {
-        self.enqueue_batch(event_type, batch)?;
-        self.run_to_quiescence();
-        Ok(())
+    /// Open an incremental subscription on a query's output change stream.
+    ///
+    /// The subscription cursors the query collector's append-only
+    /// [`OutputDelta`](cedr_streams::OutputDelta) log from the beginning:
+    /// each [`poll`](Subscription::poll) first drains any staged ingress
+    /// (consumption drives the scheduler) and then returns exactly the
+    /// deltas appended since the previous poll — the insert/retract/CTI
+    /// change stream itself, bit-identical to
+    /// [`Collector::stamped`](cedr_streams::Collector::stamped) order at
+    /// every consistency level and thread count, with no state re-read and
+    /// no copying. Several subscriptions may cursor the same query
+    /// independently, and a sealed engine can still be drained.
+    pub fn subscribe(&self, q: QueryId) -> Result<Subscription, EngineError> {
+        if q.0 >= self.queries.len() {
+            return Err(EngineError::UnknownQuery(q));
+        }
+        Ok(Subscription::new(q))
+    }
+
+    /// The output collector of a query: the accumulated history tables,
+    /// stamped tape and delta log behind every subscription.
+    ///
+    /// # Panics
+    /// On an unregistered `QueryId` (use [`Engine::subscribe`] for a typed
+    /// error).
+    pub fn collector(&self, q: QueryId) -> &Collector {
+        let rq = &self.queries[q.0];
+        rq.plan.dataflow.collector(rq.plan.sink)
     }
 
     /// Stage a batch on the named input stream without draining the
@@ -329,23 +493,163 @@ impl Engine {
     /// Pair with [`Engine::run_to_quiescence`] to ingest several per-type
     /// batches (one per provider stream, say) and then run every query's
     /// graph once over the union.
+    ///
+    /// Admission is bounded: once a target shard holds
+    /// [`EngineConfig::ingress_capacity`] staged messages, this call
+    /// **drains the engine first** (backpressure by blocking). Use
+    /// [`Engine::try_enqueue_batch`] to get [`EngineError::IngressFull`]
+    /// instead and decide for yourself.
     pub fn enqueue_batch(
         &mut self,
         event_type: &str,
         batch: &MessageBatch,
     ) -> Result<(), EngineError> {
-        if !self.catalog.contains(event_type) {
-            return Err(EngineError::UnknownEventType(event_type.to_string()));
+        self.enqueue_impl(event_type, batch, true)
+    }
+
+    /// [`Engine::enqueue_batch`] with backpressure surfaced: if the batch
+    /// does not fit a target shard's bounded ingress, nothing is staged
+    /// and [`EngineError::IngressFull`] is returned.
+    pub fn try_enqueue_batch(
+        &mut self,
+        event_type: &str,
+        batch: &MessageBatch,
+    ) -> Result<(), EngineError> {
+        self.enqueue_impl(event_type, batch, false)
+    }
+
+    fn enqueue_impl(
+        &mut self,
+        event_type: &str,
+        batch: &MessageBatch,
+        block: bool,
+    ) -> Result<(), EngineError> {
+        if self.sealed {
+            return Err(EngineError::Sealed);
         }
-        for shard in &mut self.shards {
-            if let Some(subs) = shard.routing.get(event_type) {
-                // One `Arc`-shared batch clone per shard, however many of
-                // its queries subscribe; fan-out to subscribers happens at
-                // drain time.
-                shard.ingress.push((batch.clone(), subs.clone()));
+        if !self.catalog.contains(event_type) {
+            return Err(self.unknown_type(event_type));
+        }
+        let subs = self.resolve_subs(event_type);
+        self.admit_resolved(event_type, batch.clone(), &subs, block)
+    }
+
+    /// An [`EngineError::UnknownEventType`] naming every registered type.
+    fn unknown_type(&self, name: &str) -> EngineError {
+        EngineError::UnknownEventType {
+            name: name.to_string(),
+            registered: self
+                .catalog
+                .type_names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+
+    /// Resolve the per-shard subscriber lists of an event type — the
+    /// lookup a [`SourceHandle`] performs once at open time. Cloning a
+    /// list is an `Arc` refcount bump.
+    pub(crate) fn resolve_subs(&self, event_type: &str) -> Vec<(usize, SubscriberList)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(si, s)| s.routing.get(event_type).map(|subs| (si, subs.clone())))
+            .collect()
+    }
+
+    /// Mint a fresh-ID primitive event (the handle builders' allocator).
+    pub(crate) fn mint_event(&mut self, interval: Interval, payload: Vec<Value>) -> Arc<Event> {
+        let id = EventId(self.next_event_id);
+        self.next_event_id += 1;
+        Arc::new(Event::primitive(
+            id,
+            interval,
+            Payload::from_values(payload),
+        ))
+    }
+
+    /// Does a batch of `len` messages fit every target shard's bounded
+    /// ingress right now? On failure, the [`EngineError::IngressFull`]
+    /// names the first full shard. A batch larger than the capacity
+    /// itself fits an *empty* shard (it could never be admitted
+    /// otherwise).
+    pub(crate) fn check_capacity(
+        &self,
+        event_type: &str,
+        len: usize,
+        subs: &[(usize, SubscriberList)],
+    ) -> Result<(), EngineError> {
+        let cap = self.config.ingress_capacity;
+        for (si, _) in subs {
+            let shard = &self.shards[*si];
+            if shard.staged_msgs > 0 && shard.staged_msgs + len > cap {
+                return Err(EngineError::IngressFull {
+                    event_type: event_type.to_string(),
+                    shard: *si,
+                    capacity: cap,
+                    staged: shard.staged_msgs,
+                    batch: len,
+                });
             }
         }
         Ok(())
+    }
+
+    /// Admit a batch to the ingress queues of the given (pre-resolved)
+    /// shards, enforcing [`EngineConfig::ingress_capacity`]: when a target
+    /// shard lacks room ([`Engine::check_capacity`]), either drain the
+    /// whole engine first (`block`) or stage nothing and return
+    /// [`EngineError::IngressFull`].
+    pub(crate) fn admit_resolved(
+        &mut self,
+        event_type: &str,
+        mut batch: MessageBatch,
+        subs: &[(usize, SubscriberList)],
+        block: bool,
+    ) -> Result<(), EngineError> {
+        let len = batch.len();
+        if len == 0 || subs.is_empty() {
+            return Ok(());
+        }
+        if let Err(full) = self.check_capacity(event_type, len, subs) {
+            if !block {
+                return Err(full);
+            }
+            // Backpressure by draining: empties every ingress.
+            self.run_to_quiescence();
+        }
+        let n = subs.len();
+        for (i, (si, s)) in subs.iter().enumerate() {
+            let shard = &mut self.shards[*si];
+            shard.staged_msgs += len;
+            // One `Arc`-shared batch clone per shard (the last target takes
+            // the batch by move), however many of its queries subscribe;
+            // fan-out to subscribers happens at drain time.
+            let b = if i + 1 == n {
+                std::mem::take(&mut batch)
+            } else {
+                batch.clone()
+            };
+            shard.ingress.push((b, s.clone()));
+        }
+        Ok(())
+    }
+
+    /// Immediate per-message delivery to pre-resolved subscribers: the
+    /// historical [`Engine::push`] cascade minus its per-call lookups.
+    /// Ingestion order is preserved across the APIs: staged ingress is
+    /// drained first, so a direct send (a CTI, say) can never overtake
+    /// data that was enqueued before it.
+    pub(crate) fn send_resolved(&mut self, subs: &[(usize, SubscriberList)], msg: Message) {
+        if self.shards.iter().any(|s| !s.ingress.is_empty()) {
+            self.run_to_quiescence();
+        }
+        for (_, s) in subs {
+            for &(q, port) in s.iter() {
+                self.queries[q].plan.dataflow.push_source(port, msg.clone());
+            }
+        }
     }
 
     /// Drain every shard's staged ingress into its queries' dataflows and
@@ -357,8 +661,9 @@ impl Engine {
         let busy = self.shards.iter().filter(|s| !s.ingress.is_empty()).count();
         if self.config.threads <= 1 || busy <= 1 {
             for shard in &mut self.shards {
+                shard.staged_msgs = 0;
                 for (batch, subs) in std::mem::take(&mut shard.ingress) {
-                    for (q, port) in subs {
+                    for &(q, port) in subs.iter() {
                         self.queries[q]
                             .plan
                             .dataflow
@@ -387,8 +692,9 @@ impl Engine {
                     continue;
                 }
                 scope.spawn(move || {
+                    shard.staged_msgs = 0;
                     for (batch, subs) in std::mem::take(&mut shard.ingress) {
-                        for (q, port) in subs {
+                        for &(q, port) in subs.iter() {
                             // `bucket` is sorted ascending by query index.
                             let slot = bucket
                                 .binary_search_by_key(&q, |(qi, _)| *qi)
@@ -408,33 +714,19 @@ impl Engine {
         });
     }
 
-    /// Push an insert.
-    pub fn push_insert(&mut self, event_type: &str, event: Event) -> Result<(), EngineError> {
-        self.push(event_type, Message::insert_event(event))
-    }
-
-    /// Push a retraction shortening `event` to `[Vs, new_end)`.
-    pub fn push_retract(
-        &mut self,
-        event_type: &str,
-        event: Event,
-        new_end: TimePoint,
-    ) -> Result<(), EngineError> {
-        self.push(
-            event_type,
-            Message::Retract(Retraction::new(event, new_end)),
-        )
-    }
-
-    /// Declare an occurrence-time guarantee on one input stream.
-    pub fn push_cti(&mut self, event_type: &str, t: TimePoint) -> Result<(), EngineError> {
-        self.push(event_type, Message::Cti(t))
-    }
-
     /// Declare a guarantee on *all* registered event types (a provider-wide
     /// sync point). Staged through the batch path: every input's CTI is
-    /// enqueued first, then all dataflows drain once.
-    pub fn advance_all(&mut self, t: TimePoint) {
+    /// enqueued first, then all dataflows drain once. Errors with
+    /// [`EngineError::Sealed`] once the engine is sealed.
+    pub fn advance_all(&mut self, t: TimePoint) -> Result<(), EngineError> {
+        if self.sealed {
+            return Err(EngineError::Sealed);
+        }
+        self.broadcast_cti(t);
+        Ok(())
+    }
+
+    fn broadcast_cti(&mut self, t: TimePoint) {
         let types: Vec<String> = self
             .catalog
             .type_names()
@@ -444,20 +736,115 @@ impl Engine {
         let mut cti = MessageBatch::new();
         cti.push_cti(t);
         for ty in types {
-            let _ = self.enqueue_batch(&ty, &cti);
+            let subs = self.resolve_subs(&ty);
+            let _ = self.admit_resolved(&ty, cti.clone(), &subs, true);
         }
         self.run_to_quiescence();
     }
 
     /// Seal every input with `CTI(∞)` — no more data will arrive.
+    ///
+    /// Sealing is **idempotent**: the guarantee is broadcast once, and
+    /// repeated calls are no-ops rather than fresh `CTI(∞)` rounds. After
+    /// sealing, every ingestion entry point ([`Engine::source`],
+    /// [`Engine::enqueue_batch`], [`Engine::advance_all`], the deprecated
+    /// `push_*` shims) returns [`EngineError::Sealed`]; subscriptions keep
+    /// draining normally.
     pub fn seal(&mut self) {
-        self.advance_all(TimePoint::INFINITY);
+        if self.sealed {
+            return;
+        }
+        self.broadcast_cti(TimePoint::INFINITY);
+        self.sealed = true;
+    }
+
+    /// Has [`Engine::seal`] run?
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    // ------------------------------------------------------------------
+    // Deprecated string-keyed shims (see the migration note in the
+    // module docs) — thin wrappers over handles and the collector.
+    // ------------------------------------------------------------------
+
+    /// Push a message on the named input stream; every query consuming the
+    /// type receives it via the routing table.
+    #[deprecated(
+        since = "0.3.0",
+        note = "open a session once with `engine.source(ty)?` and use \
+                `SourceHandle::send` (or stage/flush for batching)"
+    )]
+    pub fn push(&mut self, event_type: &str, msg: Message) -> Result<(), EngineError> {
+        self.source(event_type)?.send(msg);
+        Ok(())
+    }
+
+    /// Push a whole batch on the named input stream and drain.
+    #[deprecated(
+        since = "0.3.0",
+        note = "open a session once with `engine.source(ty)?`, stage with \
+                `SourceHandle::stage_batch`, then flush"
+    )]
+    pub fn push_batch(
+        &mut self,
+        event_type: &str,
+        batch: &MessageBatch,
+    ) -> Result<(), EngineError> {
+        {
+            let mut h = self.source(event_type)?.manual_flush();
+            h.stage_batch(batch);
+            h.flush();
+        }
+        self.run_to_quiescence();
+        Ok(())
+    }
+
+    /// Push an insert.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `engine.source(ty)?` with `SourceHandle::insert` (typed, \
+                resolve-once) instead"
+    )]
+    pub fn push_insert(&mut self, event_type: &str, event: Event) -> Result<(), EngineError> {
+        self.source(event_type)?.send(Message::insert_event(event));
+        Ok(())
+    }
+
+    /// Push a retraction shortening `event` to `[Vs, new_end)`.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `engine.source(ty)?` with `SourceHandle::retract` instead"
+    )]
+    pub fn push_retract(
+        &mut self,
+        event_type: &str,
+        event: Event,
+        new_end: TimePoint,
+    ) -> Result<(), EngineError> {
+        self.source(event_type)?
+            .send(Message::Retract(Retraction::new(event, new_end)));
+        Ok(())
+    }
+
+    /// Declare an occurrence-time guarantee on one input stream.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `engine.source(ty)?` with `SourceHandle::cti` instead"
+    )]
+    pub fn push_cti(&mut self, event_type: &str, t: TimePoint) -> Result<(), EngineError> {
+        self.source(event_type)?.send(Message::Cti(t));
+        Ok(())
     }
 
     /// The output collector of a query.
+    #[deprecated(
+        since = "0.3.0",
+        note = "renamed to `collector`; for incremental consumption of the \
+                change stream use `engine.subscribe(q)?`"
+    )]
     pub fn output(&self, q: QueryId) -> &Collector {
-        let rq = &self.queries[q.0];
-        rq.plan.dataflow.collector(rq.plan.sink)
+        self.collector(q)
     }
 
     /// Plan-wide runtime statistics of a query (Figure-8 observables).
@@ -519,12 +906,14 @@ mod tests {
         assert_eq!(e.query_name(q), "CIDR07_Example");
         assert!(e.explain(q).contains("Unless"));
 
-        let i = e.event("INSTALL", 100, vec![Value::str("m1")]).unwrap();
-        e.push_insert("INSTALL", i).unwrap();
-        let s = e.event("SHUTDOWN", 200, vec![Value::str("m1")]).unwrap();
-        e.push_insert("SHUTDOWN", s).unwrap();
+        let mut installs = e.source("INSTALL").unwrap();
+        installs.insert(100, vec![Value::str("m1")]).unwrap();
+        drop(installs);
+        let mut shutdowns = e.source("SHUTDOWN").unwrap();
+        shutdowns.insert(200, vec![Value::str("m1")]).unwrap();
+        drop(shutdowns);
         e.seal();
-        assert_eq!(e.output(q).stats().inserts, 1);
+        assert_eq!(e.collector(q).stats().inserts, 1);
     }
 
     #[test]
@@ -542,13 +931,17 @@ mod tests {
                 ConsistencySpec::middle(),
             )
             .unwrap();
-        let i = e.event("INSTALL", 10, vec![Value::str("m")]).unwrap();
-        e.push_insert("INSTALL", i).unwrap();
-        let s = e.event("SHUTDOWN", 20, vec![Value::str("m")]).unwrap();
-        e.push_insert("SHUTDOWN", s).unwrap();
+        let mut installs = e.source("INSTALL").unwrap();
+        assert_eq!(installs.subscriber_count(), 2, "both queries subscribe");
+        installs.insert(10, vec![Value::str("m")]).unwrap();
+        drop(installs);
+        e.source("SHUTDOWN")
+            .unwrap()
+            .insert(20, vec![Value::str("m")])
+            .unwrap();
         e.seal();
-        assert_eq!(e.output(q_strong).stats().inserts, 1);
-        assert_eq!(e.output(q_middle).stats().inserts, 1);
+        assert_eq!(e.collector(q_strong).stats().inserts, 1);
+        assert_eq!(e.collector(q_middle).stats().inserts, 1);
         assert_eq!(
             e.query_spec(q_strong).level(),
             cedr_runtime::ConsistencyLevel::Strong
@@ -560,7 +953,7 @@ mod tests {
         let mut e = machine_engine();
         assert!(matches!(
             e.event("NOPE", 0, vec![]),
-            Err(EngineError::UnknownEventType(_))
+            Err(EngineError::UnknownEventType { .. })
         ));
         assert!(matches!(
             e.event("INSTALL", 0, vec![]),
@@ -572,12 +965,148 @@ mod tests {
     }
 
     #[test]
-    fn push_to_unknown_type_fails() {
+    fn unknown_type_error_names_the_registered_types() {
         let mut e = machine_engine();
-        assert!(e.push_cti("NOPE", t(5)).is_err());
+        let err = e.source("NOPE").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("'NOPE'"), "{msg}");
+        for ty in ["INSTALL", "RESTART", "SHUTDOWN"] {
+            assert!(msg.contains(ty), "{msg} should list {ty}");
+        }
+        let empty = Engine::new().source("X").unwrap_err().to_string();
+        assert!(empty.contains("no types registered"), "{empty}");
     }
 
     #[test]
+    fn sealed_engine_rejects_ingestion_and_seal_is_idempotent() {
+        let mut e = machine_engine();
+        let q = e
+            .register_query(
+                "EVENT A WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 1 hours)",
+                ConsistencySpec::middle(),
+            )
+            .unwrap();
+        e.source("INSTALL")
+            .unwrap()
+            .insert(10, vec![Value::str("m")])
+            .unwrap();
+        e.seal();
+        assert!(e.is_sealed());
+        let ctis_after_first_seal = e.collector(q).stats().ctis;
+
+        // Idempotent: a second seal must not re-broadcast CTI(∞)...
+        e.seal();
+        assert_eq!(e.collector(q).stats().ctis, ctis_after_first_seal);
+        // ...and every ingestion entry point is a typed error now.
+        assert!(matches!(e.source("INSTALL"), Err(EngineError::Sealed)));
+        assert!(matches!(
+            e.enqueue_batch("INSTALL", &MessageBatch::new()),
+            Err(EngineError::Sealed)
+        ));
+        assert!(matches!(e.advance_all(t(99)), Err(EngineError::Sealed)));
+        #[allow(deprecated)]
+        {
+            let ev = Event::primitive(EventId(77), Interval::point(t(5)), Payload::empty());
+            assert!(matches!(
+                e.push_insert("INSTALL", ev),
+                Err(EngineError::Sealed)
+            ));
+        }
+        // Consumption still works on a sealed engine.
+        let mut sub = e.subscribe(q).unwrap();
+        assert!(!sub.poll(&mut e).is_empty());
+    }
+
+    #[test]
+    fn subscribe_validates_the_query() {
+        let e = machine_engine();
+        assert!(matches!(
+            e.subscribe(QueryId(3)),
+            Err(EngineError::UnknownQuery(QueryId(3)))
+        ));
+    }
+
+    #[test]
+    fn try_flush_surfaces_ingress_backpressure() {
+        let mut e = Engine::with_config(EngineConfig::serial().with_ingress_capacity(8));
+        e.register_event_type("T", vec![("v", FieldType::Int)]);
+        let plan = {
+            use crate::builder::PlanBuilder;
+            use cedr_algebra::expr::Pred;
+            PlanBuilder::source("T").select(Pred::True).into_plan()
+        };
+        let q = e
+            .register_plan("q", plan, ConsistencySpec::middle())
+            .unwrap();
+        let mut sub = e.subscribe(q).unwrap();
+
+        let mut h = e.source("T").unwrap().manual_flush();
+        for i in 0..6u64 {
+            h.insert(i, vec![Value::Int(i as i64)]).unwrap();
+        }
+        h.try_flush().unwrap();
+        for i in 6..12u64 {
+            h.insert(i, vec![Value::Int(i as i64)]).unwrap();
+        }
+        // 6 staged + 6 incoming > 8: backpressure.
+        let err = h.try_flush().unwrap_err();
+        assert!(matches!(err, EngineError::IngressFull { .. }));
+        assert!(err.to_string().contains("ingress full"), "{err}");
+        assert_eq!(h.staged_len(), 6, "failed try_flush must not lose data");
+        // The blocking flush drains the engine and admits.
+        h.flush();
+        assert_eq!(h.staged_len(), 0);
+        drop(h);
+        assert_eq!(sub.poll(&mut e).len(), 12, "all 12 inserts observed");
+    }
+
+    #[test]
+    fn oversized_batch_admitted_alone_into_empty_shard() {
+        let mut e = Engine::with_config(EngineConfig::serial().with_ingress_capacity(4));
+        e.register_event_type("T", vec![("v", FieldType::Int)]);
+        let plan = {
+            use crate::builder::PlanBuilder;
+            use cedr_algebra::expr::Pred;
+            PlanBuilder::source("T").select(Pred::True).into_plan()
+        };
+        let q = e
+            .register_plan("q", plan, ConsistencySpec::middle())
+            .unwrap();
+        let mut h = e.source("T").unwrap().manual_flush();
+        for i in 0..10u64 {
+            h.insert(i, vec![Value::Int(i as i64)]).unwrap();
+        }
+        h.try_flush()
+            .expect("an empty shard admits one oversized batch");
+        drop(h);
+        e.run_to_quiescence();
+        assert_eq!(e.collector(q).stats().inserts, 10);
+    }
+
+    #[test]
+    fn handle_autoflush_bounds_local_staging() {
+        let mut e = Engine::new();
+        e.register_event_type("T", vec![("v", FieldType::Int)]);
+        let plan = {
+            use crate::builder::PlanBuilder;
+            use cedr_algebra::expr::Pred;
+            PlanBuilder::source("T").select(Pred::True).into_plan()
+        };
+        let q = e
+            .register_plan("q", plan, ConsistencySpec::middle())
+            .unwrap();
+        let mut h = e.source("T").unwrap().with_autoflush(4);
+        for i in 0..9u64 {
+            h.insert(i, vec![Value::Int(i as i64)]).unwrap();
+            assert!(h.staged_len() < 4, "autoflush keeps staging bounded");
+        }
+        h.sync();
+        drop(h);
+        assert_eq!(e.collector(q).stats().inserts, 9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn push_after_enqueue_drains_staged_ingress_first() {
         use crate::builder::PlanBuilder;
         use cedr_algebra::expr::Pred;
@@ -647,24 +1176,20 @@ mod tests {
                     .unwrap(),
                 );
             }
-            let mut installs = MessageBatch::new();
-            let mut shutdowns = MessageBatch::new();
+            let mut installs = e.source("INSTALL").unwrap();
             for i in 0..20u64 {
-                let ev = e
-                    .event("INSTALL", 10 * i, vec![Value::str(format!("m{}", i % 4))])
+                installs
+                    .insert(10 * i, vec![Value::str(format!("m{}", i % 4))])
                     .unwrap();
-                installs.push(Message::insert_event(ev));
-                let ev = e
-                    .event(
-                        "SHUTDOWN",
-                        10 * i + 5,
-                        vec![Value::str(format!("m{}", i % 4))],
-                    )
-                    .unwrap();
-                shutdowns.push(Message::insert_event(ev));
             }
-            e.enqueue_batch("INSTALL", &installs).unwrap();
-            e.enqueue_batch("SHUTDOWN", &shutdowns).unwrap();
+            drop(installs);
+            let mut shutdowns = e.source("SHUTDOWN").unwrap();
+            for i in 0..20u64 {
+                shutdowns
+                    .insert(10 * i + 5, vec![Value::str(format!("m{}", i % 4))])
+                    .unwrap();
+            }
+            drop(shutdowns);
             e.run_to_quiescence();
             e.seal();
             (e, qs)
@@ -674,9 +1199,18 @@ mod tests {
             let (par, qp) = run(threads);
             for (a, b) in qs.iter().zip(qp.iter()) {
                 assert_eq!(
-                    serial.output(*a).stamped(),
-                    par.output(*b).stamped(),
+                    serial.collector(*a).stamped(),
+                    par.collector(*b).stamped(),
                     "threads={threads}: output diverged"
+                );
+                // The subscription view is the same change stream: drained
+                // deltas must coincide entry for entry across thread
+                // counts too.
+                let (mut sa, mut sb) = (serial.subscribe(*a).unwrap(), par.subscribe(*b).unwrap());
+                assert_eq!(
+                    sa.drain_ready(&serial),
+                    sb.drain_ready(&par),
+                    "threads={threads}: subscription deltas diverged"
                 );
                 assert_eq!(serial.stats(*a), par.stats(*b));
             }

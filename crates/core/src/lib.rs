@@ -3,8 +3,10 @@
 //! The public face of the CEDR reproduction: an [`engine::Engine`] that
 //! registers standing queries (from CEDR query text or the programmatic
 //! [`builder::PlanBuilder`]), routes provider streams to them, applies
-//! per-query consistency specs, and exposes outputs as collectors plus the
-//! Figure-8 runtime metrics.
+//! per-query consistency specs, and exposes a **sessioned I/O surface**:
+//! typed [`SourceHandle`] ingestion sessions with bounded-ingress
+//! backpressure on the way in, incremental [`Subscription`] change-stream
+//! cursors on the way out, plus the Figure-8 runtime metrics.
 //!
 //! ```
 //! use cedr_core::prelude::*;
@@ -20,31 +22,43 @@
 //!         ConsistencySpec::middle(),
 //!     )
 //!     .unwrap();
-//! let install = engine.event("INSTALL", 100, vec![Value::str("m1")]).unwrap();
-//! engine.push_insert("INSTALL", install).unwrap();
-//! let shutdown = engine.event("SHUTDOWN", 200, vec![Value::str("m1")]).unwrap();
-//! engine.push_insert("SHUTDOWN", shutdown).unwrap();
+//! let mut sub = engine.subscribe(q).unwrap();
+//!
+//! // Provider session: resolve the stream once, stage typed events.
+//! let mut installs = engine.source("INSTALL").unwrap();
+//! installs.insert(100, vec![Value::str("m1")]).unwrap();
+//! drop(installs);
+//! let mut shutdowns = engine.source("SHUTDOWN").unwrap();
+//! shutdowns.insert(200, vec![Value::str("m1")]).unwrap();
+//! drop(shutdowns);
 //! engine.seal();
-//! assert_eq!(engine.output(q).stats().inserts, 1);
+//!
+//! // Consumer session: drain the insert/retract/CTI change stream.
+//! let deltas = sub.poll(&mut engine);
+//! assert_eq!(deltas.iter().filter(|d| d.is_data()).count(), 1);
+//! assert_eq!(engine.collector(q).stats().inserts, 1);
 //! ```
 
 pub mod builder;
 pub mod engine;
+pub mod session;
 
 pub use builder::PlanBuilder;
-pub use engine::{Engine, EngineConfig, EngineError, QueryId};
+pub use engine::{Engine, EngineConfig, EngineError, QueryId, DEFAULT_INGRESS_CAPACITY};
+pub use session::{SourceHandle, Subscription, DEFAULT_AUTOFLUSH};
 
 /// Convenience prelude for applications.
 pub mod prelude {
     pub use crate::builder::PlanBuilder;
     pub use crate::engine::{Engine, EngineConfig, EngineError, QueryId};
+    pub use crate::session::{SourceHandle, Subscription};
     pub use cedr_algebra::expr::{CmpOp, Pred, Scalar};
     pub use cedr_algebra::pattern::{Consumption, ScMode, Selection};
     pub use cedr_algebra::relational::AggFunc;
     pub use cedr_lang::catalog::{Catalog, EventTypeDef, FieldType};
     pub use cedr_runtime::{ConsistencyLevel, ConsistencySpec};
     pub use cedr_streams::{
-        Collector, DisorderConfig, Message, MessageBatch, Retraction, StreamBuilder,
+        Collector, DisorderConfig, Message, MessageBatch, OutputDelta, Retraction, StreamBuilder,
     };
     pub use cedr_temporal::prelude::*;
     pub use cedr_temporal::time::{dur, t};

@@ -1,0 +1,377 @@
+//! Sessioned I/O: typed ingestion handles and incremental output
+//! subscriptions.
+//!
+//! The paper's CEDR vision is a *standing-query server*: providers feed
+//! named streams continuously, consumers observe each query's consistent,
+//! repairing output stream. This module is that surface:
+//!
+//! * [`SourceHandle`] — a provider session on one input stream. Opened
+//!   with [`Engine::source`], it resolves the event type and its shard
+//!   routing **once**, stages messages in a local [`MessageBatch`]
+//!   through typed builders, and flushes against the engine's bounded
+//!   per-shard ingress with blocking ([`SourceHandle::flush`]) or
+//!   backpressure-surfacing ([`SourceHandle::try_flush`]) semantics.
+//! * [`Subscription`] — a consumer cursor over a query's append-only
+//!   [`OutputDelta`] log. Opened with [`Engine::subscribe`], each
+//!   [`Subscription::poll`] drains staged work and returns exactly the
+//!   insert/retract/CTI deltas appended since the previous poll, in an
+//!   order bit-identical to the collector's stamped tape at every
+//!   consistency level and thread count.
+
+use crate::engine::{Engine, EngineError, QueryId, SubscriberList};
+use cedr_streams::{Message, MessageBatch, OutputDelta, Retraction};
+use cedr_temporal::{Event, Interval, TimePoint, Value};
+use std::sync::Arc;
+
+/// Default number of staged messages at which a [`SourceHandle`]
+/// auto-flushes. Small enough to bound session-local memory, large enough
+/// that shell and scheduler overhead amortise across the run (see
+/// `OpStats::mean_batch_len`).
+pub const DEFAULT_AUTOFLUSH: usize = 512;
+
+/// A typed ingestion session on one named input stream.
+///
+/// Obtained from [`Engine::source`]. The handle holds the engine borrow
+/// for its lifetime, which is what makes "resolve once" sound: routing
+/// cannot change and the engine cannot seal while a session is open.
+/// Messages accumulate in a local staging batch and move to the engine's
+/// bounded ingress on [`flush`](SourceHandle::flush) (automatic every
+/// [`DEFAULT_AUTOFLUSH`] staged messages, on drop, or manual). Staged
+/// batches are drained into the dataflows by
+/// [`Engine::run_to_quiescence`] — or by the engine itself when a full
+/// ingress queue exerts backpressure on a blocking flush.
+///
+/// ```
+/// use cedr_core::prelude::*;
+///
+/// let mut engine = Engine::new();
+/// engine.register_event_type("LOGIN", vec![("user", FieldType::Str)]);
+/// let mut login = engine.source("LOGIN").unwrap();
+/// let ev = login.insert(100, vec![Value::str("ada")]).unwrap();
+/// login.retract(ev.clone(), t(100)); // never mind
+/// login.cti(t(200));
+/// drop(login); // flushes the staged batch
+/// engine.run_to_quiescence();
+/// ```
+pub struct SourceHandle<'e> {
+    engine: &'e mut Engine,
+    event_type: String,
+    /// Payload arity of the event type, resolved at open time.
+    arity: usize,
+    /// Per-shard `(shard, subscribers)` routing, resolved at open time.
+    subs: Vec<(usize, SubscriberList)>,
+    staged: MessageBatch,
+    autoflush: usize,
+}
+
+impl<'e> SourceHandle<'e> {
+    pub(crate) fn new(
+        engine: &'e mut Engine,
+        event_type: String,
+        arity: usize,
+        subs: Vec<(usize, SubscriberList)>,
+    ) -> Self {
+        SourceHandle {
+            engine,
+            event_type,
+            arity,
+            subs,
+            staged: MessageBatch::new(),
+            autoflush: DEFAULT_AUTOFLUSH,
+        }
+    }
+
+    /// The event type this session feeds.
+    pub fn event_type(&self) -> &str {
+        &self.event_type
+    }
+
+    /// Number of `(query, port)` subscribers the resolved routing fans
+    /// out to.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.iter().map(|(_, s)| s.len()).sum()
+    }
+
+    /// Messages currently staged locally (not yet flushed).
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Auto-flush after `n` staged messages (clamped to at least 1).
+    pub fn with_autoflush(mut self, n: usize) -> Self {
+        self.autoflush = n.max(1);
+        self
+    }
+
+    /// Disable auto-flush entirely: the batch grows until an explicit
+    /// [`flush`](SourceHandle::flush)/[`try_flush`](SourceHandle::try_flush)
+    /// or drop.
+    pub fn manual_flush(mut self) -> Self {
+        self.autoflush = usize::MAX;
+        self
+    }
+
+    /// Mint and stage a point event `[vs, vs+1)` with a fresh ID,
+    /// validating the payload against the resolved schema. Returns the
+    /// (shared) event so the provider can retract it later.
+    pub fn insert(&mut self, vs: u64, fields: Vec<Value>) -> Result<Arc<Event>, EngineError> {
+        self.insert_for(Interval::point(TimePoint::new(vs)), fields)
+    }
+
+    /// Mint and stage an event with an explicit validity interval.
+    pub fn insert_for(
+        &mut self,
+        interval: Interval,
+        fields: Vec<Value>,
+    ) -> Result<Arc<Event>, EngineError> {
+        if fields.len() != self.arity {
+            return Err(EngineError::PayloadArity {
+                event_type: self.event_type.clone(),
+                expected: self.arity,
+                got: fields.len(),
+            });
+        }
+        let event = self.engine.mint_event(interval, fields);
+        self.stage(Message::Insert(event.clone()));
+        Ok(event)
+    }
+
+    /// Stage a pre-minted event (e.g. from a workload generator),
+    /// validating its payload arity against the resolved schema.
+    pub fn insert_event(&mut self, event: impl Into<Arc<Event>>) -> Result<(), EngineError> {
+        let event = event.into();
+        if event.payload.len() != self.arity {
+            return Err(EngineError::PayloadArity {
+                event_type: self.event_type.clone(),
+                expected: self.arity,
+                got: event.payload.len(),
+            });
+        }
+        self.stage(Message::Insert(event));
+        Ok(())
+    }
+
+    /// Stage a retraction shortening `event`'s lifetime to
+    /// `[Vs, new_end)` (`new_end == Vs` removes it entirely). Accepts the
+    /// shared event an [`insert`](SourceHandle::insert) returned (clone
+    /// the `Arc` — a refcount bump) or an owned [`Event`].
+    pub fn retract(&mut self, event: impl Into<Arc<Event>>, new_end: TimePoint) {
+        self.stage(Message::Retract(Retraction::new(event, new_end)));
+    }
+
+    /// Stage a current-time increment: a promise that every future
+    /// message on this stream has `Sync >= t`.
+    pub fn cti(&mut self, t: TimePoint) {
+        self.stage(Message::Cti(t));
+    }
+
+    /// Stage a raw physical message (tape replays, disorder harnesses).
+    /// No schema validation is applied.
+    pub fn stage(&mut self, msg: Message) {
+        self.staged.push(msg);
+        if self.staged.len() >= self.autoflush {
+            self.flush();
+        }
+    }
+
+    /// Stage a whole batch (an `Arc`-shared clone per message — payloads
+    /// are never copied). The auto-flush bound holds mid-batch: local
+    /// staging never grows past the threshold, however large the input.
+    pub fn stage_batch(&mut self, batch: &MessageBatch) {
+        for m in batch {
+            self.staged.push(m.clone());
+            if self.staged.len() >= self.autoflush {
+                self.flush();
+            }
+        }
+    }
+
+    /// Move the staged batch to the engine's ingress queues, draining the
+    /// engine first if a target shard's bounded ingress lacks room
+    /// (backpressure by blocking). Never fails; an empty staging batch is
+    /// a no-op. The staged work runs at the next
+    /// [`Engine::run_to_quiescence`] (or [`Subscription::poll`]).
+    pub fn flush(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.staged);
+        self.engine
+            .admit_resolved(&self.event_type, batch, &self.subs, true)
+            .expect("blocking admission cannot fail");
+    }
+
+    /// [`flush`](SourceHandle::flush) with backpressure surfaced: if the
+    /// staged batch does not fit a target shard's bounded ingress,
+    /// nothing moves, the batch stays staged, and
+    /// [`EngineError::IngressFull`] is returned — the caller decides
+    /// whether to drain, retry, or shed load.
+    pub fn try_flush(&mut self) -> Result<(), EngineError> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        // Capacity pre-check, then move: the success path never copies
+        // the staged batch, and after a passed check the admission below
+        // cannot trigger a backpressure drain.
+        self.engine
+            .check_capacity(&self.event_type, self.staged.len(), &self.subs)?;
+        let batch = std::mem::take(&mut self.staged);
+        self.engine
+            .admit_resolved(&self.event_type, batch, &self.subs, false)
+            .expect("admission cannot fail after a passed capacity check");
+        Ok(())
+    }
+
+    /// Deliver one message immediately — flush anything staged, then run
+    /// the historical per-message cascade (minus its per-call lookups):
+    /// the message reaches every subscribing dataflow and the graphs run
+    /// to quiescence before this returns. This is the latency-first mode;
+    /// prefer staging + flush when the caller holds a run of messages.
+    pub fn send(&mut self, msg: Message) {
+        if !self.staged.is_empty() {
+            self.flush();
+        }
+        self.engine.send_resolved(&self.subs, msg);
+    }
+
+    /// Flush and run the engine to quiescence: everything staged through
+    /// this handle (and any other staged ingress) is processed before
+    /// this returns. Equivalent to dropping the handle and calling
+    /// [`Engine::run_to_quiescence`], without ending the session.
+    pub fn sync(&mut self) {
+        self.flush();
+        self.engine.run_to_quiescence();
+    }
+}
+
+impl std::fmt::Debug for SourceHandle<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SourceHandle")
+            .field("event_type", &self.event_type)
+            .field("arity", &self.arity)
+            .field("subscribers", &self.subscriber_count())
+            .field("staged", &self.staged.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for SourceHandle<'_> {
+    /// Closing a session flushes its staged batch (the drain itself still
+    /// happens at the next `run_to_quiescence`/poll).
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// An incremental consumer cursor over one query's output change stream.
+///
+/// Obtained from [`Engine::subscribe`]. The subscription owns only a
+/// position into the query collector's append-only delta log, so it can
+/// outlive borrows of the engine, interleave freely with ingestion
+/// sessions, and coexist with any number of other subscriptions on the
+/// same query. Draining never re-reads state: each poll returns a slice
+/// of the log — zero copies, `Arc`-shared events.
+///
+/// ```
+/// use cedr_core::prelude::*;
+///
+/// let mut engine = Engine::new();
+/// engine.register_event_type("TICK", vec![("v", FieldType::Int)]);
+/// let plan = PlanBuilder::source("TICK").select(Pred::True).into_plan();
+/// let q = engine
+///     .register_plan("ticks", plan, ConsistencySpec::middle())
+///     .unwrap();
+/// let mut sub = engine.subscribe(q).unwrap();
+/// let mut src = engine.source("TICK").unwrap();
+/// src.insert(7, vec![Value::Int(1)]).unwrap();
+/// drop(src);
+/// for delta in sub.poll(&mut engine) {
+///     println!("{delta:?}"); // @0 +insert ...
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Subscription {
+    query: QueryId,
+    cursor: usize,
+}
+
+impl Subscription {
+    pub(crate) fn new(query: QueryId) -> Self {
+        Subscription { query, cursor: 0 }
+    }
+
+    /// The query this subscription observes.
+    pub fn query(&self) -> QueryId {
+        self.query
+    }
+
+    /// The cursor position: number of deltas consumed so far.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Drain everything new: run the engine to quiescence (consumption
+    /// drives the scheduler over any staged ingress), then return the
+    /// deltas appended since the last drain and advance the cursor past
+    /// them.
+    pub fn poll<'e>(&mut self, engine: &'e mut Engine) -> &'e [OutputDelta] {
+        engine.run_to_quiescence();
+        self.drain_ready(engine)
+    }
+
+    /// Drain what is already computed, without scheduling — the read-only
+    /// variant of [`poll`](Subscription::poll) for when the engine is
+    /// shared or known to be quiescent.
+    pub fn drain_ready<'e>(&mut self, engine: &'e Engine) -> &'e [OutputDelta] {
+        let log = engine.collector(self.query).delta_log();
+        let start = self.cursor.min(log.len());
+        self.cursor = log.len();
+        &log[start..]
+    }
+
+    /// Drain at most `max` ready deltas (read-only; pair with
+    /// [`poll`](Subscription::poll) or [`Engine::run_to_quiescence`] to
+    /// schedule first). Supports consuming a long repair log in slices
+    /// and resuming mid-stream — the cursor advances exactly past what
+    /// was returned.
+    pub fn take<'e>(&mut self, engine: &'e Engine, max: usize) -> &'e [OutputDelta] {
+        let log = engine.collector(self.query).delta_log();
+        let start = self.cursor.min(log.len());
+        let end = (start + max).min(log.len());
+        self.cursor = end;
+        &log[start..end]
+    }
+
+    /// Deltas ready to drain without scheduling.
+    pub fn pending(&self, engine: &Engine) -> usize {
+        engine
+            .collector(self.query)
+            .delta_log()
+            .len()
+            .saturating_sub(self.cursor)
+    }
+
+    /// Callback-sink drain: run to quiescence, hand every new delta to
+    /// `f` in order, and return how many were consumed. The cursor
+    /// advances past each delta only *after* its callback returns, so a
+    /// panicking sink loses nothing: on unwind the cursor still points at
+    /// the failed delta and a later drain re-delivers it (at-least-once).
+    pub fn for_each<F: FnMut(&OutputDelta)>(&mut self, engine: &mut Engine, mut f: F) -> usize {
+        engine.run_to_quiescence();
+        let log = engine.collector(self.query).delta_log();
+        let end = log.len();
+        let mut consumed = 0;
+        while self.cursor < end {
+            f(&log[self.cursor]);
+            self.cursor += 1;
+            consumed += 1;
+        }
+        consumed
+    }
+
+    /// Skip past everything already logged without observing it: the next
+    /// poll returns only deltas appended after this call.
+    pub fn skip_to_end(&mut self, engine: &Engine) {
+        self.cursor = engine.collector(self.query).delta_log().len();
+    }
+}

@@ -38,7 +38,14 @@
 //! [`Dataflow::enqueue_source_batch`]).
 //!
 //! Sink outputs are folded into [`cedr_streams::Collector`]s so the
-//! temporal equivalence machinery applies to query results directly.
+//! temporal equivalence machinery applies to query results directly. A
+//! collector absorbs each output run into its history tables **and** its
+//! append-only [`OutputDelta`](cedr_streams::OutputDelta) log — the
+//! change stream that engine-level subscriptions drain incrementally.
+//! Because both the serial sweep and the sharded workers feed collectors
+//! through the same `deliver_runs` loop, the delta log inherits the
+//! parallel≡serial bit-identity guarantee for free: a subscription
+//! observes the same deltas in the same order at every thread count.
 
 use crate::consistency::ConsistencySpec;
 use crate::operator::{OperatorModule, OperatorShell};
@@ -52,8 +59,9 @@ pub type NodeId = usize;
 
 /// Deliver one node's drained input to its shell as **maximal same-port
 /// runs** in arrival order (messages move into each run — no re-clone),
-/// absorb any outputs into the node's collector, and hand each run's
-/// output batch to `route` for fan-out.
+/// absorb any outputs into the node's collector (history tables, stamped
+/// tape and subscription delta log advance together), and hand each
+/// run's output batch to `route` for fan-out.
 ///
 /// This is the single definition of per-node delivery: the serial sweep
 /// and every sharded-scheduler worker call exactly this loop, differing

@@ -273,8 +273,10 @@ const PROGRESS_DONE: u64 = u64::MAX;
 ///
 /// `staged[n]` holds node `n`'s externally staged `(port, message)` input
 /// (drained source queues). Delivered input sequences — and therefore all
-/// outputs, collector contents and statistics — are bit-identical to the
-/// serial sweep.
+/// outputs, collector contents (history tables, stamped tape, and the
+/// subscription-facing delta log, which advance together inside
+/// `Collector::push`) and statistics — are bit-identical to the serial
+/// sweep.
 pub(crate) fn run_sharded(
     nodes: &mut [OperatorShell],
     node_subs: &[Vec<(NodeId, usize)>],

@@ -5,6 +5,7 @@
 //! time in the merged unitemporal regime), so the paper's canonicalisation,
 //! equivalence and sync-point machinery applies verbatim to runtime outputs.
 
+use crate::delta::OutputDelta;
 use crate::message::{Message, Stamped};
 use cedr_temporal::{
     ChainKey, HistoryRow, HistoryTable, Interval, TimePoint, UniTemporalRow, UniTemporalTable,
@@ -22,11 +23,19 @@ pub struct StreamStats {
     pub data_messages: usize,
 }
 
-/// Folds messages into a history table and statistics.
+/// Folds messages into a history table, statistics, and an incremental
+/// **delta log** — the consumable changelog cursored by subscriptions.
 #[derive(Clone, Debug, Default)]
 pub struct Collector {
     history: HistoryTable,
     stamped: Vec<Stamped>,
+    /// Append-only changelog mirroring `stamped`: one [`OutputDelta`] per
+    /// ingested message, in arrival order. Events are `Arc`-shared with
+    /// the stamped tape, so the log costs no payload copies. Sink nodes
+    /// feed it through [`Collector::push`] in both the serial sweep and
+    /// the sharded scheduler, which is what makes subscription drains
+    /// bit-identical to `stamped()` at every thread count.
+    deltas: Vec<OutputDelta>,
     stats: StreamStats,
     /// Current lifetime per chain, for retraction chaining.
     current_end: HashMap<u64, TimePoint>,
@@ -55,6 +64,10 @@ impl Collector {
                     k: ChainKey(e.id.0),
                     payload: e.payload.clone(),
                 });
+                self.deltas.push(OutputDelta::Insert {
+                    cedr_time: cs,
+                    event: e.clone(),
+                });
             }
             Message::Retract(r) => {
                 self.stats.retractions += 1;
@@ -72,10 +85,19 @@ impl Collector {
                     k: ChainKey(r.event.id.0),
                     payload: r.event.payload.clone(),
                 });
+                self.deltas.push(OutputDelta::Retract {
+                    cedr_time: cs,
+                    event: r.event.clone(),
+                    new_end: r.new_end,
+                });
             }
             Message::Cti(t) => {
                 self.stats.ctis += 1;
                 self.max_cti = Some(self.max_cti.map_or(*t, |m| TimePoint::max_of(m, *t)));
+                self.deltas.push(OutputDelta::Cti {
+                    cedr_time: cs,
+                    guarantee: *t,
+                });
             }
         }
         self.stamped.push(Stamped::new(cs, msg));
@@ -115,6 +137,23 @@ impl Collector {
     /// All stamped messages in arrival order.
     pub fn stamped(&self) -> &[Stamped] {
         &self.stamped
+    }
+
+    /// The append-only output changelog, in arrival order — one
+    /// [`OutputDelta`] per message ever pushed, mirroring
+    /// [`Collector::stamped`] entry for entry. Subscriptions cursor into
+    /// this slice; see [`Collector::deltas_from`].
+    pub fn delta_log(&self) -> &[OutputDelta] {
+        &self.deltas
+    }
+
+    /// The changelog suffix starting at `cursor` (clamped to the log
+    /// length): everything appended since a consumer last read up to
+    /// `cursor`. Incremental consumption is `deltas_from(cursor)` + advance
+    /// the cursor by the returned length — no state is re-read and nothing
+    /// is copied.
+    pub fn deltas_from(&self, cursor: usize) -> &[OutputDelta] {
+        &self.deltas[cursor.min(self.deltas.len())..]
     }
 
     pub fn stats(&self) -> &StreamStats {
@@ -184,6 +223,25 @@ mod tests {
             c2.history(),
             EquivalenceOptions::definition1(),
         ));
+    }
+
+    #[test]
+    fn delta_log_mirrors_stamped_entry_for_entry() {
+        let mut b = StreamBuilder::new();
+        let e = b.insert(iv(1, 10), Payload::empty());
+        b.retract(e, t(4));
+        let mut c = Collector::new();
+        c.push_all(b.build_ordered(None, true));
+        assert_eq!(c.delta_log().len(), c.stamped().len());
+        for (d, s) in c.delta_log().iter().zip(c.stamped()) {
+            assert_eq!(d.cedr_time(), s.cedr_time);
+            assert_eq!(d.sync(), s.message.sync());
+            assert_eq!(d.is_data(), s.message.is_data());
+        }
+        // Cursors: a suffix read picks up exactly what a full read holds.
+        let mid = c.delta_log().len() / 2;
+        assert_eq!(c.deltas_from(mid), &c.delta_log()[mid..]);
+        assert!(c.deltas_from(c.delta_log().len() + 10).is_empty());
     }
 
     #[test]

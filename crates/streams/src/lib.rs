@@ -11,6 +11,7 @@
 pub mod batch;
 pub mod clock;
 pub mod collect;
+pub mod delta;
 pub mod disorder;
 pub mod merge;
 pub mod message;
@@ -19,6 +20,7 @@ pub mod source;
 pub use batch::MessageBatch;
 pub use clock::{CedrClock, LogicalClock};
 pub use collect::{Collector, StreamStats};
+pub use delta::OutputDelta;
 pub use disorder::{scramble, DisorderConfig};
 pub use merge::merge_by_sync;
 pub use message::{Message, Retraction, Stamped};
@@ -29,6 +31,7 @@ pub mod prelude {
     pub use crate::batch::MessageBatch;
     pub use crate::clock::{CedrClock, LogicalClock};
     pub use crate::collect::{Collector, StreamStats};
+    pub use crate::delta::OutputDelta;
     pub use crate::disorder::{scramble, DisorderConfig};
     pub use crate::merge::merge_by_sync;
     pub use crate::message::{Message, Retraction, Stamped};

@@ -12,7 +12,7 @@
 //! merging is refcount bumps, never payload copies.
 //!
 //! The complementary *splitting* helpers live on
-//! [`MessageBatch`](crate::batch::MessageBatch) (`split_at`, `chunks`);
+//! [`MessageBatch`] (`split_at`, `chunks`);
 //! splitting a batch and re-merging the pieces with this rule round-trips
 //! to the original batch, because each piece preserves relative order and
 //! sync values are non-decreasing within an ordered stream.

@@ -65,34 +65,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Streams arrive out of order — the compliance office replays exchange
     // feeds over a flaky link — but strong consistency re-aligns them.
-    let mut push_all = |ty: &str, rows: &[(u64, String, i64)]| -> Result<(), EngineError> {
-        let mut msgs = Vec::new();
-        for (at, trader, oid) in rows {
-            let ev = Event::primitive(
-                EventId(0xC0FFEE + msgs.len() as u64 + (*oid as u64) * 1000 + *at),
-                Interval::point(t(*at)),
-                Payload::from_values(vec![Value::str(trader), Value::Int(*oid)]),
-            );
-            msgs.push(Message::insert_event(ev));
-        }
-        msgs.sort_by_key(|m| m.sync());
-        let mut stream: Vec<Message> = Vec::new();
-        for m in msgs {
-            stream.push(m.clone());
-            stream.push(Message::Cti(m.sync()));
-        }
-        stream.push(Message::Cti(TimePoint::INFINITY));
-        let scrambled = cedr::streams::scramble(&stream, &DisorderConfig::heavy(3, 300, 10));
-        for m in scrambled {
-            engine.push(ty, m)?;
-        }
-        Ok(())
-    };
-    push_all("ORDER", &orders)?;
-    push_all("CANCEL", &cancels)?;
-    push_all("FILL", &fills)?;
+    // One source session per feed: routing resolves once, every replayed
+    // message is delivered through the same typed handle.
+    let push_all =
+        |engine: &mut Engine, ty: &str, rows: &[(u64, String, i64)]| -> Result<(), EngineError> {
+            let mut msgs = Vec::new();
+            for (at, trader, oid) in rows {
+                let ev = Event::primitive(
+                    EventId(0xC0FFEE + msgs.len() as u64 + (*oid as u64) * 1000 + *at),
+                    Interval::point(t(*at)),
+                    Payload::from_values(vec![Value::str(trader), Value::Int(*oid)]),
+                );
+                msgs.push(Message::insert_event(ev));
+            }
+            msgs.sort_by_key(|m| m.sync());
+            let mut stream: Vec<Message> = Vec::new();
+            for m in msgs {
+                stream.push(m.clone());
+                stream.push(Message::Cti(m.sync()));
+            }
+            stream.push(Message::Cti(TimePoint::INFINITY));
+            let scrambled = cedr::streams::scramble(&stream, &DisorderConfig::heavy(3, 300, 10));
+            let mut feed = engine.source(ty)?;
+            for m in scrambled {
+                feed.send(m);
+            }
+            Ok(())
+        };
+    push_all(&mut engine, "ORDER", &orders)?;
+    push_all(&mut engine, "CANCEL", &cancels)?;
+    push_all(&mut engine, "FILL", &fills)?;
 
-    let out = engine.output(q);
+    let out = engine.collector(q);
     let stats = out.stats().clone();
     let totals = engine.stats(q);
     println!(

@@ -38,9 +38,10 @@ fn run_at(
         .map(|(i, (_, msgs))| (i, msgs.as_slice()))
         .collect();
     let disorder = DisorderConfig::heavy(42, 6 * 3600, 25);
-    // Ingest in micro-batches: stage each chunk per event type, then drain
-    // every dataflow once per chunk — the engine's batch-at-a-time hot
-    // path, preserving the disordered timeline chunk by chunk.
+    // Ingest in micro-batches: each provider stream stages its slice of
+    // the chunk through its source session, then every dataflow drains
+    // once per chunk — the engine's batch-at-a-time hot path, preserving
+    // the disordered timeline chunk by chunk.
     let tape = merge_scramble(&routed, &disorder);
     for chunk in tape.chunks(16) {
         let mut per_type = vec![MessageBatch::new(); streams.len()];
@@ -49,7 +50,7 @@ fn run_at(
         }
         for (slot, batch) in per_type.iter().enumerate() {
             if !batch.is_empty() {
-                engine.enqueue_batch(&streams[slot].0, batch)?;
+                engine.source(&streams[slot].0)?.stage_batch(batch);
             }
         }
         engine.run_to_quiescence();
@@ -77,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Query:\n{QUERY}\n");
 
     let (ref_engine, ref_q) = run_at(ConsistencySpec::strong(), &trace)?;
-    let reference = ref_engine.output(ref_q).net_table();
+    let reference = ref_engine.collector(ref_q).net_table();
 
     println!(
         "{:<22} {:>8} {:>12} {:>10} {:>12} {:>9}",
@@ -89,7 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Weak ⟨B=0,M=4h⟩", ConsistencySpec::weak(Duration::hours(4))),
     ] {
         let (engine, q) = run_at(spec, &trace)?;
-        let out = engine.output(q);
+        let out = engine.collector(q);
         let net = out.net_table();
         let totals = engine.stats(q);
         println!(

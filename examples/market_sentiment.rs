@@ -45,12 +45,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let news = finance::generate_news(&cfg, 0);
     let stream = finance::to_stream(&news, Some(Duration::minutes(2)));
     let scrambled = cedr::streams::scramble(&stream, &DisorderConfig::heavy(5, 240, 15));
+    // Signals must be actionable as soon as possible: one source session,
+    // resolved once, delivering each story immediately (`send`) rather
+    // than staging a batch.
+    let mut feed = engine.source("NEWS")?;
     for m in scrambled {
-        engine.push("NEWS", m)?;
+        feed.send(m);
     }
+    drop(feed);
     engine.seal();
 
-    let out = engine.output(q);
+    let out = engine.collector(q);
     let stats = out.stats().clone();
     println!(
         "\n{} news items -> {} signals fired, {} retracted after late \

@@ -55,12 +55,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("Plan:\n{}", engine.explain(q));
 
-    // Positions cover the session; ticks stream in with mild disorder.
-    for p in finance::generate_positions(&PortfolioConfig::default(), 1_000_000) {
-        engine.push("POSITION", Message::insert_event(p))?;
-    }
-    engine.push_cti("POSITION", TimePoint::INFINITY)?;
+    // Watch the output as a change stream: the desktop app repaints from
+    // deltas, it never re-reads the whole aggregate table.
+    let mut sub = engine.subscribe(q)?;
 
+    // Positions cover the session: one source session stages them all and
+    // seals the stream with CTI ∞.
+    let mut positions = engine.source("POSITION")?;
+    for p in finance::generate_positions(&PortfolioConfig::default(), 1_000_000) {
+        positions.insert_event(p)?;
+    }
+    positions.cti(TimePoint::INFINITY);
+    drop(positions);
+
+    // Ticks stream in with mild disorder through their own session,
+    // auto-flushing against the engine's bounded ingress as they go.
     let market = MarketConfig {
         symbols: 8,
         ticks_per_symbol: 300,
@@ -70,17 +79,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let horizon = tick_events.last().map(|e| e.vs()).unwrap_or(t(0));
     let stream = finance::to_stream(&tick_events, Some(Duration::minutes(5)));
     let scrambled = cedr::streams::scramble(&stream, &DisorderConfig::heavy(9, 120, 20));
+    let mut ticks = engine.source("TICK")?;
     for m in scrambled {
-        engine.push("TICK", m)?;
+        ticks.stage(m);
     }
+    drop(ticks);
 
-    let out = engine.output(q);
+    // Drain the change stream: repairs arrive as retract deltas.
+    let mut repairs = 0usize;
+    let mut updates = 0usize;
+    sub.for_each(&mut engine, |d| match d {
+        OutputDelta::Retract { .. } => repairs += 1,
+        OutputDelta::Insert { .. } => updates += 1,
+        _ => {}
+    });
+
+    let out = engine.collector(q);
     let net = out.net_table();
     println!(
-        "\n{} ticks -> {} aggregate segments ({} repairs along the way)",
+        "\n{} ticks -> {} aggregate segments ({} updates, {} repairs observed \
+         incrementally)",
         tick_events.len(),
         net.len(),
-        out.stats().retractions
+        updates,
+        repairs,
     );
     let probe = TimePoint::new(horizon.0 / 2);
     println!("\nPortfolio value moving averages at t={probe}:");

@@ -1,5 +1,7 @@
-//! Quickstart: register a pattern query, stream events (including a
-//! retraction and a late arrival), and watch CEDR repair its output.
+//! Quickstart: register a pattern query, feed events through a typed
+//! source session (including a retraction and a late arrival), and watch
+//! CEDR repair its output — live, through an incremental subscription to
+//! the insert/retract/CTI change stream.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -23,45 +25,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!("Optimized plan:\n{}", engine.explain(q));
 
-    // 3. Stream events. Times are in ticks (1 tick = 1 second).
-    let login = engine.event("LOGIN", 100, vec![Value::str("ada")])?;
-    engine.push_insert("LOGIN", login)?;
-    let purchase = engine.event("PURCHASE", 400, vec![Value::str("ada")])?;
-    engine.push_insert("PURCHASE", purchase.clone())?;
+    // 3. Subscribe to the query's output *change stream*: every poll
+    //    drains exactly the deltas appended since the previous one.
+    let mut sub = engine.subscribe(q)?;
 
+    // 4. Open typed source sessions and stream events. The handle resolves
+    //    the stream's routing once; `insert` validates the payload against
+    //    the schema, mints the event, and stages it. Times are in ticks.
+    let mut logins = engine.source("LOGIN")?;
+    logins.insert(100, vec![Value::str("ada")])?;
+    drop(logins); // closing the session flushes it
+    let mut purchases = engine.source("PURCHASE")?;
+    let purchase = purchases.insert(400, vec![Value::str("ada")])?;
+    drop(purchases);
+
+    println!("\nAfter ada's purchase:");
+    for delta in sub.poll(&mut engine) {
+        println!("  {delta:?}");
+    }
+
+    // 5. The provider retracts the purchase (it bounced): CEDR retracts the
+    //    detection it had optimistically emitted, and the subscription
+    //    observes the repair as a delta — no table re-read, no diffing.
+    let mut purchases = engine.source("PURCHASE")?;
+    purchases.retract(purchase.clone(), t(400));
+    drop(purchases);
+    println!("After the retraction:");
+    let mut repairs = 0;
+    sub.for_each(&mut engine, |delta| {
+        if matches!(delta, OutputDelta::Retract { .. }) {
+            repairs += 1;
+        }
+        println!("  {delta:?}");
+    });
     println!(
-        "\nAfter ada's purchase: {} detection(s)",
-        engine.output(q).stats().inserts
+        "  -> {repairs} repair(s), net {} detection(s)",
+        engine.collector(q).net_table().len()
     );
 
-    // 4. The provider retracts the purchase (it bounced): CEDR retracts the
-    //    detection it had optimistically emitted.
-    engine.push_retract("PURCHASE", purchase, t(400))?;
-    let stats = engine.output(q).stats().clone();
-    println!(
-        "After the retraction: {} insert(s), {} retraction(s) -> net {}",
-        stats.inserts,
-        stats.retractions,
-        engine.output(q).net_table().len()
-    );
-
-    // 5. A *late* pair arrives out of order (purchase first, login after) —
+    // 6. A *late* pair arrives out of order (purchase first, login after) —
     //    the match is still found, because CEDR state is ordered by
-    //    occurrence time, not arrival time. The burst is ingested as staged
-    //    batches: both streams enqueue, then every dataflow drains once.
-    let purchase2 = engine.event("PURCHASE", 950, vec![Value::str("bob")])?;
-    let login2 = engine.event("LOGIN", 900, vec![Value::str("bob")])?;
-    let mut purchases = MessageBatch::new();
-    purchases.push(Message::insert_event(purchase2));
-    let mut logins = MessageBatch::new();
-    logins.push(Message::insert_event(login2));
-    engine.enqueue_batch("PURCHASE", &purchases)?;
-    engine.enqueue_batch("LOGIN", &logins)?;
-    engine.run_to_quiescence();
+    //    occurrence time, not arrival time. Both sessions stage into the
+    //    engine's bounded ingress; the poll drains everything at once.
+    engine
+        .source("PURCHASE")?
+        .insert(950, vec![Value::str("bob")])?;
+    engine
+        .source("LOGIN")?
+        .insert(900, vec![Value::str("bob")])?;
 
-    // 6. Seal the streams (CTI ∞: no more input) and inspect.
+    // 7. Seal the streams (CTI ∞: no more input) and drain the rest.
     engine.seal();
-    let out = engine.output(q);
+    println!("\nAfter the late pair and the seal:");
+    for delta in sub.poll(&mut engine) {
+        println!("  {delta:?}");
+    }
+
+    let out = engine.collector(q);
     println!("\nFinal detections:");
     for row in &out.net_table().rows {
         println!("  {} valid {}", row.payload, row.interval);
@@ -74,5 +94,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         totals.output_size()
     );
     assert_eq!(out.net_table().len(), 1, "bob's match survives");
+    assert_eq!(
+        sub.position(),
+        out.delta_log().len(),
+        "subscription saw the whole change stream"
+    );
     Ok(())
 }

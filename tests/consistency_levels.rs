@@ -280,14 +280,14 @@ fn per_query_consistency_is_independent() {
         .map(|(i, (_, m))| (i, m.as_slice()))
         .collect();
     for (slot, m) in merge_scramble(&routed, &DisorderConfig::heavy(9, 86_400, 30)) {
-        engine.push(&streams[slot].0, m).unwrap();
+        engine.source(&streams[slot].0).unwrap().send(m);
     }
     assert_eq!(
-        engine.output(q_strong).net_table().len(),
+        engine.collector(q_strong).net_table().len(),
         trace.expected_alerts
     );
     assert_eq!(
-        engine.output(q_middle).net_table().len(),
+        engine.collector(q_middle).net_table().len(),
         trace.expected_alerts
     );
     assert!(engine.stats(q_strong).blocked_ticks > 0);

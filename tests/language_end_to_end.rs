@@ -15,7 +15,9 @@ fn engine3() -> Engine {
 
 fn push_pt(e: &mut Engine, ty: &str, vs: u64, k: &str, v: i64) -> Event {
     let ev = e.event(ty, vs, vec![Value::str(k), Value::Int(v)]).unwrap();
-    e.push_insert(ty, ev.clone()).unwrap();
+    let mut src = e.source(ty).unwrap();
+    src.insert_event(ev.clone()).unwrap();
+    src.sync();
     ev
 }
 
@@ -35,7 +37,7 @@ fn sequence_with_where_and_output() {
     push_pt(&mut e, "B", 5, "x", 2); // v not larger: no match
     push_pt(&mut e, "B", 6, "y", 9); // wrong key: no match
     e.seal();
-    let net = e.output(q).net_table();
+    let net = e.collector(q).net_table();
     assert_eq!(net.len(), 1);
     assert_eq!(net.rows[0].payload.get(0), Some(&Value::str("x")));
     assert_eq!(net.rows[0].payload.get(1), Some(&Value::Int(9)));
@@ -56,7 +58,7 @@ fn nested_composition_all_not_sequence() {
     push_pt(&mut e, "B", 10, "m", 1);
     push_pt(&mut e, "C", 12, "m", 1);
     e.seal();
-    assert_eq!(e.output(q).net_table().len(), 1);
+    assert_eq!(e.collector(q).net_table().len(), 1);
 
     // Same but with a negative event between the sequence contributors.
     let mut e2 = engine3();
@@ -66,7 +68,7 @@ fn nested_composition_all_not_sequence() {
     push_pt(&mut e2, "B", 11, "m", -1); // the negated event, inside (10,12)
     push_pt(&mut e2, "C", 12, "m", 1);
     e2.seal();
-    assert_eq!(e2.output(q2).net_table().len(), 0);
+    assert_eq!(e2.collector(q2).net_table().len(), 0);
 }
 
 #[test]
@@ -83,7 +85,11 @@ fn cancel_when_stops_pending_detection() {
     push_pt(&mut e, "C", 30, "m", 0);
     push_pt(&mut e, "B", 50, "m", 0);
     e.seal();
-    assert_eq!(e.output(q).net_table().len(), 0, "cancelled mid-detection");
+    assert_eq!(
+        e.collector(q).net_table().len(),
+        0,
+        "cancelled mid-detection"
+    );
 
     let mut e2 = engine3();
     let q2 = e2
@@ -96,7 +102,7 @@ fn cancel_when_stops_pending_detection() {
     push_pt(&mut e2, "B", 50, "m", 0);
     push_pt(&mut e2, "C", 60, "m", 0); // after completion: harmless
     e2.seal();
-    assert_eq!(e2.output(q2).net_table().len(), 1);
+    assert_eq!(e2.collector(q2).net_table().len(), 1);
 }
 
 #[test]
@@ -114,7 +120,7 @@ fn atleast_and_atmost_counts() {
     e.seal();
     // Pairs (A,B), (A,C), (B,C) — and the engine's ATLEAST is exactly the
     // denotational one.
-    assert_eq!(e.output(q).net_table().len(), 3);
+    assert_eq!(e.collector(q).net_table().len(), 3);
 }
 
 #[test]
@@ -134,7 +140,7 @@ fn temporal_slicing_clips_results() {
     push_pt(&mut e, "A", 115, "m", 0);
     push_pt(&mut e, "B", 120, "m", 0);
     e.seal();
-    let net = e.output(q).net_table();
+    let net = e.collector(q).net_table();
     assert_eq!(net.len(), 1);
     assert!(net.rows[0].interval.start == t(40));
 }
@@ -170,7 +176,7 @@ fn engine_agrees_with_denotational_algebra_on_random_inputs() {
             &Pred::cmp(Scalar::Of(0, 0), CmpOp::Eq, Scalar::Of(1, 0)),
         );
         assert_eq!(
-            e.output(q).net_table().len(),
+            e.collector(q).net_table().len(),
             expected.len(),
             "round {round}"
         );
@@ -216,5 +222,5 @@ fn sc_modes_through_the_language() {
     push_pt(&mut e, "B", 5, "m", 0);
     push_pt(&mut e, "B", 9, "m", 0); // A was consumed by the first match
     e.seal();
-    assert_eq!(e.output(q).net_table().len(), 1);
+    assert_eq!(e.collector(q).net_table().len(), 1);
 }

@@ -107,11 +107,11 @@ mod cedr_bench_smoke {
                 ConsistencySpec::middle(),
             )
             .unwrap();
-        let e1 = engine.event("X", 1, vec![Value::Int(1)]).unwrap();
-        engine.push_insert("X", e1).unwrap();
-        let e2 = engine.event("X", 4, vec![Value::Int(2)]).unwrap();
-        engine.push_insert("X", e2).unwrap();
+        let mut src = engine.source("X").unwrap();
+        src.insert(1, vec![Value::Int(1)]).unwrap();
+        src.insert(4, vec![Value::Int(2)]).unwrap();
+        drop(src);
         engine.seal();
-        engine.output(q).stats().inserts == 1
+        engine.collector(q).stats().inserts == 1
     }
 }

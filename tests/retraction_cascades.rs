@@ -52,18 +52,21 @@ fn source_retraction_repairs_join_and_aggregate() {
     let r1 = e
         .event_with_interval("R", iv(10, 80), vec![Value::Int(1)])
         .unwrap();
-    e.push_insert("L", l1.clone()).unwrap();
-    e.push_insert("L", l2.clone()).unwrap();
-    e.push_insert("R", r1.clone()).unwrap();
+    {
+        let mut left = e.source("L").unwrap();
+        left.insert_event(l1.clone()).unwrap();
+        left.insert_event(l2.clone()).unwrap();
+    }
+    e.source("R").unwrap().insert_event(r1.clone()).unwrap();
     // Retract l1 down to [0, 30): the join outputs shrink, the counts
     // re-segment.
-    e.push_retract("L", l1.clone(), t(30)).unwrap();
+    e.source("L").unwrap().retract(l1.clone(), t(30));
     e.seal();
 
     let lf = vec![l1.shortened(t(30)), l2];
     let rf = vec![r1];
     let want = denotational(&lf, &rf);
-    let got = e.output(q).net_table();
+    let got = e.collector(q).net_table();
     assert!(
         got.star_equal(&want),
         "cascade diverged:\n got {got:?}\nwant {want:?}"
@@ -90,14 +93,15 @@ fn full_removal_erases_all_derived_state() {
     let r1 = e
         .event_with_interval("R", iv(0, 50), vec![Value::Int(7)])
         .unwrap();
-    e.push_insert("L", l1.clone()).unwrap();
-    e.push_insert("R", r1).unwrap();
-    assert!(!e.output(q).net_table().is_empty());
+    e.source("L").unwrap().insert_event(l1.clone()).unwrap();
+    e.source("R").unwrap().insert_event(r1).unwrap();
+    e.run_to_quiescence();
+    assert!(!e.collector(q).net_table().is_empty());
     // Remove the left event entirely: everything derived must vanish.
-    e.push_retract("L", l1, t(0)).unwrap();
+    e.source("L").unwrap().retract(l1, t(0));
     e.seal();
     assert!(
-        e.output(q).net_table().is_empty(),
+        e.collector(q).net_table().is_empty(),
         "derived state must be fully erased"
     );
 }
@@ -154,9 +158,9 @@ fn cascades_are_delivery_order_insensitive() {
             .map(|(i, (_, m))| (i, m.as_slice()))
             .collect();
         for (slot, m) in merge_scramble(&routed, &DisorderConfig::heavy(seed, 70, 8)) {
-            e.push(&streams[slot].0, m).unwrap();
+            e.source(&streams[slot].0).unwrap().send(m);
         }
-        let got = e.output(q).net_table();
+        let got = e.collector(q).net_table();
         assert!(
             got.star_equal(&want),
             "seed {seed}: cascade diverged from denotational pipeline"

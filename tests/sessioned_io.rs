@@ -1,0 +1,385 @@
+//! Sessioned I/O correctness: the `SourceHandle`/`Subscription` surface
+//! must be a *view change*, not a semantics change.
+//!
+//! * A subscription's drained `OutputDelta` stream equals the collector's
+//!   stamped tape **bit for bit** — same entries, same order, same CEDR
+//!   times — across seeds × Strong/Middle/Weak (loose and biting horizon)
+//!   × worker counts, including mid-stream cursor resume after partial
+//!   drains.
+//! * Handle ingestion is bit-identical to the deprecated string-keyed
+//!   shims at matching granularity (per-message `send` ≡ `push`, staged
+//!   `stage_batch`+`flush` ≡ `enqueue_batch`).
+
+use cedr::core::prelude::*;
+use cedr::streams::{scramble, MessageBatch};
+use cedr::temporal::time::{dur, t};
+
+/// Three plans covering all five operator families (stateless, aggregate,
+/// join, sequence, negation).
+fn register_queries(engine: &mut Engine, spec: ConsistencySpec) -> Vec<QueryId> {
+    for ty in ["A_T", "B_T", "C_T"] {
+        engine.register_event_type(ty, vec![("val", FieldType::Int)]);
+    }
+    let sel_agg = PlanBuilder::source("A_T")
+        .select(Pred::cmp(Scalar::Field(0), CmpOp::Ge, Scalar::lit(0i64)))
+        .window(dur(50))
+        .group_aggregate(vec![Scalar::Field(0)], AggFunc::Count)
+        .into_plan();
+    let join = PlanBuilder::source("A_T")
+        .join(
+            PlanBuilder::source("B_T"),
+            Pred::cmp(Scalar::Of(0, 0), CmpOp::Eq, Scalar::Of(1, 0)),
+        )
+        .into_plan();
+    let seq_unless = PlanBuilder::sequence(
+        vec![PlanBuilder::source("A_T"), PlanBuilder::source("B_T")],
+        dur(40),
+        Pred::True,
+    )
+    .unless(PlanBuilder::source("C_T"), dur(20), Pred::True)
+    .into_plan();
+    vec![
+        engine.register_plan("sel_agg", sel_agg, spec).unwrap(),
+        engine.register_plan("join", join, spec).unwrap(),
+        engine
+            .register_plan("seq_unless", seq_unless, spec)
+            .unwrap(),
+    ]
+}
+
+/// A deterministic out-of-order workload with retractions, as one
+/// interleaved `(type, message)` tape.
+fn workload(seed: u64) -> Vec<(&'static str, Message)> {
+    let mut streams = Vec::new();
+    for (ti, ty) in ["A_T", "B_T", "C_T"].iter().enumerate() {
+        let mut b = StreamBuilder::with_id_base(10_000 * ti as u64);
+        for i in 0..40u64 {
+            let vs = (i * 7 + ti as u64 * 3) % 200;
+            let len = 5 + (i * 11 + ti as u64) % 30;
+            let e = b.insert(
+                Interval::new(t(vs), t(vs + len)),
+                Payload::from_values(vec![Value::Int((i % 3) as i64)]),
+            );
+            if i % 4 == ti as u64 % 4 {
+                let keep = if i % 8 == ti as u64 % 8 { 0 } else { len / 2 };
+                b.retract(e.clone(), e.vs() + dur(keep));
+            }
+        }
+        let ordered = b.build_ordered(Some(dur(10)), true);
+        let scrambled = scramble(&ordered, &DisorderConfig::heavy(seed ^ ti as u64, 35, 5));
+        streams.push((*ty, scrambled));
+    }
+    let mut tape = Vec::new();
+    let mut idx = [0usize; 3];
+    loop {
+        let mut progressed = false;
+        for (s, (ty, msgs)) in streams.iter().enumerate() {
+            if idx[s] < msgs.len() {
+                tape.push((*ty, msgs[idx[s]].clone()));
+                idx[s] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return tape;
+        }
+    }
+}
+
+/// Re-derive the expected delta stream from the stamped tape — an
+/// *independent* mapping, so the test pins the two logs against each
+/// other rather than trusting either.
+fn expected_deltas(c: &Collector) -> Vec<OutputDelta> {
+    c.stamped()
+        .iter()
+        .map(|s| match &s.message {
+            Message::Insert(e) => OutputDelta::Insert {
+                cedr_time: s.cedr_time,
+                event: e.clone(),
+            },
+            Message::Retract(r) => OutputDelta::Retract {
+                cedr_time: s.cedr_time,
+                event: r.event.clone(),
+                new_end: r.new_end,
+            },
+            Message::Cti(g) => OutputDelta::Cti {
+                cedr_time: s.cedr_time,
+                guarantee: *g,
+            },
+        })
+        .collect()
+}
+
+type LevelSpec = fn() -> ConsistencySpec;
+
+const LEVELS: [(LevelSpec, &str); 4] = [
+    (ConsistencySpec::strong, "strong"),
+    (ConsistencySpec::middle, "middle"),
+    (|| ConsistencySpec::weak(dur(100_000)), "weak"),
+    (|| ConsistencySpec::weak(dur(20)), "weak-biting"),
+];
+
+/// Subscriptions drained incrementally — partial `take` cuts of varying
+/// width interleaved with chunked handle ingestion, cursor resume after
+/// every cut — reconstruct exactly the collector's stamped tape, at every
+/// level, seed, and worker count.
+#[test]
+fn subscription_deltas_match_stamped_bit_for_bit() {
+    for (spec, level) in LEVELS {
+        for seed in [0x5E55_u64, 0x10CA1] {
+            for threads in [1usize, 4] {
+                let mut engine = Engine::with_config(EngineConfig::threaded(threads));
+                let qs = register_queries(&mut engine, spec());
+                let mut subs: Vec<Subscription> =
+                    qs.iter().map(|q| engine.subscribe(*q).unwrap()).collect();
+                let mut collected: Vec<Vec<OutputDelta>> = vec![Vec::new(); qs.len()];
+
+                let tape = workload(seed);
+                // Vary both the ingestion chunking and the drain width
+                // deterministically per round.
+                let mut cut = (seed as usize % 5) + 1;
+                for chunk in tape.chunks(16) {
+                    for ty in ["A_T", "B_T", "C_T"] {
+                        let batch: MessageBatch = chunk
+                            .iter()
+                            .filter(|(t, _)| *t == ty)
+                            .map(|(_, m)| m.clone())
+                            .collect();
+                        if !batch.is_empty() {
+                            engine.source(ty).unwrap().stage_batch(&batch);
+                        }
+                    }
+                    engine.run_to_quiescence();
+                    // Partial drains: consume at most `cut` deltas per
+                    // query this round; the rest stays for later polls.
+                    for (sub, got) in subs.iter_mut().zip(collected.iter_mut()) {
+                        let before = sub.position();
+                        let drained = sub.take(&engine, cut);
+                        assert_eq!(sub.position(), before + drained.len());
+                        got.extend(drained.iter().cloned());
+                    }
+                    cut = cut % 7 + 1;
+                }
+                engine.seal();
+                for (sub, got) in subs.iter_mut().zip(collected.iter_mut()) {
+                    got.extend(sub.poll(&mut engine).iter().cloned());
+                    assert_eq!(sub.pending(&engine), 0, "poll must drain to the end");
+                }
+
+                for ((q, sub), got) in qs.iter().zip(&subs).zip(&collected) {
+                    let want = expected_deltas(engine.collector(*q));
+                    assert_eq!(
+                        got,
+                        &want,
+                        "{level}/seed {seed:#x}/threads {threads}: {} subscription \
+                         diverged from the stamped tape",
+                        engine.query_name(*q),
+                    );
+                    assert_eq!(sub.position(), want.len());
+                }
+            }
+        }
+    }
+}
+
+/// A consumer that subscribes mid-stream, skips history, and resumes
+/// across further ingestion sees exactly the suffix of the change stream.
+#[test]
+fn mid_stream_subscription_resume() {
+    let mut engine = Engine::new();
+    let qs = register_queries(&mut engine, ConsistencySpec::middle());
+    let q = qs[0];
+    let tape = workload(0xACE);
+    let (first, rest) = tape.split_at(tape.len() / 2);
+
+    let feed = |engine: &mut Engine, part: &[(&'static str, Message)]| {
+        for ty in ["A_T", "B_T", "C_T"] {
+            let batch: MessageBatch = part
+                .iter()
+                .filter(|(t, _)| *t == ty)
+                .map(|(_, m)| m.clone())
+                .collect();
+            if !batch.is_empty() {
+                engine.source(ty).unwrap().stage_batch(&batch);
+            }
+        }
+        engine.run_to_quiescence();
+    };
+
+    feed(&mut engine, first);
+    // Late consumer: skip everything logged so far.
+    let mut late = engine.subscribe(q).unwrap();
+    let skipped = engine.collector(q).delta_log().len();
+    late.skip_to_end(&engine);
+    assert_eq!(late.position(), skipped);
+    assert!(late.poll(&mut engine).is_empty());
+
+    feed(&mut engine, rest);
+    engine.seal();
+    let suffix: Vec<OutputDelta> = late.poll(&mut engine).to_vec();
+    assert_eq!(
+        suffix.as_slice(),
+        &expected_deltas(engine.collector(q))[skipped..],
+        "resumed cursor must observe exactly the suffix"
+    );
+
+    // And a from-the-start subscription still sees everything, including
+    // through the callback sink.
+    let mut full = engine.subscribe(q).unwrap();
+    let mut seen = 0usize;
+    let n = full.for_each(&mut engine, |_| seen += 1);
+    assert_eq!(n, seen);
+    assert_eq!(n, engine.collector(q).delta_log().len());
+}
+
+/// A sink that panics mid-drain loses nothing: the cursor advances only
+/// after each callback returns, so the failed delta (and everything
+/// after it) is re-delivered on the next drain.
+#[test]
+fn for_each_redelivers_after_a_panicking_sink() {
+    let mut engine = Engine::new();
+    let qs = register_queries(&mut engine, ConsistencySpec::middle());
+    let q = qs[0];
+    for ty in ["A_T", "B_T", "C_T"] {
+        let batch: MessageBatch = workload(0xD1E)
+            .iter()
+            .filter(|(t, _)| *t == ty)
+            .map(|(_, m)| m.clone())
+            .collect();
+        engine.source(ty).unwrap().stage_batch(&batch);
+    }
+    engine.seal();
+    let total = engine.collector(q).delta_log().len();
+    assert!(
+        total > 2,
+        "need several deltas for the test to mean anything"
+    );
+
+    let mut sub = engine.subscribe(q).unwrap();
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut n = 0;
+        sub.for_each(&mut engine, |_| {
+            n += 1;
+            if n == 2 {
+                panic!("sink failed");
+            }
+        });
+    }));
+    assert!(unwound.is_err());
+    assert_eq!(sub.position(), 1, "cursor must stay at the failed delta");
+    assert_eq!(
+        sub.poll(&mut engine).len(),
+        total - 1,
+        "retry re-delivers the failed delta and the rest"
+    );
+}
+
+/// Handle ingestion is bit-identical to the deprecated shims at matching
+/// granularity: `send` per message ≡ `push` per message, and chunked
+/// `stage_batch`+drain ≡ chunked `enqueue_batch`+drain.
+#[test]
+#[allow(deprecated)]
+fn handle_paths_match_shim_paths_bit_for_bit() {
+    for (spec, level) in LEVELS {
+        let tape = workload(0xB17);
+
+        // Per-message granularity.
+        let mut shim = Engine::new();
+        let qs_shim = register_queries(&mut shim, spec());
+        for (ty, m) in &tape {
+            shim.push(ty, m.clone()).unwrap();
+        }
+        shim.seal();
+
+        let mut sessioned = Engine::new();
+        let qs_sess = register_queries(&mut sessioned, spec());
+        for (ty, m) in &tape {
+            sessioned.source(ty).unwrap().send(m.clone());
+        }
+        sessioned.seal();
+
+        for (a, b) in qs_shim.iter().zip(qs_sess.iter()) {
+            assert_eq!(
+                shim.collector(*a).stamped(),
+                sessioned.collector(*b).stamped(),
+                "{level}: per-message handle path diverged from push shim"
+            );
+            assert_eq!(shim.stats(*a), sessioned.stats(*b));
+        }
+
+        // Chunked/staged granularity.
+        let feed_chunks = |engine: &mut Engine, staged: bool| {
+            for chunk in tape.chunks(16) {
+                for ty in ["A_T", "B_T", "C_T"] {
+                    let batch: MessageBatch = chunk
+                        .iter()
+                        .filter(|(t, _)| *t == ty)
+                        .map(|(_, m)| m.clone())
+                        .collect();
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    if staged {
+                        engine.source(ty).unwrap().stage_batch(&batch);
+                    } else {
+                        engine.enqueue_batch(ty, &batch).unwrap();
+                    }
+                }
+                engine.run_to_quiescence();
+            }
+            engine.seal();
+        };
+        let mut enq = Engine::new();
+        let qs_enq = register_queries(&mut enq, spec());
+        feed_chunks(&mut enq, false);
+        let mut hnd = Engine::new();
+        let qs_hnd = register_queries(&mut hnd, spec());
+        feed_chunks(&mut hnd, true);
+        for (a, b) in qs_enq.iter().zip(qs_hnd.iter()) {
+            assert_eq!(
+                enq.collector(*a).stamped(),
+                hnd.collector(*b).stamped(),
+                "{level}: staged handle path diverged from enqueue_batch"
+            );
+        }
+    }
+}
+
+/// Backpressure integration: a tiny ingress bound forces blocking flushes
+/// mid-stream, and the result is still bit-identical to an unbounded run.
+#[test]
+fn bounded_ingress_preserves_results() {
+    let run = |capacity: usize| {
+        let mut engine =
+            Engine::with_config(EngineConfig::serial().with_ingress_capacity(capacity));
+        let qs = register_queries(&mut engine, ConsistencySpec::middle());
+        for chunk in workload(0xF10).chunks(16) {
+            for ty in ["A_T", "B_T", "C_T"] {
+                let batch: MessageBatch = chunk
+                    .iter()
+                    .filter(|(t, _)| *t == ty)
+                    .map(|(_, m)| m.clone())
+                    .collect();
+                if !batch.is_empty() {
+                    // Blocking flush: drains the engine whenever the tiny
+                    // ingress fills, then admits.
+                    engine.source(ty).unwrap().stage_batch(&batch);
+                }
+            }
+            engine.run_to_quiescence();
+        }
+        engine.seal();
+        (engine, qs)
+    };
+    let (tight, qs_t) = run(4);
+    let (loose, qs_l) = run(1 << 20);
+    for (a, b) in qs_t.iter().zip(qs_l.iter()) {
+        assert!(
+            tight
+                .collector(*a)
+                .net_table()
+                .star_equal(&loose.collector(*b).net_table()),
+            "backpressure drains changed the logical output"
+        );
+    }
+}

@@ -3,7 +3,12 @@
 //! The CEDR query language (Section 3) is pattern-centric; the relational
 //! view-update operators of Section 6 (windows, aggregates, joins — the
 //! machinery behind the paper's portfolio-monitoring scenario) are reached
-//! through this fluent builder instead:
+//! through this fluent builder instead. Register the built plan with
+//! [`Engine::register_plan`](crate::Engine::register_plan) **before**
+//! opening ingestion sessions on its source streams
+//! ([`Engine::source`](crate::Engine::source) /
+//! [`Engine::channel_source`](crate::Engine::channel_source)): handles
+//! snapshot the `(query, port)` routing at open time.
 //!
 //! ```
 //! use cedr_core::prelude::*;

@@ -22,6 +22,16 @@
 //!   ingress is full; [`try_flush`](crate::SourceHandle::try_flush)
 //!   surfaces [`EngineError::IngressFull`] instead — real backpressure,
 //!   never unbounded growth.
+//! * **Concurrent ingestion** — [`Engine::channel_source`] opens a
+//!   [`ChannelSource`]: the same typed staging surface as a
+//!   `SourceHandle`, but `Send + Clone` with **no engine borrow**, so
+//!   provider threads feed a bounded mpsc ingress while the engine
+//!   thread interleaves channel drains with quiescence passes via
+//!   [`Engine::pump`] / [`Engine::run_pipelined`]. See the
+//!   [`crate::ingest`] module docs for the **"which handle do I want?"**
+//!   table and the order-insensitivity guarantee (multi-producer runs
+//!   are bit-identical to single-threaded ingestion of the same
+//!   emissions at every consistency level).
 //! * **Consumption** — [`Engine::subscribe`] opens a
 //!   [`Subscription`] cursoring the query
 //!   collector's append-only [`OutputDelta`](cedr_streams::OutputDelta)
@@ -72,6 +82,7 @@
 //! which makes the deterministic merge argument of
 //! [`cedr_runtime::scheduler`] trivial at this layer.
 
+use crate::ingest::{ChannelIngress, ChannelSource, IngressStats};
 use crate::session::{SourceHandle, Subscription};
 use cedr_lang::catalog::{Catalog, EventTypeDef, FieldType};
 use cedr_lang::{compile, lower, optimize, LangError, LogicalOp, LoweredPlan};
@@ -107,12 +118,18 @@ pub enum EngineError {
         expected: usize,
         got: usize,
     },
-    /// A bounded per-shard ingress queue has no room for the batch being
-    /// staged. Returned only by the `try_*` admission paths
-    /// ([`crate::SourceHandle::try_flush`], [`Engine::try_enqueue_batch`]);
-    /// the blocking paths drain the engine instead of failing. This is the
-    /// backpressure signal: the caller should drain
-    /// ([`Engine::run_to_quiescence`]) or slow down.
+    /// A bounded ingress has no room for the batch being staged. Returned
+    /// only by the `try_*` admission paths
+    /// ([`crate::SourceHandle::try_flush`], [`Engine::try_enqueue_batch`],
+    /// [`crate::ChannelSource::try_flush`]); the blocking paths exert
+    /// backpressure instead of failing. This is the signal to drain
+    /// ([`Engine::run_to_quiescence`] / [`Engine::pump`]) or slow down.
+    ///
+    /// For the per-shard ingress, `capacity`/`staged`/`batch` count
+    /// *messages* and `shard` names the full shard. For a channel source
+    /// the bounded resource is the mpsc channel itself: `shard` is 0 and
+    /// `capacity`/`staged` count staged *emissions* (batches), per
+    /// [`EngineConfig::channel_depth`].
     IngressFull {
         event_type: String,
         shard: usize,
@@ -188,6 +205,10 @@ struct RunningQuery {
 /// [`EngineConfig::ingress_capacity`]).
 pub const DEFAULT_INGRESS_CAPACITY: usize = 65_536;
 
+/// Default bound on in-flight channel-source emissions (see
+/// [`EngineConfig::channel_depth`]).
+pub const DEFAULT_CHANNEL_DEPTH: usize = 1_024;
+
 /// Execution configuration of an [`Engine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -203,6 +224,14 @@ pub struct EngineConfig {
     /// otherwise), so the bound is `capacity + one oversized batch` in the
     /// worst case.
     pub ingress_capacity: usize,
+    /// Bound on in-flight [`ChannelSource`] emissions (whole staged
+    /// batches, not messages): the capacity of the mpsc channel between
+    /// provider threads and the pump. A full channel blocks
+    /// [`ChannelSource::flush`](crate::ChannelSource::flush) and rejects
+    /// [`try_flush`](crate::ChannelSource::try_flush) with
+    /// [`EngineError::IngressFull`] — backpressure on providers that
+    /// outrun the pump.
+    pub channel_depth: usize,
 }
 
 impl EngineConfig {
@@ -211,6 +240,7 @@ impl EngineConfig {
         EngineConfig {
             threads: 1,
             ingress_capacity: DEFAULT_INGRESS_CAPACITY,
+            channel_depth: DEFAULT_CHANNEL_DEPTH,
         }
     }
 
@@ -218,7 +248,7 @@ impl EngineConfig {
     pub fn threaded(threads: usize) -> Self {
         EngineConfig {
             threads: threads.max(1),
-            ingress_capacity: DEFAULT_INGRESS_CAPACITY,
+            ..EngineConfig::serial()
         }
     }
 
@@ -231,8 +261,18 @@ impl EngineConfig {
         }
     }
 
-    /// Read `CEDR_THREADS` and `CEDR_INGRESS_CAPACITY` from the
-    /// environment (defaults: 1 thread, [`DEFAULT_INGRESS_CAPACITY`]).
+    /// Same configuration with a different channel-source emission bound
+    /// (clamped to at least 1 batch).
+    pub fn with_channel_depth(self, depth: usize) -> Self {
+        EngineConfig {
+            channel_depth: depth.max(1),
+            ..self
+        }
+    }
+
+    /// Read `CEDR_THREADS`, `CEDR_INGRESS_CAPACITY` and
+    /// `CEDR_CHANNEL_DEPTH` from the environment (defaults: 1 thread,
+    /// [`DEFAULT_INGRESS_CAPACITY`], [`DEFAULT_CHANNEL_DEPTH`]).
     /// `CEDR_THREADS` is the knob the CI matrix turns to run the whole
     /// test suite serial and threaded — outputs are bit-identical either
     /// way.
@@ -246,6 +286,7 @@ impl EngineConfig {
         EngineConfig {
             threads: parse("CEDR_THREADS").unwrap_or(1),
             ingress_capacity: parse("CEDR_INGRESS_CAPACITY").unwrap_or(DEFAULT_INGRESS_CAPACITY),
+            channel_depth: parse("CEDR_CHANNEL_DEPTH").unwrap_or(DEFAULT_CHANNEL_DEPTH),
         }
     }
 }
@@ -261,6 +302,24 @@ impl Default for EngineConfig {
 /// staged ingress entries alias the routing table instead of copying it.
 pub(crate) type SubscriberList = Arc<Vec<(usize, usize)>>;
 
+/// The schema check every ingestion surface applies — engine minting,
+/// borrowed handles and channel sources share this single definition so
+/// a validation change can never drift between them.
+pub(crate) fn validate_arity(
+    event_type: &str,
+    expected: usize,
+    got: usize,
+) -> Result<(), EngineError> {
+    if got != expected {
+        return Err(EngineError::PayloadArity {
+            event_type: event_type.to_string(),
+            expected,
+            got,
+        });
+    }
+    Ok(())
+}
+
 /// One slice of the sharded routing table: the queries assigned to one
 /// worker, their event-type subscriptions, and their staged ingress.
 #[derive(Default)]
@@ -274,6 +333,8 @@ struct EngineShard {
     /// Total messages across `ingress` — the quantity bounded by
     /// [`EngineConfig::ingress_capacity`].
     staged_msgs: usize,
+    /// Staged/admitted/backpressure counters for this shard's ingress.
+    stats: IngressStats,
 }
 
 /// The CEDR engine.
@@ -290,6 +351,9 @@ pub struct Engine {
     /// Set by [`Engine::seal`]: every input carries `CTI(∞)`, ingestion is
     /// over. Sealing is idempotent; ingestion afterwards is a typed error.
     sealed: bool,
+    /// Channel-source ingress (mpsc + resequencer), created lazily by the
+    /// first [`Engine::channel_source`] call; drained by [`Engine::pump`].
+    pub(crate) channel: Option<ChannelIngress>,
 }
 
 impl Engine {
@@ -310,6 +374,7 @@ impl Engine {
             config,
             next_event_id: 1,
             sealed: false,
+            channel: None,
         }
     }
 
@@ -406,13 +471,7 @@ impl Engine {
             Ok(def) => def,
             Err(_) => return Err(self.unknown_type(event_type)),
         };
-        if def.fields.len() != payload.len() {
-            return Err(EngineError::PayloadArity {
-                event_type: event_type.to_string(),
-                expected: def.fields.len(),
-                got: payload.len(),
-            });
-        }
+        validate_arity(event_type, def.fields.len(), payload.len())?;
         let id = EventId(self.next_event_id);
         self.next_event_id += 1;
         Ok(Event::primitive(
@@ -455,6 +514,82 @@ impl Engine {
         };
         let subs = self.resolve_subs(event_type);
         Ok(SourceHandle::new(self, event_type.to_string(), arity, subs))
+    }
+
+    /// Open a **concurrent** typed ingestion session on the named input
+    /// stream: a [`ChannelSource`] that is `Send + Clone` and holds no
+    /// engine borrow, so provider threads can feed the engine while it
+    /// drains.
+    ///
+    /// Resolution still happens once, here: the handle carries an
+    /// `Arc`-shared snapshot of the event type's `(query, port)`
+    /// subscriber lists and feeds a bounded mpsc ingress
+    /// ([`EngineConfig::channel_depth`]) that [`Engine::pump`] /
+    /// [`Engine::run_pipelined`] drain in canonical producer order.
+    /// Because the snapshot is taken now, register every standing query
+    /// *before* opening channel sources. Producer keys are assigned in
+    /// call order — open sources in a deterministic order to make the
+    /// whole ingestion schedule deterministic (see [`crate::ingest`]).
+    ///
+    /// Errors: [`EngineError::UnknownEventType`], [`EngineError::Sealed`].
+    pub fn channel_source(&mut self, event_type: &str) -> Result<ChannelSource, EngineError> {
+        if self.sealed {
+            return Err(EngineError::Sealed);
+        }
+        let arity = match self.catalog.lookup(event_type) {
+            Ok(def) => def.fields.len(),
+            Err(_) => return Err(self.unknown_type(event_type)),
+        };
+        let subs: Arc<[(usize, SubscriberList)]> = self.resolve_subs(event_type).into();
+        let depth = self.config.channel_depth;
+        let ch = self
+            .channel
+            .get_or_insert_with(|| ChannelIngress::new(depth));
+        let key = ch.next_key;
+        ch.next_key += 1;
+        ch.reseq.register(key);
+        Ok(ChannelSource::new(
+            Arc::from(event_type),
+            arity,
+            subs,
+            ch.tx.clone(),
+            key,
+            Arc::clone(&ch.board),
+            ch.depth,
+        ))
+    }
+
+    /// Per-shard ingress observability: staged/admitted/backpressure
+    /// counters for every routing shard, in shard order.
+    pub fn shard_ingress_stats(&self) -> Vec<IngressStats> {
+        self.shards.iter().map(|s| s.stats).collect()
+    }
+
+    /// Engine-wide ingress counters: the per-shard
+    /// [`Engine::shard_ingress_stats`] folded together, plus
+    /// channel-source backpressure (flushes that found the bounded mpsc
+    /// channel full — attributed to shard 0, the same convention as the
+    /// channel's [`EngineError::IngressFull`] reports).
+    pub fn ingress_stats(&self) -> IngressStats {
+        let mut total = IngressStats::default();
+        for s in &self.shards {
+            total.absorb(&s.stats);
+        }
+        if let Some(ch) = &self.channel {
+            total.backpressure_events += ch
+                .board
+                .backpressure
+                .load(std::sync::atomic::Ordering::Relaxed);
+        }
+        total
+    }
+
+    /// Record that admission found `shard` at capacity (blocking drains
+    /// and `try_*` rejections both land here).
+    pub(crate) fn note_backpressure(&mut self, shard: usize) {
+        if let Some(s) = self.shards.get_mut(shard) {
+            s.stats.backpressure_events += 1;
+        }
     }
 
     /// Open an incremental subscription on a query's output change stream.
@@ -613,6 +748,9 @@ impl Engine {
             return Ok(());
         }
         if let Err(full) = self.check_capacity(event_type, len, subs) {
+            if let EngineError::IngressFull { shard, .. } = full {
+                self.note_backpressure(shard);
+            }
             if !block {
                 return Err(full);
             }
@@ -623,6 +761,8 @@ impl Engine {
         for (i, (si, s)) in subs.iter().enumerate() {
             let shard = &mut self.shards[*si];
             shard.staged_msgs += len;
+            shard.stats.staged_batches += 1;
+            shard.stats.staged_messages += len as u64;
             // One `Arc`-shared batch clone per shard (the last target takes
             // the batch by move), however many of its queries subscribe;
             // fan-out to subscribers happens at drain time.
@@ -660,19 +800,27 @@ impl Engine {
     pub fn run_to_quiescence(&mut self) {
         let busy = self.shards.iter().filter(|s| !s.ingress.is_empty()).count();
         if self.config.threads <= 1 || busy <= 1 {
+            let mut drained: Vec<(MessageBatch, SubscriberList)> = Vec::new();
             for shard in &mut self.shards {
                 shard.staged_msgs = 0;
                 for (batch, subs) in std::mem::take(&mut shard.ingress) {
-                    for &(q, port) in subs.iter() {
-                        self.queries[q]
-                            .plan
-                            .dataflow
-                            .enqueue_source_batch(port, &batch);
-                    }
+                    shard.stats.admitted_batches += 1;
+                    shard.stats.admitted_messages += batch.len() as u64;
+                    drained.push((batch, subs));
                 }
             }
-            for q in &mut self.queries {
-                q.plan.dataflow.run_to_quiescence();
+            // Group the drained round per query (shard order preserves
+            // each query's enqueue order — a query lives in exactly one
+            // shard), then hand each dataflow its whole round at once.
+            let mut rounds: Vec<Vec<(usize, &MessageBatch)>> =
+                (0..self.queries.len()).map(|_| Vec::new()).collect();
+            for (batch, subs) in &drained {
+                for &(q, port) in subs.iter() {
+                    rounds[q].push((port, batch));
+                }
+            }
+            for (q, round) in self.queries.iter_mut().zip(rounds) {
+                q.plan.dataflow.run_round(round);
             }
             return;
         }
@@ -687,27 +835,28 @@ impl Engine {
             buckets[shard_of[qi]].push((qi, rq));
         }
         std::thread::scope(|scope| {
-            for (shard, mut bucket) in self.shards.iter_mut().zip(buckets) {
+            for (shard, bucket) in self.shards.iter_mut().zip(buckets) {
                 if shard.ingress.is_empty() && bucket.is_empty() {
                     continue;
                 }
                 scope.spawn(move || {
                     shard.staged_msgs = 0;
-                    for (batch, subs) in std::mem::take(&mut shard.ingress) {
+                    let drained = std::mem::take(&mut shard.ingress);
+                    let mut rounds: Vec<Vec<(usize, &MessageBatch)>> =
+                        (0..bucket.len()).map(|_| Vec::new()).collect();
+                    for (batch, subs) in &drained {
+                        shard.stats.admitted_batches += 1;
+                        shard.stats.admitted_messages += batch.len() as u64;
                         for &(q, port) in subs.iter() {
                             // `bucket` is sorted ascending by query index.
                             let slot = bucket
                                 .binary_search_by_key(&q, |(qi, _)| *qi)
                                 .expect("query routed to its own shard");
-                            bucket[slot]
-                                .1
-                                .plan
-                                .dataflow
-                                .enqueue_source_batch(port, &batch);
+                            rounds[slot].push((port, batch));
                         }
                     }
-                    for (_, rq) in bucket {
-                        rq.plan.dataflow.run_to_quiescence();
+                    for ((_, rq), round) in bucket.into_iter().zip(rounds) {
+                        rq.plan.dataflow.run_round(round);
                     }
                 });
             }
@@ -750,12 +899,29 @@ impl Engine {
     /// [`Engine::enqueue_batch`], [`Engine::advance_all`], the deprecated
     /// `push_*` shims) returns [`EngineError::Sealed`]; subscriptions keep
     /// draining normally.
+    ///
+    /// The channel ingress is **torn down**: live [`ChannelSource`]s are
+    /// disconnected, so a provider blocked on a full channel unblocks
+    /// immediately and every later `flush`/`try_flush` quietly discards
+    /// (there is nothing left to feed — no thread can be stranded by a
+    /// shutdown). Anything those sources had emitted but the pump had not
+    /// yet admitted is dropped with the channel; drain first with
+    /// [`Engine::run_pipelined`] when that traffic matters.
     pub fn seal(&mut self) {
         if self.sealed {
             return;
         }
         self.broadcast_cti(TimePoint::INFINITY);
         self.sealed = true;
+        // Dropping the ingress (its receiver in particular) is what turns
+        // provider-side sends into no-ops. Its backpressure counter moves
+        // to shard 0 so `ingress_stats` stays monotone across the seal.
+        if let Some(ch) = self.channel.take() {
+            self.shards[0].stats.backpressure_events += ch
+                .board
+                .backpressure
+                .load(std::sync::atomic::Ordering::Relaxed);
+        }
     }
 
     /// Has [`Engine::seal`] run?

@@ -1,0 +1,873 @@
+//! Concurrent ingestion: `Send + Clone` channel sources feeding a
+//! pump-driven engine.
+//!
+//! [`SourceHandle`](crate::SourceHandle) borrows the
+//! engine, which pins every provider to the drain thread. This module is
+//! the escape: [`Engine::channel_source`](crate::Engine::channel_source)
+//! returns a [`ChannelSource`] — a **`Send + Clone` handle with no engine
+//! borrow** that carries its pre-resolved `(query, port)` routing (the
+//! `Arc`-shared copy-on-write subscriber slice of the routing table) and
+//! feeds a **bounded mpsc ingress**. Provider threads stage typed events
+//! exactly like a borrowed handle and flush whole batches across the
+//! thread boundary (events stay `Arc`-shared — a hand-off is refcount
+//! bumps, never payload copies), while the engine thread interleaves
+//! channel drains with sharded quiescence passes via
+//! [`Engine::pump`](crate::Engine::pump) /
+//! [`Engine::run_pipelined`](crate::Engine::run_pipelined).
+//!
+//! # Which handle do I want?
+//!
+//! | | [`SourceHandle`](crate::SourceHandle) (borrowed) | [`ChannelSource`] (channel) |
+//! |---|---|---|
+//! | obtained from | [`Engine::source`](crate::Engine::source) | [`Engine::channel_source`](crate::Engine::channel_source) |
+//! | engine borrow | exclusive, for the session's lifetime | **none** — `Send + Clone`, free-threaded |
+//! | threads | provider == drain thread | providers on any threads, engine pumps |
+//! | routing | resolved once, cannot go stale (borrow) | resolved once, snapshot at open/clone time |
+//! | staging | local batch, auto-flush at 512 | local batch, auto-flush at 512 |
+//! | flush target | bounded per-shard ingress | bounded mpsc channel ([`EngineConfig::channel_depth`](crate::EngineConfig::channel_depth)) |
+//! | backpressure | `flush` drains the engine; `try_flush` → [`EngineError::IngressFull`] | `flush` blocks on the channel; `try_flush` → [`EngineError::IngressFull`] |
+//! | per-message latency | [`send`](crate::SourceHandle::send) cascades immediately | none — batches run at the next pump round |
+//! | drains the engine | yes (flush under pressure, `sync`) | never — the pump does |
+//! | end of stream | drop the handle | drop (disconnect) or [`ChannelSource::seal`] |
+//!
+//! Rule of thumb: one borrowed handle per burst on the engine thread;
+//! one channel source per provider *thread*. Clones of a channel source
+//! share its origin (see [`ChannelSource::clone`]).
+//!
+//! # Order-insensitivity, end to end
+//!
+//! Every flush is stamped with its origin `(producer key, emission seq)`
+//! — the stamp vocabulary of the sharded scheduler's deterministic merge
+//! — and the pump releases admitted batches through a
+//! [`Resequencer`] in canonical
+//! `(round, producer key)` order, one sharded quiescence pass per round.
+//! Engine-side execution is therefore a pure function of the *logical*
+//! per-producer streams: however the provider threads interleave, the
+//! admission schedule — and with it the stamped output tape and every
+//! subscription delta, at every consistency level — is bit-identical to
+//! single-threaded ingestion of the same emissions
+//! (`tests/concurrent_ingest.rs` pins this across seeds × producer
+//! counts × worker counts). That is the paper's order-insensitivity
+//! claim, proven at the tape level rather than assumed.
+//!
+//! The cost is the watermark trade-off every streaming system makes: a
+//! round is admitted only when each open producer has delivered its
+//! emission for that round or disconnected, so one silent provider
+//! stalls admission (buffered skew is reported via
+//! [`PumpProgress::buffered_batches`]). Providers that flush at similar
+//! cadence — or disconnect promptly — keep the pipeline moving.
+//!
+//! ```
+//! use cedr_core::prelude::*;
+//! use std::thread;
+//!
+//! let mut engine = Engine::new();
+//! engine.register_event_type("TICK", vec![("v", FieldType::Int)]);
+//! let plan = PlanBuilder::source("TICK").select(Pred::True).into_plan();
+//! let q = engine
+//!     .register_plan("ticks", plan, ConsistencySpec::middle())
+//!     .unwrap();
+//! let mut src = engine.channel_source("TICK").unwrap();
+//!
+//! let producer = thread::spawn(move || {
+//!     for i in 0..100u64 {
+//!         src.insert(i, vec![Value::Int(i as i64)]).unwrap();
+//!     }
+//! }); // dropping `src` flushes and disconnects
+//!
+//! engine.run_pipelined().unwrap(); // pump until every producer is done
+//! producer.join().unwrap();
+//! engine.seal();
+//! assert_eq!(engine.collector(q).stats().inserts, 100);
+//! ```
+
+use crate::engine::{Engine, EngineError, SubscriberList};
+use cedr_streams::{Message, MessageBatch, Resequencer, Retraction};
+use cedr_temporal::{Event, EventId, Interval, Payload, TimePoint, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+
+/// Bit position splitting the [`EventId`] space: engine-minted IDs count
+/// up from 1, channel sources mint `(producer key << 44) | n`. The two
+/// ranges meet only after 2^44 engine-minted events.
+const CHANNEL_ID_SHIFT: u32 = 44;
+
+/// One flushed emission crossing the provider → engine channel.
+pub(crate) struct IngressBatch {
+    pub(crate) key: u64,
+    pub(crate) seq: u64,
+    pub(crate) event_type: Arc<str>,
+    pub(crate) subs: Arc<[(usize, SubscriberList)]>,
+    pub(crate) batch: MessageBatch,
+}
+
+/// Lock-free-enough disconnect side-channel: posting never blocks on the
+/// bounded data channel, so a producer can always retire — even from a
+/// panicking thread with the channel full. Also carries the
+/// producer-side backpressure counter (flushes that found the channel
+/// full), which the engine folds into its [`IngressStats`].
+#[derive(Default)]
+pub(crate) struct DisconnectBoard {
+    posted: Mutex<Vec<(u64, u64)>>,
+    pub(crate) backpressure: AtomicU64,
+}
+
+impl DisconnectBoard {
+    fn post(&self, key: u64, emitted: u64) {
+        self.posted
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((key, emitted));
+    }
+
+    pub(crate) fn drain(&self) -> Vec<(u64, u64)> {
+        std::mem::take(&mut *self.posted.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+}
+
+/// The shared identity of one producer (and all clones of its handle).
+struct ProducerCore {
+    key: u64,
+    /// Emission counter; the mutex makes `reserve seq → send` atomic so a
+    /// failed `try_send` never burns a seq (a hole would stall the pump
+    /// forever).
+    emitted: Mutex<u64>,
+    /// Event-ID allocator for the typed `insert` builders.
+    minted: AtomicU64,
+    /// Live handles sharing this producer; the last drop disconnects.
+    live: AtomicU64,
+    board: Arc<DisconnectBoard>,
+}
+
+/// Engine-side state of the channel ingress (created lazily by the first
+/// [`Engine::channel_source`](crate::Engine::channel_source) call).
+pub(crate) struct ChannelIngress {
+    pub(crate) tx: SyncSender<IngressBatch>,
+    pub(crate) rx: Receiver<IngressBatch>,
+    pub(crate) board: Arc<DisconnectBoard>,
+    pub(crate) reseq: Resequencer<IngressBatch>,
+    pub(crate) next_key: u64,
+    pub(crate) depth: usize,
+}
+
+impl ChannelIngress {
+    pub(crate) fn new(depth: usize) -> Self {
+        let (tx, rx) = std::sync::mpsc::sync_channel(depth);
+        ChannelIngress {
+            tx,
+            rx,
+            board: Arc::new(DisconnectBoard::default()),
+            reseq: Resequencer::new(),
+            next_key: 1,
+            depth,
+        }
+    }
+}
+
+/// Progress of one [`Engine::pump`](crate::Engine::pump) call (or the
+/// accumulated total of
+/// [`Engine::run_pipelined`](crate::Engine::run_pipelined)).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PumpProgress {
+    /// Canonical rounds admitted (each ran one quiescence pass).
+    pub rounds: u64,
+    /// Batches admitted across those rounds.
+    pub batches: u64,
+    /// Messages inside those batches.
+    pub messages: u64,
+    /// Producers still open (able to emit) when the call returned.
+    pub open_producers: usize,
+    /// Batches buffered ahead of their canonical turn (producer skew).
+    pub buffered_batches: usize,
+}
+
+/// Per-shard ingress observability: what was staged onto the bounded
+/// ingress, what the drains admitted into dataflows, and how often
+/// admission hit the capacity bound. Surfaced by
+/// [`Engine::ingress_stats`](crate::Engine::ingress_stats) /
+/// [`Engine::shard_ingress_stats`](crate::Engine::shard_ingress_stats).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IngressStats {
+    /// Batches staged onto this shard's ingress queue.
+    pub staged_batches: u64,
+    /// Messages inside those batches.
+    pub staged_messages: u64,
+    /// Batches drained from the ingress into dataflows.
+    pub admitted_batches: u64,
+    /// Messages delivered by those drains.
+    pub admitted_messages: u64,
+    /// Times admission found this shard at capacity (blocking drains and
+    /// `try_*` rejections both count).
+    pub backpressure_events: u64,
+}
+
+impl IngressStats {
+    /// Fold another shard's counters into this one.
+    pub fn absorb(&mut self, other: &IngressStats) {
+        self.staged_batches += other.staged_batches;
+        self.staged_messages += other.staged_messages;
+        self.admitted_batches += other.admitted_batches;
+        self.admitted_messages += other.admitted_messages;
+        self.backpressure_events += other.backpressure_events;
+    }
+}
+
+/// A `Send + Clone` ingestion handle on one named input stream, with no
+/// engine borrow.
+///
+/// Obtained from [`Engine::channel_source`](crate::Engine::channel_source).
+/// The handle owns an `Arc`-shared snapshot of the event type's resolved
+/// `(query, port)` routing and a sender onto the engine's bounded mpsc
+/// ingress, so it can move to any thread and outlive every engine borrow.
+/// Messages accumulate in a local staging batch through the same typed
+/// builders as the borrowed [`SourceHandle`](crate::SourceHandle) and
+/// cross the thread boundary on [`flush`](ChannelSource::flush)
+/// (automatic every [`DEFAULT_AUTOFLUSH`](crate::DEFAULT_AUTOFLUSH)
+/// staged messages, on drop, or manual). Flushed batches run when the
+/// engine thread pumps ([`Engine::pump`](crate::Engine::pump) /
+/// [`Engine::run_pipelined`](crate::Engine::run_pipelined)).
+///
+/// **Routing snapshot**: queries registered *after* the handle was opened
+/// do not see its traffic (the copy-on-write routing table keeps the
+/// handle's snapshot alive); open sources after registering queries.
+///
+/// **Shutdown**: dropping the handle flushes the staged batch and — once
+/// the last clone is gone — disconnects the producer, letting
+/// [`Engine::run_pipelined`](crate::Engine::run_pipelined) retire its
+/// lane and return. [`ChannelSource::seal`] additionally stages `CTI(∞)`
+/// first ("this stream is complete"). During a panic unwind the staged
+/// batch is abandoned rather than risked against a full channel, but the
+/// disconnect is still posted (through a side channel that never blocks),
+/// so a crashing provider cannot hang the pump.
+pub struct ChannelSource {
+    event_type: Arc<str>,
+    /// Payload arity of the event type, resolved at open time.
+    arity: usize,
+    /// Resolved `(shard, subscribers)` routing snapshot.
+    subs: Arc<[(usize, SubscriberList)]>,
+    tx: SyncSender<IngressBatch>,
+    core: Arc<ProducerCore>,
+    staged: MessageBatch,
+    autoflush: usize,
+    /// Channel capacity in batches (for backpressure error reports).
+    depth: usize,
+}
+
+impl ChannelSource {
+    pub(crate) fn new(
+        event_type: Arc<str>,
+        arity: usize,
+        subs: Arc<[(usize, SubscriberList)]>,
+        tx: SyncSender<IngressBatch>,
+        key: u64,
+        board: Arc<DisconnectBoard>,
+        depth: usize,
+    ) -> Self {
+        debug_assert!(key < (1 << (64 - CHANNEL_ID_SHIFT)), "key space exhausted");
+        ChannelSource {
+            event_type,
+            arity,
+            subs,
+            tx,
+            core: Arc::new(ProducerCore {
+                key,
+                emitted: Mutex::new(0),
+                minted: AtomicU64::new(0),
+                live: AtomicU64::new(1),
+                board,
+            }),
+            staged: MessageBatch::new(),
+            autoflush: crate::session::DEFAULT_AUTOFLUSH,
+            depth,
+        }
+    }
+
+    /// The event type this source feeds.
+    pub fn event_type(&self) -> &str {
+        &self.event_type
+    }
+
+    /// The origin key stamped on every emission of this producer (shared
+    /// by clones). Keys are assigned in
+    /// [`channel_source`](crate::Engine::channel_source) call order.
+    pub fn producer_key(&self) -> u64 {
+        self.core.key
+    }
+
+    /// Number of `(query, port)` subscribers in the routing snapshot.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.iter().map(|(_, s)| s.len()).sum()
+    }
+
+    /// Messages currently staged locally (not yet flushed).
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Auto-flush after `n` staged messages (clamped to at least 1).
+    pub fn with_autoflush(mut self, n: usize) -> Self {
+        self.autoflush = n.max(1);
+        self
+    }
+
+    /// Disable auto-flush: the batch grows until an explicit flush, seal
+    /// or drop.
+    pub fn manual_flush(mut self) -> Self {
+        self.autoflush = usize::MAX;
+        self
+    }
+
+    /// Mint and stage a point event `[vs, vs+1)` with a fresh ID,
+    /// validating the payload against the resolved schema. Returns the
+    /// shared event so the provider can retract it later.
+    ///
+    /// IDs are drawn from the producer's own slice of the ID space
+    /// (`key << 44 | n`), so concurrent providers can never collide and a
+    /// given provider mints the same IDs on every run.
+    pub fn insert(&mut self, vs: u64, fields: Vec<Value>) -> Result<Arc<Event>, EngineError> {
+        self.insert_for(Interval::point(TimePoint::new(vs)), fields)
+    }
+
+    /// Mint and stage an event with an explicit validity interval.
+    pub fn insert_for(
+        &mut self,
+        interval: Interval,
+        fields: Vec<Value>,
+    ) -> Result<Arc<Event>, EngineError> {
+        crate::engine::validate_arity(&self.event_type, self.arity, fields.len())?;
+        let n = self.core.minted.fetch_add(1, Ordering::Relaxed);
+        let id = EventId((self.core.key << CHANNEL_ID_SHIFT) | n);
+        let event = Arc::new(Event::primitive(id, interval, Payload::from_values(fields)));
+        self.stage(Message::Insert(event.clone()));
+        Ok(event)
+    }
+
+    /// Stage a pre-minted event (e.g. from a workload generator),
+    /// validating its payload arity against the resolved schema.
+    pub fn insert_event(&mut self, event: impl Into<Arc<Event>>) -> Result<(), EngineError> {
+        let event = event.into();
+        crate::engine::validate_arity(&self.event_type, self.arity, event.payload.len())?;
+        self.stage(Message::Insert(event));
+        Ok(())
+    }
+
+    /// Stage a retraction shortening `event`'s lifetime to `[Vs, new_end)`
+    /// (`new_end == Vs` removes it entirely).
+    pub fn retract(&mut self, event: impl Into<Arc<Event>>, new_end: TimePoint) {
+        self.stage(Message::Retract(Retraction::new(event, new_end)));
+    }
+
+    /// Stage a current-time increment: a promise that every future
+    /// message on this stream has `Sync >= t`.
+    pub fn cti(&mut self, t: TimePoint) {
+        self.stage(Message::Cti(t));
+    }
+
+    /// Stage a raw physical message (tape replays, disorder harnesses).
+    /// No schema validation is applied.
+    pub fn stage(&mut self, msg: Message) {
+        self.staged.push(msg);
+        if self.staged.len() >= self.autoflush {
+            self.flush();
+        }
+    }
+
+    /// Stage a whole batch (`Arc`-shared clones — payloads are never
+    /// copied). The auto-flush bound holds mid-batch.
+    pub fn stage_batch(&mut self, batch: &MessageBatch) {
+        for m in batch {
+            self.staged.push(m.clone());
+            if self.staged.len() >= self.autoflush {
+                self.flush();
+            }
+        }
+    }
+
+    /// Emit the staged batch onto the bounded channel, **blocking** while
+    /// the channel is full (backpressure: the engine thread must pump).
+    /// An empty staging batch is a no-op. If the engine no longer exists
+    /// (its receiver was dropped), the batch is discarded — there is
+    /// nothing left to feed.
+    pub fn flush(&mut self) {
+        let _ = self.emit(true);
+    }
+
+    /// [`flush`](ChannelSource::flush) with backpressure surfaced: if the
+    /// bounded channel is full, nothing moves, the batch stays staged,
+    /// and [`EngineError::IngressFull`]
+    /// is returned (with `shard = 0` and capacities counted in *batches*
+    /// — the channel bounds emissions, not messages). The caller decides
+    /// whether to retry, shed load, or block.
+    pub fn try_flush(&mut self) -> Result<(), EngineError> {
+        self.emit(false)
+    }
+
+    /// Reserve the next emission seq under the `emitted` lock and send.
+    ///
+    /// The lock is held only across `try_send` (non-blocking), never
+    /// across a blocking send: a rejected `try_send` must not burn a seq
+    /// (a hole would stall the resequencer forever), while the blocking
+    /// path reserves its seq eagerly and then waits *outside* the lock —
+    /// so a sibling clone's `try_flush` stays non-blocking even while
+    /// this flush is parked on a full channel. A reserved-but-in-flight
+    /// seq is safe: the reserving handle is live until its send
+    /// completes, so the disconnect (posted by the *last* handle) can
+    /// never announce a seq that will not arrive.
+    fn emit(&mut self, block: bool) -> Result<(), EngineError> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        let core = Arc::clone(&self.core);
+        let mut emitted = core.emitted.lock().unwrap_or_else(|e| e.into_inner());
+        let mut item = IngressBatch {
+            key: core.key,
+            seq: *emitted,
+            event_type: self.event_type.clone(),
+            subs: self.subs.clone(),
+            batch: std::mem::take(&mut self.staged),
+        };
+        // First attempt is non-blocking under the lock either way — it
+        // is also how a blocking flush detects (and counts) backpressure.
+        match self.tx.try_send(item) {
+            Ok(()) => {
+                *emitted += 1;
+                return Ok(());
+            }
+            Err(TrySendError::Disconnected(_)) => return Ok(()), // engine gone: discard
+            Err(TrySendError::Full(full)) => {
+                core.board.backpressure.fetch_add(1, Ordering::Relaxed);
+                if !block {
+                    let len = full.batch.len();
+                    self.staged = full.batch;
+                    return Err(EngineError::IngressFull {
+                        event_type: self.event_type.to_string(),
+                        shard: 0,
+                        capacity: self.depth,
+                        staged: self.depth,
+                        batch: len,
+                    });
+                }
+                item = full;
+            }
+        }
+        // Blocking path: commit the seq, release the lock, then wait.
+        *emitted += 1;
+        drop(emitted);
+        let _ = self.tx.send(item);
+        Ok(())
+    }
+
+    /// End this stream cleanly: stage `CTI(∞)` ("no more data will ever
+    /// arrive here") and drop the handle, which flushes and disconnects.
+    /// The pump drains the remaining staged work; subscriptions keep
+    /// cursoring afterwards.
+    ///
+    /// `CTI(∞)` is a promise about the whole *stream*, so seal only the
+    /// **last** handle feeding it: a sibling clone — or another
+    /// channel source on the same event type — that keeps emitting
+    /// afterwards breaks the guarantee operators finalized state on,
+    /// exactly as it would through the borrowed-handle surface.
+    pub fn seal(mut self) {
+        self.cti(TimePoint::INFINITY);
+        // Drop flushes and disconnects.
+    }
+
+    /// Abandon the session, handing back whatever was staged but not yet
+    /// flushed (nothing is sent; the disconnect still happens on drop).
+    /// This is the explicit-error-handling escape hatch: pair with
+    /// [`try_flush`](ChannelSource::try_flush) to decide the batch's fate
+    /// instead of trusting the drop-flush.
+    pub fn into_inner(mut self) -> MessageBatch {
+        std::mem::take(&mut self.staged)
+    }
+}
+
+impl Clone for ChannelSource {
+    /// Clones **share the producer origin**: the same key, emission
+    /// counter and event-ID allocator (seqs stay gap-free however the
+    /// clones interleave, and the producer disconnects only when the last
+    /// clone drops). Emissions racing through sibling clones are admitted
+    /// in whatever order they win the shared counter — deterministic only
+    /// if the clones are externally synchronised. For the full
+    /// order-insensitivity guarantee give each provider thread its own
+    /// [`channel_source`](crate::Engine::channel_source).
+    fn clone(&self) -> Self {
+        self.core.live.fetch_add(1, Ordering::AcqRel);
+        ChannelSource {
+            event_type: self.event_type.clone(),
+            arity: self.arity,
+            subs: self.subs.clone(),
+            tx: self.tx.clone(),
+            core: Arc::clone(&self.core),
+            staged: MessageBatch::new(),
+            autoflush: self.autoflush,
+            depth: self.depth,
+        }
+    }
+}
+
+impl std::fmt::Debug for ChannelSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelSource")
+            .field("event_type", &self.event_type)
+            .field("producer_key", &self.core.key)
+            .field("arity", &self.arity)
+            .field("subscribers", &self.subscriber_count())
+            .field("staged", &self.staged.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for ChannelSource {
+    /// Flush the staged batch (blocking — the pump will drain it), then
+    /// disconnect the producer if this was its last live handle. During a
+    /// panic unwind the staged data is abandoned instead of risking a
+    /// block on a full channel, but the disconnect is still posted so the
+    /// pump can retire the lane.
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            self.flush();
+        }
+        if self.core.live.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let emitted = *self.core.emitted.lock().unwrap_or_else(|e| e.into_inner());
+            self.core.board.post(self.core.key, emitted);
+        }
+    }
+}
+
+/// Pump half: lives in [`Engine`] but implemented here to keep the whole
+/// subsystem in one module.
+impl Engine {
+    /// Drain whatever the channel ingress holds right now and run every
+    /// admitted round: one non-blocking pump step.
+    ///
+    /// A *round* is the canonical unit of admission — one emission from
+    /// every producer whose turn it is, released in `(round, producer
+    /// key)` order by the resequencer (see the module docs) and executed
+    /// with **one quiescence pass per round** (serial or sharded, per
+    /// [`EngineConfig::threads`](crate::EngineConfig::threads)). Because
+    /// both the admission order and the pass structure are pure functions
+    /// of the logical emissions, pumped execution is bit-identical to
+    /// single-threaded ingestion of the same emissions at every
+    /// consistency level.
+    ///
+    /// Returns how much was admitted plus the open-producer and skew
+    /// gauges; `Ok` with all-zero counters when no channel source exists
+    /// or nothing was ready. Errors with
+    /// [`EngineError::Sealed`] after
+    /// [`Engine::seal`](crate::Engine::seal) — in-flight channel traffic
+    /// is unreachable once every input carries `CTI(∞)`.
+    pub fn pump(&mut self) -> Result<PumpProgress, EngineError> {
+        self.pump_inner(false)
+    }
+
+    /// Pump until every producer has disconnected and all of their
+    /// emissions have run: the engine side of a pipelined topology
+    /// (providers on their threads, this call on the engine thread).
+    ///
+    /// Blocks while producers are open but idle — drop (or
+    /// [`seal`](ChannelSource::seal)) every [`ChannelSource`] to let this
+    /// return; holding one on the calling thread while `run_pipelined`
+    /// waits is the classic self-deadlock, named here so it is a
+    /// documentation bug instead of a surprise. Returns the accumulated
+    /// [`PumpProgress`]; an engine with no channel sources returns
+    /// immediately.
+    pub fn run_pipelined(&mut self) -> Result<PumpProgress, EngineError> {
+        self.pump_inner(true)
+    }
+
+    fn pump_inner(&mut self, until_disconnected: bool) -> Result<PumpProgress, EngineError> {
+        use cedr_streams::RoundStatus;
+        if self.is_sealed() {
+            return Err(EngineError::Sealed);
+        }
+        let mut progress = PumpProgress::default();
+        if self.channel.is_none() {
+            return Ok(progress);
+        }
+        loop {
+            // Fold in disconnects (side channel) and everything the data
+            // channel holds, in arrival order; the resequencer restores
+            // canonical order.
+            {
+                let ch = self.channel.as_mut().expect("checked above");
+                for (key, emitted) in ch.board.drain() {
+                    ch.reseq.close(key, emitted);
+                }
+                while let Ok(item) = ch.rx.try_recv() {
+                    let (key, seq) = (item.key, item.seq);
+                    ch.reseq.accept(key, seq, item);
+                }
+            }
+            // Admit every ready round, one quiescence pass each.
+            loop {
+                let round = {
+                    let ch = self.channel.as_mut().expect("checked above");
+                    match ch.reseq.next_round() {
+                        RoundStatus::Ready(round) => round,
+                        RoundStatus::Pending { .. } | RoundStatus::Idle => break,
+                    }
+                };
+                progress.rounds += 1;
+                for (_, item) in round {
+                    progress.batches += 1;
+                    progress.messages += item.batch.len() as u64;
+                    let IngressBatch {
+                        event_type,
+                        subs,
+                        batch,
+                        ..
+                    } = item;
+                    // Blocking admission never fails; with the pump
+                    // draining every round, the shard ingress is near
+                    // empty anyway.
+                    let _ = self.admit_resolved(&event_type, batch, &subs, true);
+                }
+                self.run_to_quiescence();
+            }
+            let (open, buffered, live) = {
+                let ch = self.channel.as_ref().expect("checked above");
+                (
+                    ch.reseq.open_lanes(),
+                    ch.reseq.buffered(),
+                    ch.reseq.live_lanes(),
+                )
+            };
+            progress.open_producers = open;
+            progress.buffered_batches = buffered;
+            if !until_disconnected || live == 0 {
+                return Ok(progress);
+            }
+            // Block for more input. Data arrives on the channel; a
+            // timeout falls through to re-poll the disconnect board
+            // (which bypasses the channel so a retiring producer can
+            // never be missed). The engine's own sender keeps the
+            // channel alive, so a disconnect error is unreachable.
+            let ch = self.channel.as_mut().expect("checked above");
+            if let Ok(item) = ch.rx.recv_timeout(std::time::Duration::from_millis(5)) {
+                let (key, seq) = (item.key, item.seq);
+                ch.reseq.accept(key, seq, item);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use crate::engine::EngineConfig;
+    use cedr_algebra::expr::Pred;
+    use cedr_lang::catalog::FieldType;
+    use cedr_runtime::ConsistencySpec;
+
+    fn tick_engine(config: EngineConfig) -> (Engine, crate::QueryId) {
+        let mut e = Engine::with_config(config);
+        e.register_event_type("T", vec![("v", FieldType::Int)]);
+        let plan = PlanBuilder::source("T").select(Pred::True).into_plan();
+        let q = e
+            .register_plan("q", plan, ConsistencySpec::middle())
+            .unwrap();
+        (e, q)
+    }
+
+    #[test]
+    fn channel_source_feeds_a_pumping_engine() {
+        let (mut e, q) = tick_engine(EngineConfig::serial());
+        let mut src = e.channel_source("T").unwrap();
+        let handle = std::thread::spawn(move || {
+            for i in 0..50u64 {
+                src.insert(i, vec![Value::Int(i as i64)]).unwrap();
+            }
+        });
+        let progress = e.run_pipelined().unwrap();
+        handle.join().unwrap();
+        assert_eq!(progress.open_producers, 0);
+        assert_eq!(progress.messages, 50);
+        assert_eq!(e.collector(q).stats().inserts, 50);
+    }
+
+    #[test]
+    fn channel_source_validates_schema_and_mints_keyed_ids() {
+        let (mut e, _q) = tick_engine(EngineConfig::serial());
+        let mut src = e.channel_source("T").unwrap();
+        assert!(matches!(
+            src.insert(0, vec![]),
+            Err(EngineError::PayloadArity { .. })
+        ));
+        let ev = src.insert(3, vec![Value::Int(1)]).unwrap();
+        assert_eq!(ev.id.0 >> CHANNEL_ID_SHIFT, src.producer_key());
+        let ev2 = src.insert(4, vec![Value::Int(2)]).unwrap();
+        assert_ne!(ev.id, ev2.id);
+        drop(src);
+        assert!(matches!(
+            e.channel_source("NOPE"),
+            Err(EngineError::UnknownEventType { .. })
+        ));
+    }
+
+    #[test]
+    fn seal_stages_cti_infinity() {
+        let (mut e, q) = tick_engine(EngineConfig::serial());
+        let mut src = e.channel_source("T").unwrap();
+        src.insert(1, vec![Value::Int(1)]).unwrap();
+        src.seal();
+        e.run_pipelined().unwrap();
+        assert_eq!(
+            e.collector(q).max_cti(),
+            Some(TimePoint::INFINITY),
+            "seal() must carry CTI(∞) through the channel"
+        );
+    }
+
+    #[test]
+    fn sealed_engine_rejects_channel_ingestion_and_pump() {
+        let (mut e, _q) = tick_engine(EngineConfig::serial());
+        e.seal();
+        assert!(matches!(e.channel_source("T"), Err(EngineError::Sealed)));
+        assert!(matches!(e.pump(), Err(EngineError::Sealed)));
+        assert!(matches!(e.run_pipelined(), Err(EngineError::Sealed)));
+    }
+
+    #[test]
+    fn pump_without_channel_sources_is_a_cheap_no_op() {
+        let (mut e, _q) = tick_engine(EngineConfig::serial());
+        assert_eq!(e.pump().unwrap(), PumpProgress::default());
+        assert_eq!(e.run_pipelined().unwrap(), PumpProgress::default());
+    }
+
+    #[test]
+    fn try_flush_surfaces_channel_backpressure() {
+        let (mut e, q) = tick_engine(EngineConfig::serial().with_channel_depth(2));
+        let mut src = e.channel_source("T").unwrap().manual_flush();
+        // Fill the channel: two emissions fit, the third is refused.
+        for round in 0..3u64 {
+            src.insert(round, vec![Value::Int(round as i64)]).unwrap();
+            if round < 2 {
+                src.try_flush().unwrap();
+            }
+        }
+        let err = src.try_flush().unwrap_err();
+        assert!(matches!(err, EngineError::IngressFull { .. }), "{err}");
+        assert_eq!(src.staged_len(), 1, "failed try_flush must not lose data");
+        assert!(
+            e.ingress_stats().backpressure_events >= 1,
+            "channel backpressure must show up in the ingress counters"
+        );
+        // Pumping makes room; the retry succeeds.
+        e.pump().unwrap();
+        src.try_flush().unwrap();
+        drop(src);
+        e.run_pipelined().unwrap();
+        assert_eq!(e.collector(q).stats().inserts, 3);
+    }
+
+    #[test]
+    fn try_flush_stays_nonblocking_while_a_sibling_clone_blocks() {
+        // The emission lock must never be held across a blocking send: a
+        // clone parked on a full channel cannot turn a sibling's
+        // try_flush into a blocking call (before the fix this test hung).
+        let (mut e, q) = tick_engine(EngineConfig::serial().with_channel_depth(1));
+        let src = e.channel_source("T").unwrap();
+        let mut a = src.clone().manual_flush();
+        let mut b = src.clone().manual_flush();
+        drop(src);
+        a.insert(0, vec![Value::Int(0)]).unwrap();
+        a.try_flush().unwrap(); // channel now full
+        let blocked = std::thread::spawn(move || {
+            a.insert(1, vec![Value::Int(1)]).unwrap();
+            a.flush(); // parks on the full channel until the pump drains
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        b.insert(2, vec![Value::Int(2)]).unwrap();
+        let err = b.try_flush().unwrap_err(); // immediate, not parked
+        assert!(matches!(err, EngineError::IngressFull { .. }), "{err}");
+        // Recovering the batch consumes (and thereby disconnects) b
+        // without the blocking drop-flush; drain the rest and make sure
+        // nothing was lost or duplicated.
+        let held = b.into_inner();
+        assert_eq!(held.len(), 1);
+        e.run_pipelined().unwrap();
+        blocked.join().unwrap();
+        assert_eq!(e.collector(q).stats().inserts, 2, "seqs 0 and 1 ran");
+    }
+
+    #[test]
+    fn clones_share_the_origin_and_disconnect_once() {
+        let (mut e, q) = tick_engine(EngineConfig::serial());
+        let src = e.channel_source("T").unwrap();
+        let key = src.producer_key();
+        let handles: Vec<_> = (0..3)
+            .map(|c| {
+                let mut s = src.clone();
+                assert_eq!(s.producer_key(), key);
+                std::thread::spawn(move || {
+                    for i in 0..10u64 {
+                        s.insert(c * 100 + i, vec![Value::Int(i as i64)]).unwrap();
+                        s.flush();
+                    }
+                })
+            })
+            .collect();
+        drop(src);
+        e.run_pipelined().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(e.collector(q).stats().inserts, 30);
+    }
+
+    #[test]
+    fn into_inner_recovers_staged_messages_without_sending() {
+        let (mut e, q) = tick_engine(EngineConfig::serial());
+        let mut src = e.channel_source("T").unwrap().manual_flush();
+        src.insert(1, vec![Value::Int(1)]).unwrap();
+        src.insert(2, vec![Value::Int(2)]).unwrap();
+        let staged = src.into_inner();
+        assert_eq!(staged.len(), 2);
+        e.run_pipelined().unwrap();
+        assert_eq!(e.collector(q).stats().inserts, 0, "nothing was sent");
+    }
+
+    #[test]
+    fn seal_unblocks_providers_stuck_on_a_full_channel() {
+        // Shutdown liveness: a provider blocked in a blocking flush
+        // against a full channel must unblock when the engine seals —
+        // seal tears the channel down, turning the pending send (and all
+        // later ones) into discards instead of stranding the thread.
+        let (mut e, _q) = tick_engine(EngineConfig::serial().with_channel_depth(1));
+        let mut src = e.channel_source("T").unwrap().manual_flush();
+        // Fill the channel from this thread so the spawned flush blocks.
+        src.insert(0, vec![Value::Int(0)]).unwrap();
+        src.try_flush().unwrap();
+        let handle = std::thread::spawn(move || {
+            for i in 1..4u64 {
+                src.insert(i, vec![Value::Int(i as i64)]).unwrap();
+                src.flush(); // blocks on the depth-1 channel until seal
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        e.seal();
+        handle
+            .join()
+            .expect("provider must not be stranded by seal");
+    }
+
+    #[test]
+    fn panicking_producer_still_disconnects() {
+        let (mut e, q) = tick_engine(EngineConfig::serial());
+        let mut src = e.channel_source("T").unwrap();
+        let handle = std::thread::spawn(move || {
+            src.insert(1, vec![Value::Int(1)]).unwrap();
+            src.flush();
+            src.insert(2, vec![Value::Int(2)]).unwrap();
+            panic!("provider crashed");
+        });
+        assert!(handle.join().is_err());
+        // The flushed emission ran; the staged one died with the thread;
+        // and — the point — run_pipelined returns instead of hanging.
+        e.run_pipelined().unwrap();
+        assert_eq!(e.collector(q).stats().inserts, 1);
+    }
+}

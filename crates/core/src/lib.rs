@@ -6,7 +6,13 @@
 //! per-query consistency specs, and exposes a **sessioned I/O surface**:
 //! typed [`SourceHandle`] ingestion sessions with bounded-ingress
 //! backpressure on the way in, incremental [`Subscription`] change-stream
-//! cursors on the way out, plus the Figure-8 runtime metrics.
+//! cursors on the way out, plus the Figure-8 runtime metrics. For
+//! concurrent providers, [`ChannelSource`] is the `Send + Clone` sibling
+//! of `SourceHandle`: producer threads feed a bounded channel while the
+//! engine pumps ([`Engine::pump`](engine::Engine::pump) /
+//! [`Engine::run_pipelined`](engine::Engine::run_pipelined)), with
+//! multi-producer runs bit-identical to single-threaded ingestion — see
+//! [`ingest`] for the "which handle do I want?" table.
 //!
 //! ```
 //! use cedr_core::prelude::*;
@@ -41,16 +47,21 @@
 
 pub mod builder;
 pub mod engine;
+pub mod ingest;
 pub mod session;
 
 pub use builder::PlanBuilder;
-pub use engine::{Engine, EngineConfig, EngineError, QueryId, DEFAULT_INGRESS_CAPACITY};
+pub use engine::{
+    Engine, EngineConfig, EngineError, QueryId, DEFAULT_CHANNEL_DEPTH, DEFAULT_INGRESS_CAPACITY,
+};
+pub use ingest::{ChannelSource, IngressStats, PumpProgress};
 pub use session::{SourceHandle, Subscription, DEFAULT_AUTOFLUSH};
 
 /// Convenience prelude for applications.
 pub mod prelude {
     pub use crate::builder::PlanBuilder;
     pub use crate::engine::{Engine, EngineConfig, EngineError, QueryId};
+    pub use crate::ingest::{ChannelSource, IngressStats, PumpProgress};
     pub use crate::session::{SourceHandle, Subscription};
     pub use cedr_algebra::expr::{CmpOp, Pred, Scalar};
     pub use cedr_algebra::pattern::{Consumption, ScMode, Selection};

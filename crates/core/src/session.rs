@@ -124,13 +124,7 @@ impl<'e> SourceHandle<'e> {
         interval: Interval,
         fields: Vec<Value>,
     ) -> Result<Arc<Event>, EngineError> {
-        if fields.len() != self.arity {
-            return Err(EngineError::PayloadArity {
-                event_type: self.event_type.clone(),
-                expected: self.arity,
-                got: fields.len(),
-            });
-        }
+        crate::engine::validate_arity(&self.event_type, self.arity, fields.len())?;
         let event = self.engine.mint_event(interval, fields);
         self.stage(Message::Insert(event.clone()));
         Ok(event)
@@ -140,13 +134,7 @@ impl<'e> SourceHandle<'e> {
     /// validating its payload arity against the resolved schema.
     pub fn insert_event(&mut self, event: impl Into<Arc<Event>>) -> Result<(), EngineError> {
         let event = event.into();
-        if event.payload.len() != self.arity {
-            return Err(EngineError::PayloadArity {
-                event_type: self.event_type.clone(),
-                expected: self.arity,
-                got: event.payload.len(),
-            });
-        }
+        crate::engine::validate_arity(&self.event_type, self.arity, event.payload.len())?;
         self.stage(Message::Insert(event));
         Ok(())
     }
@@ -196,9 +184,12 @@ impl<'e> SourceHandle<'e> {
             return;
         }
         let batch = std::mem::take(&mut self.staged);
-        self.engine
-            .admit_resolved(&self.event_type, batch, &self.subs, true)
-            .expect("blocking admission cannot fail");
+        // Blocking admission cannot fail today; should a future error
+        // path appear, swallowing it here keeps `flush` (and the drop
+        // that routes through it) panic-free by construction.
+        let _ = self
+            .engine
+            .admit_resolved(&self.event_type, batch, &self.subs, true);
     }
 
     /// [`flush`](SourceHandle::flush) with backpressure surfaced: if the
@@ -213,8 +204,15 @@ impl<'e> SourceHandle<'e> {
         // Capacity pre-check, then move: the success path never copies
         // the staged batch, and after a passed check the admission below
         // cannot trigger a backpressure drain.
-        self.engine
-            .check_capacity(&self.event_type, self.staged.len(), &self.subs)?;
+        if let Err(full) =
+            self.engine
+                .check_capacity(&self.event_type, self.staged.len(), &self.subs)
+        {
+            if let EngineError::IngressFull { shard, .. } = full {
+                self.engine.note_backpressure(shard);
+            }
+            return Err(full);
+        }
         let batch = std::mem::take(&mut self.staged);
         self.engine
             .admit_resolved(&self.event_type, batch, &self.subs, false)
@@ -242,6 +240,16 @@ impl<'e> SourceHandle<'e> {
         self.flush();
         self.engine.run_to_quiescence();
     }
+
+    /// End the session **without** the drop-flush, handing back whatever
+    /// was staged. This is the explicit-error-handling escape hatch: a
+    /// caller that wants to decide the batch's fate (retry elsewhere,
+    /// log, shed) pairs [`try_flush`](SourceHandle::try_flush) with
+    /// `into_inner` instead of trusting the implicit flush on drop.
+    pub fn into_inner(mut self) -> MessageBatch {
+        std::mem::take(&mut self.staged)
+        // Drop sees an empty staging batch: a no-op.
+    }
 }
 
 impl std::fmt::Debug for SourceHandle<'_> {
@@ -258,7 +266,18 @@ impl std::fmt::Debug for SourceHandle<'_> {
 impl Drop for SourceHandle<'_> {
     /// Closing a session flushes its staged batch (the drain itself still
     /// happens at the next `run_to_quiescence`/poll).
+    ///
+    /// The drop-flush is strictly best-effort and **never panics**: a
+    /// drop during a panic unwind abandons the staged batch rather than
+    /// run the scheduler (a second panic there would abort the process),
+    /// and [`flush`](SourceHandle::flush) itself swallows rather than
+    /// unwraps. Callers who want staged-data errors surfaced use
+    /// [`try_flush`](SourceHandle::try_flush) /
+    /// [`into_inner`](SourceHandle::into_inner) before dropping.
     fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
         self.flush();
     }
 }

@@ -250,6 +250,26 @@ impl Dataflow {
         }
     }
 
+    /// One **pumped ingestion round**: stage every `(source, batch)` pair
+    /// of the round in order — each batch advancing the tick once, as in
+    /// [`Dataflow::enqueue_source_batch`] — then run a single quiescence
+    /// pass over the union (serial or sharded, per
+    /// [`Dataflow::set_threads`]).
+    ///
+    /// This is the scheduler entry point for round-at-a-time drivers (the
+    /// engine's ingress drain and channel pump): because the pass
+    /// structure is fixed — one pass per round, however the round was
+    /// assembled — a round-admitting caller that feeds identical rounds
+    /// in identical order gets bit-identical execution, regardless of the
+    /// thread timing that produced those rounds. An empty round still
+    /// runs the (no-op) pass.
+    pub fn run_round<'a>(&mut self, round: impl IntoIterator<Item = (usize, &'a MessageBatch)>) {
+        for (source, batch) in round {
+            self.enqueue_source_batch(source, batch);
+        }
+        self.run_to_quiescence();
+    }
+
     /// Drain all node queues until the graph is quiet — serially or on the
     /// sharded multi-worker scheduler, per [`Dataflow::set_threads`]. Both
     /// paths deliver bit-identical streams to every node (see the module

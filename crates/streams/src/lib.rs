@@ -15,6 +15,7 @@ pub mod delta;
 pub mod disorder;
 pub mod merge;
 pub mod message;
+pub mod resequence;
 pub mod source;
 
 pub use batch::MessageBatch;
@@ -24,6 +25,7 @@ pub use delta::OutputDelta;
 pub use disorder::{scramble, DisorderConfig};
 pub use merge::merge_by_sync;
 pub use message::{Message, Retraction, Stamped};
+pub use resequence::{Resequencer, RoundStatus};
 pub use source::StreamBuilder;
 
 /// Convenience prelude.

@@ -38,23 +38,43 @@ fn run_at(
         .map(|(i, (_, msgs))| (i, msgs.as_slice()))
         .collect();
     let disorder = DisorderConfig::heavy(42, 6 * 3600, 25);
-    // Ingest in micro-batches: each provider stream stages its slice of
-    // the chunk through its source session, then every dataflow drains
-    // once per chunk — the engine's batch-at-a-time hot path, preserving
-    // the disordered timeline chunk by chunk.
     let tape = merge_scramble(&routed, &disorder);
+
+    // Concurrent-provider topology: one `ChannelSource` per monitored
+    // stream, each fed from its own thread in disordered micro-batches,
+    // while the engine thread pumps — providers feed the engine *while it
+    // drains*. The pump's canonical round order makes the run
+    // deterministic regardless of how the three threads interleave, so
+    // the Figure-8 numbers below are stable run to run.
+    let mut sources: Vec<ChannelSource> = streams
+        .iter()
+        .map(|(ty, _)| engine.channel_source(ty))
+        .collect::<Result<_, _>>()?;
+    let mut slices: Vec<Vec<MessageBatch>> = vec![Vec::new(); streams.len()];
     for chunk in tape.chunks(16) {
         let mut per_type = vec![MessageBatch::new(); streams.len()];
         for (slot, msg) in chunk {
             per_type[*slot].push(msg.clone());
         }
-        for (slot, batch) in per_type.iter().enumerate() {
+        for (slot, batch) in per_type.into_iter().enumerate() {
             if !batch.is_empty() {
-                engine.source(&streams[slot].0)?.stage_batch(batch);
+                slices[slot].push(batch);
             }
         }
-        engine.run_to_quiescence();
     }
+    std::thread::scope(|scope| {
+        for (src, batches) in sources.drain(..).zip(slices) {
+            scope.spawn(move || {
+                let mut src = src.manual_flush();
+                for batch in batches {
+                    src.stage_batch(&batch);
+                    src.flush(); // one emission per micro-batch
+                }
+                // Dropping the source disconnects its provider.
+            });
+        }
+        engine.run_pipelined()
+    })?;
     Ok((engine, q))
 }
 

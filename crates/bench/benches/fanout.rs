@@ -13,8 +13,11 @@
 //! batching — the mode a continuous provider would actually run.
 //!
 //! Besides the criterion groups, the harness emits `BENCH_fanout.json` at
-//! the repository root so future PRs can track the trajectory.
+//! the repository root (uniform [`BenchSummary`] schema: the speedup
+//! columns in `ratios` are gated by the CI `bench-regression` job) so
+//! future PRs can track the trajectory.
 
+use cedr_bench::summary::{summary_reps, BenchSummary};
 use cedr_core::prelude::*;
 use cedr_streams::MessageBatch;
 use cedr_temporal::time::dur;
@@ -118,7 +121,7 @@ fn bench_fanout(c: &mut Criterion) {
 /// (noisy neighbours on a shared core) biases every column equally
 /// instead of whichever path happened to be measured last.
 fn write_summary(msgs: &[Message]) {
-    const REPS: u32 = 7;
+    let reps = summary_reps(7);
     let paths: [fn(&[Message]) -> Engine; 4] = [
         run_per_event,
         run_batched,
@@ -129,7 +132,7 @@ fn write_summary(msgs: &[Message]) {
     for f in paths {
         f(msgs); // warm-up
     }
-    for _ in 0..REPS {
+    for _ in 0..reps {
         for (slot, f) in paths.iter().enumerate() {
             let start = Instant::now();
             let e = f(msgs);
@@ -168,20 +171,24 @@ fn write_summary(msgs: &[Message]) {
     }
     let amortisation = h.stats(QueryId(0)).mean_batch_len();
 
-    let json = format!(
-        "{{\n  \"bench\": \"fanout\",\n  \"events\": {N_EVENTS},\n  \"queries\": {N_QUERIES},\n  \
-         \"per_event_seconds\": {per_event_s:.6},\n  \"push_batch_seconds\": {batch_s:.6},\n  \
-         \"handle_per_event_seconds\": {handle_event_s:.6},\n  \
-         \"handle_stream_seconds\": {handle_stream_s:.6},\n  \
-         \"speedup\": {:.3},\n  \"handle_resolve_once_speedup\": {:.3},\n  \
-         \"handle_stream_speedup\": {:.3},\n  \"mean_batch_len\": {amortisation:.2}\n}}\n",
-        per_event_s / batch_s,
-        per_event_s / handle_event_s,
-        per_event_s / handle_stream_s,
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fanout.json");
-    std::fs::write(path, &json).expect("write BENCH_fanout.json");
-    println!("wrote {path}:\n{json}");
+    let mut s = BenchSummary::new("fanout", 0);
+    s.ratio("push_batch_vs_per_event", per_event_s / batch_s)
+        .ratio(
+            "handle_per_event_vs_per_event",
+            per_event_s / handle_event_s,
+        )
+        .ratio("handle_stream_vs_per_event", per_event_s / handle_stream_s);
+    s.info("events", N_EVENTS as f64)
+        .info("queries", N_QUERIES as f64)
+        .info("per_event_seconds", per_event_s)
+        .info("push_batch_seconds", batch_s)
+        .info("handle_per_event_seconds", handle_event_s)
+        .info("handle_stream_seconds", handle_stream_s)
+        .info("mean_batch_len", amortisation);
+    s.write(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_fanout.json"
+    ));
 }
 
 criterion_group!(benches, bench_fanout);

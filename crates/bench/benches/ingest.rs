@@ -5,13 +5,16 @@
 //! the pump admits, so the modes are bit-identical and the comparison is
 //! pure ingestion overhead).
 //!
-//! The harness emits `BENCH_ingest.json` at the repository root with
-//! per-provider-count timings, the channel-vs-staged overhead/speedup,
-//! the pump's ingress counters, and the machine's core count — provider
-//! scaling is only meaningful where `cores` is comfortably above 1
-//! (single-core CI boxes time-slice the provider threads against the
-//! pump, so expect ~1.0× there).
+//! The harness emits `BENCH_ingest.json` at the repository root (uniform
+//! [`BenchSummary`] schema) with per-provider-count timings, the
+//! channel-vs-staged overhead/speedup (gated `ratios` — the concurrency
+//! machinery must stay free), the pump's ingress counters, and the
+//! machine's core count — provider scaling is only meaningful where
+//! `cores` is comfortably above 1 (single-core CI boxes time-slice the
+//! provider threads against the pump, so expect ~1.0× there; that column
+//! is ungated `info`).
 
+use cedr_bench::summary::{summary_reps, BenchSummary};
 use cedr_core::prelude::*;
 use cedr_streams::MessageBatch;
 use cedr_temporal::time::dur;
@@ -133,11 +136,11 @@ fn bench_ingest(c: &mut Criterion) {
 
 /// Time every mode explicitly and record a machine-readable summary.
 fn write_summary() {
-    const REPS: u32 = 5;
+    let reps = summary_reps(5);
     let best_of = |f: &dyn Fn() -> Engine| {
         let mut best = f64::INFINITY;
         f(); // warm-up
-        for _ in 0..REPS {
+        for _ in 0..reps {
             let start = Instant::now();
             let e = f();
             let elapsed = start.elapsed().as_secs_f64();
@@ -175,33 +178,37 @@ fn write_summary() {
     // and identical across reps).
     let probe = run_channel(&scripts(4));
     let ingress = probe.ingress_stats();
-    let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
     let s1 = provider_secs[0].1;
     let s4 = provider_secs.last().expect("non-empty").1;
-    let per_provider: Vec<String> = provider_secs
-        .iter()
-        .map(|(p, s)| format!("    \"{p}\": {s:.6}"))
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"ingest\",\n  \"events\": {N_EVENTS},\n  \"queries\": {N_QUERIES},\n  \
-         \"emission_messages\": {EMISSION},\n  \"cores\": {cores},\n  \
-         \"staged_baseline_seconds\": {staged_s:.6},\n  \
-         \"providers_seconds\": {{\n{}\n  }},\n  \
-         \"speedup_4_providers_vs_1\": {:.3},\n  \
-         \"speedup_1_provider_vs_staged\": {:.3},\n  \
-         \"speedup_4_providers_vs_staged\": {:.3},\n  \
-         \"ingress_staged_batches\": {},\n  \"ingress_admitted_messages\": {}\n}}\n",
-        per_provider.join(",\n"),
-        s1 / s4,
-        staged_s / s1,
-        staged_s / s4,
-        ingress.staged_batches,
-        ingress.admitted_messages,
-    );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ingest.json");
-    std::fs::write(path, &json).expect("write BENCH_ingest.json");
-    println!("wrote {path}:\n{json}");
+    let mut s = BenchSummary::new("ingest", 0);
+    // The channel-vs-staged columns hover at ~1.0 by design (the
+    // concurrency machinery is free, not faster): a percentage floor on
+    // a near-1.0 ratio measured with quick-profile reps on a shared CI
+    // runner is pure flake exposure, so they are recorded here, never
+    // gated. The gated speedup columns live in the fanout/parallel/
+    // stateful summaries.
+    s.info("channel_1p_vs_staged", staged_s / s1)
+        .info("channel_4p_vs_staged", staged_s / s4);
+    s.info("events", N_EVENTS as f64)
+        .info("queries", N_QUERIES as f64)
+        .info("emission_messages", EMISSION as f64)
+        .info("staged_baseline_seconds", staged_s)
+        // Provider scaling is machine-dependent (time-sliced on 1 core):
+        // recorded, never gated.
+        .info("scaling_4p_vs_1p", s1 / s4)
+        .info("ingress_staged_batches", ingress.staged_batches as f64)
+        .info(
+            "ingress_admitted_messages",
+            ingress.admitted_messages as f64,
+        );
+    for (p, secs) in &provider_secs {
+        s.info(&format!("providers_{p}_seconds"), *secs);
+    }
+    s.write(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_ingest.json"
+    ));
 }
 
 criterion_group!(benches, bench_ingest);

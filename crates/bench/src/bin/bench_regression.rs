@@ -1,0 +1,106 @@
+//! CI bench-regression gate.
+//!
+//! Compares freshly-regenerated `BENCH_*.json` summaries against the
+//! committed baselines and fails (exit 1) when any **ratio** column —
+//! the gated batched/batch-native speedup columns; see
+//! `cedr_bench::summary` — regresses by more than the tolerance
+//! (default 15%). Only ratios are gated: they compare two modes measured
+//! back to back on the same machine, so they are robust to the noisy
+//! absolute wall-clock of a 1-core CI runner, which is deliberately not
+//! compared at all.
+//!
+//! ```text
+//! bench_regression <baseline_dir> <fresh_dir> [tolerance]
+//! ```
+//!
+//! Every `BENCH_*.json` in `baseline_dir` must exist in `fresh_dir` with
+//! at least the same ratio columns (renaming or dropping a gated column
+//! is itself a failure — update the baseline in the same commit instead).
+
+use cedr_bench::summary::BenchSummary;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const DEFAULT_TOLERANCE: f64 = 0.15;
+
+fn baseline_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            let name = path.file_name()?.to_str()?;
+            (name.starts_with("BENCH_") && name.ends_with(".json")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_dir, fresh_dir, rest @ ..] = args.as_slice() else {
+        eprintln!("usage: bench_regression <baseline_dir> <fresh_dir> [tolerance]");
+        return ExitCode::FAILURE;
+    };
+    let tolerance: f64 = match rest {
+        [] => DEFAULT_TOLERANCE,
+        [t] => t.parse().expect("tolerance must be a number"),
+        _ => {
+            eprintln!("usage: bench_regression <baseline_dir> <fresh_dir> [tolerance]");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let baselines = baseline_files(Path::new(baseline_dir));
+    assert!(
+        !baselines.is_empty(),
+        "no BENCH_*.json baselines in {baseline_dir}"
+    );
+
+    let mut failures = 0usize;
+    let mut checked = 0usize;
+    for base_path in baselines {
+        let file = base_path.file_name().unwrap().to_str().unwrap();
+        let base = BenchSummary::load(&base_path).expect("baseline parses");
+        let fresh_path = Path::new(fresh_dir).join(file);
+        let fresh = match BenchSummary::load(&fresh_path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("FAIL {file}: fresh summary missing or unreadable ({e})");
+                failures += 1;
+                continue;
+            }
+        };
+        println!(
+            "{file} (bench {:?}, {} gated columns):",
+            base.bench,
+            base.ratios.len()
+        );
+        for (col, committed) in &base.ratios {
+            checked += 1;
+            let Some((_, measured)) = fresh.ratios.iter().find(|(k, _)| k == col) else {
+                eprintln!("  FAIL {col}: gated column missing from fresh summary");
+                failures += 1;
+                continue;
+            };
+            let floor = committed * (1.0 - tolerance);
+            let verdict = if *measured >= floor { "ok  " } else { "FAIL" };
+            println!(
+                "  {verdict} {col}: committed {committed:.3}, measured {measured:.3} \
+                 (floor {floor:.3})"
+            );
+            if *measured < floor {
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "checked {checked} ratio columns at {:.0}% tolerance: {failures} regression(s)",
+        tolerance * 100.0
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

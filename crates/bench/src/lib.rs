@@ -94,3 +94,4 @@ mod tests {
     }
 }
 pub mod figures;
+pub mod summary;

@@ -16,13 +16,24 @@
 //! rather than the whole history. The floor only advances to a segment
 //! boundary (never splits an emitted segment), which keeps emitted and
 //! recomputed segments aligned.
+//!
+//! **Batch-native delivery.** [`OperatorModule::on_batch`] folds a whole
+//! delivery run into group state first and then emits **one refresh per
+//! touched group per run** (in first-touch order), instead of one refresh
+//! per state-changing message: the intermediate step functions a finer
+//! batching would have published-and-repaired are never emitted. Net
+//! content, output guarantee and the per-run determinism the sharded
+//! scheduler relies on are unchanged; see the one-refresh-per-run contract
+//! in the [`operator`](crate::operator) module docs. Members are still
+//! sorted before folding, so order-sensitive float aggregates (Sum/Avg)
+//! stay pinned.
 
 use crate::operator::{OpContext, OperatorModule};
 use cedr_algebra::expr::Scalar;
 use cedr_algebra::relational::AggFunc;
-use cedr_streams::Retraction;
+use cedr_streams::{Message, Retraction};
 use cedr_temporal::{Event, EventId, Interval, TimePoint, Value};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 #[derive(Default)]
 struct GroupState {
@@ -59,8 +70,11 @@ impl GroupAggregateOp {
         self.key.iter().map(|s| s.eval_event(e)).collect()
     }
 
-    /// Recompute the group's segments above its floor and emit the diff.
+    /// Recompute the group's segments above its floor and emit the diff
+    /// (one *refresh*: the retract+insert pair-set of the step-function
+    /// change, counted in [`OpStats::group_refreshes`](crate::OpStats)).
     fn refresh(key: &[Scalar], agg: &AggFunc, g: &mut GroupState, ctx: &mut OpContext) {
+        ctx.effort.group_refreshes += 1;
         // Clip members to the floor; drop empties.
         let mut clipped: Vec<Event> = g
             .members
@@ -104,10 +118,41 @@ impl GroupAggregateOp {
         g.emitted = fresh_by_start;
     }
 
-    fn touch(&mut self, e: &Event) -> Vec<Value> {
-        let k = self.group_key(e);
-        self.groups.entry(k.clone()).or_default();
-        k
+    /// Fold one insert into group state; `Some(key)` iff state changed.
+    fn fold_insert(&mut self, event: &Event) -> Option<Vec<Value>> {
+        if event.interval.is_empty() {
+            return None;
+        }
+        let k = self.group_key(event);
+        let g = self.groups.entry(k.clone()).or_default();
+        if g.members.contains_key(&event.id) {
+            return None; // duplicate delivery
+        }
+        g.members.insert(event.id, event.clone());
+        Some(k)
+    }
+
+    /// Fold one retraction into group state; `Some(key)` iff state changed.
+    fn fold_retract(&mut self, r: &Retraction) -> Option<Vec<Value>> {
+        let k = self.group_key(&r.event);
+        let g = self.groups.get_mut(&k)?; // group forgotten
+        let current = g.members.get(&r.event.id)?; // member forgotten
+        let new_end = TimePoint::min_of(current.interval.end, r.new_end);
+        if new_end >= current.interval.end {
+            return None;
+        }
+        let shortened = current.shortened(new_end);
+        if shortened.interval.is_empty() {
+            g.members.remove(&r.event.id);
+        } else {
+            g.members.insert(r.event.id, shortened);
+        }
+        Some(k)
+    }
+
+    fn refresh_group(&mut self, k: &[Value], ctx: &mut OpContext) {
+        let g = self.groups.get_mut(k).expect("touched groups exist");
+        Self::refresh(&self.key, &self.agg, g, ctx);
     }
 }
 
@@ -117,41 +162,47 @@ impl OperatorModule for GroupAggregateOp {
     }
 
     fn on_insert(&mut self, _input: usize, event: &Event, ctx: &mut OpContext) {
-        if event.interval.is_empty() {
-            return;
+        if let Some(k) = self.fold_insert(event) {
+            self.refresh_group(&k, ctx);
         }
-        let k = self.touch(event);
-        let key = self.key.clone();
-        let agg = self.agg.clone();
-        let g = self.groups.get_mut(&k).expect("just touched");
-        if g.members.contains_key(&event.id) {
-            return; // duplicate delivery
-        }
-        g.members.insert(event.id, event.clone());
-        Self::refresh(&key, &agg, g, ctx);
     }
 
     fn on_retract(&mut self, _input: usize, r: &Retraction, ctx: &mut OpContext) {
-        let k = self.group_key(&r.event);
-        let key = self.key.clone();
-        let agg = self.agg.clone();
-        let Some(g) = self.groups.get_mut(&k) else {
-            return; // group forgotten
-        };
-        let Some(current) = g.members.get(&r.event.id).cloned() else {
-            return; // member forgotten
-        };
-        let new_end = TimePoint::min_of(current.interval.end, r.new_end);
-        if new_end >= current.interval.end {
-            return;
+        if let Some(k) = self.fold_retract(r) {
+            self.refresh_group(&k, ctx);
         }
-        let shortened = current.shortened(new_end);
-        if shortened.interval.is_empty() {
-            g.members.remove(&r.event.id);
-        } else {
-            g.members.insert(r.event.id, shortened);
+    }
+
+    /// Batch-native delivery: fold the **whole run** into group state
+    /// first, then emit one refresh per touched group, in first-touch
+    /// order (deterministic in the run, never hash order). A run that
+    /// hammers one group `n` times costs one recompute-and-diff instead
+    /// of `n`, and the intermediate step functions are never published.
+    fn on_batch(&mut self, _input: usize, msgs: &[Message], ctx: &mut OpContext) {
+        let mut touched: Vec<Vec<Value>> = Vec::new();
+        let mut seen: HashSet<Vec<Value>> = HashSet::new();
+        for m in msgs {
+            let changed = match m {
+                Message::Insert(e) => self.fold_insert(e),
+                Message::Retract(r) => self.fold_retract(r),
+                Message::Cti(_) => {
+                    debug_assert!(false, "CTIs are consumed by the consistency monitor");
+                    None
+                }
+            };
+            // One clone per *distinct* group (for the dedup set), not per
+            // state-changing message — this loop is the hot path the
+            // collapse exists to amortise.
+            if let Some(k) = changed {
+                if !seen.contains(&k) {
+                    seen.insert(k.clone());
+                    touched.push(k);
+                }
+            }
         }
-        Self::refresh(&key, &agg, g, ctx);
+        for k in &touched {
+            self.refresh_group(k, ctx);
+        }
     }
 
     fn on_advance(&mut self, ctx: &mut OpContext) {

@@ -5,11 +5,19 @@
 //! probe the opposite side; retractions recompute the intersection of the
 //! shortened event with every current partner and emit the difference —
 //! the retraction-repair machinery of the middle consistency level.
+//!
+//! **Batch-native probing.** A delivery run arrives on one port, so the
+//! *opposite* side's index is frozen for the whole run:
+//! [`OperatorModule::on_batch`] memoises the sorted candidate list per
+//! distinct key (one index lookup + sort per key per run instead of one
+//! per message, counted in [`OpStats::probe_batches`](crate::OpStats)).
+//! Candidates stay sorted by ID and every message still probes in arrival
+//! order, so emissions are **bit-identical** to per-message dispatch.
 
 use crate::operator::{OpContext, OperatorModule};
 use cedr_algebra::expr::{Pred, Scalar};
 use cedr_algebra::idgen::idgen;
-use cedr_streams::Retraction;
+use cedr_streams::{Message, Retraction};
 use cedr_temporal::{Event, EventId, Lineage, TimePoint, Value};
 use std::collections::{HashMap, HashSet};
 
@@ -105,18 +113,18 @@ impl JoinOp {
             (p, e)
         }
     }
-}
 
-impl OperatorModule for JoinOp {
-    fn name(&self) -> &'static str {
-        "join"
-    }
-
-    fn arity(&self) -> usize {
-        2
-    }
-
-    fn on_insert(&mut self, input: usize, event: &Event, ctx: &mut OpContext) {
+    /// Insert with a per-run probe memo. A run arrives on one port, so the
+    /// opposite side is frozen for its duration and `memo` caches the
+    /// sorted candidate list per distinct key — emissions are identical to
+    /// an unmemoised probe.
+    fn insert_with_memo(
+        &mut self,
+        input: usize,
+        event: &Event,
+        ctx: &mut OpContext,
+        memo: &mut ProbeMemo,
+    ) {
         if event.interval.is_empty() {
             return;
         }
@@ -131,8 +139,11 @@ impl OperatorModule for JoinOp {
         side.events.insert(event.id, event.clone());
         side.by_key.entry(key.clone()).or_default().insert(event.id);
 
-        for pid in self.candidates(other, &key) {
-            let Some(p) = self.sides[other].events.get(&pid) else {
+        let cands = memo
+            .entry(key.clone())
+            .or_insert_with(|| self.candidates(other, &key));
+        for pid in cands.iter() {
+            let Some(p) = self.sides[other].events.get(pid) else {
                 continue;
             };
             let (l, r) = self.oriented(input, event, p);
@@ -146,7 +157,16 @@ impl OperatorModule for JoinOp {
         }
     }
 
-    fn on_retract(&mut self, input: usize, r: &Retraction, ctx: &mut OpContext) {
+    /// Retraction with the same per-run probe memo as
+    /// [`JoinOp::insert_with_memo`] (own-side mutations never invalidate
+    /// the memo: candidates live on the opposite, frozen side).
+    fn retract_with_memo(
+        &mut self,
+        input: usize,
+        r: &Retraction,
+        ctx: &mut OpContext,
+        memo: &mut ProbeMemo,
+    ) {
         let other = 1 - input;
         let Some(old) = self.sides[input].events.get(&r.event.id).cloned() else {
             // Insert was forgotten (weak) or already purged: nothing to repair.
@@ -161,8 +181,11 @@ impl OperatorModule for JoinOp {
         let key = SideState::key_of(self.key_expr(input), &old);
 
         // Repair every derived output.
-        for pid in self.candidates(other, &key) {
-            let Some(p) = self.sides[other].events.get(&pid) else {
+        let cands = memo
+            .entry(key.clone())
+            .or_insert_with(|| self.candidates(other, &key));
+        for pid in cands.iter() {
+            let Some(p) = self.sides[other].events.get(pid) else {
                 continue;
             };
             let (l_old, r_old) = self.oriented(input, &old, p);
@@ -190,7 +213,49 @@ impl OperatorModule for JoinOp {
         } else {
             self.sides[input].events.insert(old.id, shortened);
         }
-        let _ = key;
+    }
+}
+
+/// Per-run candidate cache: key → sorted opposite-side candidate IDs.
+type ProbeMemo = HashMap<Value, Vec<EventId>>;
+
+impl OperatorModule for JoinOp {
+    fn name(&self) -> &'static str {
+        "join"
+    }
+
+    fn arity(&self) -> usize {
+        2
+    }
+
+    fn on_insert(&mut self, input: usize, event: &Event, ctx: &mut OpContext) {
+        let mut memo = ProbeMemo::new();
+        self.insert_with_memo(input, event, ctx, &mut memo);
+    }
+
+    fn on_retract(&mut self, input: usize, r: &Retraction, ctx: &mut OpContext) {
+        let mut memo = ProbeMemo::new();
+        self.retract_with_memo(input, r, ctx, &mut memo);
+    }
+
+    /// Batch-native probe: one candidate lookup per distinct key for the
+    /// whole run (the opposite side is frozen while a run is delivered),
+    /// messages probed in arrival order — emissions are bit-identical to
+    /// per-message dispatch.
+    fn on_batch(&mut self, input: usize, msgs: &[Message], ctx: &mut OpContext) {
+        let mut memo = ProbeMemo::new();
+        if msgs.len() > 1 {
+            ctx.effort.probe_batches += 1;
+        }
+        for m in msgs {
+            match m {
+                Message::Insert(e) => self.insert_with_memo(input, e, ctx, &mut memo),
+                Message::Retract(r) => self.retract_with_memo(input, r, ctx, &mut memo),
+                Message::Cti(_) => {
+                    debug_assert!(false, "CTIs are consumed by the consistency monitor")
+                }
+            }
+        }
     }
 
     fn on_advance(&mut self, ctx: &mut OpContext) {

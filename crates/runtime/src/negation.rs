@@ -21,9 +21,10 @@
 
 use crate::operator::{OpContext, OperatorModule};
 use cedr_algebra::expr::Pred;
-use cedr_streams::Retraction;
+use cedr_streams::{Message, Retraction};
 use cedr_temporal::{Duration, Event, EventId, Interval, Lineage, TimePoint};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// The negation scope.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -134,6 +135,55 @@ impl NegationOp {
             entry.emitted = true;
         }
     }
+
+    /// Admit a negator into the `(vs, id)` index; `true` iff it is fresh
+    /// (not a duplicate delivery).
+    fn admit_negator(&mut self, event: &Event) -> bool {
+        if self.e2s.contains_key(&event.id) {
+            return false;
+        }
+        self.e2s.insert(event.id, event.clone());
+        self.e2s_by_vs.insert((event.vs(), event.id), ());
+        true
+    }
+
+    /// Kill every candidate an (already admitted) negator negates,
+    /// repairing optimistic output. Reads only candidate state.
+    fn negator_kill_sweep(&mut self, event: &Event, ctx: &mut OpContext) {
+        // Which candidates does this negator kill?
+        let affected: Vec<EventId> = match self.scope {
+            NegationScope::After { w } => {
+                // e1.Vs ∈ (e2.Vs − w, e2.Vs).
+                let lo = event.vs() - w;
+                self.entries_by_vs
+                    .range((lo, EventId(0))..(event.vs() + Duration(1), EventId(0)))
+                    .map(|((_, id), _)| *id)
+                    .collect()
+            }
+            // (vs, id) index order, not hash order: the kill sweep's
+            // emission order must be deterministic.
+            NegationScope::History => self.entries_by_vs.keys().map(|&(_, id)| id).collect(),
+        };
+        for e1_id in affected {
+            let Some(e1) = self.entries.get(&e1_id).map(|en| en.e1.clone()) else {
+                continue;
+            };
+            if !self.negates(&e1, event) {
+                continue;
+            }
+            let out = self.output_of(&e1);
+            let entry = self.entries.get_mut(&e1_id).expect("present");
+            let was_clear = entry.killers.is_empty();
+            entry.killers.insert(event.id);
+            self.kill_index.entry(event.id).or_default().push(e1_id);
+            let entry = self.entries.get_mut(&e1_id).expect("present");
+            if entry.emitted && was_clear {
+                // Repair the optimistic output.
+                ctx.out.retract_full(out);
+                entry.emitted = false;
+            }
+        }
+    }
 }
 
 impl OperatorModule for NegationOp {
@@ -181,46 +231,34 @@ impl OperatorModule for NegationOp {
             Self::try_emit(scope_end, event.vs(), &mut entry, output, ctx);
             self.entries_by_vs.insert((event.vs(), event.id), ());
             self.entries.insert(event.id, entry);
-        } else {
-            if self.e2s.contains_key(&event.id) {
-                return; // duplicate
-            }
-            self.e2s.insert(event.id, event.clone());
-            self.e2s_by_vs.insert((event.vs(), event.id), ());
-            // Which candidates does this negator kill?
-            let affected: Vec<EventId> = match self.scope {
-                NegationScope::After { w } => {
-                    // e1.Vs ∈ (e2.Vs − w, e2.Vs).
-                    let lo = event.vs() - w;
-                    self.entries_by_vs
-                        .range((lo, EventId(0))..(event.vs() + Duration(1), EventId(0)))
-                        .map(|((_, id), _)| *id)
-                        .collect()
-                }
-                // (vs, id) index order, not hash order: the kill sweep's
-                // emission order must be deterministic.
-                NegationScope::History => self.entries_by_vs.keys().map(|&(_, id)| id).collect(),
-            };
-            for e1_id in affected {
-                let Some(e1) = self.entries.get(&e1_id).map(|en| en.e1.clone()) else {
-                    continue;
-                };
-                if !self.negates(&e1, event) {
-                    continue;
-                }
-                let out = self.output_of(&e1);
-                let entry = self.entries.get_mut(&e1_id).expect("present");
-                let was_clear = entry.killers.is_empty();
-                entry.killers.insert(event.id);
-                self.kill_index.entry(event.id).or_default().push(e1_id);
-                let entry = self.entries.get_mut(&e1_id).expect("present");
-                if entry.emitted && was_clear {
-                    // Repair the optimistic output.
-                    ctx.out.retract_full(out);
-                    entry.emitted = false;
-                }
-            }
+        } else if self.admit_negator(event) {
+            self.negator_kill_sweep(event, ctx);
         }
+    }
+
+    /// Batch-grained admission for negator runs: a run of pure inserts on
+    /// input 1 enters the `(vs, id)` index in one pass, then each negator
+    /// runs its kill sweep in arrival order. The sweep reads only
+    /// *candidate* state — which a negator run cannot change — so
+    /// emissions are bit-identical to per-message dispatch. Mixed or
+    /// candidate runs dispatch per message (each candidate's processing
+    /// is already independent of its run siblings).
+    fn on_batch(&mut self, input: usize, msgs: &[Message], ctx: &mut OpContext) {
+        if input == 1 && msgs.len() > 1 && msgs.iter().all(|m| matches!(m, Message::Insert(_))) {
+            let mut fresh: Vec<Arc<Event>> = Vec::with_capacity(msgs.len());
+            for m in msgs {
+                if let Message::Insert(e) = m {
+                    if !e.interval.is_empty() && self.admit_negator(e) {
+                        fresh.push(e.clone());
+                    }
+                }
+            }
+            for e in fresh {
+                self.negator_kill_sweep(&e, ctx);
+            }
+            return;
+        }
+        crate::operator::dispatch_per_message(self, input, msgs, ctx);
     }
 
     fn on_retract(&mut self, input: usize, r: &Retraction, ctx: &mut OpContext) {

@@ -11,6 +11,47 @@
 //! * the **operational module** — the actual incremental computation,
 //!   implemented by the [`OperatorModule`] trait in the sibling modules
 //!   (`stateless`, `join`, `aggregate`, `sequence`, `negation`).
+//!
+//! # Batch-native delivery and the one-refresh-per-run contract
+//!
+//! The shell delivers admitted messages to modules in **per-input runs**
+//! ([`OperatorModule::on_batch`]). All five operator families override the
+//! hook; what each is allowed to amortise follows from one rule — *the
+//! output of a run is a pure function of the delivered run and the state
+//! before it*:
+//!
+//! * **Stateless** operators and **join** are *bit-identical* to
+//!   per-message dispatch: they emit exactly one output per qualifying
+//!   input, in input order. Join's batch-native probe exploits the fact
+//!   that a run arrives on one port, so the opposite side's index is
+//!   frozen for the whole run: one candidate lookup per distinct key
+//!   (`OpStats::probe_batches`), identical emissions.
+//! * **Group-aggregate** (and the recompute-and-diff sequencing modes)
+//!   follow the *one-refresh-per-run* contract instead: the whole run is
+//!   folded into operator state first, then **one refresh — a
+//!   retract+insert diff — is emitted per touched group per run**
+//!   (`OpStats::group_refreshes`), rather than one per state-changing
+//!   message. Intermediate states a finer batching would have published
+//!   (and immediately repaired) are never emitted, so the *tape* emitted
+//!   for a stream depends on how the stream was cut into delivery runs —
+//!   but the **net content and the output guarantee never do**, and for a
+//!   *fixed* run structure the tape is deterministic (which is what the
+//!   sharded scheduler's serial-equivalence proof needs). Per-message
+//!   ingestion degenerates to runs of one message, where the contract
+//!   coincides with classic per-message view maintenance.
+//!
+//! The per-message fallback (the default `on_batch` body) still applies to
+//! any module that does not override the hook — third-party modules work
+//! unmodified — and remains the semantic reference: a batch-native
+//! override must be indistinguishable from the fallback at the level of
+//! net content, output guarantees, and (for the non-collapsing families)
+//! the exact message tape.
+//!
+//! Batching never outruns the consistency monitor: a run's
+//! [`OpContext::watermark`] is capped by the sync of every message still
+//! awaiting delivery (see [`OperatorShell::push_batch`]), so a collapsed
+//! group refresh — emitted at the end of its run — can never leak a
+//! guarantee past an undelivered negator or contributor.
 
 use crate::consistency::ConsistencySpec;
 use crate::stats::OpStats;
@@ -79,6 +120,37 @@ impl OutputBuffer {
     }
 }
 
+/// Dispatch a run to a module one message at a time — the reference
+/// delivery the default [`OperatorModule::on_batch`] uses, shared with
+/// the batch-native overrides' per-message branches so the three cannot
+/// drift apart.
+pub(crate) fn dispatch_per_message<M: OperatorModule + ?Sized>(
+    module: &mut M,
+    input: usize,
+    msgs: &[Message],
+    ctx: &mut OpContext,
+) {
+    for m in msgs {
+        match m {
+            Message::Insert(e) => module.on_insert(input, e, ctx),
+            Message::Retract(r) => module.on_retract(input, r, ctx),
+            Message::Cti(_) => {
+                debug_assert!(false, "CTIs are consumed by the consistency monitor")
+            }
+        }
+    }
+}
+
+/// Amortisation work a module reports back to its shell; folded into
+/// [`OpStats`] after every module call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OpEffort {
+    /// Group refresh computations performed (group-aggregate).
+    pub group_refreshes: usize,
+    /// Delivery runs probed batch-natively (join).
+    pub probe_batches: usize,
+}
+
 /// Execution context handed to operational modules.
 pub struct OpContext<'a> {
     /// The consistency spec the shell enforces.
@@ -88,6 +160,10 @@ pub struct OpContext<'a> {
     pub watermark: TimePoint,
     /// High-water mark of observed input syncs (the optimist's clock).
     pub max_seen: TimePoint,
+    /// Batch-native effort counters ([`OpStats::group_refreshes`],
+    /// [`OpStats::probe_batches`]); modules bump these, the shell folds
+    /// them into its stats.
+    pub effort: OpEffort,
     /// Output buffer.
     pub out: &'a mut OutputBuffer,
 }
@@ -145,22 +221,17 @@ pub trait OperatorModule: Send {
     /// default implementation dispatches per message to
     /// [`OperatorModule::on_insert`]/[`OperatorModule::on_retract`], so
     /// existing operators work unmodified. Operators with per-call overhead
-    /// worth amortising (index lookups, group resolution) may override it.
+    /// worth amortising (index lookups, group resolution) may override it —
+    /// all five built-in families do; see the module docs for what an
+    /// override may collapse (the one-refresh-per-run contract) and what it
+    /// must reproduce exactly.
     ///
     /// Contract: `ctx.watermark` is honest for the run as a whole — every
     /// input message with `Sync` below it has either been delivered in an
     /// earlier call or is contained in `msgs` itself. CTIs never appear in
     /// `msgs` (the monitor consumes them).
     fn on_batch(&mut self, input: usize, msgs: &[Message], ctx: &mut OpContext) {
-        for m in msgs {
-            match m {
-                Message::Insert(e) => self.on_insert(input, e, ctx),
-                Message::Retract(r) => self.on_retract(input, r, ctx),
-                Message::Cti(_) => {
-                    debug_assert!(false, "CTIs are consumed by the consistency monitor")
-                }
-            }
-        }
+        dispatch_per_message(self, input, msgs, ctx);
     }
 
     /// Called after every batch of deliveries and after watermark changes:
@@ -476,9 +547,12 @@ impl OperatorShell {
                     spec: self.spec,
                     watermark,
                     max_seen: self.max_seen,
+                    effort: OpEffort::default(),
                     out: &mut self.out,
                 };
                 self.module.on_batch(input, &run, &mut ctx);
+                let effort = ctx.effort;
+                self.absorb_effort(effort);
                 run.clear();
             }
             i = j;
@@ -500,9 +574,17 @@ impl OperatorShell {
             spec: self.spec,
             watermark: self.effective_watermark(),
             max_seen: self.max_seen,
+            effort: OpEffort::default(),
             out: &mut self.out,
         };
         self.module.on_advance(&mut ctx);
+        let effort = ctx.effort;
+        self.absorb_effort(effort);
+    }
+
+    fn absorb_effort(&mut self, effort: OpEffort) {
+        self.stats.group_refreshes += effort.group_refreshes;
+        self.stats.probe_batches += effort.probe_batches;
     }
 
     fn emit_cti(&mut self) {

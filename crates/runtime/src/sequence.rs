@@ -12,17 +12,56 @@
 //! Out-of-order arrivals are handled structurally: a late contributor
 //! simply completes matches when it arrives; a contributor's full removal
 //! retracts every output it fed (`by_contrib` index).
+//!
+//! **Batch-native delivery.** Under restrictive SC modes (and always for
+//! [`AtLeastOp`]) a delivery run is admitted into the slot index whole and
+//! recomputed **once per run** instead of once per message — the
+//! one-refresh-per-run contract of the [`operator`](crate::operator)
+//! module docs (intermediate selections a finer batching would have
+//! published-and-repaired are never emitted; net content is unchanged).
+//! The Each/Reuse fast path keeps exact per-message enumeration: each
+//! arrival completes its own matches in arrival order, so its batch
+//! delivery is bit-identical to per-message dispatch.
 
 use crate::operator::{OpContext, OperatorModule};
 use cedr_algebra::expr::Pred;
 use cedr_algebra::idgen::idgen;
 use cedr_algebra::pattern::{apply_sc_modes, atleast_matches, sequence_matches, ScMode};
 use cedr_algebra::EventSet;
-use cedr_streams::Retraction;
+use cedr_streams::{Message, Retraction};
 use cedr_temporal::{Duration, Event, EventId, Interval, Lineage, Payload, TimePoint};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 type SlotMap = BTreeMap<(TimePoint, EventId), Event>;
+
+/// Admit one insert into a slot map; `true` iff it is fresh (not a
+/// duplicate delivery, not an empty lifetime).
+fn admit_insert(slot: &mut SlotMap, event: &Event) -> bool {
+    if event.interval.is_empty() {
+        return false;
+    }
+    let key = (event.vs(), event.id);
+    if slot.contains_key(&key) {
+        return false;
+    }
+    slot.insert(key, event.clone());
+    true
+}
+
+/// Admit one retraction into a slot map. Partial retractions only shorten
+/// the stored copy (occurrence is what sequencing consumes); `true` iff a
+/// contributor was fully removed.
+fn admit_retract(slot: &mut SlotMap, r: &Retraction) -> bool {
+    let key = (r.event.interval.start, r.event.id);
+    if !r.is_full_removal() {
+        if let Some(stored) = slot.get_mut(&key) {
+            let new_end = TimePoint::min_of(stored.interval.end, r.new_end);
+            stored.interval = Interval::new(stored.interval.start, new_end);
+        }
+        return false;
+    }
+    slot.remove(&key).is_some()
+}
 
 /// Compose the output event for a Vs-ordered contributor tuple (the
 /// paper's SEQUENCE/ATLEAST output schema).
@@ -199,14 +238,9 @@ impl OperatorModule for SequenceOp {
     }
 
     fn on_insert(&mut self, input: usize, event: &Event, ctx: &mut OpContext) {
-        if event.interval.is_empty() {
-            return;
+        if !admit_insert(&mut self.slots[input], event) {
+            return; // duplicate delivery or empty lifetime
         }
-        let key = (event.vs(), event.id);
-        if self.slots[input].contains_key(&key) {
-            return; // duplicate delivery
-        }
-        self.slots[input].insert(key, event.clone());
         if self.restrictive {
             self.recompute(ctx);
             return;
@@ -229,18 +263,8 @@ impl OperatorModule for SequenceOp {
     }
 
     fn on_retract(&mut self, input: usize, r: &Retraction, ctx: &mut OpContext) {
-        let key = (r.event.interval.start, r.event.id);
-        if !r.is_full_removal() {
-            // Occurrence (Vs) is what sequencing consumes; a shortened
-            // lifetime only updates the stored copy.
-            if let Some(stored) = self.slots[input].get_mut(&key) {
-                let new_end = TimePoint::min_of(stored.interval.end, r.new_end);
-                stored.interval = Interval::new(stored.interval.start, new_end);
-            }
-            return;
-        }
-        if self.slots[input].remove(&key).is_none() {
-            return; // never seen or already forgotten
+        if !admit_retract(&mut self.slots[input], r) {
+            return; // partial shortening, never seen, or already forgotten
         }
         if self.restrictive {
             self.recompute(ctx);
@@ -250,6 +274,30 @@ impl OperatorModule for SequenceOp {
             if let Some(out) = self.emitted.remove(&out_id) {
                 ctx.out.retract_full(out);
             }
+        }
+    }
+
+    /// Batch-native delivery. Restrictive SC modes admit the whole run
+    /// into the slot index and recompute-and-diff **once per run**; the
+    /// Each/Reuse fast path dispatches per message (its incremental
+    /// enumeration is already exact and order-pinned).
+    fn on_batch(&mut self, input: usize, msgs: &[Message], ctx: &mut OpContext) {
+        if !self.restrictive {
+            crate::operator::dispatch_per_message(self, input, msgs, ctx);
+            return;
+        }
+        let mut changed = false;
+        for m in msgs {
+            match m {
+                Message::Insert(e) => changed |= admit_insert(&mut self.slots[input], e),
+                Message::Retract(r) => changed |= admit_retract(&mut self.slots[input], r),
+                Message::Cti(_) => {
+                    debug_assert!(false, "CTIs are consumed by the consistency monitor")
+                }
+            }
+        }
+        if changed {
+            self.recompute(ctx);
         }
     }
 
@@ -353,27 +401,31 @@ impl OperatorModule for AtLeastOp {
     }
 
     fn on_insert(&mut self, input: usize, event: &Event, ctx: &mut OpContext) {
-        if event.interval.is_empty() {
-            return;
+        if admit_insert(&mut self.slots[input], event) {
+            self.recompute(ctx);
         }
-        let key = (event.vs(), event.id);
-        if self.slots[input].contains_key(&key) {
-            return;
-        }
-        self.slots[input].insert(key, event.clone());
-        self.recompute(ctx);
     }
 
     fn on_retract(&mut self, input: usize, r: &Retraction, ctx: &mut OpContext) {
-        let key = (r.event.interval.start, r.event.id);
-        if !r.is_full_removal() {
-            if let Some(stored) = self.slots[input].get_mut(&key) {
-                let new_end = TimePoint::min_of(stored.interval.end, r.new_end);
-                stored.interval = Interval::new(stored.interval.start, new_end);
-            }
-            return;
+        if admit_retract(&mut self.slots[input], r) {
+            self.recompute(ctx);
         }
-        if self.slots[input].remove(&key).is_some() {
+    }
+
+    /// Batch-native delivery: ATLEAST is always recompute-and-diff, so a
+    /// run is admitted whole and recomputed once (one-refresh-per-run).
+    fn on_batch(&mut self, input: usize, msgs: &[Message], ctx: &mut OpContext) {
+        let mut changed = false;
+        for m in msgs {
+            match m {
+                Message::Insert(e) => changed |= admit_insert(&mut self.slots[input], e),
+                Message::Retract(r) => changed |= admit_retract(&mut self.slots[input], r),
+                Message::Cti(_) => {
+                    debug_assert!(false, "CTIs are consumed by the consistency monitor")
+                }
+            }
+        }
+        if changed {
             self.recompute(ctx);
         }
     }

@@ -34,6 +34,16 @@ pub struct OpStats {
     pub delivered: usize,
     /// Largest single delivery run handed to the module.
     pub batch_peak: usize,
+    /// Group-aggregate refresh computations (recompute-and-diff of one
+    /// group's step function). The batch-native group-aggregate performs
+    /// one refresh per *touched group per run*, so this divided by
+    /// `batches` is the stateful amortisation factor — per-message
+    /// delivery pays one refresh per state-changing message instead.
+    pub group_refreshes: usize,
+    /// Join delivery runs probed batch-natively (≥ 2 messages sharing one
+    /// frozen candidate-index snapshot: one lookup per distinct key per
+    /// run instead of one per message).
+    pub probe_batches: usize,
     /// Output inserts emitted.
     pub out_inserts: usize,
     /// Output retractions emitted.
@@ -79,6 +89,8 @@ impl OpStats {
         self.batches += other.batches;
         self.delivered += other.delivered;
         self.batch_peak = self.batch_peak.max(other.batch_peak);
+        self.group_refreshes += other.group_refreshes;
+        self.probe_batches += other.probe_batches;
         self.out_inserts += other.out_inserts;
         self.out_retractions += other.out_retractions;
         self.out_ctis += other.out_ctis;

@@ -109,6 +109,20 @@ impl MessageBatch {
         }
         out
     }
+
+    /// Cut into contiguous chunks of at most `size` messages (the last
+    /// chunk may be shorter). Like [`MessageBatch::chunks`] but sized by
+    /// *chunk length* instead of chunk count — the natural knob when the
+    /// chunk is a delivery run whose length is the amortisation factor
+    /// (e.g. a bench comparing per-message `chunks_of(1)` against
+    /// batch-native `chunks_of(256)` ingestion of the same tape).
+    pub fn chunks_of(&self, size: usize) -> Vec<MessageBatch> {
+        let size = size.max(1);
+        self.msgs
+            .chunks(size)
+            .map(|c| MessageBatch::from(c.to_vec()))
+            .collect()
+    }
 }
 
 impl From<Vec<Message>> for MessageBatch {
@@ -159,6 +173,23 @@ mod tests {
         assert_eq!(b.len(), 3);
         assert_eq!(b.data_messages(), 2);
         assert_eq!(b.max_sync(), Some(t(3)));
+    }
+
+    #[test]
+    fn chunks_of_slices_by_length_and_reassembles() {
+        let mut b = MessageBatch::new();
+        for i in 0..10u64 {
+            b.push(Message::insert(i, iv(i, i + 1), Payload::empty()));
+        }
+        let chunks = b.chunks_of(4);
+        assert_eq!(
+            chunks.iter().map(MessageBatch::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        let glued: MessageBatch = chunks.into_iter().flatten().collect();
+        assert_eq!(glued, b);
+        assert_eq!(b.chunks_of(1).len(), 10, "per-message slicing");
+        assert_eq!(b.chunks_of(64).len(), 1, "oversized chunk = whole batch");
     }
 
     #[test]

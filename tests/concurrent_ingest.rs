@@ -246,7 +246,16 @@ fn typed_builders_mint_stable_ids_across_runs() {
     // are bit-identical to each other — and to a run where the same
     // sources are driven from the main thread.
     let run = |concurrent: bool| {
-        let mut engine = Engine::new();
+        // The serial variant stages every producer's emissions from the
+        // main thread *before* the pump runs, so it needs channel
+        // headroom for all of them (3 producers × 6 emissions) — pin a
+        // floor on top of the environment's depth (the CI stress leg
+        // sets CEDR_CHANNEL_DEPTH=1, which would otherwise deadlock a
+        // main-thread staging loop; backpressure itself is pinned by
+        // `tiny_channel_depth_backpressures_without_changing_results`).
+        let mut config = EngineConfig::from_env();
+        config.channel_depth = config.channel_depth.max(32);
+        let mut engine = Engine::with_config(config);
         let qs = register_queries(&mut engine, ConsistencySpec::middle());
         let sources: Vec<ChannelSource> = (0..3)
             .map(|p| engine.channel_source(TYPES[p]).unwrap())

@@ -30,15 +30,21 @@ pub enum VsFn {
 
 impl VsFn {
     pub fn eval(&self, e: &Event) -> TimePoint {
+        self.eval_interval(e.interval)
+    }
+
+    /// `fVs` only ever reads the validity interval, so it can be evaluated
+    /// without an event in hand (the fused pipeline's interval-only form).
+    pub fn eval_interval(&self, interval: Interval) -> TimePoint {
         match self {
-            VsFn::Vs => e.interval.start,
-            VsFn::Ve => e.interval.end,
+            VsFn::Vs => interval.start,
+            VsFn::Ve => interval.end,
             VsFn::HopVs { period } => {
                 let p = (*period).max(1);
-                if e.interval.start.is_infinite() {
-                    e.interval.start
+                if interval.start.is_infinite() {
+                    interval.start
                 } else {
-                    TimePoint::new(e.interval.start.0 / p * p)
+                    TimePoint::new(interval.start.0 / p * p)
                 }
             }
             VsFn::Const(t) => *t,
@@ -61,18 +67,23 @@ pub enum DeltaFn {
 
 impl DeltaFn {
     pub fn eval(&self, e: &Event) -> Duration {
+        self.eval_interval(e.interval)
+    }
+
+    /// Interval-only form of [`DeltaFn::eval`]; see [`VsFn::eval_interval`].
+    pub fn eval_interval(&self, interval: Interval) -> Duration {
         match self {
             DeltaFn::Const(d) => *d,
             DeltaFn::Infinite => Duration::INFINITE,
             DeltaFn::WindowClip { wl } => {
-                let orig = e.interval.duration();
+                let orig = interval.duration();
                 if orig <= *wl {
                     orig
                 } else {
                     *wl
                 }
             }
-            DeltaFn::Original => e.interval.duration(),
+            DeltaFn::Original => interval.duration(),
         }
     }
 }

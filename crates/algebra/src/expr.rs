@@ -113,15 +113,40 @@ impl Scalar {
         self.eval_tuple(&[event])
     }
 
-    /// Evaluate against a bare payload (no temporal context).
+    /// Evaluate against a bare payload (no temporal context). Matches
+    /// [`Scalar::eval_event`] on the single-event tuple: `Of(i, _)` with
+    /// `i > 0` has no contributor and yields `Null`.
     pub fn eval_payload(&self, payload: &Payload) -> Value {
-        // A throwaway event shell; intervals are irrelevant to scalars.
-        let ev = Event::primitive(
-            cedr_temporal::EventId(0),
-            cedr_temporal::Interval::point(cedr_temporal::TimePoint::ZERO),
-            payload.clone(),
-        );
-        self.eval_event(&ev)
+        match self {
+            Scalar::Field(j) => payload.get(*j).cloned().unwrap_or(Value::Null),
+            Scalar::Of(0, j) => payload.get(*j).cloned().unwrap_or(Value::Null),
+            Scalar::Of(..) => Value::Null,
+            Scalar::Lit(v) => v.clone(),
+            Scalar::Add(a, b) => {
+                Self::arith(a.eval_payload(payload), b.eval_payload(payload), |x, y| {
+                    x + y
+                })
+            }
+            Scalar::Sub(a, b) => {
+                Self::arith(a.eval_payload(payload), b.eval_payload(payload), |x, y| {
+                    x - y
+                })
+            }
+            Scalar::Mul(a, b) => {
+                Self::arith(a.eval_payload(payload), b.eval_payload(payload), |x, y| {
+                    x * y
+                })
+            }
+            Scalar::Div(a, b) => {
+                Self::arith(a.eval_payload(payload), b.eval_payload(payload), |x, y| {
+                    if y == 0.0 {
+                        f64::NAN
+                    } else {
+                        x / y
+                    }
+                })
+            }
+        }
     }
 
     fn arith(a: Value, b: Value, f: impl Fn(f64, f64) -> f64) -> Value {
@@ -215,6 +240,24 @@ impl Pred {
 
     pub fn eval_event(&self, event: &Event) -> bool {
         self.eval_tuple(&[event])
+    }
+
+    /// Evaluate against a bare payload (no temporal context). Predicates
+    /// only ever read payload columns, so this agrees with
+    /// [`Pred::eval_event`] on any event carrying `payload` — the form the
+    /// fused pipeline uses to avoid materialising intermediate events.
+    pub fn eval_payload(&self, payload: &Payload) -> bool {
+        match self {
+            Pred::True => true,
+            Pred::Cmp(a, op, b) => {
+                let va = a.eval_payload(payload);
+                let vb = b.eval_payload(payload);
+                op.apply(va.compare(&vb))
+            }
+            Pred::And(a, b) => a.eval_payload(payload) && b.eval_payload(payload),
+            Pred::Or(a, b) => a.eval_payload(payload) || b.eval_payload(payload),
+            Pred::Not(a) => !a.eval_payload(payload),
+        }
     }
 
     /// Which contributor slots does this predicate mention?

@@ -1,0 +1,158 @@
+//! Fused-vs-unfused stateless pipelines: the perf claim behind the
+//! plan-time fusion pass (`cedr_lang::physical`) and the columnar
+//! `FusedStatelessOp` (`cedr_runtime::fused`).
+//!
+//! Workload: 8 standing queries over one input stream, each a stateless
+//! chain of depth ≥ 3 (select → project → slice, half of them with a
+//! window in front). Unfused, every operator is its own shell — one
+//! queue hop, one stamp and one consistency-monitor admission per
+//! message per stage. Fused, each chain is one shell evaluating the
+//! composed stage IR in a single pass per run over the columnar batch
+//! view. Both engines consume the **same canonical schedule** — the
+//! identical ordered tape, in identical chunks — back to back, and the
+//! harness asserts their stamped collector tapes are bit-identical
+//! before it reports a single number.
+//!
+//! Emits `BENCH_fused.json` at the repository root; the
+//! `fused_vs_unfused` speedup ratio is gated by the CI
+//! `bench-regression` job against the committed baseline.
+
+use cedr_bench::summary::{summary_reps, BenchSummary};
+use cedr_core::prelude::*;
+use cedr_streams::MessageBatch;
+use cedr_temporal::time::dur;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Instant;
+
+const N_EVENTS: u64 = 4_000;
+const N_QUERIES: usize = 8;
+const CHUNK: usize = 256;
+
+/// An engine with `N_QUERIES` stateless-chain queries over one stream,
+/// with the fusion pass on or off. Chains alternate between depth 3
+/// (select → project → slice-valid) and depth 4 (window → select →
+/// project → slice-occurrence) so both the identity-lifetime head and
+/// the lifetime-mapping head are on the measured path.
+fn engine(fuse: bool) -> Engine {
+    let mut e = Engine::with_config(EngineConfig::serial().with_fuse(fuse));
+    e.register_event_type(
+        "TICK",
+        vec![("sym", FieldType::Int), ("px", FieldType::Int)],
+    );
+    for i in 0..N_QUERIES {
+        let b = PlanBuilder::source("TICK");
+        let b = if i % 2 == 0 { b.window(dur(40)) } else { b };
+        let b = b
+            .select(Pred::cmp(
+                Scalar::Field(0),
+                CmpOp::Ge,
+                Scalar::lit((i % 4) as i64),
+            ))
+            .project(
+                vec![Scalar::Field(0), Scalar::Field(1)],
+                vec!["sym".into(), "px".into()],
+            );
+        let plan = if i % 2 == 0 {
+            b.slice_occurrence(t(0), t(N_EVENTS + 100)).into_plan()
+        } else {
+            b.slice_valid(t(5 + i as u64), t(N_EVENTS + 60)).into_plan()
+        };
+        e.register_plan(&format!("q{i}"), plan, ConsistencySpec::middle())
+            .unwrap();
+    }
+    e
+}
+
+/// The canonical schedule both engines consume: an ordered tape with
+/// periodic CTIs and a sprinkling of retractions, so the fused boundary
+/// emulation (alignment, forgetting, CTI cascade) is on the clock too.
+fn workload() -> MessageBatch {
+    let mut b = StreamBuilder::new();
+    for i in 0..N_EVENTS {
+        let e = b.insert(
+            Interval::new(t(i), t(i + 12)),
+            Payload::from_values(vec![Value::Int((i % 16) as i64), Value::Int(i as i64)]),
+        );
+        if i % 8 == 0 {
+            b.retract(e.clone(), e.vs() + dur(6));
+        }
+    }
+    MessageBatch::from(b.build_ordered(Some(dur(50)), true))
+}
+
+/// Run the whole tape in fixed chunks: several delivery rounds, one
+/// quiescence pass each — the batched steady state.
+fn run(msgs: &MessageBatch, fuse: bool) -> Engine {
+    let mut e = engine(fuse);
+    for chunk in msgs.chunks_of(CHUNK) {
+        e.enqueue_batch("TICK", &chunk).unwrap();
+        e.run_to_quiescence();
+    }
+    e.seal();
+    e
+}
+
+fn bench_fused(c: &mut Criterion) {
+    let msgs = workload();
+    let mut g = c.benchmark_group("fused_8_chains");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N_EVENTS));
+    g.bench_function("unfused", |b| b.iter(|| run(&msgs, false)));
+    g.bench_function("fused", |b| b.iter(|| run(&msgs, true)));
+    g.finish();
+
+    write_summary(&msgs);
+}
+
+/// Best-of timing with fused/unfused reps interleaved, so machine drift
+/// biases both columns equally; then the bit-identity check that makes
+/// the ratio meaningful — a fused engine that produced a different tape
+/// would be fast and wrong.
+fn write_summary(msgs: &MessageBatch) {
+    let reps = summary_reps(7);
+    let mut best = [f64::INFINITY; 2];
+    for fuse in [false, true] {
+        run(msgs, fuse); // warm-up
+    }
+    for _ in 0..reps {
+        for (slot, fuse) in [false, true].into_iter().enumerate() {
+            let start = Instant::now();
+            let e = run(msgs, fuse);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert!(e.query_count() == N_QUERIES);
+            best[slot] = best[slot].min(elapsed);
+        }
+    }
+    let [unfused_s, fused_s] = best;
+
+    let unfused = run(msgs, false);
+    let fused = run(msgs, true);
+    let mut fused_stages = 0usize;
+    for q in 0..N_QUERIES {
+        let q = QueryId(q);
+        assert_eq!(
+            unfused.collector(q).stamped(),
+            fused.collector(q).stamped(),
+            "fused tape diverged on {q:?}"
+        );
+        assert!(fused.stats(q).fused_stages >= 3, "fusion did not engage");
+        assert_eq!(unfused.stats(q).fused_stages, 0);
+        fused_stages += fused.stats(q).fused_stages;
+    }
+
+    let mut s = BenchSummary::new("fused", 0);
+    s.ratio("fused_vs_unfused", unfused_s / fused_s);
+    s.info("events", N_EVENTS as f64)
+        .info("queries", N_QUERIES as f64)
+        .info("chunk", CHUNK as f64)
+        .info("unfused_seconds", unfused_s)
+        .info("fused_seconds", fused_s)
+        .info("fused_stages_total", fused_stages as f64);
+    s.write(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_fused.json"
+    ));
+}
+
+criterion_group!(benches, bench_fused);
+criterion_main!(benches);

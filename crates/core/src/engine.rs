@@ -85,7 +85,9 @@
 use crate::ingest::{ChannelIngress, ChannelSource, IngressStats};
 use crate::session::{SourceHandle, Subscription};
 use cedr_lang::catalog::{Catalog, EventTypeDef, FieldType};
-use cedr_lang::{compile, lower, optimize, LangError, LogicalOp, LoweredPlan};
+use cedr_lang::{
+    compile_with, fuse_from_env, lower_with, optimize, LangError, LogicalOp, LoweredPlan,
+};
 use cedr_runtime::{ConsistencySpec, OpStats};
 use cedr_streams::{Collector, Message, MessageBatch, Retraction};
 use cedr_temporal::{Event, EventId, Interval, Payload, TimePoint, Value};
@@ -137,6 +139,21 @@ pub enum EngineError {
         staged: usize,
         batch: usize,
     },
+    /// The pump's resequencer skew buffer is at
+    /// [`EngineConfig::resequencer_capacity`] and the canonical line is
+    /// stalled: producer `waiting_on` owes the next round its emission,
+    /// so nothing buffered can be released and nothing more will be
+    /// drained from the channel. Returned by [`Engine::pump`] /
+    /// [`Engine::run_pipelined`]. Recovery: get the named producer to
+    /// emit, drop/[`seal`](crate::ChannelSource::seal) it (its disconnect
+    /// releases the line on the next pump), or configure a larger buffer.
+    ResequencerFull {
+        capacity: usize,
+        buffered: usize,
+        /// Producer key (see [`crate::ChannelSource::producer_key`]) of
+        /// the lane the next round is waiting on.
+        waiting_on: u64,
+    },
     /// The engine was sealed ([`Engine::seal`]): every input already
     /// carries `CTI(∞)`, so no further ingestion is possible.
     Sealed,
@@ -178,6 +195,16 @@ impl fmt::Display for EngineError {
                  staged messages, batch of {batch} does not fit; drain with \
                  run_to_quiescence() or use the blocking flush"
             ),
+            EngineError::ResequencerFull {
+                capacity,
+                buffered,
+                waiting_on,
+            } => write!(
+                f,
+                "resequencer skew buffer full: {buffered}/{capacity} emissions buffered while \
+                 waiting on producer {waiting_on}; make it emit, drop/seal it, or raise \
+                 resequencer_capacity"
+            ),
             EngineError::Sealed => write!(
                 f,
                 "engine is sealed (CTI ∞ broadcast); no further ingestion is possible"
@@ -209,6 +236,10 @@ pub const DEFAULT_INGRESS_CAPACITY: usize = 65_536;
 /// [`EngineConfig::channel_depth`]).
 pub const DEFAULT_CHANNEL_DEPTH: usize = 1_024;
 
+/// Default bound on messages buffered inside the pump's resequencer (see
+/// [`EngineConfig::resequencer_capacity`]).
+pub const DEFAULT_RESEQUENCER_CAPACITY: usize = 16_384;
+
 /// Execution configuration of an [`Engine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -232,15 +263,36 @@ pub struct EngineConfig {
     /// [`EngineError::IngressFull`] — backpressure on providers that
     /// outrun the pump.
     pub channel_depth: usize,
+    /// Bound on emissions buffered inside the pump's **resequencer** — the
+    /// skew buffer that holds a fast producer's rounds while a slow
+    /// producer's earlier round is still missing. Without a bound, one
+    /// silent producer would let every other producer grow this buffer
+    /// indefinitely. When the buffer is at capacity and no round is ready,
+    /// [`Engine::pump`] stops draining the channel and returns
+    /// [`EngineError::ResequencerFull`] naming the producers it is waiting
+    /// on; providers keep blocking on the (also bounded) channel in the
+    /// meantime, so memory stays bounded end to end.
+    pub resequencer_capacity: usize,
+    /// Run the plan-time **fusion pass** when registering queries: maximal
+    /// chains of adjacent stateless operators collapse into single
+    /// `FusedStatelessOp` nodes (collector output is bit-identical either
+    /// way; see `cedr_runtime::fused`). Defaults to the `CEDR_FUSE`
+    /// environment switch — set `CEDR_FUSE=0` to run every engine unfused,
+    /// however its config was built — and can be overridden per engine
+    /// with [`EngineConfig::with_fuse`].
+    pub fuse: bool,
 }
 
 impl EngineConfig {
-    /// Single-threaded execution (one shard, serial drain).
+    /// Single-threaded execution (one shard, serial drain). Fusion
+    /// follows the `CEDR_FUSE` environment switch, like every constructor.
     pub fn serial() -> Self {
         EngineConfig {
             threads: 1,
             ingress_capacity: DEFAULT_INGRESS_CAPACITY,
             channel_depth: DEFAULT_CHANNEL_DEPTH,
+            resequencer_capacity: DEFAULT_RESEQUENCER_CAPACITY,
+            fuse: fuse_from_env(),
         }
     }
 
@@ -270,12 +322,28 @@ impl EngineConfig {
         }
     }
 
-    /// Read `CEDR_THREADS`, `CEDR_INGRESS_CAPACITY` and
-    /// `CEDR_CHANNEL_DEPTH` from the environment (defaults: 1 thread,
-    /// [`DEFAULT_INGRESS_CAPACITY`], [`DEFAULT_CHANNEL_DEPTH`]).
-    /// `CEDR_THREADS` is the knob the CI matrix turns to run the whole
-    /// test suite serial and threaded — outputs are bit-identical either
-    /// way.
+    /// Same configuration with a different resequencer skew-buffer bound
+    /// (clamped to at least 1 emission).
+    pub fn with_resequencer_capacity(self, capacity: usize) -> Self {
+        EngineConfig {
+            resequencer_capacity: capacity.max(1),
+            ..self
+        }
+    }
+
+    /// Same configuration with the fusion pass explicitly on or off
+    /// (overrides the `CEDR_FUSE` environment default).
+    pub fn with_fuse(self, fuse: bool) -> Self {
+        EngineConfig { fuse, ..self }
+    }
+
+    /// Read `CEDR_THREADS`, `CEDR_INGRESS_CAPACITY`, `CEDR_CHANNEL_DEPTH`,
+    /// `CEDR_RESEQ_CAPACITY` and `CEDR_FUSE` from the environment
+    /// (defaults: 1 thread, [`DEFAULT_INGRESS_CAPACITY`],
+    /// [`DEFAULT_CHANNEL_DEPTH`], [`DEFAULT_RESEQUENCER_CAPACITY`], fusion
+    /// on). `CEDR_THREADS` and `CEDR_FUSE=0` are the knobs the CI matrix
+    /// turns to run the whole test suite serial/threaded and
+    /// fused/unfused — outputs are bit-identical every way.
     pub fn from_env() -> Self {
         let parse = |var: &str| {
             std::env::var(var)
@@ -287,6 +355,9 @@ impl EngineConfig {
             threads: parse("CEDR_THREADS").unwrap_or(1),
             ingress_capacity: parse("CEDR_INGRESS_CAPACITY").unwrap_or(DEFAULT_INGRESS_CAPACITY),
             channel_depth: parse("CEDR_CHANNEL_DEPTH").unwrap_or(DEFAULT_CHANNEL_DEPTH),
+            resequencer_capacity: parse("CEDR_RESEQ_CAPACITY")
+                .unwrap_or(DEFAULT_RESEQUENCER_CAPACITY),
+            fuse: fuse_from_env(),
         }
     }
 }
@@ -417,7 +488,7 @@ impl Engine {
         text: &str,
         spec: ConsistencySpec,
     ) -> Result<QueryId, EngineError> {
-        let compiled = compile(text, &self.catalog, spec)?;
+        let compiled = compile_with(text, &self.catalog, spec, self.config.fuse)?;
         self.queries.push(RunningQuery {
             name: compiled.name,
             plan: compiled.plan,
@@ -437,8 +508,8 @@ impl Engine {
         spec: ConsistencySpec,
     ) -> Result<QueryId, EngineError> {
         let optimized = optimize(root);
-        let explain = format!("{optimized}");
-        let plan = lower(&optimized, &self.catalog, spec)?;
+        let plan = lower_with(&optimized, &self.catalog, spec, self.config.fuse)?;
+        let explain = format!("{optimized}\n{}", plan.describe_fusion());
         self.queries.push(RunningQuery {
             name: name.to_string(),
             plan,

@@ -557,7 +557,10 @@ impl Engine {
     /// or nothing was ready. Errors with
     /// [`EngineError::Sealed`] after
     /// [`Engine::seal`](crate::Engine::seal) — in-flight channel traffic
-    /// is unreachable once every input carries `CTI(∞)`.
+    /// is unreachable once every input carries `CTI(∞)` — and with
+    /// [`EngineError::ResequencerFull`] when the skew buffer hits
+    /// [`EngineConfig::resequencer_capacity`](crate::EngineConfig::resequencer_capacity)
+    /// while the canonical line is stalled on a silent producer.
     pub fn pump(&mut self) -> Result<PumpProgress, EngineError> {
         self.pump_inner(false)
     }
@@ -586,6 +589,7 @@ impl Engine {
         if self.channel.is_none() {
             return Ok(progress);
         }
+        let cap = self.config().resequencer_capacity;
         loop {
             // Fold in disconnects (side channel) and everything the data
             // channel holds, in arrival order; the resequencer restores
@@ -595,9 +599,19 @@ impl Engine {
                 for (key, emitted) in ch.board.drain() {
                     ch.reseq.close(key, emitted);
                 }
-                while let Ok(item) = ch.rx.try_recv() {
-                    let (key, seq) = (item.key, item.seq);
-                    ch.reseq.accept(key, seq, item);
+                // The skew buffer is bounded: stop pulling once it holds
+                // `resequencer_capacity` emissions. Providers then block
+                // on the (also bounded) channel, so a silent producer
+                // stalls the line under a fixed memory ceiling instead of
+                // letting the fast producers grow the buffer forever.
+                while ch.reseq.buffered() < cap {
+                    match ch.rx.try_recv() {
+                        Ok(item) => {
+                            let (key, seq) = (item.key, item.seq);
+                            ch.reseq.accept(key, seq, item);
+                        }
+                        Err(_) => break,
+                    }
                 }
             }
             // Admit every ready round, one quiescence pass each.
@@ -636,6 +650,20 @@ impl Engine {
             };
             progress.open_producers = open;
             progress.buffered_batches = buffered;
+            // Every releasable round was admitted above, so a buffer still
+            // at capacity means the line is stalled on a producer that has
+            // not emitted — surface the bound as a typed error rather than
+            // spinning (run_pipelined) or silently buffering on.
+            if buffered >= cap {
+                let ch = self.channel.as_mut().expect("checked above");
+                if let RoundStatus::Pending { waiting_on } = ch.reseq.next_round() {
+                    return Err(EngineError::ResequencerFull {
+                        capacity: cap,
+                        buffered,
+                        waiting_on,
+                    });
+                }
+            }
             if !until_disconnected || live == 0 {
                 return Ok(progress);
             }
@@ -852,6 +880,45 @@ mod tests {
         handle
             .join()
             .expect("provider must not be stranded by seal");
+    }
+
+    #[test]
+    fn silent_producer_trips_the_resequencer_bound() {
+        // The skew buffer is bounded: a producer that opens a lane and
+        // never emits stalls the canonical line, and once the fast
+        // producers have buffered `resequencer_capacity` emissions the
+        // pump must surface the typed error instead of buffering on.
+        let (mut e, q) = tick_engine(EngineConfig::serial().with_resequencer_capacity(4));
+        let silent = e.channel_source("T").unwrap();
+        let mut fast = e.channel_source("T").unwrap();
+        for i in 0..8u64 {
+            fast.insert(i, vec![Value::Int(i as i64)]).unwrap();
+            fast.flush();
+        }
+        let err = e.pump().unwrap_err();
+        match err {
+            EngineError::ResequencerFull {
+                capacity,
+                buffered,
+                waiting_on,
+            } => {
+                assert_eq!(capacity, 4);
+                assert_eq!(buffered, 4, "pull stops exactly at the bound");
+                assert_eq!(waiting_on, silent.producer_key(), "names the stall");
+            }
+            other => panic!("expected ResequencerFull, got {other}"),
+        }
+        assert_eq!(e.collector(q).stats().inserts, 0, "line is stalled");
+        // The error is a report, not a consumption: pumping again without
+        // unblocking the line reproduces it losslessly.
+        assert!(matches!(e.pump(), Err(EngineError::ResequencerFull { .. })));
+        // Recovery: retiring the silent producer closes its lane, the
+        // buffered rounds release, and the channel backlog drains — every
+        // emission survives the stalled episode.
+        drop(silent);
+        drop(fast);
+        e.run_pipelined().unwrap();
+        assert_eq!(e.collector(q).stats().inserts, 8);
     }
 
     #[test]

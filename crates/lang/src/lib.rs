@@ -30,27 +30,40 @@ pub use error::LangError;
 pub use logical::{Layout, LogicalOp};
 pub use optimizer::optimize;
 pub use parser::parse_query;
-pub use physical::{lower, LoweredPlan};
+pub use physical::{fuse_from_env, lower, lower_with, LoweredPlan};
 
 /// A fully compiled query: the declared name, the optimized logical plan
-/// rendered for `EXPLAIN`, and the lowered physical dataflow.
+/// rendered for `EXPLAIN` (followed by the physical fusion summary), and
+/// the lowered physical dataflow.
 pub struct CompiledQuery {
     pub name: String,
     pub explain: String,
     pub plan: LoweredPlan,
 }
 
-/// Parse, bind, optimise and lower a query in one call.
+/// Parse, bind, optimise and lower a query in one call. The fusion pass
+/// follows the `CEDR_FUSE` default; use [`compile_with`] for explicit
+/// control.
 pub fn compile(
     text: &str,
     catalog: &Catalog,
     spec: cedr_runtime::ConsistencySpec,
 ) -> Result<CompiledQuery, LangError> {
+    compile_with(text, catalog, spec, fuse_from_env())
+}
+
+/// [`compile`], with the fusion pass explicitly on or off.
+pub fn compile_with(
+    text: &str,
+    catalog: &Catalog,
+    spec: cedr_runtime::ConsistencySpec,
+    fuse: bool,
+) -> Result<CompiledQuery, LangError> {
     let query = parse_query(text)?;
     let bound = bind(&query, catalog)?;
     let optimized = optimize(bound.root);
-    let explain = format!("{optimized}");
-    let plan = lower(&optimized, catalog, spec)?;
+    let plan = lower_with(&optimized, catalog, spec, fuse)?;
+    let explain = format!("{optimized}\n{}", plan.describe_fusion());
     Ok(CompiledQuery {
         name: bound.name,
         explain,

@@ -1,0 +1,793 @@
+//! Fused stateless pipelines: one pass per run instead of one queue hop
+//! per operator.
+//!
+//! The plan-time fusion pass collapses every maximal chain of adjacent
+//! single-input stateless operators (select, project, alter-lifetime,
+//! slice) into one [`FusedStatelessOp`]. The fused node evaluates the
+//! composed [`FusedStage`] IR in a single tight loop per delivery run:
+//! no intermediate `MessageBatch` is built, no queue hop, stamp sort or
+//! shell admission happens between fused stages, and intermediate events
+//! are never materialised — an internal working record (`WorkEv`)
+//! carries the evolving (id, interval, payload) triple next to the
+//! original `Arc<Event>`, and
+//! a gather step rebuilds an `Arc`-shared message only at the fused
+//! node's output edge.
+//!
+//! # The collector-level bit-identity contract
+//!
+//! Fusion changes graph shape, so per-edge tapes for the collapsed
+//! interior no longer exist; what must be preserved exactly is the
+//! *collector output* — stamped tape, subscription deltas, output CTIs —
+//! at every ⟨M, B⟩ consistency point (see the third contract strength in
+//! [`crate::operator`]'s module docs). The interior shells the fused node
+//! replaces were not pass-through plumbing: each ran a consistency
+//! monitor. An internal `Boundary` therefore emulates, per fused seam,
+//! everything
+//! an interior [`crate::OperatorShell`] does that is observable
+//! downstream:
+//!
+//! * **chain generations** — the upstream shell's `finish` remap of
+//!   re-inserted IDs to fresh per-generation identities;
+//! * **forgetting** — weak-consistency drops below the memory horizon,
+//!   checked before the `max_seen` bump exactly like the shell;
+//! * **alignment** — blocking specs buffer uncovered messages in
+//!   `(sync, seq)` order and release them on coverage or timeout;
+//! * **the reorder guard** — retractions whose inserts were never
+//!   delivered (or were evicted by a flush cleanup) are swallowed. At an
+//!   interior seam the shell's orphan parking can never replay (interior
+//!   IDs are unique per chain generation and an insert always precedes
+//!   its retractions), so parking degenerates to swallowing. For
+//!   non-forgetful specs the guard needs no ID registry at all: an
+//!   insert is evicted iff its lifetime ended at or below the watermark
+//!   of the last flush cleanup, so one comparison against
+//!   `evict_watermark` plus a (normally empty) `recent` set of
+//!   late-delivered short-lived inserts decides retraction liveness.
+//!   Forgetful specs keep the exact `seen` map instead;
+//! * **CTI cadence** — watermarks advance only through the per-stage
+//!   `map_cti` composition, with the shell's strict-increase emission
+//!   dedup, and releases triggered by a guarantee flow through the
+//!   remaining stages *at their position in the stream*;
+//! * **flush-time cleanup** — guard eviction runs where the interior
+//!   shell would have flushed: before observing a CTI (old watermark),
+//!   after a releasing CTI (new watermark), and at end of round
+//!   ([`crate::OperatorModule::on_round_end`]).
+//!
+//! The first stage reads the run through the struct-of-arrays
+//! [`ColumnarView`], so inserts and retractions a leading slice or
+//! alter-lifetime stage would drop are rejected from contiguous interval
+//! columns without ever touching the per-message `Arc<Event>`.
+
+use crate::consistency::ConsistencySpec;
+use crate::operator::{generation_id, OpContext, OperatorModule, OutputBuffer};
+use cedr_algebra::{DeltaFn, Pred, Scalar, VsFn};
+use cedr_streams::batch::{ColumnarView, MessageKind};
+use cedr_streams::{Message, Retraction};
+use cedr_temporal::{Event, EventId, Interval, Payload, TimePoint};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// One stage of a fused pipeline: the IR the planner lowers the four
+/// stateless operator families into.
+#[derive(Clone, Debug)]
+pub enum FusedStage {
+    /// `σ_p` — payload predicate filter.
+    Select(Pred),
+    /// `π` — payload transformation.
+    Project(Vec<Scalar>),
+    /// `Π_{fVs, f∆}` — lifetime mapping (Definition 12).
+    AlterLifetime { fvs: VsFn, fdelta: DeltaFn },
+    /// `#`/`@` — valid-time clip and occurrence-time filter.
+    Slice {
+        valid: Option<Interval>,
+        occurrence: Option<Interval>,
+    },
+}
+
+impl FusedStage {
+    /// Stage name as it appears in plan explains.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FusedStage::Select(_) => "select",
+            FusedStage::Project(_) => "project",
+            FusedStage::AlterLifetime { .. } => "alter_lifetime",
+            FusedStage::Slice { .. } => "slice",
+        }
+    }
+
+    /// Mirror of the stage operator's shell-level `map_cti`.
+    fn map_cti(&self, watermark: TimePoint) -> TimePoint {
+        match self {
+            FusedStage::AlterLifetime { fvs, .. } => {
+                if watermark.is_infinite() {
+                    return watermark;
+                }
+                match fvs {
+                    VsFn::Vs | VsFn::Ve => watermark,
+                    VsFn::HopVs { period } => {
+                        let p = (*period).max(1);
+                        TimePoint::new(watermark.0 / p * p)
+                    }
+                    VsFn::Const(t) => TimePoint::min_of(watermark, *t),
+                }
+            }
+            _ => watermark,
+        }
+    }
+
+    /// Apply the stage kernel to one work message, appending outputs (at
+    /// most two: a retraction split) to `out`. Mirrors the corresponding
+    /// `OperatorModule` in `stateless` exactly, including the output
+    /// buffer's empty-lifetime drop for inserts.
+    fn apply(&self, msg: WorkMsg, out: &mut Vec<WorkMsg>) {
+        match self {
+            FusedStage::Select(pred) => match msg {
+                WorkMsg::Ins(ev) => {
+                    if pred.eval_payload(ev.payload()) {
+                        push_insert(out, ev);
+                    }
+                }
+                WorkMsg::Ret { ev, new_end } => {
+                    // An empty-lifetime event's insert was dropped by the
+                    // output buffer on the unfused edge, so its retraction
+                    // parks there as an orphan that can never replay —
+                    // swallowing it here is collector-identical.
+                    if !ev.interval.is_empty() && pred.eval_payload(ev.payload()) {
+                        out.push(WorkMsg::Ret { ev, new_end });
+                    }
+                }
+            },
+            FusedStage::Project(exprs) => {
+                let (mut ev, ret) = match msg {
+                    WorkMsg::Ins(ev) => (ev, None),
+                    WorkMsg::Ret { ev, new_end } => {
+                        if ev.interval.is_empty() {
+                            // Same dead-orphan reasoning as the select arm.
+                            return;
+                        }
+                        (ev, Some(new_end))
+                    }
+                };
+                let payload = Payload::from_values(
+                    exprs.iter().map(|x| x.eval_payload(ev.payload())).collect(),
+                );
+                ev.payload = Some(payload);
+                match ret {
+                    None => push_insert(out, ev),
+                    Some(new_end) => out.push(WorkMsg::Ret { ev, new_end }),
+                }
+            }
+            FusedStage::AlterLifetime { fvs, fdelta } => {
+                let map = |iv: Interval| {
+                    let vs = fvs.eval_interval(iv);
+                    Interval::new(vs, vs + fdelta.eval_interval(iv))
+                };
+                match msg {
+                    WorkMsg::Ins(mut ev) => {
+                        ev.interval = map(ev.interval);
+                        push_insert(out, ev);
+                    }
+                    WorkMsg::Ret { ev, new_end } => {
+                        let old_iv = map(ev.interval);
+                        let shortened = Interval::new(ev.interval.start, new_end);
+                        let new_iv = if shortened.is_empty() {
+                            None
+                        } else {
+                            Some(map(shortened)).filter(|i| !i.is_empty())
+                        };
+                        match (old_iv.is_empty(), new_iv) {
+                            (true, None) => {}
+                            (true, Some(n)) => {
+                                let mut ev = ev;
+                                ev.interval = n;
+                                push_insert(out, ev);
+                            }
+                            (false, None) => {
+                                let mut ev = ev;
+                                ev.interval = old_iv;
+                                out.push(WorkMsg::Ret {
+                                    ev,
+                                    new_end: old_iv.start,
+                                });
+                            }
+                            (false, Some(n)) => {
+                                if n == old_iv {
+                                    // e.g. a window whose clipped lifetime
+                                    // is unaffected.
+                                } else if n.start == old_iv.start && n.end < old_iv.end {
+                                    let mut ev = ev;
+                                    ev.interval = old_iv;
+                                    out.push(WorkMsg::Ret { ev, new_end: n.end });
+                                } else {
+                                    // Start moved (Ve-anchored mappings):
+                                    // remove and re-insert under the same
+                                    // internal ID — the boundary's chain
+                                    // generations split them, exactly like
+                                    // the shell's finish remap.
+                                    let mut rev = ev.clone();
+                                    rev.interval = old_iv;
+                                    out.push(WorkMsg::Ret {
+                                        ev: rev,
+                                        new_end: old_iv.start,
+                                    });
+                                    let mut iev = ev;
+                                    iev.interval = n;
+                                    push_insert(out, iev);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            FusedStage::Slice { valid, occurrence } => match msg {
+                WorkMsg::Ins(mut ev) => {
+                    if let Some(iv) = slice_interval(valid, occurrence, ev.interval) {
+                        ev.interval = iv;
+                        out.push(WorkMsg::Ins(ev));
+                    }
+                }
+                WorkMsg::Ret { ev, new_end } => {
+                    let Some(old_iv) = slice_interval(valid, occurrence, ev.interval) else {
+                        return;
+                    };
+                    let shortened = Interval::new(ev.interval.start, new_end);
+                    match slice_interval(valid, occurrence, shortened) {
+                        Some(n) if n == old_iv => {}
+                        Some(n) => {
+                            let mut ev = ev;
+                            ev.interval = old_iv;
+                            out.push(WorkMsg::Ret { ev, new_end: n.end });
+                        }
+                        None => {
+                            let mut ev = ev;
+                            ev.interval = old_iv;
+                            out.push(WorkMsg::Ret {
+                                ev,
+                                new_end: old_iv.start,
+                            });
+                        }
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// `SliceOp::slice` on bare intervals (occurrence is checked against the
+/// interval start — the event's `Vs`).
+fn slice_interval(
+    valid: &Option<Interval>,
+    occurrence: &Option<Interval>,
+    iv: Interval,
+) -> Option<Interval> {
+    if let Some(occ) = occurrence {
+        if !occ.contains(iv.start) {
+            return None;
+        }
+    }
+    let out = match valid {
+        Some(v) => iv.intersect(v),
+        None => iv,
+    };
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+/// Append an insert, dropping empty lifetimes exactly like
+/// [`OutputBuffer::insert`] does on every unfused edge.
+fn push_insert(out: &mut Vec<WorkMsg>, ev: WorkEv) {
+    if !ev.interval.is_empty() {
+        out.push(WorkMsg::Ins(ev));
+    }
+}
+
+/// An event travelling through the fused pipeline: the evolving
+/// (id, interval, payload) triple next to the original shared event.
+/// `payload: None` means "unchanged from `src`" — the common case for
+/// select/slice/alter-lifetime chains, where the gather step can forward
+/// the original `Arc` (interval and id permitting) without rebuilding.
+#[derive(Clone, Debug)]
+struct WorkEv {
+    src: Arc<Event>,
+    id: EventId,
+    interval: Interval,
+    payload: Option<Payload>,
+}
+
+impl WorkEv {
+    fn of(src: Arc<Event>) -> WorkEv {
+        WorkEv {
+            id: src.id,
+            interval: src.interval,
+            src,
+            payload: None,
+        }
+    }
+
+    fn payload(&self) -> &Payload {
+        self.payload.as_ref().unwrap_or(&self.src.payload)
+    }
+
+    /// The output-edge gather: rebuild an `Arc`-shared event, or forward
+    /// the original untouched (refcount bump, no allocation).
+    fn gather(self) -> Arc<Event> {
+        if self.id == self.src.id && self.interval == self.src.interval && self.payload.is_none() {
+            self.src
+        } else {
+            Arc::new(Event {
+                id: self.id,
+                interval: self.interval,
+                root_time: self.src.root_time,
+                lineage: self.src.lineage.clone(),
+                payload: match self.payload {
+                    Some(p) => p,
+                    None => self.src.payload.clone(),
+                },
+            })
+        }
+    }
+}
+
+/// A data message between fused stages (CTIs travel separately, through
+/// the boundary watermark cascade).
+#[derive(Clone, Debug)]
+enum WorkMsg {
+    Ins(WorkEv),
+    Ret { ev: WorkEv, new_end: TimePoint },
+}
+
+impl WorkMsg {
+    /// Figure-6 `Sync`: `Vs` for inserts, `new_end` for retractions.
+    fn sync(&self) -> TimePoint {
+        match self {
+            WorkMsg::Ins(ev) => ev.interval.start,
+            WorkMsg::Ret { new_end, .. } => *new_end,
+        }
+    }
+}
+
+/// The consistency-monitor emulation at one fused seam: everything the
+/// interior shell between two fused stages does that is observable at the
+/// collector. See the module docs for the correspondence argument.
+struct Boundary {
+    /// Declared watermark: max over CTIs received from the upstream stage.
+    watermark: TimePoint,
+    /// High-water mark of observed syncs (drives timeouts and forgetting).
+    max_seen: TimePoint,
+    /// Alignment buffer, ordered by (sync, arrival seq).
+    align: BTreeMap<(TimePoint, u64), WorkMsg>,
+    seq: u64,
+    /// Upstream stage's CTI emission dedup (the shell's `last_cti`).
+    last_cti: Option<TimePoint>,
+    /// Watermark of the most recent guard cleanup. For non-forgetful
+    /// specs, a delivered insert is evicted iff its lifetime end is ≤
+    /// this, so retraction liveness is one comparison.
+    evict_watermark: TimePoint,
+    /// Late inserts delivered since the last cleanup whose lifetimes
+    /// already ended at or below `evict_watermark` — still alive in the
+    /// shell's guard until the next flush. Normally empty.
+    recent: HashSet<EventId>,
+    /// Exact reorder-guard registry, kept only for forgetful specs where
+    /// liveness is not derivable from the eviction watermark (an insert
+    /// dropped at the horizon must swallow its later retraction even when
+    /// that retraction's lifetime end clears `evict_watermark`).
+    seen: Option<HashMap<EventId, TimePoint>>,
+    /// Chain generations of the upstream stage's shell (`finish` remap).
+    gens: HashMap<EventId, u64>,
+    /// Deliveries since the last flush cleanup — the shell's "pending
+    /// non-empty" condition deciding whether a flush runs cleanup.
+    dirty: bool,
+}
+
+impl Boundary {
+    fn new(forgetful: bool) -> Boundary {
+        Boundary {
+            watermark: TimePoint::ZERO,
+            max_seen: TimePoint::ZERO,
+            align: BTreeMap::new(),
+            seq: 0,
+            last_cti: None,
+            evict_watermark: TimePoint::ZERO,
+            recent: HashSet::new(),
+            seen: forgetful.then(HashMap::new),
+            gens: HashMap::new(),
+            dirty: false,
+        }
+    }
+
+    /// The upstream shell's `finish` remap: rewrite re-inserted IDs to
+    /// fresh per-generation identities, bumping the generation on full
+    /// removals.
+    fn remap(&mut self, msg: &mut WorkMsg) {
+        match msg {
+            WorkMsg::Ins(ev) => {
+                let gen = self.gens.get(&ev.id).copied().unwrap_or(0);
+                if gen != 0 {
+                    ev.id = generation_id(ev.id, gen);
+                }
+            }
+            WorkMsg::Ret { ev, new_end } => {
+                let orig = ev.id;
+                let gen = self.gens.get(&orig).copied().unwrap_or(0);
+                if gen != 0 {
+                    ev.id = generation_id(orig, gen);
+                }
+                if *new_end <= ev.interval.start {
+                    *self.gens.entry(orig).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    /// Admit one upstream-stage output: remap, forget, align or deliver,
+    /// then release anything due (a data arrival can advance `max_seen`
+    /// past a finite blocking deadline). Messages that reach the
+    /// downstream stage are appended to `delivered` in delivery order.
+    fn admit(&mut self, spec: &ConsistencySpec, mut msg: WorkMsg, delivered: &mut Vec<WorkMsg>) {
+        self.remap(&mut msg);
+        let sync = msg.sync();
+        if spec.is_forgetful() && sync < spec.horizon(self.max_seen) {
+            return; // forgotten before the max_seen bump, like the shell
+        }
+        self.max_seen = TimePoint::max_of(self.max_seen, sync);
+        if spec.is_blocking() && sync >= self.watermark {
+            self.align.insert((sync, self.seq), msg);
+            self.seq += 1;
+        } else {
+            self.deliver(msg, delivered);
+        }
+        self.release(spec, delivered);
+    }
+
+    /// Hand a message past the reorder guard to the downstream stage.
+    fn deliver(&mut self, msg: WorkMsg, delivered: &mut Vec<WorkMsg>) {
+        self.dirty = true;
+        match &msg {
+            WorkMsg::Ins(ev) => {
+                if let Some(seen) = &mut self.seen {
+                    seen.insert(ev.id, ev.interval.end);
+                } else if ev.interval.end <= self.evict_watermark {
+                    self.recent.insert(ev.id);
+                }
+                delivered.push(msg);
+            }
+            WorkMsg::Ret { ev, .. } => {
+                let alive = match &self.seen {
+                    Some(seen) => seen.contains_key(&ev.id),
+                    None => ev.interval.end > self.evict_watermark || self.recent.contains(&ev.id),
+                };
+                // A dead retraction is what the shell would park as an
+                // orphan that can never replay — swallow it.
+                if alive {
+                    delivered.push(msg);
+                }
+            }
+        }
+    }
+
+    /// Release aligned messages that are covered by the watermark or have
+    /// exceeded a finite blocking budget, in (sync, seq) order.
+    fn release(&mut self, spec: &ConsistencySpec, delivered: &mut Vec<WorkMsg>) {
+        while let Some((&(sync, seq), _)) = self.align.iter().next() {
+            let covered = sync < self.watermark;
+            let timed_out = !spec.max_blocking.is_infinite()
+                && self
+                    .max_seen
+                    .since(sync)
+                    .is_some_and(|held| held >= spec.max_blocking);
+            if !covered && !timed_out {
+                break;
+            }
+            let msg = self.align.remove(&(sync, seq)).expect("front entry");
+            self.deliver(msg, delivered);
+        }
+    }
+
+    /// The shell's flush-time guard cleanup: bookkeeping dies with the
+    /// watermark. Runs only where the interior shell would have flushed a
+    /// non-empty pending run.
+    fn cleanup(&mut self) {
+        self.dirty = false;
+        if self.watermark > TimePoint::ZERO {
+            let w = self.watermark;
+            self.evict_watermark = w;
+            self.recent.clear();
+            if let Some(seen) = &mut self.seen {
+                seen.retain(|_, ve| *ve > w);
+            }
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.align.len()
+            + self.recent.len()
+            + self.seen.as_ref().map_or(0, HashMap::len)
+            + self.gens.len()
+    }
+}
+
+/// A maximal chain of adjacent stateless operators collapsed into one
+/// operator node. See the module docs for the execution model and the
+/// bit-identity contract.
+pub struct FusedStatelessOp {
+    stages: Vec<FusedStage>,
+    /// One consistency-monitor emulation per interior seam
+    /// (`boundaries[i]` sits between `stages[i]` and `stages[i + 1]`).
+    boundaries: Vec<Boundary>,
+    /// Reusable scratch for the per-message cascade.
+    stack: Vec<(usize, WorkMsg)>,
+    tmp: Vec<WorkMsg>,
+    delivered: Vec<WorkMsg>,
+}
+
+impl FusedStatelessOp {
+    /// Build a fused node from the stage chain, innermost (closest to the
+    /// source) first. `spec` is the plan-wide consistency point the
+    /// replaced interior shells would have run at.
+    pub fn new(stages: Vec<FusedStage>, spec: ConsistencySpec) -> FusedStatelessOp {
+        assert!(
+            stages.len() >= 2,
+            "fusion collapses chains of at least two stages"
+        );
+        let boundaries = (0..stages.len() - 1)
+            .map(|_| Boundary::new(spec.is_forgetful()))
+            .collect();
+        FusedStatelessOp {
+            stages,
+            boundaries,
+            stack: Vec::new(),
+            tmp: Vec::new(),
+            delivered: Vec::new(),
+        }
+    }
+
+    /// Chain description for plan explains: `select→project→slice`.
+    pub fn describe(&self) -> String {
+        self.stages
+            .iter()
+            .map(FusedStage::name)
+            .collect::<Vec<_>>()
+            .join("→")
+    }
+
+    /// Run one admitted input message through the whole chain,
+    /// depth-first: each message delivered at a seam is fully propagated
+    /// through the remaining stages before its successor, which
+    /// reproduces the unfused concatenation order of every interior run.
+    fn process(&mut self, msg: WorkMsg, spec: &ConsistencySpec, out: &mut OutputBuffer) {
+        let mut stack = std::mem::take(&mut self.stack);
+        let mut tmp = std::mem::take(&mut self.tmp);
+        let mut delivered = std::mem::take(&mut self.delivered);
+        stack.push((0, msg));
+        while let Some((si, m)) = stack.pop() {
+            if si == self.stages.len() {
+                emit(m, out);
+                continue;
+            }
+            tmp.clear();
+            self.stages[si].apply(m, &mut tmp);
+            if si + 1 == self.stages.len() {
+                // Last stage: straight to the output edge; the fused
+                // shell's own monitor and finish remap take over.
+                while let Some(m) = tmp.pop() {
+                    stack.push((si + 1, m));
+                }
+            } else {
+                delivered.clear();
+                for m in tmp.drain(..) {
+                    self.boundaries[si].admit(spec, m, &mut delivered);
+                }
+                while let Some(m) = delivered.pop() {
+                    stack.push((si + 1, m));
+                }
+            }
+        }
+        self.stack = stack;
+        self.tmp = tmp;
+        self.delivered = delivered;
+    }
+
+    /// Propagate released work from boundary `level - 1` onwards (used by
+    /// the CTI cascade, which releases into the middle of the chain).
+    fn process_from(
+        &mut self,
+        level: usize,
+        inputs: &mut Vec<WorkMsg>,
+        spec: &ConsistencySpec,
+        out: &mut OutputBuffer,
+    ) {
+        let mut stack = std::mem::take(&mut self.stack);
+        let mut tmp = std::mem::take(&mut self.tmp);
+        let mut delivered = std::mem::take(&mut self.delivered);
+        while let Some(m) = inputs.pop() {
+            stack.push((level, m));
+        }
+        while let Some((si, m)) = stack.pop() {
+            if si == self.stages.len() {
+                emit(m, out);
+                continue;
+            }
+            tmp.clear();
+            self.stages[si].apply(m, &mut tmp);
+            if si + 1 == self.stages.len() {
+                while let Some(m) = tmp.pop() {
+                    stack.push((si + 1, m));
+                }
+            } else {
+                delivered.clear();
+                for m in tmp.drain(..) {
+                    self.boundaries[si].admit(spec, m, &mut delivered);
+                }
+                while let Some(m) = delivered.pop() {
+                    stack.push((si + 1, m));
+                }
+            }
+        }
+        self.stack = stack;
+        self.tmp = tmp;
+        self.delivered = delivered;
+    }
+}
+
+/// The output-edge gather: one `Arc<Event>` construction (or forward) per
+/// surviving message, into the fused shell's output buffer.
+fn emit(m: WorkMsg, out: &mut OutputBuffer) {
+    match m {
+        WorkMsg::Ins(ev) => out.insert(ev.gather()),
+        WorkMsg::Ret { ev, new_end } => out.retract_to(ev.gather(), new_end),
+    }
+}
+
+impl OperatorModule for FusedStatelessOp {
+    fn name(&self) -> &'static str {
+        "fused"
+    }
+
+    fn on_insert(&mut self, _input: usize, event: &Event, ctx: &mut OpContext) {
+        let spec = ctx.spec;
+        self.process(
+            WorkMsg::Ins(WorkEv::of(Arc::new(event.clone()))),
+            &spec,
+            ctx.out,
+        );
+    }
+
+    fn on_retract(&mut self, _input: usize, r: &Retraction, ctx: &mut OpContext) {
+        let spec = ctx.spec;
+        self.process(
+            WorkMsg::Ret {
+                ev: WorkEv::of(r.event.clone()),
+                new_end: r.new_end,
+            },
+            &spec,
+            ctx.out,
+        );
+    }
+
+    /// The fused hot loop: one pass over the run. The leading stage's
+    /// interval tests run against the columnar view, so messages a slice
+    /// or alter-lifetime head would drop never touch their `Arc<Event>`.
+    fn on_batch(&mut self, _input: usize, msgs: &[Message], ctx: &mut OpContext) {
+        let spec = ctx.spec;
+        let view = ColumnarView::over(msgs);
+        ctx.out.reserve(msgs.len());
+        for (i, m) in msgs.iter().enumerate() {
+            // Columnar pre-filter: decide stage-0 drops from contiguous
+            // interval columns. Only drops that the stage kernel decides
+            // from intervals alone are safe to take here — payload
+            // predicates still need the event.
+            let dropped = match &self.stages[0] {
+                FusedStage::Slice { valid, occurrence } => match view.kinds[i] {
+                    // An insert (or a retraction's pre-image) outside the
+                    // slice produces nothing downstream.
+                    MessageKind::Insert | MessageKind::Retract => {
+                        slice_interval(valid, occurrence, Interval::new(view.vs[i], view.ve[i]))
+                            .is_none()
+                    }
+                    MessageKind::Cti => false,
+                },
+                FusedStage::AlterLifetime { fvs, fdelta } => match view.kinds[i] {
+                    MessageKind::Insert => {
+                        let iv = Interval::new(view.vs[i], view.ve[i]);
+                        let vs = fvs.eval_interval(iv);
+                        Interval::new(vs, vs + fdelta.eval_interval(iv)).is_empty()
+                    }
+                    _ => false,
+                },
+                _ => false,
+            };
+            if dropped {
+                continue;
+            }
+            match m {
+                Message::Insert(e) => {
+                    self.process(WorkMsg::Ins(WorkEv::of(e.clone())), &spec, ctx.out)
+                }
+                Message::Retract(r) => self.process(
+                    WorkMsg::Ret {
+                        ev: WorkEv::of(r.event.clone()),
+                        new_end: r.new_end,
+                    },
+                    &spec,
+                    ctx.out,
+                ),
+                Message::Cti(_) => {
+                    debug_assert!(false, "CTIs are consumed by the consistency monitor")
+                }
+            }
+        }
+    }
+
+    /// The CTI cascade: the fused shell's watermark advanced (or the
+    /// round is closing). Each stage's `map_cti` output is offered to the
+    /// next boundary under the shell's strict-increase emission dedup;
+    /// an accepted guarantee flushes, observes, releases covered/timed-out
+    /// aligned work through the remaining stages, and cleans the guard —
+    /// in exactly the order the interior shell would.
+    fn on_advance(&mut self, ctx: &mut OpContext) {
+        let spec = ctx.spec;
+        let mut w = ctx.watermark;
+        for i in 0..self.boundaries.len() {
+            if w == TimePoint::ZERO {
+                // A shell with a zero watermark emits no guarantee, so
+                // nothing downstream can change either.
+                return;
+            }
+            let out_cti = self.stages[i].map_cti(w);
+            let emitted = out_cti > TimePoint::ZERO
+                && self.boundaries[i].last_cti.is_none_or(|c| out_cti > c);
+            if emitted {
+                let b = &mut self.boundaries[i];
+                b.last_cti = Some(out_cti);
+                // Pre-observe flush: deliveries since the last flush get
+                // their guard cleanup under the old watermark first.
+                if b.dirty {
+                    b.cleanup();
+                }
+                if out_cti > b.watermark {
+                    b.watermark = out_cti;
+                }
+                b.max_seen = TimePoint::max_of(b.max_seen, b.watermark);
+                let mut delivered = std::mem::take(&mut self.delivered);
+                self.boundaries[i].release(&spec, &mut delivered);
+                self.delivered = Vec::new();
+                let mut released = delivered;
+                self.process_from(i + 1, &mut released, &spec, ctx.out);
+                released.clear();
+                self.delivered = released;
+                // Post-release flush: released deliveries clean under the
+                // new watermark.
+                if self.boundaries[i].dirty {
+                    self.boundaries[i].cleanup();
+                }
+            }
+            w = self.boundaries[i].watermark;
+        }
+    }
+
+    /// End of the shell round: each interior shell would run its
+    /// end-of-batch flush now; dirty boundaries get their guard cleanup.
+    fn on_round_end(&mut self) {
+        for b in &mut self.boundaries {
+            if b.dirty {
+                b.cleanup();
+            }
+        }
+    }
+
+    fn state_size(&self) -> usize {
+        self.boundaries.iter().map(Boundary::state_size).sum()
+    }
+
+    /// Composition of the per-stage guarantees: what the last shell of
+    /// the unfused chain would declare for an input guarantee `watermark`.
+    fn map_cti(&self, watermark: TimePoint) -> TimePoint {
+        self.stages.iter().fold(watermark, |w, s| s.map_cti(w))
+    }
+
+    fn fused_stages(&self) -> usize {
+        self.stages.len()
+    }
+}

@@ -46,6 +46,7 @@
 pub mod aggregate;
 pub mod consistency;
 pub mod executor;
+pub mod fused;
 pub mod join;
 pub mod negation;
 pub mod operator;
@@ -56,6 +57,7 @@ pub mod stats;
 
 pub use consistency::{ConsistencyLevel, ConsistencySpec};
 pub use executor::{Dataflow, DataflowBuilder, NodeId, Port};
+pub use fused::{FusedStage, FusedStatelessOp};
 pub use operator::{OpContext, OperatorModule, OperatorShell, OutputBuffer};
 pub use scheduler::{SchedStats, ShardPlan};
 pub use stats::OpStats;
@@ -65,6 +67,7 @@ pub mod prelude {
     pub use crate::aggregate::GroupAggregateOp;
     pub use crate::consistency::{ConsistencyLevel, ConsistencySpec};
     pub use crate::executor::{Dataflow, DataflowBuilder, NodeId, Port};
+    pub use crate::fused::{FusedStage, FusedStatelessOp};
     pub use crate::join::JoinOp;
     pub use crate::negation::{NegationOp, NegationScope};
     pub use crate::operator::{OpContext, OperatorModule, OperatorShell, OutputBuffer};

@@ -39,6 +39,17 @@
 //!   sharded scheduler's serial-equivalence proof needs). Per-message
 //!   ingestion degenerates to runs of one message, where the contract
 //!   coincides with classic per-message view maintenance.
+//! * **Plan-rewritten** operators (the fusion pass's `FusedStatelessOp`,
+//!   see [`crate::fused`]) are held to a third, collector-level contract:
+//!   the *graph shape differs* — a fused node replaces a whole chain of
+//!   stateless shells, so per-edge tapes and per-node stats for the
+//!   collapsed interior no longer exist — but the **collector output is
+//!   bit-identical** to the unfused plan's: same stamped tape, same
+//!   subscription deltas, same output CTIs, at every ⟨M, B⟩ spectrum
+//!   point. The fused node earns this by emulating each interior shell's
+//!   consistency monitor (alignment, forgetting, reorder guard, chain
+//!   generations, CTI mapping) at its stage boundaries without ever
+//!   materialising the interior streams.
 //!
 //! The per-message fallback (the default `on_batch` body) still applies to
 //! any module that does not override the hook — third-party modules work
@@ -139,6 +150,24 @@ pub(crate) fn dispatch_per_message<M: OperatorModule + ?Sized>(
             }
         }
     }
+}
+
+/// Remap a module-internal output ID to its current chain generation.
+///
+/// The paper's retraction model (Figure 2) requires a completely removed
+/// event to be gone for good, so shells rewrite re-inserted IDs to fresh
+/// per-generation identities. Shared with the fused pipeline, whose
+/// interior stage boundaries must apply the *same* remapping the shells
+/// they replace would have.
+pub(crate) fn generation_id(id: cedr_temporal::EventId, gen: u64) -> cedr_temporal::EventId {
+    if gen == 0 {
+        return id;
+    }
+    // SplitMix64 over (id, generation): deterministic fresh chain keys.
+    let mut z = id.0.wrapping_add(gen.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    cedr_temporal::EventId(z ^ (z >> 31))
 }
 
 /// Amortisation work a module reports back to its shell; folded into
@@ -257,6 +286,21 @@ pub trait OperatorModule: Send {
     fn map_cti(&self, watermark: TimePoint) -> TimePoint {
         watermark - self.cti_lag()
     }
+
+    /// End of a delivery round: called once per shell `push_batch`, after
+    /// the final flush/advance/CTI. Modules that emulate interior shells
+    /// (the fused pipeline) run their round-scoped guard cleanup here —
+    /// the point where each replaced downstream shell would have executed
+    /// its own end-of-batch flush. Ordinary modules ignore it.
+    fn on_round_end(&mut self) {}
+
+    /// How many plan-time-fused stateless stages this module stands in for
+    /// (0 for ordinary operators). Reported once into
+    /// [`OpStats::fused_stages`] at shell construction so observers can
+    /// tell a fused plan from an unfused one.
+    fn fused_stages(&self) -> usize {
+        0
+    }
 }
 
 /// Figure 7: consistency monitor + alignment buffer wrapped around an
@@ -303,6 +347,10 @@ struct PendingDelivery {
 impl OperatorShell {
     pub fn new(module: Box<dyn OperatorModule>, spec: ConsistencySpec) -> Self {
         let arity = module.arity();
+        let stats = OpStats {
+            fused_stages: module.fused_stages(),
+            ..OpStats::default()
+        };
         OperatorShell {
             module,
             spec,
@@ -315,7 +363,7 @@ impl OperatorShell {
             orphans: vec![Default::default(); arity],
             pending: Vec::new(),
             out: OutputBuffer::new(),
-            stats: OpStats::default(),
+            stats,
             last_cti: None,
             out_generations: Default::default(),
         }
@@ -417,6 +465,7 @@ impl OperatorShell {
         self.flush_pending(now);
         self.advance_module();
         self.emit_cti();
+        self.module.on_round_end();
         self.finish(now)
     }
 
@@ -598,18 +647,6 @@ impl OperatorShell {
         }
     }
 
-    /// Remap a module-internal output ID to its current chain generation.
-    fn generation_id(id: cedr_temporal::EventId, gen: u64) -> cedr_temporal::EventId {
-        if gen == 0 {
-            return id;
-        }
-        // SplitMix64 over (id, generation): deterministic fresh chain keys.
-        let mut z = id.0.wrapping_add(gen.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        cedr_temporal::EventId(z ^ (z >> 31))
-    }
-
     fn finish(&mut self, _now: u64) -> Vec<Message> {
         let orphan_count: usize = self.orphans.iter().map(|m| m.len()).sum();
         self.stats.state_peak = self
@@ -625,7 +662,7 @@ impl OperatorShell {
                     if gen != 0 {
                         // Freshly-emitted events are unshared, so this
                         // `make_mut` never copies on the hot path.
-                        let id = Self::generation_id(e.id, gen);
+                        let id = generation_id(e.id, gen);
                         Arc::make_mut(e).id = id;
                     }
                 }
@@ -634,7 +671,7 @@ impl OperatorShell {
                     let orig = r.event.id;
                     let gen = self.out_generations.get(&orig).copied().unwrap_or(0);
                     if gen != 0 {
-                        let id = Self::generation_id(orig, gen);
+                        let id = generation_id(orig, gen);
                         Arc::make_mut(&mut r.event).id = id;
                     }
                     if r.is_full_removal() {

@@ -44,6 +44,12 @@ pub struct OpStats {
     /// frozen candidate-index snapshot: one lookup per distinct key per
     /// run instead of one per message).
     pub probe_batches: usize,
+    /// Stateless stages collapsed into this operator by the plan-time
+    /// fusion pass (0 for an ordinary, unfused operator; ≥ 2 for a
+    /// `FusedStatelessOp`). Summed by [`OpStats::absorb`], so a positive
+    /// plan total proves fusion actually engaged rather than silently
+    /// falling back to the unfused graph.
+    pub fused_stages: usize,
     /// Output inserts emitted.
     pub out_inserts: usize,
     /// Output retractions emitted.
@@ -91,6 +97,7 @@ impl OpStats {
         self.batch_peak = self.batch_peak.max(other.batch_peak);
         self.group_refreshes += other.group_refreshes;
         self.probe_batches += other.probe_batches;
+        self.fused_stages += other.fused_stages;
         self.out_inserts += other.out_inserts;
         self.out_retractions += other.out_retractions;
         self.out_ctis += other.out_ctis;

@@ -11,12 +11,136 @@
 use crate::message::Message;
 use cedr_temporal::TimePoint;
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+/// Discriminant of a message in a [`ColumnarView`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MessageKind {
+    Insert,
+    Retract,
+    Cti,
+}
+
+/// A struct-of-arrays projection of a run of messages: the hot per-message
+/// fields laid out as contiguous columns, so a tight loop (the fused
+/// stateless pipeline, a merge, a stamp pass) can scan kinds and time
+/// points without chasing one `Arc<Event>` per message. Column `i`
+/// describes message `i` of the run it was built over:
+///
+/// * `kinds[i]` — insert / retract / CTI;
+/// * `vs[i]` — the event's `Vs` (for a CTI: its `t`);
+/// * `ve[i]` — the event's **original** `Ve` (for a retract this is the
+///   pre-retraction end, not `new_end`; for a CTI: its `t`);
+/// * `sync[i]` — the Figure-6 `Sync` value (`Vs` / `new_end` / `t`);
+/// * `ids[i]` — the raw event id (0 for a CTI).
+///
+/// The view is a *projection*: payloads and lineage stay behind the
+/// original `Arc`s, reachable through the message slice the view was
+/// built from.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ColumnarView {
+    pub kinds: Vec<MessageKind>,
+    pub vs: Vec<TimePoint>,
+    pub ve: Vec<TimePoint>,
+    pub sync: Vec<TimePoint>,
+    pub ids: Vec<u64>,
+}
+
+impl ColumnarView {
+    /// Materialise the view over a run of messages (one linear pass).
+    pub fn over(msgs: &[Message]) -> ColumnarView {
+        let n = msgs.len();
+        let mut view = ColumnarView {
+            kinds: Vec::with_capacity(n),
+            vs: Vec::with_capacity(n),
+            ve: Vec::with_capacity(n),
+            sync: Vec::with_capacity(n),
+            ids: Vec::with_capacity(n),
+        };
+        for m in msgs {
+            match m {
+                Message::Insert(e) => {
+                    view.kinds.push(MessageKind::Insert);
+                    view.vs.push(e.interval.start);
+                    view.ve.push(e.interval.end);
+                    view.sync.push(e.interval.start);
+                    view.ids.push(e.id.0);
+                }
+                Message::Retract(r) => {
+                    view.kinds.push(MessageKind::Retract);
+                    view.vs.push(r.event.interval.start);
+                    view.ve.push(r.event.interval.end);
+                    view.sync.push(r.new_end);
+                    view.ids.push(r.event.id.0);
+                }
+                Message::Cti(t) => {
+                    view.kinds.push(MessageKind::Cti);
+                    view.vs.push(*t);
+                    view.ve.push(*t);
+                    view.sync.push(*t);
+                    view.ids.push(0);
+                }
+            }
+        }
+        view
+    }
+
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+}
+
+/// Lazily-built [`ColumnarView`] cell. Cloning a batch shares the cell
+/// (the view is immutable once built, and clones hold identical message
+/// runs); any mutation of the batch swaps in a fresh, unbuilt cell.
+#[derive(Clone, Default)]
+struct ColumnarCache(Arc<OnceLock<ColumnarView>>);
+
+impl ColumnarCache {
+    fn get_or_build(&self, msgs: &[Message]) -> &ColumnarView {
+        self.0.get_or_init(|| ColumnarView::over(msgs))
+    }
+
+    fn reset(&mut self) {
+        self.0 = Arc::new(OnceLock::new());
+    }
+
+    fn is_built(&self) -> bool {
+        self.0.get().is_some()
+    }
+}
+
+impl fmt::Debug for ColumnarCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_built() {
+            "ColumnarCache(built)"
+        } else {
+            "ColumnarCache(empty)"
+        })
+    }
+}
 
 /// An ordered run of messages, cheap to clone (events are `Arc`-shared).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct MessageBatch {
     msgs: Vec<Message>,
+    columnar: ColumnarCache,
 }
+
+/// Equality is over the message run only; the columnar cache is a
+/// materialisation detail.
+impl PartialEq for MessageBatch {
+    fn eq(&self, other: &Self) -> bool {
+        self.msgs == other.msgs
+    }
+}
+
+impl Eq for MessageBatch {}
 
 impl MessageBatch {
     pub fn new() -> Self {
@@ -26,19 +150,23 @@ impl MessageBatch {
     pub fn with_capacity(n: usize) -> Self {
         MessageBatch {
             msgs: Vec::with_capacity(n),
+            columnar: ColumnarCache::default(),
         }
     }
 
     pub fn push(&mut self, msg: Message) {
+        self.columnar.reset();
         self.msgs.push(msg);
     }
 
     pub fn extend(&mut self, msgs: impl IntoIterator<Item = Message>) {
+        self.columnar.reset();
         self.msgs.extend(msgs);
     }
 
     /// Append a sealing `CTI(t)` guarantee.
     pub fn push_cti(&mut self, t: TimePoint) {
+        self.columnar.reset();
         self.msgs.push(Message::Cti(t));
     }
 
@@ -69,7 +197,24 @@ impl MessageBatch {
     }
 
     pub fn clear(&mut self) {
+        self.columnar.reset();
         self.msgs.clear();
+    }
+
+    /// The struct-of-arrays [`ColumnarView`] over this batch, built lazily
+    /// on first access and cached. Clones of this batch share the cached
+    /// view; any mutation (`push`, `extend`, `push_cti`, `clear`)
+    /// invalidates this batch's cache without touching clones', and split
+    /// products ([`MessageBatch::split_at`], [`MessageBatch::chunks`],
+    /// [`MessageBatch::chunks_of`]) start with fresh, unbuilt caches.
+    pub fn columnar(&self) -> &ColumnarView {
+        self.columnar.get_or_build(&self.msgs)
+    }
+
+    /// Has the columnar view been materialised yet? Observability hook for
+    /// tests asserting cache sharing and invalidation.
+    pub fn columnar_is_materialized(&self) -> bool {
+        self.columnar.is_built()
     }
 
     pub fn into_messages(self) -> Vec<Message> {
@@ -127,15 +272,16 @@ impl MessageBatch {
 
 impl From<Vec<Message>> for MessageBatch {
     fn from(msgs: Vec<Message>) -> Self {
-        MessageBatch { msgs }
+        MessageBatch {
+            msgs,
+            columnar: ColumnarCache::default(),
+        }
     }
 }
 
 impl FromIterator<Message> for MessageBatch {
     fn from_iter<I: IntoIterator<Item = Message>>(iter: I) -> Self {
-        MessageBatch {
-            msgs: iter.into_iter().collect(),
-        }
+        MessageBatch::from(iter.into_iter().collect::<Vec<_>>())
     }
 }
 
@@ -198,5 +344,117 @@ mod tests {
         let b = MessageBatch::from(msgs.clone());
         assert_eq!(b.clone().into_messages(), msgs);
         assert_eq!(b.iter().count(), 2);
+    }
+
+    fn ten() -> MessageBatch {
+        let mut b = MessageBatch::new();
+        for i in 0..10u64 {
+            b.push(Message::insert(i, iv(i, i + 1), Payload::empty()));
+        }
+        b
+    }
+
+    #[test]
+    fn slicing_an_empty_batch() {
+        let e = MessageBatch::new();
+        let (l, r) = e.split_at(0);
+        assert!(l.is_empty() && r.is_empty());
+        let (l, r) = e.split_at(5);
+        assert!(l.is_empty() && r.is_empty(), "mid past len clamps");
+        assert!(e.chunks_of(4).is_empty(), "no chunks from nothing");
+        assert_eq!(e.chunks(3).len(), 0);
+        assert!(e.columnar().is_empty());
+    }
+
+    #[test]
+    fn split_at_edges_and_clamping() {
+        let b = ten();
+        let (l, r) = b.split_at(0);
+        assert!(l.is_empty());
+        assert_eq!(r, b);
+        let (l, r) = b.split_at(10);
+        assert_eq!(l, b);
+        assert!(r.is_empty());
+        let (l, r) = b.split_at(99);
+        assert_eq!(l, b, "oversized mid clamps to len");
+        assert!(r.is_empty());
+        let (l, r) = b.split_at(1);
+        assert_eq!((l.len(), r.len()), (1, 9));
+    }
+
+    #[test]
+    fn chunk_size_zero_and_one_and_oversized() {
+        let b = ten();
+        // Size 0 clamps to 1 rather than looping forever or panicking.
+        assert_eq!(b.chunks_of(0).len(), 10);
+        assert_eq!(b.chunks_of(1).len(), 10);
+        assert_eq!(b.chunks_of(11).len(), 1);
+        assert_eq!(b.chunks(0).len(), 1, "count 0 clamps to 1 chunk");
+        assert_eq!(b.chunks(1).len(), 1);
+        let c = b.chunks(99);
+        assert_eq!(c.len(), 10, "more chunks than messages caps at len");
+        assert!(c.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn columnar_view_builds_lazily_and_mutation_invalidates() {
+        let mut b = ten();
+        assert!(!b.columnar_is_materialized(), "lazy until first access");
+        assert_eq!(b.columnar().len(), 10);
+        assert_eq!(b.columnar().kinds[0], MessageKind::Insert);
+        assert!(b.columnar_is_materialized());
+        b.push_cti(t(50));
+        assert!(!b.columnar_is_materialized(), "push invalidates");
+        assert_eq!(b.columnar().len(), 11);
+        assert_eq!(b.columnar().kinds[10], MessageKind::Cti);
+        b.clear();
+        assert!(!b.columnar_is_materialized(), "clear invalidates");
+        assert!(b.columnar().is_empty());
+    }
+
+    #[test]
+    fn columnar_cache_shared_by_clones_fresh_on_split_products() {
+        let b = ten();
+        let clone = b.clone();
+        let _ = b.columnar();
+        assert!(
+            clone.columnar_is_materialized(),
+            "clones share the cached view"
+        );
+        // Split products describe different runs: fresh, unbuilt caches.
+        let (l, r) = b.split_at(4);
+        assert!(!l.columnar_is_materialized());
+        assert!(!r.columnar_is_materialized());
+        assert_eq!(l.columnar().len(), 4);
+        assert_eq!(r.columnar().len(), 6);
+        for c in b.chunks_of(3) {
+            assert!(!c.columnar_is_materialized());
+        }
+        // Mutating one clone never poisons the other's built view.
+        let mut m = b.clone();
+        m.push_cti(t(9));
+        assert!(b.columnar_is_materialized());
+        assert_eq!(b.columnar().len(), 10);
+        assert_eq!(m.columnar().len(), 11);
+    }
+
+    #[test]
+    fn columnar_view_retract_columns_keep_original_ve() {
+        let mut b = MessageBatch::new();
+        let e = std::sync::Arc::new(cedr_temporal::Event::primitive(
+            cedr_temporal::EventId(9),
+            iv(2, 8),
+            Payload::empty(),
+        ));
+        b.push(Message::Retract(crate::message::Retraction {
+            event: e,
+            new_end: t(5),
+        }));
+        let v = b.columnar();
+        assert_eq!(v.kinds[0], MessageKind::Retract);
+        assert_eq!(v.vs[0], t(2));
+        assert_eq!(v.ve[0], t(8), "pre-retraction end, not new_end");
+        assert_eq!(v.sync[0], t(5), "sync is the retraction's new_end");
+        assert_eq!(v.ids[0], 9);
     }
 }

@@ -18,7 +18,7 @@ pub mod message;
 pub mod resequence;
 pub mod source;
 
-pub use batch::MessageBatch;
+pub use batch::{ColumnarView, MessageBatch, MessageKind};
 pub use clock::{CedrClock, LogicalClock};
 pub use collect::{Collector, StreamStats};
 pub use delta::OutputDelta;

@@ -1,0 +1,254 @@
+//! Fused-vs-unfused collector bit-identity.
+//!
+//! The plan-time fusion pass (`cedr_lang::physical`) collapses maximal
+//! chains of adjacent stateless operators into single `FusedStatelessOp`
+//! nodes (`cedr_runtime::fused`). Fusion changes *graph shape* — interior
+//! queues, stamps and monitor admissions disappear — so its contract is
+//! the third, collector-level strength of the `cedr_runtime::operator`
+//! module docs: the **collector output is bit-identical** — stamped tape,
+//! subscription deltas and output CTI — at every ⟨M, B⟩ consistency point.
+//!
+//! These tests drive identical scrambled, retraction-bearing,
+//! mid-stream-CTI workloads through a fused and an unfused engine
+//! (`EngineConfig::with_fuse`, the `CEDR_FUSE=0` escape hatch's in-process
+//! form) and compare exact tapes across seeds × {Strong, Middle, Weak,
+//! biting-horizon Weak} × worker counts {1, 4}, over chains that exercise
+//! every stage family — including **partial fusion**, a chain broken by a
+//! stateful group-aggregate mid-pipeline that fuses on both sides of the
+//! break.
+
+use cedr::algebra::{DeltaFn, VsFn};
+use cedr::core::prelude::*;
+
+/// A deterministic out-of-order single-stream workload: inserts with
+/// varied payload keys and lifetimes, a third retracted (half of those
+/// fully), periodic CTIs, then heavy scrambling.
+fn tape(seed: u64) -> Vec<Message> {
+    let mut b = StreamBuilder::with_id_base(7_000);
+    for i in 0..48u64 {
+        let vs = (i * 7 + 3) % 210;
+        let len = 4 + (i * 11) % 36;
+        let e = b.insert(
+            Interval::new(t(vs), t(vs + len)),
+            Payload::from_values(vec![Value::Int((i % 5) as i64)]),
+        );
+        if i % 3 == 0 {
+            let keep = if i % 6 == 0 { 0 } else { len / 2 };
+            b.retract(e.clone(), e.vs() + dur(keep));
+        }
+    }
+    let ordered = b.build_ordered(Some(dur(15)), true);
+    cedr::streams::scramble(&ordered, &DisorderConfig::heavy(seed, 35, 5))
+}
+
+/// Register the fusion-relevant plans. Chain depths ≥ 2 fuse; the
+/// `partial` plan's stateless runs are broken by a stateful
+/// group-aggregate, so it fuses on *both* sides of the break.
+fn register_queries(engine: &mut Engine, spec: ConsistencySpec) -> Vec<QueryId> {
+    engine.register_event_type("A_T", vec![("val", FieldType::Int)]);
+    // select → project → slice-valid: all-identity-interval head.
+    let chain3 = PlanBuilder::source("A_T")
+        .select(Pred::cmp(Scalar::Field(0), CmpOp::Le, Scalar::lit(3i64)))
+        .project(vec![Scalar::Field(0)], vec!["v".into()])
+        .slice_valid(t(10), t(190))
+        .into_plan();
+    // window → select → project → slice-occurrence: lifetime mapping
+    // first, so the columnar prefilter and the retract-split arms run.
+    let chain4 = PlanBuilder::source("A_T")
+        .window(dur(30))
+        .select(Pred::cmp(Scalar::Field(0), CmpOp::Ge, Scalar::lit(1i64)))
+        .project(vec![Scalar::Field(0)], vec!["v".into()])
+        .slice_occurrence(t(0), t(180))
+        .into_plan();
+    // Partial fusion: fused[2] → group-aggregate (stateful) → fused[2].
+    let partial = PlanBuilder::source("A_T")
+        .select(Pred::cmp(Scalar::Field(0), CmpOp::Ge, Scalar::lit(0i64)))
+        .window(dur(40))
+        .group_aggregate(vec![Scalar::Field(0)], AggFunc::Count)
+        .select(Pred::cmp(Scalar::Field(1), CmpOp::Ge, Scalar::lit(1i64)))
+        .slice_valid(t(0), t(200))
+        .into_plan();
+    // Hopping window: the non-identity `map_cti` (HopVs) composes through
+    // the fused CTI cascade.
+    let hopping = PlanBuilder::source("A_T")
+        .alter_lifetime(VsFn::HopVs { period: 20 }, DeltaFn::Const(dur(40)))
+        .project(vec![Scalar::Field(0)], vec!["v".into()])
+        .into_plan();
+    vec![
+        engine.register_plan("chain3", chain3, spec).unwrap(),
+        engine.register_plan("chain4", chain4, spec).unwrap(),
+        engine.register_plan("partial", partial, spec).unwrap(),
+        engine.register_plan("hopping", hopping, spec).unwrap(),
+    ]
+}
+
+/// Run the tape chunked (several delivery rounds, so mid-stream CTIs
+/// cascade through live boundary state) on a fused or unfused engine.
+fn run(
+    spec: ConsistencySpec,
+    tape: &[Message],
+    threads: usize,
+    fuse: bool,
+) -> (Engine, Vec<QueryId>) {
+    let mut engine = Engine::with_config(EngineConfig::threaded(threads).with_fuse(fuse));
+    let qs = register_queries(&mut engine, spec);
+    let batch: MessageBatch = tape.iter().cloned().collect();
+    for chunk in batch.chunks_of(9) {
+        engine.enqueue_batch("A_T", &chunk).unwrap();
+        engine.run_to_quiescence();
+    }
+    engine.seal();
+    (engine, qs)
+}
+
+type Level = (fn() -> ConsistencySpec, &'static str);
+
+const LEVELS: [Level; 4] = [
+    (ConsistencySpec::strong, "strong"),
+    (ConsistencySpec::middle, "middle"),
+    (|| ConsistencySpec::weak(dur(100_000)), "weak"),
+    (|| ConsistencySpec::weak(dur(20)), "weak-biting"),
+];
+
+/// The pin: across seeds × levels × worker counts, every query's stamped
+/// tape, subscription delta stream and output guarantee are identical
+/// between the fused and unfused graphs — and fusion actually engaged.
+#[test]
+fn fused_matches_unfused_bit_for_bit_across_seeds_levels_workers() {
+    for (spec, level) in LEVELS {
+        for seed in [0xA11CE_u64, 0x5EED5] {
+            let tape = tape(seed);
+            for threads in [1usize, 4] {
+                let (unfused, qs_u) = run(spec(), &tape, threads, false);
+                let (fused, qs_f) = run(spec(), &tape, threads, true);
+                for (a, b) in qs_u.iter().zip(qs_f.iter()) {
+                    assert_eq!(
+                        unfused.collector(*a).stamped(),
+                        fused.collector(*b).stamped(),
+                        "{level}/seed {seed:#x}/threads {threads}: {} tape diverged",
+                        unfused.query_name(*a),
+                    );
+                    assert_eq!(
+                        unfused.collector(*a).max_cti(),
+                        fused.collector(*b).max_cti(),
+                        "{level}/seed {seed:#x}/threads {threads}: {} guarantee diverged",
+                        unfused.query_name(*a),
+                    );
+                    let (mut su, mut sf) =
+                        (unfused.subscribe(*a).unwrap(), fused.subscribe(*b).unwrap());
+                    assert_eq!(
+                        su.drain_ready(&unfused),
+                        sf.drain_ready(&fused),
+                        "{level}/seed {seed:#x}/threads {threads}: {} deltas diverged",
+                        unfused.query_name(*a),
+                    );
+                    // Fusion genuinely engaged (no silent fallback)…
+                    assert!(
+                        fused.stats(*b).fused_stages >= 2,
+                        "{}: fusion did not engage",
+                        fused.query_name(*b),
+                    );
+                    // …and the reference graph genuinely ran unfused.
+                    assert_eq!(unfused.stats(*a).fused_stages, 0);
+                }
+            }
+        }
+    }
+}
+
+/// Partial fusion in detail: the `partial` plan keeps its stateful
+/// group-aggregate as its own shell while both flanking stateless runs
+/// collapse — 2 + 2 fused stages, and strictly fewer nodes than unfused.
+#[test]
+fn partial_fusion_fuses_both_sides_of_a_stateful_break() {
+    let spec = ConsistencySpec::middle();
+    let (fused, qs_f) = run(spec, &tape(0xA11CE), 1, true);
+    let (unfused, qs_u) = run(spec, &tape(0xA11CE), 1, false);
+    let q = qs_f[2]; // partial
+    assert_eq!(fused.stats(q).fused_stages, 4, "2 + 2 flanking stages");
+    let fused_nodes = fused.node_stats(q).len();
+    let unfused_nodes = unfused.node_stats(qs_u[2]).len();
+    assert!(
+        fused_nodes < unfused_nodes,
+        "fusion should shrink the graph: {fused_nodes} vs {unfused_nodes} nodes"
+    );
+    let names: Vec<&str> = fused.node_stats(q).iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        names.iter().filter(|n| **n == "fused").count(),
+        2,
+        "one fused node per flank, got {names:?}"
+    );
+    assert!(
+        names.contains(&"group_aggregate"),
+        "the stateful break stays its own shell: {names:?}"
+    );
+}
+
+/// The explain surface renders the fusion outcome: collapsed chains with
+/// their lengths on a fused engine, an explicit `unfused` marker on the
+/// escape hatch.
+#[test]
+fn explain_renders_fused_chains_and_the_escape_hatch() {
+    let spec = ConsistencySpec::middle();
+    let mut fused = Engine::with_config(EngineConfig::serial().with_fuse(true));
+    let qs = register_queries(&mut fused, spec);
+    let e3 = fused.explain(qs[0]);
+    assert!(
+        e3.contains("fused[3]: select→project→slice"),
+        "chain3 explain missing the fused chain:\n{e3}"
+    );
+    let ep = fused.explain(qs[2]);
+    assert!(
+        ep.contains("fused[2]"),
+        "partial explain missing its fused flanks:\n{ep}"
+    );
+    let mut unfused = Engine::with_config(EngineConfig::serial().with_fuse(false));
+    let qs_u = register_queries(&mut unfused, spec);
+    assert!(
+        unfused.explain(qs_u[0]).contains("physical: unfused"),
+        "escape hatch must be visible in the explain:\n{}",
+        unfused.explain(qs_u[0])
+    );
+    // Text-compiled queries get the same physical section.
+    let mut text = Engine::with_config(EngineConfig::serial().with_fuse(true));
+    for ty in ["INSTALL", "SHUTDOWN", "RESTART"] {
+        text.register_event_type(ty, vec![("Machine_Id", FieldType::Str)]);
+    }
+    let q = text
+        .register_query(cedr::lang::parser::CIDR07_EXAMPLE, spec)
+        .unwrap();
+    assert!(
+        text.explain(q).contains("physical:"),
+        "text-path explain missing the physical section:\n{}",
+        text.explain(q)
+    );
+}
+
+/// Single-message ingestion exercises the fused `on_insert`/`on_retract`
+/// paths (no run, no columnar view) — same pin, per-message.
+#[test]
+#[allow(deprecated)]
+fn fused_per_message_path_matches_unfused() {
+    for (spec, level) in LEVELS {
+        let tape = tape(0x5EED5);
+        let drive = |fuse: bool| {
+            let mut engine = Engine::with_config(EngineConfig::serial().with_fuse(fuse));
+            let qs = register_queries(&mut engine, spec());
+            for m in &tape {
+                engine.push("A_T", m.clone()).unwrap();
+            }
+            engine.seal();
+            (engine, qs)
+        };
+        let (unfused, qs_u) = drive(false);
+        let (fused, qs_f) = drive(true);
+        for (a, b) in qs_u.iter().zip(qs_f.iter()) {
+            assert_eq!(
+                unfused.collector(*a).stamped(),
+                fused.collector(*b).stamped(),
+                "{level}: {} per-message tape diverged",
+                unfused.query_name(*a),
+            );
+        }
+    }
+}

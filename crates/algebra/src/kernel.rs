@@ -1,0 +1,587 @@
+//! Compiled payload kernels: `Pred`/`Scalar` trees lifted into closures
+//! that sweep whole [`PayloadColumns`] slices.
+//!
+//! The interpreted evaluators ([`Pred::eval_payload`],
+//! [`Scalar::eval_payload`]) walk the expression tree once per row,
+//! chasing one payload `Arc` per message. A [`PredKernel`] /
+//! [`ScalarKernel`] walks the tree **once, at compile (query-register)
+//! time**, and emits a closure over contiguous columns: a select becomes
+//! one selection-bitmap sweep per run, a projection one typed gather per
+//! surviving row. The common comparison shape — payload field against a
+//! literal — specialises into a tight loop over a typed column with the
+//! null ordering precomputed (null cells compare by type tag, a constant
+//! against any fixed literal).
+//!
+//! # Bit-identity
+//!
+//! Compilation is an evaluation-strategy change only. For every predicate
+//! `p`, payload columns `c` built over rows `r_0..r_n`, and every row `i`:
+//! `PredKernel::compile(&p)` sweeps `out[i] ==
+//! p.eval_payload(r_i)` — including NaN arithmetic, `Int`-as-`f64`
+//! comparison (with its precision loss beyond 2^53), null tag ordering
+//! and the type-strict `Value` equality of projected results. And/Or
+//! short-circuit at column granularity where the interpreter does row by
+//! row — the right operand is swept only over rows the left leaves
+//! undecided (see [`PredKernel::sweep_where`]); this is verdict-identical
+//! because payload evaluation is pure and total (division by zero is NaN,
+//! comparison never panics).
+//!
+//! Kernels also carry their source expression, so a caller holding a row
+//! *without* column backing (the fused pipeline's per-message path, or a
+//! message re-released from an alignment buffer after its run's columns
+//! were dropped) can fall back to the interpreted evaluator and land on
+//! the same verdict.
+
+use crate::expr::{CmpOp, Pred, Scalar};
+use cedr_temporal::{Column, Payload, PayloadColumns, Value};
+use std::cmp::Ordering;
+
+/// A compiled sweep: fills `out` with one verdict per row, honouring an
+/// optional row mask. The contract every sweep upholds: `out[i]` equals
+/// the interpreter's verdict wherever the mask is absent or set, and is
+/// `false` wherever the mask is unset — so a sweep's output can itself be
+/// used as the mask for a later sweep (`And` chains, successive fused
+/// select stages) without re-intersecting.
+type SweepFn = Box<dyn Fn(&PayloadColumns, Option<&[bool]>, &mut Vec<bool>) + Send>;
+type RowFn = Box<dyn Fn(&PayloadColumns, usize) -> Value + Send>;
+
+/// A predicate compiled into a selection-bitmap sweep over payload
+/// columns, next to its interpreted form for rows without column backing.
+pub struct PredKernel {
+    pred: Pred,
+    sweep: SweepFn,
+}
+
+impl PredKernel {
+    /// Compile a predicate tree into a column sweep.
+    pub fn compile(pred: &Pred) -> PredKernel {
+        PredKernel {
+            pred: pred.clone(),
+            sweep: sweep_fn(pred),
+        }
+    }
+
+    /// Evaluate the predicate for every row of `cols`, writing one verdict
+    /// per row into `out` (cleared first).
+    pub fn sweep(&self, cols: &PayloadColumns, out: &mut Vec<bool>) {
+        self.sweep_where(cols, None, out);
+    }
+
+    /// [`PredKernel::sweep`] restricted to the rows a `mask` keeps alive:
+    /// `out[i]` is the interpreter's verdict where `mask[i]` (or `mask` is
+    /// `None`), and `false` elsewhere — masked-out rows skip the expensive
+    /// evaluation paths entirely. Because unset rows come out `false`, the
+    /// output is directly usable as the mask for the next sweep, which is
+    /// how a fused chain short-circuits across its select stages.
+    pub fn sweep_where(&self, cols: &PayloadColumns, mask: Option<&[bool]>, out: &mut Vec<bool>) {
+        (self.sweep)(cols, mask, out);
+        debug_assert_eq!(out.len(), cols.rows());
+    }
+
+    /// Interpreted fallback for a single row without column backing.
+    pub fn eval_row(&self, payload: &Payload) -> bool {
+        self.pred.eval_payload(payload)
+    }
+
+    /// The compiled predicate (composed form, for explains and tests).
+    pub fn pred(&self) -> &Pred {
+        &self.pred
+    }
+}
+
+impl std::fmt::Debug for PredKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PredKernel({})", self.pred)
+    }
+}
+
+/// A scalar expression compiled into a per-row gather over payload
+/// columns, next to its interpreted form for rows without column backing.
+pub struct ScalarKernel {
+    expr: Scalar,
+    eval: RowFn,
+}
+
+impl ScalarKernel {
+    /// Compile a scalar tree into a column gather.
+    pub fn compile(expr: &Scalar) -> ScalarKernel {
+        ScalarKernel {
+            expr: expr.clone(),
+            eval: row_fn(expr),
+        }
+    }
+
+    /// Evaluate the expression on row `i` of `cols`.
+    pub fn eval_col(&self, cols: &PayloadColumns, i: usize) -> Value {
+        (self.eval)(cols, i)
+    }
+
+    /// Interpreted fallback for a single row without column backing.
+    pub fn eval_row(&self, payload: &Payload) -> Value {
+        self.expr.eval_payload(payload)
+    }
+
+    /// The compiled expression (composed form, for explains and tests).
+    pub fn expr(&self) -> &Scalar {
+        &self.expr
+    }
+}
+
+impl std::fmt::Debug for ScalarKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ScalarKernel({})", self.expr)
+    }
+}
+
+/// The single-event payload column a scalar reads, if it is a bare read:
+/// `Field(j)` and `Of(0, j)`.
+fn field_of(s: &Scalar) -> Option<usize> {
+    match s {
+        Scalar::Field(j) | Scalar::Of(0, j) => Some(*j),
+        _ => None,
+    }
+}
+
+/// AND the mask into a fully-computed verdict buffer (restores the
+/// false-outside-mask invariant after a branchless full-column loop).
+fn apply_mask(mask: Option<&[bool]>, out: &mut [bool]) {
+    if let Some(m) = mask {
+        for (o, m) in out.iter_mut().zip(m) {
+            *o = *o && *m;
+        }
+    }
+}
+
+fn sweep_fn(p: &Pred) -> SweepFn {
+    match p {
+        Pred::True => Box::new(|cols, mask, out| {
+            out.clear();
+            match mask {
+                Some(m) => out.extend_from_slice(m),
+                None => out.resize(cols.rows(), true),
+            }
+        }),
+        Pred::Not(a) => {
+            let ka = sweep_fn(a);
+            Box::new(move |cols, mask, out| {
+                ka(cols, mask, out);
+                for b in out.iter_mut() {
+                    *b = !*b;
+                }
+                // Inversion flips masked-out rows to true; pin them back.
+                apply_mask(mask, out);
+            })
+        }
+        // Column-granularity short-circuit, verdict-identical to the
+        // interpreter's row-by-row short-circuit because evaluation is
+        // pure and total: the right operand is swept only over the rows
+        // the left operand leaves undecided.
+        Pred::And(a, b) => {
+            let (ka, kb) = (sweep_fn(a), sweep_fn(b));
+            Box::new(move |cols, mask, out| {
+                ka(cols, mask, out);
+                // out = mask ∧ a, so it is exactly b's mask; the masked
+                // rhs sweep then produces mask ∧ a ∧ b directly.
+                let mut rhs = Vec::new();
+                kb(cols, Some(out), &mut rhs);
+                std::mem::swap(out, &mut rhs);
+            })
+        }
+        Pred::Or(a, b) => {
+            let (ka, kb) = (sweep_fn(a), sweep_fn(b));
+            Box::new(move |cols, mask, out| {
+                ka(cols, mask, out);
+                // b matters only where a is false and the mask is set.
+                let undecided: Vec<bool> = match mask {
+                    Some(m) => m.iter().zip(out.iter()).map(|(m, o)| *m && !*o).collect(),
+                    None => out.iter().map(|o| !*o).collect(),
+                };
+                let mut rhs = Vec::new();
+                kb(cols, Some(&undecided), &mut rhs);
+                for (o, r) in out.iter_mut().zip(rhs) {
+                    *o = *o || r;
+                }
+            })
+        }
+        Pred::Cmp(a, op, b) => match (field_of(a), &b, field_of(b), &a) {
+            // field ⋈ literal and literal ⋈ field: the typed tight loop.
+            (Some(j), Scalar::Lit(lit), _, _) => cmp_field_lit(j, *op, lit.clone(), false),
+            (_, _, Some(j), Scalar::Lit(lit)) => cmp_field_lit(j, *op, lit.clone(), true),
+            // General shape: compiled row gathers on both sides, skipped
+            // entirely on masked-out rows.
+            _ => {
+                let (ka, kb, op) = (row_fn(a), row_fn(b), *op);
+                Box::new(move |cols, mask, out| {
+                    out.clear();
+                    match mask {
+                        Some(m) => out.extend(
+                            (0..cols.rows())
+                                .map(|i| m[i] && op.apply(ka(cols, i).compare(&kb(cols, i)))),
+                        ),
+                        None => out.extend(
+                            (0..cols.rows()).map(|i| op.apply(ka(cols, i).compare(&kb(cols, i)))),
+                        ),
+                    }
+                })
+            }
+        },
+    }
+}
+
+/// The specialised comparison sweep for `payload[j] ⋈ literal` (or, with
+/// `flip`, `literal ⋈ payload[j]`). Null cells compare as `Value::Null`
+/// against the literal — a constant ordering, hoisted out of the loop.
+/// The typed loops stay branchless (cheaper than testing the mask per
+/// row); the mask is re-applied in one pass at the end.
+fn cmp_field_lit(j: usize, op: CmpOp, lit: Value, flip: bool) -> SweepFn {
+    Box::new(move |cols, mask, out| {
+        let rows = cols.rows();
+        out.clear();
+        out.reserve(rows);
+        let orient = |ord: Ordering| if flip { ord.reverse() } else { ord };
+        let null_ord = orient(Value::Null.compare(&lit));
+        let push_cmp = |out: &mut Vec<bool>, ord: Ordering| out.push(op.apply(orient(ord)));
+        match cols.col(j) {
+            None | Some(Column::Null) => out.resize(rows, op.apply(null_ord)),
+            Some(Column::Int { vals, nulls }) => match lit.as_f64() {
+                // The interpreter compares Int×numeric through `as_f64`
+                // (Value::compare), so the loop does exactly that —
+                // including the precision loss beyond 2^53.
+                Some(c) if !c.is_nan() => {
+                    for (v, null) in vals.iter().zip(nulls) {
+                        if *null {
+                            out.push(op.apply(null_ord));
+                        } else {
+                            // Neither side is NaN, so partial_cmp is total here.
+                            push_cmp(out, (*v as f64).partial_cmp(&c).expect("non-NaN"));
+                        }
+                    }
+                }
+                _ => {
+                    for (v, null) in vals.iter().zip(nulls) {
+                        if *null {
+                            out.push(op.apply(null_ord));
+                        } else {
+                            push_cmp(out, Value::Int(*v).compare(&lit));
+                        }
+                    }
+                }
+            },
+            Some(Column::Float { vals, nulls }) => {
+                // NaN cells take Value::compare's canonical-bits fallback.
+                for (v, null) in vals.iter().zip(nulls) {
+                    if *null {
+                        out.push(op.apply(null_ord));
+                    } else {
+                        push_cmp(out, Value::Float(*v).compare(&lit));
+                    }
+                }
+            }
+            Some(Column::Str(vals)) => match &lit {
+                Value::Str(s) => {
+                    for v in vals {
+                        match v {
+                            Some(v) => push_cmp(out, v.as_ref().cmp(s.as_ref())),
+                            None => out.push(op.apply(null_ord)),
+                        }
+                    }
+                }
+                _ => {
+                    for v in vals {
+                        match v {
+                            Some(v) => push_cmp(out, Value::Str(v.clone()).compare(&lit)),
+                            None => out.push(op.apply(null_ord)),
+                        }
+                    }
+                }
+            },
+            Some(Column::Values(vals)) => {
+                for v in vals {
+                    push_cmp(out, v.compare(&lit));
+                }
+            }
+        }
+        apply_mask(mask, out);
+    })
+}
+
+fn row_fn(s: &Scalar) -> RowFn {
+    match s {
+        Scalar::Field(j) | Scalar::Of(0, j) => {
+            let j = *j;
+            Box::new(move |cols, i| cols.value_at(j, i))
+        }
+        Scalar::Of(..) => Box::new(|_, _| Value::Null),
+        Scalar::Lit(v) => {
+            let v = v.clone();
+            Box::new(move |_, _| v.clone())
+        }
+        Scalar::Add(a, b) => arith_fn(a, b, |x, y| x + y),
+        Scalar::Sub(a, b) => arith_fn(a, b, |x, y| x - y),
+        Scalar::Mul(a, b) => arith_fn(a, b, |x, y| x * y),
+        Scalar::Div(a, b) => arith_fn(a, b, |x, y| if y == 0.0 { f64::NAN } else { x / y }),
+    }
+}
+
+fn arith_fn(a: &Scalar, b: &Scalar, f: impl Fn(f64, f64) -> f64 + Send + 'static) -> RowFn {
+    let (ka, kb) = (row_fn(a), row_fn(b));
+    Box::new(move |cols, i| Scalar::arith(ka(cols, i), kb(cols, i), &f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(vals: Vec<Value>) -> Payload {
+        Payload::from_values(vals)
+    }
+
+    /// A row set exercising every column layout, raggedness, NaN, big
+    /// ints beyond 2^53, explicit nulls and payload-less rows.
+    fn fixture() -> Vec<Option<Payload>> {
+        vec![
+            Some(p(vec![
+                Value::Int(3),
+                Value::Float(2.5),
+                Value::str("alpha"),
+                Value::Int(10),
+            ])),
+            Some(p(vec![
+                Value::Int(-7),
+                Value::Float(f64::NAN),
+                Value::str("beta"),
+                Value::Float(4.0),
+            ])),
+            Some(p(vec![Value::Null, Value::Float(0.0)])),
+            Some(p(vec![
+                Value::Int(9_007_199_254_740_993), // 2^53 + 1
+                Value::Float(-0.0),
+                Value::str("alpha"),
+                Value::Bool(true),
+            ])),
+            Some(p(vec![])),
+            None,
+        ]
+    }
+
+    fn cols_of(rows: &[Option<Payload>]) -> PayloadColumns {
+        PayloadColumns::from_rows(rows.iter().map(|r| r.as_ref()))
+    }
+
+    /// The pin: sweep verdicts equal the interpreter row by row (a
+    /// missing payload evaluates as the empty payload — all reads null).
+    fn assert_pred_matches(pred: &Pred, rows: &[Option<Payload>]) {
+        let cols = cols_of(rows);
+        let kernel = PredKernel::compile(pred);
+        let mut bits = Vec::new();
+        kernel.sweep(&cols, &mut bits);
+        assert_eq!(bits.len(), rows.len());
+        let empty = Payload::empty();
+        for (i, row) in rows.iter().enumerate() {
+            let payload = row.as_ref().unwrap_or(&empty);
+            assert_eq!(
+                bits[i],
+                pred.eval_payload(payload),
+                "row {i} diverged for {pred}"
+            );
+            assert_eq!(kernel.eval_row(payload), bits[i], "row fallback {i}");
+        }
+    }
+
+    fn assert_scalar_matches(expr: &Scalar, rows: &[Option<Payload>]) {
+        let cols = cols_of(rows);
+        let kernel = ScalarKernel::compile(expr);
+        let empty = Payload::empty();
+        for (i, row) in rows.iter().enumerate() {
+            let payload = row.as_ref().unwrap_or(&empty);
+            assert_eq!(
+                kernel.eval_col(&cols, i),
+                expr.eval_payload(payload),
+                "row {i} diverged for {expr}"
+            );
+        }
+    }
+
+    #[test]
+    fn field_vs_literal_sweeps_match_interpreter_for_every_op() {
+        let rows = fixture();
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            for lit in [
+                Value::Int(3),
+                Value::Int(9_007_199_254_740_992), // 2^53: f64-rounded twin
+                Value::Float(2.5),
+                Value::Float(f64::NAN),
+                Value::str("alpha"),
+                Value::Null,
+                Value::Bool(true),
+            ] {
+                let fwd = Pred::cmp(Scalar::Field(0), op, Scalar::Lit(lit.clone()));
+                assert_pred_matches(&fwd, &rows);
+                // Flipped orientation takes the reversed-ordering path.
+                let rev = Pred::cmp(Scalar::Lit(lit.clone()), op, Scalar::Field(0));
+                assert_pred_matches(&rev, &rows);
+                for j in 1..5 {
+                    let p = Pred::cmp(Scalar::Field(j), op, Scalar::Lit(lit.clone()));
+                    assert_pred_matches(&p, &rows);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn field_vs_field_and_arithmetic_comparisons_match() {
+        let rows = fixture();
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Ge] {
+            assert_pred_matches(&Pred::cmp(Scalar::Field(0), op, Scalar::Field(3)), &rows);
+            assert_pred_matches(&Pred::cmp(Scalar::Field(1), op, Scalar::Field(1)), &rows);
+            let sum = Scalar::Add(Box::new(Scalar::Field(0)), Box::new(Scalar::Field(1)));
+            assert_pred_matches(&Pred::cmp(sum, op, Scalar::lit(1.0)), &rows);
+        }
+    }
+
+    #[test]
+    fn connectives_combine_bitmaps_like_short_circuit_eval() {
+        let rows = fixture();
+        let a = Pred::cmp(Scalar::Field(0), CmpOp::Ge, Scalar::lit(0i64));
+        let b = Pred::cmp(Scalar::Field(2), CmpOp::Eq, Scalar::lit("alpha"));
+        assert_pred_matches(&Pred::And(Box::new(a.clone()), Box::new(b.clone())), &rows);
+        assert_pred_matches(&Pred::Or(Box::new(a.clone()), Box::new(b.clone())), &rows);
+        assert_pred_matches(&Pred::Not(Box::new(a)), &rows);
+        assert_pred_matches(&Pred::True, &rows);
+    }
+
+    #[test]
+    fn masked_sweeps_match_the_interpreter_on_kept_rows_and_are_false_elsewhere() {
+        let rows = fixture();
+        let cols = cols_of(&rows);
+        let a = Pred::cmp(Scalar::Field(0), CmpOp::Ge, Scalar::lit(0i64));
+        let b = Pred::cmp(Scalar::Field(2), CmpOp::Eq, Scalar::lit("alpha"));
+        let sum = Scalar::Add(Box::new(Scalar::Field(0)), Box::new(Scalar::Field(3)));
+        let c = Pred::cmp(sum, CmpOp::Lt, Scalar::lit(10.0));
+        let preds = [
+            Pred::True,
+            a.clone(),
+            Pred::And(Box::new(a.clone()), Box::new(b.clone())),
+            Pred::Or(Box::new(a.clone()), Box::new(b.clone())),
+            Pred::Not(Box::new(Pred::Or(Box::new(a), Box::new(c.clone())))),
+            c,
+        ];
+        let empty = Payload::empty();
+        // Every 6-row mask pattern, including all-unset and all-set.
+        for pattern in 0u32..64 {
+            let mask: Vec<bool> = (0..rows.len()).map(|i| pattern & (1 << i) != 0).collect();
+            for pred in &preds {
+                let mut bits = Vec::new();
+                PredKernel::compile(pred).sweep_where(&cols, Some(&mask), &mut bits);
+                for (i, row) in rows.iter().enumerate() {
+                    let want = mask[i] && pred.eval_payload(row.as_ref().unwrap_or(&empty));
+                    assert_eq!(bits[i], want, "row {i}, mask {pattern:06b}, pred {pred}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_context_reads_are_null_in_the_single_event_context() {
+        let rows = fixture();
+        assert_scalar_matches(&Scalar::Of(1, 0), &rows);
+        assert_pred_matches(
+            &Pred::cmp(Scalar::Of(2, 1), CmpOp::Le, Scalar::lit(3i64)),
+            &rows,
+        );
+    }
+
+    #[test]
+    fn scalar_gathers_match_interpreter_including_nan_division() {
+        let rows = fixture();
+        assert_scalar_matches(&Scalar::Field(0), &rows);
+        assert_scalar_matches(&Scalar::Field(9), &rows);
+        assert_scalar_matches(&Scalar::Lit(Value::str("k")), &rows);
+        let div = Scalar::Div(Box::new(Scalar::Field(0)), Box::new(Scalar::Field(1)));
+        assert_scalar_matches(&div, &rows);
+        // Division by zero is NaN (row 2 has Float(0.0) in column 1).
+        let cols = cols_of(&rows);
+        match ScalarKernel::compile(&div).eval_col(&cols, 2) {
+            Value::Null => {} // Null numerator: arith yields Null
+            other => panic!("expected Null from null/0, got {other:?}"),
+        }
+        let zero_div = Scalar::Div(Box::new(Scalar::Field(1)), Box::new(Scalar::Field(1)));
+        match ScalarKernel::compile(&zero_div).eval_col(&cols, 2) {
+            Value::Float(f) => assert!(f.is_nan(), "0/0 is NaN"),
+            other => panic!("expected NaN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn composition_relates_projected_and_original_payloads() {
+        // p ∘ π on the original payload == p on the projected payload.
+        let rows = fixture();
+        let proj = vec![
+            Scalar::Field(1),
+            Scalar::Add(Box::new(Scalar::Field(0)), Box::new(Scalar::Field(3))),
+            Scalar::Lit(Value::str("tag")),
+        ];
+        let after: Vec<Pred> = vec![
+            Pred::cmp(Scalar::Field(0), CmpOp::Gt, Scalar::lit(1.0)),
+            Pred::cmp(Scalar::Field(1), CmpOp::Le, Scalar::Field(0)),
+            Pred::cmp(Scalar::Field(2), CmpOp::Eq, Scalar::lit("tag")),
+            Pred::cmp(Scalar::Field(7), CmpOp::Eq, Scalar::Lit(Value::Null)),
+            Pred::cmp(Scalar::Of(1, 0), CmpOp::Ne, Scalar::lit(0i64)),
+        ];
+        let empty = Payload::empty();
+        for row in &rows {
+            let payload = row.as_ref().unwrap_or(&empty);
+            let projected =
+                Payload::from_values(proj.iter().map(|x| x.eval_payload(payload)).collect());
+            for pred in &after {
+                assert_eq!(
+                    pred.compose_after_project(&proj).eval_payload(payload),
+                    pred.eval_payload(&projected),
+                    "composition diverged for {pred}"
+                );
+            }
+            // And through a second projection layer.
+            let proj2 = vec![Scalar::Field(2), Scalar::Field(1)];
+            let projected2 =
+                Payload::from_values(proj2.iter().map(|x| x.eval_payload(&projected)).collect());
+            for pred in &after {
+                let composed = pred
+                    .compose_after_project(&proj2)
+                    .compose_after_project(&proj);
+                assert_eq!(
+                    composed.eval_payload(payload),
+                    pred.eval_payload(&projected2),
+                    "two-layer composition diverged for {pred}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn composed_kernels_sweep_the_original_columns() {
+        let rows = fixture();
+        let proj = vec![
+            Scalar::Mul(Box::new(Scalar::Field(0)), Box::new(Scalar::lit(2i64))),
+            Scalar::Field(2),
+        ];
+        let pred = Pred::cmp(Scalar::Field(0), CmpOp::Ge, Scalar::lit(6i64));
+        let composed = pred.compose_after_project(&proj);
+        let cols = cols_of(&rows);
+        let mut bits = Vec::new();
+        PredKernel::compile(&composed).sweep(&cols, &mut bits);
+        let empty = Payload::empty();
+        for (i, row) in rows.iter().enumerate() {
+            let payload = row.as_ref().unwrap_or(&empty);
+            let projected =
+                Payload::from_values(proj.iter().map(|x| x.eval_payload(payload)).collect());
+            assert_eq!(bits[i], pred.eval_payload(&projected), "row {i}");
+        }
+    }
+}

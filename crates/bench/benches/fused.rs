@@ -13,9 +13,22 @@
 //! harness asserts their stamped collector tapes are bit-identical
 //! before it reports a single number.
 //!
+//! A second, **payload-heavy** workload measures the compiled-kernel
+//! claim (`cedr_algebra::kernel`): wide 8-field events (ints, floats,
+//! strings) screened by an 8-literal venue IN-list, a quantity band, an
+//! arithmetic projection and a projected symbol gate. Interpreted
+//! evaluation walks the predicate tree per row — one payload `Value`
+//! clone (an `Arc` bump) per IN-list literal per row — while the
+//! compiled chain builds the venue column once per run, sweeps it per
+//! literal with later literals masked to undecided rows, and drops
+//! non-survivors before they become per-message work at all. Compiled,
+//! interpreted and unfused tapes are asserted bit-identical at every
+//! consistency level (Strong, Middle, Weak) before any number is
+//! reported.
+//!
 //! Emits `BENCH_fused.json` at the repository root; the
-//! `fused_vs_unfused` speedup ratio is gated by the CI
-//! `bench-regression` job against the committed baseline.
+//! `fused_vs_unfused` and `compiled_vs_interpreted` speedup ratios are
+//! gated by the CI `bench-regression` job against the committed baseline.
 
 use cedr_bench::summary::{summary_reps, BenchSummary};
 use cedr_core::prelude::*;
@@ -28,13 +41,42 @@ const N_EVENTS: u64 = 4_000;
 const N_QUERIES: usize = 8;
 const CHUNK: usize = 256;
 
+const N_WIDE_EVENTS: u64 = 8_000;
+const N_WIDE_QUERIES: usize = 6;
+const WIDE_CHUNK: usize = 2_048;
+
+/// The venues events actually carry (uniform via a multiplicative hash).
+const VENUE_POOL: [&str; 8] = [
+    "XADF", "XARC", "XBAT", "XBOS", "XCHI", "XCIS", "NYSE", "NASD",
+];
+/// The whitelist every wide query screens against: mostly non-matching
+/// MICs (the realistic shape of a venue whitelist) with the two live
+/// venues last, so the interpreter's left-to-right short-circuit must
+/// walk essentially the whole list on every row.
+const VENUE_SCREEN: [&str; 8] = [
+    "XNGS", "XNYS", "XASE", "XPHL", "XPSX", "XBYX", "NYSE", "NASD",
+];
+
+/// `field ∈ {lits}` as the algebra spells it: a left-associated chain of
+/// `Or`-ed equality comparisons.
+fn in_list(j: usize, lits: &[&str]) -> Pred {
+    lits.iter()
+        .map(|s| Pred::cmp(Scalar::Field(j), CmpOp::Eq, Scalar::lit(*s)))
+        .reduce(|acc, p| Pred::Or(Box::new(acc), Box::new(p)))
+        .expect("non-empty literal list")
+}
+
 /// An engine with `N_QUERIES` stateless-chain queries over one stream,
 /// with the fusion pass on or off. Chains alternate between depth 3
 /// (select → project → slice-valid) and depth 4 (window → select →
 /// project → slice-occurrence) so both the identity-lifetime head and
 /// the lifetime-mapping head are on the measured path.
 fn engine(fuse: bool) -> Engine {
-    let mut e = Engine::with_config(EngineConfig::serial().with_fuse(fuse));
+    let mut e = Engine::with_config(
+        EngineConfig::serial()
+            .with_fuse(fuse)
+            .with_compile_kernels(true),
+    );
     e.register_event_type(
         "TICK",
         vec![("sym", FieldType::Int), ("px", FieldType::Int)],
@@ -92,6 +134,103 @@ fn run(msgs: &MessageBatch, fuse: bool) -> Engine {
     e
 }
 
+/// An engine with `N_WIDE_QUERIES` payload-heavy chains over one wide
+/// stream, at an explicit ⟨fuse, compile, spec⟩ point. Each chain is
+/// select → project → select → slice over 8-field events: a venue
+/// whitelist screen (the 8-literal IN-list above, ~25 % pass) conjoined
+/// with a quantity band, an arithmetic projection, then a selective
+/// symbol gate on the projected payload (~1 % survive overall).
+/// Interpreted, every row re-reads the venue attribute — one payload
+/// `Value` clone per IN-list literal per row — before it can be
+/// rejected; compiled, the venue column is built once per run and swept
+/// per literal, each literal masked to the rows the previous ones left
+/// undecided, and the head's bitmap drops ~85 % of rows before they
+/// become per-message work at all.
+fn wide_engine(fuse: bool, compile: bool, spec: ConsistencySpec) -> Engine {
+    let mut e = Engine::with_config(
+        EngineConfig::serial()
+            .with_fuse(fuse)
+            .with_compile_kernels(compile),
+    );
+    e.register_event_type(
+        "TICK_W",
+        vec![
+            ("sym", FieldType::Int),
+            ("px", FieldType::Int),
+            ("ratio", FieldType::Float),
+            ("venue", FieldType::Str),
+            ("qty", FieldType::Int),
+            ("fee", FieldType::Float),
+            ("seq", FieldType::Int),
+            ("tag", FieldType::Str),
+        ],
+    );
+    for i in 0..N_WIDE_QUERIES {
+        let plan = PlanBuilder::source("TICK_W")
+            .select(Pred::And(
+                Box::new(in_list(3, &VENUE_SCREEN)),
+                Box::new(Pred::cmp(Scalar::Field(4), CmpOp::Lt, Scalar::lit(60i64))),
+            ))
+            .project(
+                vec![
+                    Scalar::Field(0),
+                    Scalar::Add(Box::new(Scalar::Field(1)), Box::new(Scalar::Field(6))),
+                    Scalar::Mul(Box::new(Scalar::Field(2)), Box::new(Scalar::Field(5))),
+                    Scalar::Field(3),
+                ],
+                vec!["sym".into(), "px_seq".into(), "cost".into(), "venue".into()],
+            )
+            .select(Pred::cmp(
+                Scalar::Field(0),
+                CmpOp::Eq,
+                Scalar::lit((2 * i) as i64),
+            ))
+            .slice_valid(t(5), t(N_WIDE_EVENTS + 60))
+            .into_plan();
+        e.register_plan(&format!("w{i}"), plan, spec).unwrap();
+    }
+    e
+}
+
+/// The wide canonical schedule: 8-field payloads mixing ints, floats and
+/// strings. Venues are drawn uniformly from [`VENUE_POOL`] through a
+/// multiplicative hash so the screen's pass set is decorrelated from the
+/// symbol gate; retractions and CTIs keep the boundary emulation on the
+/// clock.
+fn wide_workload() -> MessageBatch {
+    let mut b = StreamBuilder::new();
+    for i in 0..N_WIDE_EVENTS {
+        let venue = VENUE_POOL[(i.wrapping_mul(2_654_435_761) >> 7) as usize % 8];
+        let e = b.insert(
+            Interval::new(t(i), t(i + 12)),
+            Payload::from_values(vec![
+                Value::Int((i % 16) as i64),
+                Value::Int(i as i64),
+                Value::Float(i as f64 * 0.25),
+                Value::str(venue),
+                Value::Int((i % 100) as i64),
+                Value::Float((i % 7) as f64 * 1.5),
+                Value::Int((i * 31 % 997) as i64),
+                Value::str("lot"),
+            ]),
+        );
+        if i % 32 == 0 {
+            b.retract(e.clone(), e.vs() + dur(6));
+        }
+    }
+    MessageBatch::from(b.build_ordered(Some(dur(500)), true))
+}
+
+fn run_wide(msgs: &MessageBatch, fuse: bool, compile: bool, spec: ConsistencySpec) -> Engine {
+    let mut e = wide_engine(fuse, compile, spec);
+    for chunk in msgs.chunks_of(WIDE_CHUNK) {
+        e.enqueue_batch("TICK_W", &chunk).unwrap();
+        e.run_to_quiescence();
+    }
+    e.seal();
+    e
+}
+
 fn bench_fused(c: &mut Criterion) {
     let msgs = workload();
     let mut g = c.benchmark_group("fused_8_chains");
@@ -101,14 +240,27 @@ fn bench_fused(c: &mut Criterion) {
     g.bench_function("fused", |b| b.iter(|| run(&msgs, true)));
     g.finish();
 
-    write_summary(&msgs);
+    let wide = wide_workload();
+    let mut g = c.benchmark_group("fused_wide_chains");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N_WIDE_EVENTS));
+    let middle = ConsistencySpec::middle();
+    g.bench_function("interpreted", |b| {
+        b.iter(|| run_wide(&wide, true, false, middle))
+    });
+    g.bench_function("compiled", |b| {
+        b.iter(|| run_wide(&wide, true, true, middle))
+    });
+    g.finish();
+
+    write_summary(&msgs, &wide);
 }
 
 /// Best-of timing with fused/unfused reps interleaved, so machine drift
 /// biases both columns equally; then the bit-identity check that makes
 /// the ratio meaningful — a fused engine that produced a different tape
 /// would be fast and wrong.
-fn write_summary(msgs: &MessageBatch) {
+fn write_summary(msgs: &MessageBatch, wide: &MessageBatch) {
     let reps = summary_reps(7);
     let mut best = [f64::INFINITY; 2];
     for fuse in [false, true] {
@@ -140,14 +292,66 @@ fn write_summary(msgs: &MessageBatch) {
         fused_stages += fused.stats(q).fused_stages;
     }
 
+    // Wide workload: the bit-identity check at every consistency level
+    // first — a compiled chain that produced a different tape would be
+    // fast and wrong — then interleaved best-of compiled vs interpreted.
+    for (spec, level) in [
+        (ConsistencySpec::strong(), "strong"),
+        (ConsistencySpec::middle(), "middle"),
+        (ConsistencySpec::weak(dur(100_000)), "weak"),
+    ] {
+        let reference = run_wide(wide, false, false, spec);
+        let interp = run_wide(wide, true, false, spec);
+        let compiled = run_wide(wide, true, true, spec);
+        for q in 0..N_WIDE_QUERIES {
+            let q = QueryId(q);
+            let tape = reference.collector(q).stamped();
+            assert_eq!(
+                tape,
+                interp.collector(q).stamped(),
+                "{level}: interpreted wide tape diverged on {q:?}"
+            );
+            assert_eq!(
+                tape,
+                compiled.collector(q).stamped(),
+                "{level}: compiled wide tape diverged on {q:?}"
+            );
+            assert!(
+                compiled.stats(q).compiled_kernel_runs > 0,
+                "{level}: compiled kernels did not engage on {q:?}"
+            );
+            assert_eq!(interp.stats(q).compiled_kernel_runs, 0);
+        }
+    }
+    let middle = ConsistencySpec::middle();
+    let mut wide_best = [f64::INFINITY; 2];
+    for compile in [false, true] {
+        run_wide(wide, true, compile, middle); // warm-up
+    }
+    for _ in 0..reps {
+        for (slot, compile) in [false, true].into_iter().enumerate() {
+            let start = Instant::now();
+            let e = run_wide(wide, true, compile, middle);
+            let elapsed = start.elapsed().as_secs_f64();
+            assert!(e.query_count() == N_WIDE_QUERIES);
+            wide_best[slot] = wide_best[slot].min(elapsed);
+        }
+    }
+    let [interpreted_s, compiled_s] = wide_best;
+
     let mut s = BenchSummary::new("fused", 0);
     s.ratio("fused_vs_unfused", unfused_s / fused_s);
+    s.ratio("compiled_vs_interpreted", interpreted_s / compiled_s);
     s.info("events", N_EVENTS as f64)
         .info("queries", N_QUERIES as f64)
         .info("chunk", CHUNK as f64)
         .info("unfused_seconds", unfused_s)
         .info("fused_seconds", fused_s)
-        .info("fused_stages_total", fused_stages as f64);
+        .info("fused_stages_total", fused_stages as f64)
+        .info("wide_events", N_WIDE_EVENTS as f64)
+        .info("wide_queries", N_WIDE_QUERIES as f64)
+        .info("interpreted_seconds", interpreted_s)
+        .info("compiled_seconds", compiled_s);
     s.write(concat!(
         env!("CARGO_MANIFEST_DIR"),
         "/../../BENCH_fused.json"

@@ -86,7 +86,8 @@ use crate::ingest::{ChannelIngress, ChannelSource, IngressStats};
 use crate::session::{SourceHandle, Subscription};
 use cedr_lang::catalog::{Catalog, EventTypeDef, FieldType};
 use cedr_lang::{
-    compile_with, fuse_from_env, lower_with, optimize, LangError, LogicalOp, LoweredPlan,
+    compile_from_env, compile_with, fuse_from_env, lower_with, optimize, LangError, LogicalOp,
+    LoweredPlan,
 };
 use cedr_runtime::{ConsistencySpec, OpStats};
 use cedr_streams::{Collector, Message, MessageBatch, Retraction};
@@ -281,6 +282,15 @@ pub struct EngineConfig {
     /// however its config was built — and can be overridden per engine
     /// with [`EngineConfig::with_fuse`].
     pub fuse: bool,
+    /// Compile fused chains into **column kernels** at registration:
+    /// select/project payload trees become closures sweeping whole payload
+    /// columns per delivery run instead of interpreting the stage IR per
+    /// message (collector output is bit-identical either way; see
+    /// `cedr_runtime::fused`). Irrelevant when `fuse` is off. Defaults to
+    /// the `CEDR_COMPILE` environment switch — set `CEDR_COMPILE=0` to
+    /// interpret everywhere — and can be overridden per engine with
+    /// [`EngineConfig::with_compile_kernels`].
+    pub compile_kernels: bool,
 }
 
 impl EngineConfig {
@@ -293,6 +303,7 @@ impl EngineConfig {
             channel_depth: DEFAULT_CHANNEL_DEPTH,
             resequencer_capacity: DEFAULT_RESEQUENCER_CAPACITY,
             fuse: fuse_from_env(),
+            compile_kernels: compile_from_env(),
         }
     }
 
@@ -337,13 +348,23 @@ impl EngineConfig {
         EngineConfig { fuse, ..self }
     }
 
+    /// Same configuration with the fused-chain kernel compile explicitly
+    /// on or off (overrides the `CEDR_COMPILE` environment default).
+    pub fn with_compile_kernels(self, compile_kernels: bool) -> Self {
+        EngineConfig {
+            compile_kernels,
+            ..self
+        }
+    }
+
     /// Read `CEDR_THREADS`, `CEDR_INGRESS_CAPACITY`, `CEDR_CHANNEL_DEPTH`,
-    /// `CEDR_RESEQ_CAPACITY` and `CEDR_FUSE` from the environment
-    /// (defaults: 1 thread, [`DEFAULT_INGRESS_CAPACITY`],
+    /// `CEDR_RESEQ_CAPACITY`, `CEDR_FUSE` and `CEDR_COMPILE` from the
+    /// environment (defaults: 1 thread, [`DEFAULT_INGRESS_CAPACITY`],
     /// [`DEFAULT_CHANNEL_DEPTH`], [`DEFAULT_RESEQUENCER_CAPACITY`], fusion
-    /// on). `CEDR_THREADS` and `CEDR_FUSE=0` are the knobs the CI matrix
-    /// turns to run the whole test suite serial/threaded and
-    /// fused/unfused — outputs are bit-identical every way.
+    /// on, kernel compile on). `CEDR_THREADS`, `CEDR_FUSE=0` and
+    /// `CEDR_COMPILE=0` are the knobs the CI matrix turns to run the whole
+    /// test suite serial/threaded, fused/unfused and compiled/
+    /// interpreted — outputs are bit-identical every way.
     pub fn from_env() -> Self {
         let parse = |var: &str| {
             std::env::var(var)
@@ -358,6 +379,7 @@ impl EngineConfig {
             resequencer_capacity: parse("CEDR_RESEQ_CAPACITY")
                 .unwrap_or(DEFAULT_RESEQUENCER_CAPACITY),
             fuse: fuse_from_env(),
+            compile_kernels: compile_from_env(),
         }
     }
 }
@@ -488,7 +510,13 @@ impl Engine {
         text: &str,
         spec: ConsistencySpec,
     ) -> Result<QueryId, EngineError> {
-        let compiled = compile_with(text, &self.catalog, spec, self.config.fuse)?;
+        let compiled = compile_with(
+            text,
+            &self.catalog,
+            spec,
+            self.config.fuse,
+            self.config.compile_kernels,
+        )?;
         self.queries.push(RunningQuery {
             name: compiled.name,
             plan: compiled.plan,
@@ -508,7 +536,13 @@ impl Engine {
         spec: ConsistencySpec,
     ) -> Result<QueryId, EngineError> {
         let optimized = optimize(root);
-        let plan = lower_with(&optimized, &self.catalog, spec, self.config.fuse)?;
+        let plan = lower_with(
+            &optimized,
+            &self.catalog,
+            spec,
+            self.config.fuse,
+            self.config.compile_kernels,
+        )?;
         let explain = format!("{optimized}\n{}", plan.describe_fusion());
         self.queries.push(RunningQuery {
             name: name.to_string(),

@@ -30,7 +30,7 @@ pub use error::LangError;
 pub use logical::{Layout, LogicalOp};
 pub use optimizer::optimize;
 pub use parser::parse_query;
-pub use physical::{fuse_from_env, lower, lower_with, LoweredPlan};
+pub use physical::{compile_from_env, fuse_from_env, lower, lower_with, LoweredPlan};
 
 /// A fully compiled query: the declared name, the optimized logical plan
 /// rendered for `EXPLAIN` (followed by the physical fusion summary), and
@@ -42,27 +42,29 @@ pub struct CompiledQuery {
 }
 
 /// Parse, bind, optimise and lower a query in one call. The fusion pass
-/// follows the `CEDR_FUSE` default; use [`compile_with`] for explicit
-/// control.
+/// follows the `CEDR_FUSE` default and the kernel compile follows
+/// `CEDR_COMPILE`; use [`compile_with`] for explicit control.
 pub fn compile(
     text: &str,
     catalog: &Catalog,
     spec: cedr_runtime::ConsistencySpec,
 ) -> Result<CompiledQuery, LangError> {
-    compile_with(text, catalog, spec, fuse_from_env())
+    compile_with(text, catalog, spec, fuse_from_env(), compile_from_env())
 }
 
-/// [`compile`], with the fusion pass explicitly on or off.
+/// [`compile`], with the fusion pass and the kernel compile explicitly on
+/// or off.
 pub fn compile_with(
     text: &str,
     catalog: &Catalog,
     spec: cedr_runtime::ConsistencySpec,
     fuse: bool,
+    compile_kernels: bool,
 ) -> Result<CompiledQuery, LangError> {
     let query = parse_query(text)?;
     let bound = bind(&query, catalog)?;
     let optimized = optimize(bound.root);
-    let plan = lower_with(&optimized, catalog, spec, fuse)?;
+    let plan = lower_with(&optimized, catalog, spec, fuse, compile_kernels)?;
     let explain = format!("{optimized}\n{}", plan.describe_fusion());
     Ok(CompiledQuery {
         name: bound.name,

@@ -10,6 +10,14 @@
 //! per plan ([`lower_with`]) or globally (`CEDR_FUSE=0`, read by
 //! [`fuse_from_env`]); fused and unfused plans are collector-level
 //! bit-identical.
+//!
+//! Fused chains additionally get a **kernel compile at register time**:
+//! select and project payload trees are lifted into closures that sweep
+//! whole payload-column slices per delivery run (see
+//! `cedr_runtime::fused`'s compiled-kernel docs). Compilation is also on
+//! by default, with its own escape hatch (`CEDR_COMPILE=0`, read by
+//! [`compile_from_env`]; per plan via [`lower_with`]), and compiled,
+//! interpreted and unfused plans are all collector-level bit-identical.
 
 use crate::catalog::Catalog;
 use crate::error::LangError;
@@ -35,6 +43,16 @@ pub fn fuse_from_env() -> bool {
         .unwrap_or(true)
 }
 
+/// Compiled-kernel kill-switch: `CEDR_COMPILE=0` makes fused chains run
+/// the PR 6 interpreted stage IR instead of compiled column kernels. Any
+/// other value — or the variable being unset — leaves compilation on.
+/// Irrelevant when fusion itself is off (unfused plans always interpret).
+pub fn compile_from_env() -> bool {
+    std::env::var("CEDR_COMPILE")
+        .map(|v| v.trim() != "0")
+        .unwrap_or(true)
+}
+
 /// A lowered, executable query plan.
 pub struct LoweredPlan {
     pub dataflow: Dataflow,
@@ -43,8 +61,10 @@ pub struct LoweredPlan {
     /// Source index → event type name.
     pub source_types: Vec<String>,
     /// One description per chain the fusion pass collapsed, in lowering
-    /// order: `fused[3]: select→project→slice`. Empty when the pass was
-    /// off or found no chain of length ≥ 2.
+    /// order, with its execution mode:
+    /// `fused[3] compiled: select→project→slice` (column kernels) vs
+    /// `fused[3] interpreted: …` (the `CEDR_COMPILE=0` escape hatch).
+    /// Empty when the pass was off or found no chain of length ≥ 2.
     pub fused_chains: Vec<String>,
 }
 
@@ -71,26 +91,30 @@ impl LoweredPlan {
 
 /// Lower a logical plan. All operators run at the given consistency spec
 /// (per-query consistency, as Section 1 proposes). The fusion pass runs
-/// unless `CEDR_FUSE=0`; use [`lower_with`] for explicit control.
+/// unless `CEDR_FUSE=0` and fused chains compile kernels unless
+/// `CEDR_COMPILE=0`; use [`lower_with`] for explicit control.
 pub fn lower(
     root: &LogicalOp,
     catalog: &Catalog,
     spec: ConsistencySpec,
 ) -> Result<LoweredPlan, LangError> {
-    lower_with(root, catalog, spec, fuse_from_env())
+    lower_with(root, catalog, spec, fuse_from_env(), compile_from_env())
 }
 
-/// [`lower`], with the fusion pass explicitly on or off.
+/// [`lower`], with the fusion pass and the kernel compile explicitly on
+/// or off.
 pub fn lower_with(
     root: &LogicalOp,
     _catalog: &Catalog,
     spec: ConsistencySpec,
     fuse: bool,
+    compile: bool,
 ) -> Result<LoweredPlan, LangError> {
     let source_types = root.sources();
     let mut b = DataflowBuilder::new(source_types.len());
     let mut fused_chains = Vec::new();
-    let port = build(root, &source_types, &mut b, spec, fuse, &mut fused_chains)?;
+    let fusion = FusionPass { fuse, compile };
+    let port = build(root, &source_types, &mut b, spec, fusion, &mut fused_chains)?;
     // The sink must be a node so it can be watched; wrap bare sources.
     let sink = match port {
         Port::Node(n) => n,
@@ -140,17 +164,26 @@ fn stateless_stage(op: &LogicalOp) -> Option<(FusedStage, &LogicalOp)> {
     }
 }
 
+/// Knobs of the fusion pass, threaded through [`build`]: whether to fuse
+/// stateless chains at all, and whether fused chains compile column
+/// kernels or interpret the stage IR.
+#[derive(Clone, Copy)]
+struct FusionPass {
+    fuse: bool,
+    compile: bool,
+}
+
 fn build(
     op: &LogicalOp,
     sources: &[String],
     b: &mut DataflowBuilder,
     spec: ConsistencySpec,
-    fuse: bool,
+    fusion: FusionPass,
     fused_chains: &mut Vec<String>,
 ) -> Result<Port, LangError> {
     // Fusion pass: collapse a maximal stateless chain rooted at `op` into
     // one node. Chains of length one fall through to plain lowering.
-    if fuse {
+    if fusion.fuse {
         if let Some((stage, mut cur)) = stateless_stage(op) {
             let mut stages = vec![stage];
             while let Some((s, next)) = stateless_stage(cur) {
@@ -159,15 +192,20 @@ fn build(
             }
             if stages.len() >= 2 {
                 stages.reverse(); // innermost (source side) first
-                let input = build(cur, sources, b, spec, fuse, fused_chains)?;
+                let input = build(cur, sources, b, spec, fusion, fused_chains)?;
                 let desc = stages
                     .iter()
                     .map(FusedStage::name)
                     .collect::<Vec<_>>()
                     .join("→");
-                fused_chains.push(format!("fused[{}]: {}", stages.len(), desc));
+                let mode = if fusion.compile {
+                    "compiled"
+                } else {
+                    "interpreted"
+                };
+                fused_chains.push(format!("fused[{}] {}: {}", stages.len(), mode, desc));
                 return Ok(Port::Node(b.add_node(
-                    Box::new(FusedStatelessOp::new(stages, spec)),
+                    Box::new(FusedStatelessOp::new(stages, spec, fusion.compile)),
                     spec,
                     vec![input],
                 )));
@@ -183,19 +221,19 @@ fn build(
             Port::Source(idx)
         }
         LogicalOp::Select { input, pred } => {
-            let p = build(input, sources, b, spec, fuse, fused_chains)?;
+            let p = build(input, sources, b, spec, fusion, fused_chains)?;
             Port::Node(b.add_node(Box::new(SelectOp::new(pred.clone())), spec, vec![p]))
         }
         LogicalOp::Project { input, exprs, .. } => {
-            let p = build(input, sources, b, spec, fuse, fused_chains)?;
+            let p = build(input, sources, b, spec, fusion, fused_chains)?;
             Port::Node(b.add_node(Box::new(ProjectOp::new(exprs.clone())), spec, vec![p]))
         }
         LogicalOp::AlterLifetime { input, fvs, fdelta } => {
-            let p = build(input, sources, b, spec, fuse, fused_chains)?;
+            let p = build(input, sources, b, spec, fusion, fused_chains)?;
             Port::Node(b.add_node(Box::new(AlterLifetimeOp::new(*fvs, *fdelta)), spec, vec![p]))
         }
         LogicalOp::GroupAggregate { input, key, agg } => {
-            let p = build(input, sources, b, spec, fuse, fused_chains)?;
+            let p = build(input, sources, b, spec, fusion, fused_chains)?;
             Port::Node(b.add_node(
                 Box::new(GroupAggregateOp::new(key.clone(), agg.clone())),
                 spec,
@@ -208,8 +246,8 @@ fn build(
             theta,
             equi_keys,
         } => {
-            let l = build(left, sources, b, spec, fuse, fused_chains)?;
-            let r = build(right, sources, b, spec, fuse, fused_chains)?;
+            let l = build(left, sources, b, spec, fusion, fused_chains)?;
+            let r = build(right, sources, b, spec, fusion, fused_chains)?;
             let mut join = JoinOp::new(theta.clone());
             if let Some((kl, kr)) = equi_keys {
                 join = join.with_keys(kl.clone(), kr.clone());
@@ -217,8 +255,8 @@ fn build(
             Port::Node(b.add_node(Box::new(join), spec, vec![l, r]))
         }
         LogicalOp::Union { left, right } => {
-            let l = build(left, sources, b, spec, fuse, fused_chains)?;
-            let r = build(right, sources, b, spec, fuse, fused_chains)?;
+            let l = build(left, sources, b, spec, fusion, fused_chains)?;
+            let r = build(right, sources, b, spec, fusion, fused_chains)?;
             Port::Node(b.add_node(Box::new(UnionOp), spec, vec![l, r]))
         }
         LogicalOp::Sequence {
@@ -229,7 +267,7 @@ fn build(
         } => {
             let ports = inputs
                 .iter()
-                .map(|i| build(i, sources, b, spec, fuse, &mut *fused_chains))
+                .map(|i| build(i, sources, b, spec, fusion, &mut *fused_chains))
                 .collect::<Result<Vec<_>, _>>()?;
             Port::Node(b.add_node(
                 Box::new(SequenceOp::with_modes(
@@ -251,7 +289,7 @@ fn build(
         } => {
             let ports = inputs
                 .iter()
-                .map(|i| build(i, sources, b, spec, fuse, &mut *fused_chains))
+                .map(|i| build(i, sources, b, spec, fusion, &mut *fused_chains))
                 .collect::<Result<Vec<_>, _>>()?;
             Port::Node(b.add_node(
                 Box::new(AtLeastOp::with_modes(
@@ -270,7 +308,7 @@ fn build(
             // occurrence to a lifetime of w, count, keep count ≤ n.
             let mut ports = inputs
                 .iter()
-                .map(|i| build(i, sources, b, spec, fuse, &mut *fused_chains))
+                .map(|i| build(i, sources, b, spec, fusion, &mut *fused_chains))
                 .collect::<Result<Vec<_>, _>>()?;
             let mut acc = ports.remove(0);
             for p in ports {
@@ -301,8 +339,8 @@ fn build(
             Port::Node(filtered)
         }
         LogicalOp::Unless { main, neg, w, pred } => {
-            let m = build(main, sources, b, spec, fuse, fused_chains)?;
-            let n = build(neg, sources, b, spec, fuse, fused_chains)?;
+            let m = build(main, sources, b, spec, fusion, fused_chains)?;
+            let n = build(neg, sources, b, spec, fusion, fused_chains)?;
             Port::Node(b.add_node(
                 Box::new(NegationOp::unless(*w, pred.clone())),
                 spec,
@@ -316,8 +354,8 @@ fn build(
                 LogicalOp::Sequence { w, .. } => Some(*w),
                 _ => None,
             };
-            let m = build(main, sources, b, spec, fuse, fused_chains)?;
-            let n = build(neg, sources, b, spec, fuse, fused_chains)?;
+            let m = build(main, sources, b, spec, fusion, fused_chains)?;
+            let n = build(neg, sources, b, spec, fusion, fused_chains)?;
             let mut op = NegationOp::history(pred.clone());
             if let Some(w) = seq_w {
                 op = op.with_max_history(w);
@@ -325,8 +363,8 @@ fn build(
             Port::Node(b.add_node(Box::new(op), spec, vec![m, n]))
         }
         LogicalOp::CancelWhen { main, neg, pred } => {
-            let m = build(main, sources, b, spec, fuse, fused_chains)?;
-            let n = build(neg, sources, b, spec, fuse, fused_chains)?;
+            let m = build(main, sources, b, spec, fusion, fused_chains)?;
+            let n = build(neg, sources, b, spec, fusion, fused_chains)?;
             Port::Node(b.add_node(
                 Box::new(NegationOp::history(pred.clone())),
                 spec,
@@ -334,7 +372,7 @@ fn build(
             ))
         }
         LogicalOp::SliceOcc { input, from, to } => {
-            let p = build(input, sources, b, spec, fuse, fused_chains)?;
+            let p = build(input, sources, b, spec, fusion, fused_chains)?;
             Port::Node(b.add_node(
                 Box::new(SliceOp::new(None, Some(Interval::new(*from, *to)))),
                 spec,
@@ -342,7 +380,7 @@ fn build(
             ))
         }
         LogicalOp::SliceValid { input, from, to } => {
-            let p = build(input, sources, b, spec, fuse, fused_chains)?;
+            let p = build(input, sources, b, spec, fusion, fused_chains)?;
             Port::Node(b.add_node(
                 Box::new(SliceOp::new(Some(Interval::new(*from, *to)), None)),
                 spec,

@@ -56,13 +56,45 @@
 //! [`ColumnarView`], so inserts and retractions a leading slice or
 //! alter-lifetime stage would drop are rejected from contiguous interval
 //! columns without ever touching the per-message `Arc<Event>`.
+//!
+//! # Compiled payload kernels
+//!
+//! By default the payload side of the chain is **compiled at register
+//! time** instead of interpreted per message (`CEDR_COMPILE=0` /
+//! [`EngineConfig { compile_kernels }`] falls back to the interpreted
+//! stage IR above). Every select predicate is composed through the
+//! projections upstream of it ([`Pred::compose_after_project`]), so all
+//! compiled kernels read the *chain-original* payload: each delivery run
+//! builds typed [`PayloadColumns`] once — restricted to the attributes
+//! the select sweeps actually read — every select becomes one
+//! [`PredKernel`] selection-bitmap sweep over those columns (counted in
+//! [`OpStats::compiled_kernel_runs`]), with each later select swept only
+//! over the rows the previous one kept, project stages become no-ops in
+//! flight, and the full composed projection is evaluated by
+//! [`ScalarKernel`]s only at the output edge — once per message that
+//! survives the whole chain, against the payload it still holds. A chain
+//! with no project stage never materialises a payload at all, so the
+//! gather still forwards the original `Arc<Event>` whenever id and
+//! interval survive. Work messages carry
+//! their run-row index; a message that leaves its run (parked in a
+//! boundary's alignment buffer for a later release) is detached from the
+//! columns and falls back to the composed kernels' interpreted form,
+//! which is bit-identical by construction (see `cedr_algebra::kernel`).
+//! Compilation changes evaluation strategy only — admissions, boundary
+//! bookkeeping and emission order are untouched — so the contract stays
+//! the same collector-level bit-identity, now at every
+//! ⟨consistency, workers, compiled?⟩ point.
+//!
+//! [`EngineConfig { compile_kernels }`]: FusedStatelessOp::new
+//! [`OpStats::compiled_kernel_runs`]: crate::OpStats::compiled_kernel_runs
+//! [`Pred::compose_after_project`]: cedr_algebra::Pred::compose_after_project
 
 use crate::consistency::ConsistencySpec;
 use crate::operator::{generation_id, OpContext, OperatorModule, OutputBuffer};
-use cedr_algebra::{DeltaFn, Pred, Scalar, VsFn};
-use cedr_streams::batch::{ColumnarView, MessageKind};
+use cedr_algebra::{DeltaFn, Pred, PredKernel, Scalar, ScalarKernel, VsFn};
+use cedr_streams::batch::{payload_columns_over_where, ColumnarView, MessageKind};
 use cedr_streams::{Message, Retraction};
-use cedr_temporal::{Event, EventId, Interval, Payload, TimePoint};
+use cedr_temporal::{Event, EventId, Interval, Payload, PayloadColumns, TimePoint};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -117,25 +149,47 @@ impl FusedStage {
     /// Apply the stage kernel to one work message, appending outputs (at
     /// most two: a retraction split) to `out`. Mirrors the corresponding
     /// `OperatorModule` in `stateless` exactly, including the output
-    /// buffer's empty-lifetime drop for inserts.
-    fn apply(&self, msg: WorkMsg, out: &mut Vec<WorkMsg>) {
+    /// buffer's empty-lifetime drop for inserts. `kctx` is `Some` on the
+    /// compiled path: selects read their stage's precomputed selection
+    /// bitmap (or the composed kernel's interpreted form for rows without
+    /// column backing) and projects defer payload materialisation to the
+    /// output gather — both verdict- and value-identical to the
+    /// interpreted arms.
+    fn apply(&self, si: usize, kctx: Option<&KernelCtx<'_>>, msg: WorkMsg, out: &mut Vec<WorkMsg>) {
         match self {
-            FusedStage::Select(pred) => match msg {
-                WorkMsg::Ins(ev) => {
-                    if pred.eval_payload(ev.payload()) {
-                        push_insert(out, ev);
+            FusedStage::Select(pred) => {
+                let keep = |ev: &WorkEv| match kctx {
+                    // Compiled: the composed predicate over the original
+                    // payload. `ev.payload()` *is* the original payload
+                    // here — compiled projects never materialise.
+                    Some(k) => {
+                        let kernel = k.chain.selects[si]
+                            .as_ref()
+                            .expect("select stage compiles a kernel");
+                        match (ev.row, k.cols) {
+                            (Some(i), Some(cols)) if i < cols.rows() => k.bitmaps[si][i],
+                            _ => kernel.eval_row(ev.payload()),
+                        }
+                    }
+                    None => pred.eval_payload(ev.payload()),
+                };
+                match msg {
+                    WorkMsg::Ins(ev) => {
+                        if keep(&ev) {
+                            push_insert(out, ev);
+                        }
+                    }
+                    WorkMsg::Ret { ev, new_end } => {
+                        // An empty-lifetime event's insert was dropped by the
+                        // output buffer on the unfused edge, so its retraction
+                        // parks there as an orphan that can never replay —
+                        // swallowing it here is collector-identical.
+                        if !ev.interval.is_empty() && keep(&ev) {
+                            out.push(WorkMsg::Ret { ev, new_end });
+                        }
                     }
                 }
-                WorkMsg::Ret { ev, new_end } => {
-                    // An empty-lifetime event's insert was dropped by the
-                    // output buffer on the unfused edge, so its retraction
-                    // parks there as an orphan that can never replay —
-                    // swallowing it here is collector-identical.
-                    if !ev.interval.is_empty() && pred.eval_payload(ev.payload()) {
-                        out.push(WorkMsg::Ret { ev, new_end });
-                    }
-                }
-            },
+            }
             FusedStage::Project(exprs) => {
                 let (mut ev, ret) = match msg {
                     WorkMsg::Ins(ev) => (ev, None),
@@ -147,10 +201,15 @@ impl FusedStage {
                         (ev, Some(new_end))
                     }
                 };
-                let payload = Payload::from_values(
-                    exprs.iter().map(|x| x.eval_payload(ev.payload())).collect(),
-                );
-                ev.payload = Some(payload);
+                if kctx.is_none() {
+                    // Interpreted: materialise the stage's payload now.
+                    // Compiled chains evaluate the *composed* projection at
+                    // the output edge instead, only for survivors.
+                    let payload = Payload::from_values(
+                        exprs.iter().map(|x| x.eval_payload(ev.payload())).collect(),
+                    );
+                    ev.payload = Some(payload);
+                }
                 match ret {
                     None => push_insert(out, ev),
                     Some(new_end) => out.push(WorkMsg::Ret { ev, new_end }),
@@ -283,6 +342,93 @@ fn push_insert(out: &mut Vec<WorkMsg>, ev: WorkEv) {
     }
 }
 
+/// The register-time kernel compile of one fused chain: every select
+/// predicate composed through the projections upstream of it (so all
+/// kernels read the chain-original payload), plus the full composed
+/// projection for the output gather.
+struct CompiledChain {
+    /// `selects[si]` is the compiled, composed predicate of stage `si`
+    /// iff that stage is a select.
+    selects: Vec<Option<PredKernel>>,
+    /// The whole chain's composed projection; `None` iff the chain has no
+    /// project stage — the payload passes through untouched and the
+    /// gather can still forward the original `Arc<Event>`.
+    project: Option<Vec<ScalarKernel>>,
+    /// `used[j]` iff some select sweep reads original-payload column `j`:
+    /// the per-run column build materialises exactly these columns and
+    /// leaves the rest as all-null placeholders nothing will read
+    /// (projection fields are evaluated row-wise at the gather and need
+    /// no column backing).
+    used: Vec<bool>,
+}
+
+impl CompiledChain {
+    /// Does some select sweep read original-payload column `j`?
+    fn uses(&self, j: usize) -> bool {
+        self.used.get(j).copied().unwrap_or(false)
+    }
+}
+
+fn compile_chain(stages: &[FusedStage]) -> CompiledChain {
+    // The projection composed so far, as expressions over the original
+    // payload (`None` = identity).
+    let mut cur: Option<Vec<Scalar>> = None;
+    let mut selects = Vec::with_capacity(stages.len());
+    for stage in stages {
+        match stage {
+            FusedStage::Select(p) => {
+                let composed = match &cur {
+                    Some(proj) => p.compose_after_project(proj),
+                    None => p.clone(),
+                };
+                selects.push(Some(PredKernel::compile(&composed)));
+            }
+            FusedStage::Project(exprs) => {
+                let composed: Vec<Scalar> = match &cur {
+                    Some(prev) => exprs
+                        .iter()
+                        .map(|x| x.compose_after_project(prev))
+                        .collect(),
+                    None => exprs.clone(),
+                };
+                cur = Some(composed);
+                selects.push(None);
+            }
+            FusedStage::AlterLifetime { .. } | FusedStage::Slice { .. } => selects.push(None),
+        }
+    }
+    let project: Option<Vec<ScalarKernel>> =
+        cur.map(|exprs| exprs.iter().map(ScalarKernel::compile).collect());
+    // Every column a *sweep* reads — all selects are composed over the
+    // chain-original payload, so their field sets share one index space.
+    // Projection fields stay out: the output gather evaluates the
+    // composed projection row-wise against the original payload, so
+    // project-only attributes never need column backing.
+    let mut fields = Vec::new();
+    for kernel in selects.iter().flatten() {
+        kernel.pred().payload_fields(&mut fields);
+    }
+    let mut used = vec![false; fields.iter().map(|j| j + 1).max().unwrap_or(0)];
+    for j in fields {
+        used[j] = true;
+    }
+    CompiledChain {
+        selects,
+        project,
+        used,
+    }
+}
+
+/// The per-run compiled-execution context threaded through stage
+/// application: the register-time kernels, the current run's payload
+/// columns (absent on the per-message path) and the per-select-stage
+/// selection bitmaps swept over them.
+struct KernelCtx<'a> {
+    chain: &'a CompiledChain,
+    cols: Option<&'a PayloadColumns>,
+    bitmaps: &'a [Vec<bool>],
+}
+
 /// An event travelling through the fused pipeline: the evolving
 /// (id, interval, payload) triple next to the original shared event.
 /// `payload: None` means "unchanged from `src`" — the common case for
@@ -294,6 +440,12 @@ struct WorkEv {
     id: EventId,
     interval: Interval,
     payload: Option<Payload>,
+    /// Index of this event's row in the current delivery run's payload
+    /// columns (compiled path only). Valid only while that run is being
+    /// processed: a message that leaves its run — parked in a boundary's
+    /// alignment buffer — is detached and falls back to the composed
+    /// kernels' interpreted form on `src.payload`.
+    row: Option<usize>,
 }
 
 impl WorkEv {
@@ -303,7 +455,13 @@ impl WorkEv {
             interval: src.interval,
             src,
             payload: None,
+            row: None,
         }
+    }
+
+    fn with_row(mut self, row: Option<usize>) -> WorkEv {
+        self.row = row;
+        self
     }
 
     fn payload(&self) -> &Payload {
@@ -344,6 +502,15 @@ impl WorkMsg {
         match self {
             WorkMsg::Ins(ev) => ev.interval.start,
             WorkMsg::Ret { new_end, .. } => *new_end,
+        }
+    }
+
+    /// Detach from the current run's payload columns: the message is
+    /// about to outlive them (alignment parking), so compiled stages must
+    /// fall back to the composed kernels' interpreted form.
+    fn detach(&mut self) {
+        match self {
+            WorkMsg::Ins(ev) | WorkMsg::Ret { ev, .. } => ev.row = None,
         }
     }
 }
@@ -433,6 +600,9 @@ impl Boundary {
         }
         self.max_seen = TimePoint::max_of(self.max_seen, sync);
         if spec.is_blocking() && sync >= self.watermark {
+            // The message may be released rounds later, when its run's
+            // payload columns are gone — detach its row reference.
+            msg.detach();
             self.align.insert((sync, self.seq), msg);
             self.seq += 1;
         } else {
@@ -513,6 +683,15 @@ impl Boundary {
 /// bit-identity contract.
 pub struct FusedStatelessOp {
     stages: Vec<FusedStage>,
+    /// The register-time kernel compile of the chain; `None` on the
+    /// interpreted escape hatch (`CEDR_COMPILE=0`).
+    compiled: Option<CompiledChain>,
+    /// The current delivery run's payload columns (compiled path only;
+    /// dropped at the end of every run).
+    cols: Option<PayloadColumns>,
+    /// `bitmaps[si]`: stage `si`'s selection bitmap over `cols` (empty
+    /// for non-select stages).
+    bitmaps: Vec<Vec<bool>>,
     /// One consistency-monitor emulation per interior seam
     /// (`boundaries[i]` sits between `stages[i]` and `stages[i + 1]`).
     boundaries: Vec<Boundary>,
@@ -525,8 +704,10 @@ pub struct FusedStatelessOp {
 impl FusedStatelessOp {
     /// Build a fused node from the stage chain, innermost (closest to the
     /// source) first. `spec` is the plan-wide consistency point the
-    /// replaced interior shells would have run at.
-    pub fn new(stages: Vec<FusedStage>, spec: ConsistencySpec) -> FusedStatelessOp {
+    /// replaced interior shells would have run at; `compile` lifts the
+    /// payload side of the chain into column kernels at register time
+    /// (the `EngineConfig { compile_kernels }` / `CEDR_COMPILE` switch).
+    pub fn new(stages: Vec<FusedStage>, spec: ConsistencySpec, compile: bool) -> FusedStatelessOp {
         assert!(
             stages.len() >= 2,
             "fusion collapses chains of at least two stages"
@@ -534,13 +715,23 @@ impl FusedStatelessOp {
         let boundaries = (0..stages.len() - 1)
             .map(|_| Boundary::new(spec.is_forgetful()))
             .collect();
+        let compiled = compile.then(|| compile_chain(&stages));
+        let bitmaps = vec![Vec::new(); stages.len()];
         FusedStatelessOp {
             stages,
+            compiled,
+            cols: None,
+            bitmaps,
             boundaries,
             stack: Vec::new(),
             tmp: Vec::new(),
             delivered: Vec::new(),
         }
+    }
+
+    /// Is the compiled fast path live on this node?
+    pub fn compiled_kernels(&self) -> bool {
+        self.compiled.is_some()
     }
 
     /// Chain description for plan explains: `select→project→slice`.
@@ -552,22 +743,61 @@ impl FusedStatelessOp {
             .join("→")
     }
 
+    /// The compiled-execution context over this node's current state.
+    fn kctx(&self) -> Option<KernelCtx<'_>> {
+        self.compiled.as_ref().map(|chain| KernelCtx {
+            chain,
+            cols: self.cols.as_ref(),
+            bitmaps: &self.bitmaps,
+        })
+    }
+
     /// Run one admitted input message through the whole chain,
     /// depth-first: each message delivered at a seam is fully propagated
     /// through the remaining stages before its successor, which
     /// reproduces the unfused concatenation order of every interior run.
     fn process(&mut self, msg: WorkMsg, spec: &ConsistencySpec, out: &mut OutputBuffer) {
         let mut stack = std::mem::take(&mut self.stack);
+        stack.push((0, msg));
+        self.drain(&mut stack, spec, out);
+        self.stack = stack;
+    }
+
+    /// Propagate released work from boundary `level - 1` onwards (used by
+    /// the CTI cascade, which releases into the middle of the chain).
+    fn process_from(
+        &mut self,
+        level: usize,
+        inputs: &mut Vec<WorkMsg>,
+        spec: &ConsistencySpec,
+        out: &mut OutputBuffer,
+    ) {
+        let mut stack = std::mem::take(&mut self.stack);
+        while let Some(m) = inputs.pop() {
+            stack.push((level, m));
+        }
+        self.drain(&mut stack, spec, out);
+        self.stack = stack;
+    }
+
+    /// The depth-first cascade shared by [`FusedStatelessOp::process`]
+    /// and [`FusedStatelessOp::process_from`].
+    fn drain(
+        &mut self,
+        stack: &mut Vec<(usize, WorkMsg)>,
+        spec: &ConsistencySpec,
+        out: &mut OutputBuffer,
+    ) {
         let mut tmp = std::mem::take(&mut self.tmp);
         let mut delivered = std::mem::take(&mut self.delivered);
-        stack.push((0, msg));
         while let Some((si, m)) = stack.pop() {
             if si == self.stages.len() {
-                emit(m, out);
+                emit(m, self.kctx().as_ref(), out);
                 continue;
             }
             tmp.clear();
-            self.stages[si].apply(m, &mut tmp);
+            let kctx = self.kctx();
+            self.stages[si].apply(si, kctx.as_ref(), m, &mut tmp);
             if si + 1 == self.stages.len() {
                 // Last stage: straight to the output edge; the fused
                 // shell's own monitor and finish remap take over.
@@ -584,59 +814,36 @@ impl FusedStatelessOp {
                 }
             }
         }
-        self.stack = stack;
-        self.tmp = tmp;
-        self.delivered = delivered;
-    }
-
-    /// Propagate released work from boundary `level - 1` onwards (used by
-    /// the CTI cascade, which releases into the middle of the chain).
-    fn process_from(
-        &mut self,
-        level: usize,
-        inputs: &mut Vec<WorkMsg>,
-        spec: &ConsistencySpec,
-        out: &mut OutputBuffer,
-    ) {
-        let mut stack = std::mem::take(&mut self.stack);
-        let mut tmp = std::mem::take(&mut self.tmp);
-        let mut delivered = std::mem::take(&mut self.delivered);
-        while let Some(m) = inputs.pop() {
-            stack.push((level, m));
-        }
-        while let Some((si, m)) = stack.pop() {
-            if si == self.stages.len() {
-                emit(m, out);
-                continue;
-            }
-            tmp.clear();
-            self.stages[si].apply(m, &mut tmp);
-            if si + 1 == self.stages.len() {
-                while let Some(m) = tmp.pop() {
-                    stack.push((si + 1, m));
-                }
-            } else {
-                delivered.clear();
-                for m in tmp.drain(..) {
-                    self.boundaries[si].admit(spec, m, &mut delivered);
-                }
-                while let Some(m) = delivered.pop() {
-                    stack.push((si + 1, m));
-                }
-            }
-        }
-        self.stack = stack;
         self.tmp = tmp;
         self.delivered = delivered;
     }
 }
 
 /// The output-edge gather: one `Arc<Event>` construction (or forward) per
-/// surviving message, into the fused shell's output buffer.
-fn emit(m: WorkMsg, out: &mut OutputBuffer) {
-    match m {
-        WorkMsg::Ins(ev) => out.insert(ev.gather()),
-        WorkMsg::Ret { ev, new_end } => out.retract_to(ev.gather(), new_end),
+/// surviving message, into the fused shell's output buffer. On the
+/// compiled path this is also where the chain's composed projection is
+/// finally evaluated — once, for survivors only, against the original
+/// payload the message still holds (`ev.payload()` is chain-original
+/// here: compiled projects never materialise in flight). Evaluating the
+/// composed kernels row-wise keeps project-only attributes out of the
+/// per-run column build — survivors are the minority, and every
+/// non-survivor would otherwise pay for columns only this gather reads.
+fn emit(m: WorkMsg, kctx: Option<&KernelCtx<'_>>, out: &mut OutputBuffer) {
+    let (mut ev, ret) = match m {
+        WorkMsg::Ins(ev) => (ev, None),
+        WorkMsg::Ret { ev, new_end } => (ev, Some(new_end)),
+    };
+    if let Some(k) = kctx {
+        if let Some(project) = &k.chain.project {
+            debug_assert!(ev.payload.is_none(), "compiled stages defer the payload");
+            let payload = ev.payload();
+            let values = project.iter().map(|x| x.eval_row(payload)).collect();
+            ev.payload = Some(Payload::from_values(values));
+        }
+    }
+    match ret {
+        None => out.insert(ev.gather()),
+        Some(new_end) => out.retract_to(ev.gather(), new_end),
     }
 }
 
@@ -668,17 +875,47 @@ impl OperatorModule for FusedStatelessOp {
 
     /// The fused hot loop: one pass over the run. The leading stage's
     /// interval tests run against the columnar view, so messages a slice
-    /// or alter-lifetime head would drop never touch their `Arc<Event>`.
+    /// or alter-lifetime head would drop never touch their `Arc<Event>`;
+    /// on the compiled path the run's payload columns are built once and
+    /// every select stage's selection bitmap is swept up front, so a
+    /// leading select prefilters from its bitmap the same way.
     fn on_batch(&mut self, _input: usize, msgs: &[Message], ctx: &mut OpContext) {
         let spec = ctx.spec;
         let view = ColumnarView::over(msgs);
+        if let Some(chain) = &self.compiled {
+            let cols = payload_columns_over_where(msgs, |j| chain.uses(j));
+            // Later selects sweep under the previous select's bitmap as a
+            // row mask: a row only reaches stage `si` having passed every
+            // earlier select, so masked-out rows are never read there and
+            // the expensive sweep shapes skip them outright.
+            let mut prev: Option<usize> = None;
+            for (si, select) in chain.selects.iter().enumerate() {
+                if let Some(kernel) = select {
+                    let (done, rest) = self.bitmaps.split_at_mut(si);
+                    let mask = prev.map(|p| done[p].as_slice());
+                    kernel.sweep_where(&cols, mask, &mut rest[0]);
+                    ctx.effort.compiled_kernel_runs += 1;
+                    prev = Some(si);
+                }
+            }
+            self.cols = Some(cols);
+        }
         ctx.out.reserve(msgs.len());
         for (i, m) in msgs.iter().enumerate() {
             // Columnar pre-filter: decide stage-0 drops from contiguous
-            // interval columns. Only drops that the stage kernel decides
-            // from intervals alone are safe to take here — payload
-            // predicates still need the event.
+            // columns. Interval drops (slice / alter-lifetime heads) come
+            // from the temporal view; a compiled leading select drops
+            // straight from its selection bitmap. Only stage-0 drops are
+            // safe here — a message dropped at a deeper stage still bumps
+            // the interior boundaries' bookkeeping on the way.
             let dropped = match &self.stages[0] {
+                FusedStage::Select(_) if self.compiled.is_some() => match view.kinds[i] {
+                    // A pred-false insert produces nothing; a pred-false
+                    // retraction is swallowed (its pre-image evaluates the
+                    // same payload row).
+                    MessageKind::Insert | MessageKind::Retract => !self.bitmaps[0][i],
+                    MessageKind::Cti => false,
+                },
                 FusedStage::Slice { valid, occurrence } => match view.kinds[i] {
                     // An insert (or a retraction's pre-image) outside the
                     // slice produces nothing downstream.
@@ -701,13 +938,16 @@ impl OperatorModule for FusedStatelessOp {
             if dropped {
                 continue;
             }
+            let row = self.compiled.is_some().then_some(i);
             match m {
-                Message::Insert(e) => {
-                    self.process(WorkMsg::Ins(WorkEv::of(e.clone())), &spec, ctx.out)
-                }
+                Message::Insert(e) => self.process(
+                    WorkMsg::Ins(WorkEv::of(e.clone()).with_row(row)),
+                    &spec,
+                    ctx.out,
+                ),
                 Message::Retract(r) => self.process(
                     WorkMsg::Ret {
-                        ev: WorkEv::of(r.event.clone()),
+                        ev: WorkEv::of(r.event.clone()).with_row(row),
                         new_end: r.new_end,
                     },
                     &spec,
@@ -718,6 +958,9 @@ impl OperatorModule for FusedStatelessOp {
                 }
             }
         }
+        // The run is drained (anything still in-flight sits detached in
+        // an alignment buffer); its columns die with it.
+        self.cols = None;
     }
 
     /// The CTI cascade: the fused shell's watermark advanced (or the

@@ -49,7 +49,13 @@
 //!   point. The fused node earns this by emulating each interior shell's
 //!   consistency monitor (alignment, forgetting, reorder guard, chain
 //!   generations, CTI mapping) at its stage boundaries without ever
-//!   materialising the interior streams.
+//!   materialising the interior streams. The contract is independent of
+//!   the node's *evaluation strategy*: by default the payload side of
+//!   the chain runs as register-time-compiled column kernels
+//!   (`OpStats::compiled_kernel_runs`; `CEDR_COMPILE=0` falls back to
+//!   the interpreted stage IR), and compiled, interpreted and unfused
+//!   executions are all held to the same collector-level bit-identity,
+//!   at every ⟨consistency, workers, compiled?⟩ point.
 //!
 //! The per-message fallback (the default `on_batch` body) still applies to
 //! any module that does not override the hook — third-party modules work
@@ -178,6 +184,8 @@ pub struct OpEffort {
     pub group_refreshes: usize,
     /// Delivery runs probed batch-natively (join).
     pub probe_batches: usize,
+    /// Compiled-kernel sweeps run over payload columns (fused node).
+    pub compiled_kernel_runs: usize,
 }
 
 /// Execution context handed to operational modules.
@@ -634,6 +642,7 @@ impl OperatorShell {
     fn absorb_effort(&mut self, effort: OpEffort) {
         self.stats.group_refreshes += effort.group_refreshes;
         self.stats.probe_batches += effort.probe_batches;
+        self.stats.compiled_kernel_runs += effort.compiled_kernel_runs;
     }
 
     fn emit_cti(&mut self) {

@@ -50,6 +50,13 @@ pub struct OpStats {
     /// plan total proves fusion actually engaged rather than silently
     /// falling back to the unfused graph.
     pub fused_stages: usize,
+    /// Compiled-kernel sweeps run by a fused node: one per select stage
+    /// per delivery run whose selection bitmap was computed over payload
+    /// columns (plus the sweeps of the projection gather, counted at the
+    /// run that swept them). Summed by [`OpStats::absorb`] like
+    /// `fused_stages`, so a positive plan total proves the compiled fast
+    /// path is live rather than silently interpreting.
+    pub compiled_kernel_runs: usize,
     /// Output inserts emitted.
     pub out_inserts: usize,
     /// Output retractions emitted.
@@ -98,6 +105,7 @@ impl OpStats {
         self.group_refreshes += other.group_refreshes;
         self.probe_batches += other.probe_batches;
         self.fused_stages += other.fused_stages;
+        self.compiled_kernel_runs += other.compiled_kernel_runs;
         self.out_inserts += other.out_inserts;
         self.out_retractions += other.out_retractions;
         self.out_ctis += other.out_ctis;

@@ -9,7 +9,7 @@
 //! logical (net) content of what flows through an operator graph.
 
 use crate::message::Message;
-use cedr_temporal::TimePoint;
+use cedr_temporal::{PayloadColumns, TimePoint};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
@@ -95,6 +95,34 @@ impl ColumnarView {
     }
 }
 
+/// Materialise typed payload value columns over a run of messages: the
+/// payload-side counterpart of [`ColumnarView::over`]. Row `i` is message
+/// `i`'s payload — an insert's event payload, a retraction's **pre-image**
+/// payload (the payload the retracted event carried, which is what every
+/// stateless stage evaluates on a retraction), and an all-null row for a
+/// CTI (payload-less). Ragged and null cells follow the
+/// [`PayloadColumns`] null-bitmap contract.
+pub fn payload_columns_over(msgs: &[Message]) -> PayloadColumns {
+    payload_columns_over_where(msgs, |_| true)
+}
+
+/// [`payload_columns_over`], materialising only the columns `j` with
+/// `keep(j)` (see [`PayloadColumns::from_rows_where`]): a caller that
+/// knows which attributes its kernels read skips scanning the rest.
+pub fn payload_columns_over_where(
+    msgs: &[Message],
+    keep: impl Fn(usize) -> bool,
+) -> PayloadColumns {
+    PayloadColumns::from_rows_where(
+        msgs.iter().map(|m| match m {
+            Message::Insert(e) => Some(&e.payload),
+            Message::Retract(r) => Some(&r.event.payload),
+            Message::Cti(_) => None,
+        }),
+        keep,
+    )
+}
+
 /// Lazily-built [`ColumnarView`] cell. Cloning a batch shares the cell
 /// (the view is immutable once built, and clones hold identical message
 /// runs); any mutation of the batch swaps in a fresh, unbuilt cell.
@@ -125,11 +153,41 @@ impl fmt::Debug for ColumnarCache {
     }
 }
 
+/// Lazily-built [`PayloadColumns`] cell: same share-on-clone /
+/// fresh-on-mutation contract as [`ColumnarCache`], for the payload side.
+#[derive(Clone, Default)]
+struct PayloadCache(Arc<OnceLock<PayloadColumns>>);
+
+impl PayloadCache {
+    fn get_or_build(&self, msgs: &[Message]) -> &PayloadColumns {
+        self.0.get_or_init(|| payload_columns_over(msgs))
+    }
+
+    fn reset(&mut self) {
+        self.0 = Arc::new(OnceLock::new());
+    }
+
+    fn is_built(&self) -> bool {
+        self.0.get().is_some()
+    }
+}
+
+impl fmt::Debug for PayloadCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_built() {
+            "PayloadCache(built)"
+        } else {
+            "PayloadCache(empty)"
+        })
+    }
+}
+
 /// An ordered run of messages, cheap to clone (events are `Arc`-shared).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct MessageBatch {
     msgs: Vec<Message>,
     columnar: ColumnarCache,
+    payloads: PayloadCache,
 }
 
 /// Equality is over the message run only; the columnar cache is a
@@ -151,22 +209,26 @@ impl MessageBatch {
         MessageBatch {
             msgs: Vec::with_capacity(n),
             columnar: ColumnarCache::default(),
+            payloads: PayloadCache::default(),
         }
     }
 
     pub fn push(&mut self, msg: Message) {
         self.columnar.reset();
+        self.payloads.reset();
         self.msgs.push(msg);
     }
 
     pub fn extend(&mut self, msgs: impl IntoIterator<Item = Message>) {
         self.columnar.reset();
+        self.payloads.reset();
         self.msgs.extend(msgs);
     }
 
     /// Append a sealing `CTI(t)` guarantee.
     pub fn push_cti(&mut self, t: TimePoint) {
         self.columnar.reset();
+        self.payloads.reset();
         self.msgs.push(Message::Cti(t));
     }
 
@@ -198,6 +260,7 @@ impl MessageBatch {
 
     pub fn clear(&mut self) {
         self.columnar.reset();
+        self.payloads.reset();
         self.msgs.clear();
     }
 
@@ -215,6 +278,20 @@ impl MessageBatch {
     /// tests asserting cache sharing and invalidation.
     pub fn columnar_is_materialized(&self) -> bool {
         self.columnar.is_built()
+    }
+
+    /// The typed [`PayloadColumns`] over this batch's messages, built
+    /// lazily on first access and cached under the same contract as
+    /// [`MessageBatch::columnar`]: clones share the built columns, any
+    /// mutation invalidates this batch's cache without touching clones',
+    /// and split products start fresh and unbuilt.
+    pub fn payload_columns(&self) -> &PayloadColumns {
+        self.payloads.get_or_build(&self.msgs)
+    }
+
+    /// Have the payload columns been materialised yet?
+    pub fn payload_columns_is_materialized(&self) -> bool {
+        self.payloads.is_built()
     }
 
     pub fn into_messages(self) -> Vec<Message> {
@@ -275,6 +352,7 @@ impl From<Vec<Message>> for MessageBatch {
         MessageBatch {
             msgs,
             columnar: ColumnarCache::default(),
+            payloads: PayloadCache::default(),
         }
     }
 }
@@ -308,7 +386,7 @@ mod tests {
     use super::*;
     use cedr_temporal::interval::iv;
     use cedr_temporal::time::t;
-    use cedr_temporal::Payload;
+    use cedr_temporal::{Payload, Value};
 
     #[test]
     fn batch_accumulates_and_counts() {
@@ -436,6 +514,100 @@ mod tests {
         assert!(b.columnar_is_materialized());
         assert_eq!(b.columnar().len(), 10);
         assert_eq!(m.columnar().len(), 11);
+    }
+
+    #[test]
+    fn payload_columns_build_lazily_share_with_clones_fresh_on_splits() {
+        let mut b = MessageBatch::new();
+        for i in 0..6u64 {
+            b.push(Message::insert(
+                i,
+                iv(i, i + 2),
+                Payload::from_values(vec![Value::Int(i as i64)]),
+            ));
+        }
+        assert!(!b.payload_columns_is_materialized(), "lazy until accessed");
+        let clone = b.clone();
+        assert_eq!(b.payload_columns().rows(), 6);
+        assert!(
+            clone.payload_columns_is_materialized(),
+            "clones share the built columns"
+        );
+        // The two caches are independent: touching payload columns does
+        // not materialise the temporal view, and vice versa.
+        assert!(!b.columnar_is_materialized());
+        let (l, r) = b.split_at(2);
+        assert!(!l.payload_columns_is_materialized());
+        assert!(!r.payload_columns_is_materialized());
+        assert_eq!(l.payload_columns().rows(), 2);
+        assert_eq!(r.payload_columns().rows(), 4);
+        for c in b.chunks_of(4) {
+            assert!(!c.payload_columns_is_materialized());
+        }
+        // Mutation invalidates this batch only, never a clone's view.
+        let mut m = b.clone();
+        m.push_cti(t(9));
+        assert!(!m.payload_columns_is_materialized(), "push invalidates");
+        assert!(b.payload_columns_is_materialized());
+        assert_eq!(m.payload_columns().rows(), 7);
+        assert_eq!(b.payload_columns().rows(), 6);
+        m.clear();
+        assert!(!m.payload_columns_is_materialized(), "clear invalidates");
+        assert_eq!(m.payload_columns().rows(), 0);
+    }
+
+    /// Satellite regression: ragged payloads — shorter than the widest row
+    /// of the run, empty, or carrying explicit `Value::Null` — materialise
+    /// as null-bitmap cells that read back exactly what
+    /// `Scalar::eval_payload`'s `unwrap_or(Value::Null)` fallback yields.
+    #[test]
+    fn payload_columns_ragged_and_null_rows_match_eval_fallback() {
+        let mut b = MessageBatch::new();
+        let wide = Payload::from_values(vec![Value::Int(7), Value::str("row0"), Value::Float(1.5)]);
+        let short = Payload::from_values(vec![Value::Int(8)]);
+        let empty = Payload::empty();
+        let with_null = Payload::from_values(vec![Value::Null, Value::str("row3")]);
+        b.push(Message::insert(1, iv(0, 5), wide.clone()));
+        b.push(Message::insert(2, iv(1, 6), short.clone()));
+        b.push(Message::insert(3, iv(2, 7), empty.clone()));
+        b.push(Message::insert(4, iv(3, 8), with_null.clone()));
+        b.push_cti(t(4)); // payload-less row: all-null
+        let cols = b.payload_columns();
+        assert_eq!((cols.rows(), cols.width()), (5, 3));
+        let payloads = [
+            Some(&wide),
+            Some(&short),
+            Some(&empty),
+            Some(&with_null),
+            None,
+        ];
+        for (i, p) in payloads.iter().enumerate() {
+            for j in 0..4 {
+                let expect = p.and_then(|p| p.get(j)).cloned().unwrap_or(Value::Null);
+                assert_eq!(cols.value_at(j, i), expect, "row {i} col {j}");
+            }
+        }
+        // Explicit nulls and missing tails are indistinguishable reads.
+        assert!(cols.col(0).unwrap().is_null(3), "explicit Value::Null");
+        assert!(cols.col(1).unwrap().is_null(1), "short row tail");
+        assert!(cols.col(0).unwrap().is_null(2), "empty payload");
+    }
+
+    /// Retract rows column the **pre-image** payload — what a stateless
+    /// stage evaluates when it processes the retraction.
+    #[test]
+    fn payload_columns_retract_rows_use_preimage_payload() {
+        let mut b = MessageBatch::new();
+        let e = std::sync::Arc::new(cedr_temporal::Event::primitive(
+            cedr_temporal::EventId(9),
+            iv(2, 8),
+            Payload::from_values(vec![Value::Int(42)]),
+        ));
+        b.push(Message::Retract(crate::message::Retraction {
+            event: e,
+            new_end: t(5),
+        }));
+        assert_eq!(b.payload_columns().value_at(0, 0), Value::Int(42));
     }
 
     #[test]

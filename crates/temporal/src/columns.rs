@@ -1,0 +1,414 @@
+//! Typed payload value columns: the struct-of-arrays form of a run of
+//! payloads.
+//!
+//! A [`PayloadColumns`] lays the payload attributes of a run of rows out as
+//! contiguous typed columns — `i64` / `f64` / string columns with null
+//! bitmaps, plus an exact [`Value`] fallback column for mixed-type runs —
+//! so a compiled kernel can sweep one attribute across a whole run without
+//! chasing one `Arc` per row.
+//!
+//! The cell-level contract is exact: for every row `i` and column `j`,
+//! [`PayloadColumns::value_at`] reproduces
+//! `payload.get(j).cloned().unwrap_or(Value::Null)` — the fallback
+//! `Scalar::eval_payload` uses — bit for bit. Ragged rows (payloads shorter
+//! than the widest row of the run, empty payloads, rows with no payload at
+//! all such as CTIs) and explicit `Value::Null` attributes both materialise
+//! as null-bitmap entries; `Int` and `Float` never promote into each other
+//! (`Value` equality is type-strict), so a column holding both keeps exact
+//! `Value`s instead.
+
+use crate::event::Payload;
+use crate::value::Value;
+use std::sync::Arc;
+
+/// One payload attribute laid out across a run of rows.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Column {
+    /// Every row is null (missing or explicit `Value::Null`). The row count
+    /// lives on the owning [`PayloadColumns`].
+    Null,
+    /// Homogeneous `Value::Int` rows; `nulls[i]` masks `vals[i]`.
+    Int { vals: Vec<i64>, nulls: Vec<bool> },
+    /// Homogeneous `Value::Float` rows; `nulls[i]` masks `vals[i]`.
+    Float { vals: Vec<f64>, nulls: Vec<bool> },
+    /// Homogeneous string rows; `None` is null.
+    Str(Vec<Option<Arc<str>>>),
+    /// Mixed-type (or boolean) rows kept as exact `Value`s. Missing cells
+    /// are stored as `Value::Null`, so no separate bitmap is needed.
+    Values(Vec<Value>),
+}
+
+impl Column {
+    /// The exact value of row `i`, reproducing
+    /// `payload.get(j).cloned().unwrap_or(Value::Null)`.
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            Column::Null => Value::Null,
+            Column::Int { vals, nulls } => {
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Int(vals[i])
+                }
+            }
+            Column::Float { vals, nulls } => {
+                if nulls[i] {
+                    Value::Null
+                } else {
+                    Value::Float(vals[i])
+                }
+            }
+            Column::Str(vals) => match &vals[i] {
+                Some(s) => Value::Str(s.clone()),
+                None => Value::Null,
+            },
+            Column::Values(vals) => vals[i].clone(),
+        }
+    }
+
+    /// Is row `i` null (missing, beyond the row's arity, or an explicit
+    /// `Value::Null`)?
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Column::Null => true,
+            Column::Int { nulls, .. } | Column::Float { nulls, .. } => nulls[i],
+            Column::Str(vals) => vals[i].is_none(),
+            Column::Values(vals) => matches!(vals[i], Value::Null),
+        }
+    }
+}
+
+/// Typed payload columns over a run of rows. Column `j` holds attribute
+/// `j` of every row; rows without a payload (e.g. CTI messages) read as
+/// all-null. Width is the maximum arity across the run, so mixed-arity
+/// runs are ragged: short rows read `Value::Null` beyond their own arity.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PayloadColumns {
+    cols: Vec<Column>,
+    rows: usize,
+}
+
+/// One column's speculative single-pass builder. A column starts `Empty`
+/// (nulls are implied by the row index), commits to the typed layout of
+/// its first non-null value, and demotes to exact `Values` the moment a
+/// second type appears — so homogeneous runs are built in one pass with
+/// no `Value` clones (primitives are copied, strings bump one `Arc`).
+enum ColBuilder {
+    /// Masked out by the caller: never materialised.
+    Skipped,
+    /// Only nulls so far (count implied by the current row index).
+    Empty,
+    Int {
+        vals: Vec<i64>,
+        nulls: Vec<bool>,
+    },
+    Float {
+        vals: Vec<f64>,
+        nulls: Vec<bool>,
+    },
+    Str(Vec<Option<Arc<str>>>),
+    Values(Vec<Value>),
+}
+
+impl ColBuilder {
+    /// Commit `Empty` to the layout of first non-null value `v`, with `i`
+    /// leading nulls.
+    fn start(i: usize, v: &Value, n: usize) -> ColBuilder {
+        let mut b = match v {
+            Value::Null => unreachable!("start is called on non-null cells"),
+            Value::Int(_) => ColBuilder::Int {
+                vals: Vec::with_capacity(n),
+                nulls: Vec::with_capacity(n),
+            },
+            Value::Float(_) => ColBuilder::Float {
+                vals: Vec::with_capacity(n),
+                nulls: Vec::with_capacity(n),
+            },
+            Value::Str(_) => ColBuilder::Str(Vec::with_capacity(n)),
+            Value::Bool(_) => ColBuilder::Values(Vec::with_capacity(n)),
+        };
+        for _ in 0..i {
+            b.push_null();
+        }
+        b.push(i, v, n);
+        b
+    }
+
+    fn push_null(&mut self) {
+        match self {
+            ColBuilder::Skipped | ColBuilder::Empty => {}
+            ColBuilder::Int { vals, nulls } => {
+                vals.push(0);
+                nulls.push(true);
+            }
+            ColBuilder::Float { vals, nulls } => {
+                vals.push(0.0);
+                nulls.push(true);
+            }
+            ColBuilder::Str(vals) => vals.push(None),
+            ColBuilder::Values(vals) => vals.push(Value::Null),
+        }
+    }
+
+    /// Demote a typed builder to exact `Values`, replaying what it holds.
+    fn demote(&mut self) {
+        let vals = match self {
+            ColBuilder::Int { vals, nulls } => vals
+                .iter()
+                .zip(nulls.iter())
+                .map(|(v, null)| if *null { Value::Null } else { Value::Int(*v) })
+                .collect(),
+            ColBuilder::Float { vals, nulls } => vals
+                .iter()
+                .zip(nulls.iter())
+                .map(|(v, null)| if *null { Value::Null } else { Value::Float(*v) })
+                .collect(),
+            ColBuilder::Str(vals) => vals
+                .iter()
+                .map(|v| match v {
+                    Some(s) => Value::Str(s.clone()),
+                    None => Value::Null,
+                })
+                .collect(),
+            _ => unreachable!("only typed builders demote"),
+        };
+        *self = ColBuilder::Values(vals);
+    }
+
+    /// Append row `i`'s cell (`n` = total rows, for capacity hints).
+    fn push(&mut self, i: usize, cell: &Value, n: usize) {
+        match (&mut *self, cell) {
+            (ColBuilder::Skipped, _) => {}
+            (_, Value::Null) => self.push_null(),
+            (ColBuilder::Empty, v) => *self = ColBuilder::start(i, v, n),
+            (ColBuilder::Int { vals, nulls }, Value::Int(x)) => {
+                vals.push(*x);
+                nulls.push(false);
+            }
+            (ColBuilder::Float { vals, nulls }, Value::Float(x)) => {
+                vals.push(*x);
+                nulls.push(false);
+            }
+            (ColBuilder::Str(vals), Value::Str(s)) => vals.push(Some(s.clone())),
+            (ColBuilder::Values(vals), v) => vals.push(v.clone()),
+            (_, v) => {
+                self.demote();
+                self.push(i, v, n);
+            }
+        }
+    }
+
+    fn finish(self) -> Column {
+        match self {
+            ColBuilder::Skipped | ColBuilder::Empty => Column::Null,
+            ColBuilder::Int { vals, nulls } => Column::Int { vals, nulls },
+            ColBuilder::Float { vals, nulls } => Column::Float { vals, nulls },
+            ColBuilder::Str(vals) => Column::Str(vals),
+            ColBuilder::Values(vals) => Column::Values(vals),
+        }
+    }
+}
+
+impl PayloadColumns {
+    /// Materialise columns over a run of rows; `None` rows (payload-less
+    /// messages) read as all-null.
+    pub fn from_rows<'a, I>(rows: I) -> PayloadColumns
+    where
+        I: IntoIterator<Item = Option<&'a Payload>>,
+    {
+        PayloadColumns::from_rows_where(rows, |_| true)
+    }
+
+    /// [`PayloadColumns::from_rows`], materialising only the columns `j`
+    /// with `keep(j)`. Skipped columns are left as cheap all-null
+    /// placeholders, so a caller that knows which attributes its kernels
+    /// read (a compiled fused chain) avoids scanning — and for string
+    /// columns, ref-counting — the attributes it never touches. Reads of
+    /// a skipped column return `Value::Null`, **not** the underlying
+    /// cell, so the mask must cover every column the caller evaluates.
+    pub fn from_rows_where<'a, I>(rows: I, keep: impl Fn(usize) -> bool) -> PayloadColumns
+    where
+        I: IntoIterator<Item = Option<&'a Payload>>,
+    {
+        let rows: Vec<Option<&Payload>> = rows.into_iter().collect();
+        let n = rows.len();
+        let width = rows
+            .iter()
+            .map(|p| p.map_or(0, |p| p.len()))
+            .max()
+            .unwrap_or(0);
+        let mut builders: Vec<ColBuilder> = (0..width)
+            .map(|j| {
+                if keep(j) {
+                    ColBuilder::Empty
+                } else {
+                    ColBuilder::Skipped
+                }
+            })
+            .collect();
+        // Single row-major pass: each builder speculates on its first
+        // non-null value's layout and demotes to `Values` on a mismatch.
+        for (i, row) in rows.iter().enumerate() {
+            for (j, b) in builders.iter_mut().enumerate() {
+                match row.and_then(|p| p.get(j)) {
+                    Some(v) => b.push(i, v, n),
+                    None => b.push_null(),
+                }
+            }
+        }
+        PayloadColumns {
+            cols: builders.into_iter().map(ColBuilder::finish).collect(),
+            rows: n,
+        }
+    }
+
+    /// Number of rows the columns were built over.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of materialised columns: the maximum payload arity across
+    /// the run. Reads beyond the width are `Value::Null`.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Column `j`, if within the width.
+    pub fn col(&self, j: usize) -> Option<&Column> {
+        self.cols.get(j)
+    }
+
+    /// The exact cell value: `payload.get(j).cloned().unwrap_or(Value::Null)`
+    /// of row `i`, including columns beyond the width (always null).
+    pub fn value_at(&self, j: usize, i: usize) -> Value {
+        match self.cols.get(j) {
+            Some(c) => c.value_at(i),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(vals: Vec<Value>) -> Payload {
+        Payload::from_values(vals)
+    }
+
+    /// The cell contract: `value_at(j, i)` is exactly the scalar
+    /// evaluator's `payload.get(j).cloned().unwrap_or(Value::Null)`.
+    fn assert_matches_rows(cols: &PayloadColumns, rows: &[Option<&Payload>]) {
+        assert_eq!(cols.rows(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            for j in 0..cols.width() + 2 {
+                let expect = row.and_then(|p| p.get(j)).cloned().unwrap_or(Value::Null);
+                assert_eq!(cols.value_at(j, i), expect, "row {i} col {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn homogeneous_int_column_is_typed() {
+        let a = p(vec![Value::Int(1)]);
+        let b = p(vec![Value::Int(2)]);
+        let cols = PayloadColumns::from_rows([Some(&a), Some(&b)]);
+        assert!(matches!(cols.col(0), Some(Column::Int { .. })));
+        assert_matches_rows(&cols, &[Some(&a), Some(&b)]);
+    }
+
+    #[test]
+    fn mixed_int_float_column_keeps_exact_values() {
+        // Int and Float must not promote into each other: `Value` equality
+        // is type-strict, so a projected Int(1) is not Float(1.0).
+        let a = p(vec![Value::Int(1)]);
+        let b = p(vec![Value::Float(1.0)]);
+        let cols = PayloadColumns::from_rows([Some(&a), Some(&b)]);
+        assert!(matches!(cols.col(0), Some(Column::Values(_))));
+        assert_eq!(cols.value_at(0, 0), Value::Int(1));
+        assert_eq!(cols.value_at(0, 1), Value::Float(1.0));
+        assert_ne!(cols.value_at(0, 0), cols.value_at(0, 1));
+    }
+
+    #[test]
+    fn ragged_short_empty_and_missing_rows_read_null() {
+        let wide = p(vec![Value::Int(1), Value::str("x"), Value::Float(2.0)]);
+        let short = p(vec![Value::Int(2)]);
+        let empty = p(vec![]);
+        let rows = [Some(&wide), Some(&short), Some(&empty), None];
+        let cols = PayloadColumns::from_rows(rows);
+        assert_eq!(cols.width(), 3);
+        assert_matches_rows(&cols, &rows);
+        // The short row's missing tail cells are nulls in the bitmaps.
+        assert!(cols.col(1).unwrap().is_null(1));
+        assert!(cols.col(2).unwrap().is_null(2));
+        assert!(cols.col(0).unwrap().is_null(3), "payload-less row");
+    }
+
+    #[test]
+    fn explicit_null_values_set_the_bitmap() {
+        let a = p(vec![Value::Null, Value::Int(1)]);
+        let b = p(vec![Value::Int(3), Value::Null]);
+        let rows = [Some(&a), Some(&b)];
+        let cols = PayloadColumns::from_rows(rows);
+        assert!(matches!(cols.col(0), Some(Column::Int { .. })));
+        assert!(cols.col(0).unwrap().is_null(0));
+        assert!(cols.col(1).unwrap().is_null(1));
+        assert_matches_rows(&cols, &rows);
+    }
+
+    #[test]
+    fn all_null_column_collapses() {
+        let a = p(vec![Value::Null]);
+        let b = p(vec![Value::Null]);
+        let cols = PayloadColumns::from_rows([Some(&a), Some(&b)]);
+        assert_eq!(cols.col(0), Some(&Column::Null));
+        assert_eq!(cols.value_at(0, 0), Value::Null);
+    }
+
+    #[test]
+    fn bool_and_str_mixes_fall_back_to_values() {
+        let a = p(vec![Value::Bool(true), Value::str("s")]);
+        let b = p(vec![Value::Bool(false), Value::Int(4)]);
+        let rows = [Some(&a), Some(&b)];
+        let cols = PayloadColumns::from_rows(rows);
+        assert!(matches!(cols.col(0), Some(Column::Values(_))), "bools");
+        assert!(matches!(cols.col(1), Some(Column::Values(_))), "str+int");
+        assert_matches_rows(&cols, &rows);
+    }
+
+    #[test]
+    fn str_column_shares_the_arcs() {
+        let s: Arc<str> = Arc::from("shared");
+        let a = p(vec![Value::Str(s.clone())]);
+        let cols = PayloadColumns::from_rows([Some(&a)]);
+        match cols.col(0) {
+            Some(Column::Str(vals)) => {
+                assert!(Arc::ptr_eq(vals[0].as_ref().unwrap(), &s));
+            }
+            other => panic!("expected a string column, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn masked_build_skips_unkept_columns() {
+        let a = p(vec![Value::Int(1), Value::str("x"), Value::Float(2.0)]);
+        let b = p(vec![Value::Int(2), Value::str("y"), Value::Float(3.0)]);
+        let cols = PayloadColumns::from_rows_where([Some(&a), Some(&b)], |j| j != 1);
+        assert_eq!(cols.width(), 3, "masking keeps the run's width");
+        assert!(matches!(cols.col(0), Some(Column::Int { .. })));
+        assert_eq!(cols.col(1), Some(&Column::Null), "skipped placeholder");
+        assert!(matches!(cols.col(2), Some(Column::Float { .. })));
+        assert_eq!(cols.value_at(0, 1), Value::Int(2));
+        assert_eq!(cols.value_at(2, 0), Value::Float(2.0));
+    }
+
+    #[test]
+    fn empty_run_has_no_columns() {
+        let cols = PayloadColumns::from_rows(std::iter::empty());
+        assert_eq!((cols.rows(), cols.width()), (0, 0));
+        let cols = PayloadColumns::from_rows([None, None]);
+        assert_eq!((cols.rows(), cols.width()), (2, 0));
+        assert_eq!(cols.value_at(0, 1), Value::Null);
+    }
+}

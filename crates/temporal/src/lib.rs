@@ -20,6 +20,7 @@
 //! the paper.
 
 pub mod bitemporal;
+pub mod columns;
 pub mod equivalence;
 pub mod event;
 pub mod history;
@@ -30,6 +31,7 @@ pub mod unitemporal;
 pub mod value;
 
 pub use bitemporal::{BiTemporalRow, BiTemporalTable};
+pub use columns::{Column, PayloadColumns};
 pub use equivalence::{
     logically_equivalent, logically_equivalent_at, logically_equivalent_to, EquivalenceOptions,
 };
@@ -44,6 +46,7 @@ pub use value::Value;
 /// Convenience prelude for downstream crates.
 pub mod prelude {
     pub use crate::bitemporal::{BiTemporalRow, BiTemporalTable};
+    pub use crate::columns::{Column, PayloadColumns};
     pub use crate::equivalence::{
         logically_equivalent, logically_equivalent_at, logically_equivalent_to, EquivalenceOptions,
     };

@@ -1,4 +1,4 @@
-//! Fused-vs-unfused collector bit-identity.
+//! Fused-vs-unfused (and compiled-vs-interpreted) collector bit-identity.
 //!
 //! The plan-time fusion pass (`cedr_lang::physical`) collapses maximal
 //! chains of adjacent stateless operators into single `FusedStatelessOp`
@@ -8,14 +8,23 @@
 //! module docs: the **collector output is bit-identical** — stamped tape,
 //! subscription deltas and output CTI — at every ⟨M, B⟩ consistency point.
 //!
+//! Fused chains additionally **compile column kernels** at registration:
+//! select/project trees become closures sweeping whole payload columns
+//! per delivery run instead of interpreting the stage IR per message.
+//! That changes *evaluation strategy*, so the same contract gains a third
+//! axis: compiled, interpreted and unfused plans must all produce the
+//! identical collector output.
+//!
 //! These tests drive identical scrambled, retraction-bearing,
-//! mid-stream-CTI workloads through a fused and an unfused engine
-//! (`EngineConfig::with_fuse`, the `CEDR_FUSE=0` escape hatch's in-process
-//! form) and compare exact tapes across seeds × {Strong, Middle, Weak,
+//! mid-stream-CTI workloads through compiled, interpreted and unfused
+//! engines (`EngineConfig::with_fuse` / `with_compile_kernels`, the
+//! in-process forms of the `CEDR_FUSE=0` / `CEDR_COMPILE=0` escape
+//! hatches) and compare exact tapes across seeds × {Strong, Middle, Weak,
 //! biting-horizon Weak} × worker counts {1, 4}, over chains that exercise
 //! every stage family — including **partial fusion**, a chain broken by a
 //! stateful group-aggregate mid-pipeline that fuses on both sides of the
-//! break.
+//! break, and **type-confused runs**, where a union below a shared fused
+//! chain mixes differently-shaped payload layouts in one delivery run.
 
 use cedr::algebra::{DeltaFn, VsFn};
 use cedr::core::prelude::*;
@@ -83,14 +92,20 @@ fn register_queries(engine: &mut Engine, spec: ConsistencySpec) -> Vec<QueryId> 
 }
 
 /// Run the tape chunked (several delivery rounds, so mid-stream CTIs
-/// cascade through live boundary state) on a fused or unfused engine.
+/// cascade through live boundary state) on a fused-compiled,
+/// fused-interpreted or unfused engine.
 fn run(
     spec: ConsistencySpec,
     tape: &[Message],
     threads: usize,
     fuse: bool,
+    compile: bool,
 ) -> (Engine, Vec<QueryId>) {
-    let mut engine = Engine::with_config(EngineConfig::threaded(threads).with_fuse(fuse));
+    let mut engine = Engine::with_config(
+        EngineConfig::threaded(threads)
+            .with_fuse(fuse)
+            .with_compile_kernels(compile),
+    );
     let qs = register_queries(&mut engine, spec);
     let batch: MessageBatch = tape.iter().cloned().collect();
     for chunk in batch.chunks_of(9) {
@@ -112,44 +127,81 @@ const LEVELS: [Level; 4] = [
 
 /// The pin: across seeds × levels × worker counts, every query's stamped
 /// tape, subscription delta stream and output guarantee are identical
-/// between the fused and unfused graphs — and fusion actually engaged.
+/// between the unfused, fused-interpreted and fused-compiled graphs — and
+/// each execution mode genuinely engaged (no silent fallback).
 #[test]
 fn fused_matches_unfused_bit_for_bit_across_seeds_levels_workers() {
     for (spec, level) in LEVELS {
         for seed in [0xA11CE_u64, 0x5EED5] {
             let tape = tape(seed);
             for threads in [1usize, 4] {
-                let (unfused, qs_u) = run(spec(), &tape, threads, false);
-                let (fused, qs_f) = run(spec(), &tape, threads, true);
-                for (a, b) in qs_u.iter().zip(qs_f.iter()) {
+                let (unfused, qs_u) = run(spec(), &tape, threads, false, false);
+                let (interp, qs_i) = run(spec(), &tape, threads, true, false);
+                let (compiled, qs_c) = run(spec(), &tape, threads, true, true);
+                for ((a, b), c) in qs_u.iter().zip(qs_i.iter()).zip(qs_c.iter()) {
+                    let name = unfused.query_name(*a);
+                    let reference = unfused.collector(*a).stamped();
                     assert_eq!(
-                        unfused.collector(*a).stamped(),
-                        fused.collector(*b).stamped(),
-                        "{level}/seed {seed:#x}/threads {threads}: {} tape diverged",
-                        unfused.query_name(*a),
+                        reference,
+                        interp.collector(*b).stamped(),
+                        "{level}/seed {seed:#x}/threads {threads}: {name} interpreted tape diverged",
+                    );
+                    assert_eq!(
+                        reference,
+                        compiled.collector(*c).stamped(),
+                        "{level}/seed {seed:#x}/threads {threads}: {name} compiled tape diverged",
                     );
                     assert_eq!(
                         unfused.collector(*a).max_cti(),
-                        fused.collector(*b).max_cti(),
-                        "{level}/seed {seed:#x}/threads {threads}: {} guarantee diverged",
-                        unfused.query_name(*a),
+                        interp.collector(*b).max_cti(),
+                        "{level}/seed {seed:#x}/threads {threads}: {name} guarantee diverged",
                     );
-                    let (mut su, mut sf) =
-                        (unfused.subscribe(*a).unwrap(), fused.subscribe(*b).unwrap());
                     assert_eq!(
-                        su.drain_ready(&unfused),
-                        sf.drain_ready(&fused),
-                        "{level}/seed {seed:#x}/threads {threads}: {} deltas diverged",
-                        unfused.query_name(*a),
+                        unfused.collector(*a).max_cti(),
+                        compiled.collector(*c).max_cti(),
+                        "{level}/seed {seed:#x}/threads {threads}: {name} compiled guarantee diverged",
+                    );
+                    let (mut su, mut si, mut sc) = (
+                        unfused.subscribe(*a).unwrap(),
+                        interp.subscribe(*b).unwrap(),
+                        compiled.subscribe(*c).unwrap(),
+                    );
+                    let deltas = su.drain_ready(&unfused);
+                    assert_eq!(
+                        deltas,
+                        si.drain_ready(&interp),
+                        "{level}/seed {seed:#x}/threads {threads}: {name} deltas diverged",
+                    );
+                    assert_eq!(
+                        deltas,
+                        sc.drain_ready(&compiled),
+                        "{level}/seed {seed:#x}/threads {threads}: {name} compiled deltas diverged",
                     );
                     // Fusion genuinely engaged (no silent fallback)…
                     assert!(
-                        fused.stats(*b).fused_stages >= 2,
-                        "{}: fusion did not engage",
-                        fused.query_name(*b),
+                        interp.stats(*b).fused_stages >= 2,
+                        "{name}: fusion did not engage",
                     );
-                    // …and the reference graph genuinely ran unfused.
+                    assert!(
+                        compiled.stats(*c).fused_stages >= 2,
+                        "{name}: fusion did not engage (compiled)",
+                    );
+                    // …the reference graph genuinely ran unfused…
                     assert_eq!(unfused.stats(*a).fused_stages, 0);
+                    // …and the compiled fast path is live: select-bearing
+                    // chains swept bitmaps, while the interpreted engine
+                    // never compiled a kernel.
+                    if name != "hopping" {
+                        assert!(
+                            compiled.stats(*c).compiled_kernel_runs > 0,
+                            "{name}: compiled kernels did not engage",
+                        );
+                    }
+                    assert_eq!(
+                        interp.stats(*b).compiled_kernel_runs,
+                        0,
+                        "{name}: interpreted engine ran compiled kernels",
+                    );
                 }
             }
         }
@@ -162,8 +214,8 @@ fn fused_matches_unfused_bit_for_bit_across_seeds_levels_workers() {
 #[test]
 fn partial_fusion_fuses_both_sides_of_a_stateful_break() {
     let spec = ConsistencySpec::middle();
-    let (fused, qs_f) = run(spec, &tape(0xA11CE), 1, true);
-    let (unfused, qs_u) = run(spec, &tape(0xA11CE), 1, false);
+    let (fused, qs_f) = run(spec, &tape(0xA11CE), 1, true, true);
+    let (unfused, qs_u) = run(spec, &tape(0xA11CE), 1, false, false);
     let q = qs_f[2]; // partial
     assert_eq!(fused.stats(q).fused_stages, 4, "2 + 2 flanking stages");
     let fused_nodes = fused.node_stats(q).len();
@@ -185,22 +237,40 @@ fn partial_fusion_fuses_both_sides_of_a_stateful_break() {
 }
 
 /// The explain surface renders the fusion outcome: collapsed chains with
-/// their lengths on a fused engine, an explicit `unfused` marker on the
-/// escape hatch.
+/// their lengths and execution mode on a fused engine, an explicit
+/// `unfused` marker on the escape hatch.
 #[test]
 fn explain_renders_fused_chains_and_the_escape_hatch() {
     let spec = ConsistencySpec::middle();
-    let mut fused = Engine::with_config(EngineConfig::serial().with_fuse(true));
+    let mut fused = Engine::with_config(
+        EngineConfig::serial()
+            .with_fuse(true)
+            .with_compile_kernels(true),
+    );
     let qs = register_queries(&mut fused, spec);
     let e3 = fused.explain(qs[0]);
     assert!(
-        e3.contains("fused[3]: select→project→slice"),
-        "chain3 explain missing the fused chain:\n{e3}"
+        e3.contains("fused[3] compiled: select→project→slice"),
+        "chain3 explain missing the compiled fused chain:\n{e3}"
     );
     let ep = fused.explain(qs[2]);
     assert!(
         ep.contains("fused[2]"),
         "partial explain missing its fused flanks:\n{ep}"
+    );
+    // The interpreted escape hatch is visible per chain.
+    let mut interp = Engine::with_config(
+        EngineConfig::serial()
+            .with_fuse(true)
+            .with_compile_kernels(false),
+    );
+    let qs_i = register_queries(&mut interp, spec);
+    assert!(
+        interp
+            .explain(qs_i[0])
+            .contains("fused[3] interpreted: select→project→slice"),
+        "interpreted explain missing its mode marker:\n{}",
+        interp.explain(qs_i[0])
     );
     let mut unfused = Engine::with_config(EngineConfig::serial().with_fuse(false));
     let qs_u = register_queries(&mut unfused, spec);
@@ -225,14 +295,19 @@ fn explain_renders_fused_chains_and_the_escape_hatch() {
 }
 
 /// Single-message ingestion exercises the fused `on_insert`/`on_retract`
-/// paths (no run, no columnar view) — same pin, per-message.
+/// paths (no run, no columnar view — compiled kernels fall back to
+/// per-row evaluation) — same pin, per-message, on both execution modes.
 #[test]
 #[allow(deprecated)]
 fn fused_per_message_path_matches_unfused() {
     for (spec, level) in LEVELS {
         let tape = tape(0x5EED5);
-        let drive = |fuse: bool| {
-            let mut engine = Engine::with_config(EngineConfig::serial().with_fuse(fuse));
+        let drive = |fuse: bool, compile: bool| {
+            let mut engine = Engine::with_config(
+                EngineConfig::serial()
+                    .with_fuse(fuse)
+                    .with_compile_kernels(compile),
+            );
             let qs = register_queries(&mut engine, spec());
             for m in &tape {
                 engine.push("A_T", m.clone()).unwrap();
@@ -240,14 +315,124 @@ fn fused_per_message_path_matches_unfused() {
             engine.seal();
             (engine, qs)
         };
-        let (unfused, qs_u) = drive(false);
-        let (fused, qs_f) = drive(true);
-        for (a, b) in qs_u.iter().zip(qs_f.iter()) {
+        let (unfused, qs_u) = drive(false, false);
+        let (interp, qs_i) = drive(true, false);
+        let (compiled, qs_c) = drive(true, true);
+        for ((a, b), c) in qs_u.iter().zip(qs_i.iter()).zip(qs_c.iter()) {
+            let reference = unfused.collector(*a).stamped();
             assert_eq!(
-                unfused.collector(*a).stamped(),
-                fused.collector(*b).stamped(),
+                reference,
+                interp.collector(*b).stamped(),
                 "{level}: {} per-message tape diverged",
                 unfused.query_name(*a),
+            );
+            assert_eq!(
+                reference,
+                compiled.collector(*c).stamped(),
+                "{level}: {} per-message compiled tape diverged",
+                unfused.query_name(*a),
+            );
+        }
+    }
+}
+
+/// Type confusion through one shared chain: two event types with
+/// different payload layouts (a lone Int vs Str/Float/Int) meet in a
+/// union *below* a fused select→project chain, so single delivery runs
+/// mix widths and types. The payload columns must degrade to the exact
+/// per-value fallback — never promote across types — and the compiled
+/// sweep must reproduce `eval_payload`'s tag-ordered comparison (Str
+/// outranks every Int, so all B rows pass `Field(0) ≥ 2`) and
+/// out-of-width nulls (A rows project `Field(1)` as Null) bit for bit.
+#[test]
+fn type_confused_union_runs_share_one_fused_chain() {
+    let a_tape = tape(0xA11CE);
+    let b_tape = {
+        let mut b = StreamBuilder::with_id_base(90_000);
+        for i in 0..32u64 {
+            let vs = (i * 13 + 1) % 200;
+            let e = b.insert(
+                Interval::new(t(vs), t(vs + 25)),
+                Payload::from_values(vec![
+                    Value::str(if i % 4 == 0 { "alpha" } else { "beta" }),
+                    Value::Float(i as f64 * 1.5 - 8.0),
+                    Value::Int(i as i64 % 7 - 3),
+                ]),
+            );
+            if i % 5 == 0 {
+                b.retract(e.clone(), e.vs() + dur(5));
+            }
+        }
+        let ordered = b.build_ordered(Some(dur(15)), true);
+        cedr::streams::scramble(&ordered, &DisorderConfig::heavy(0xB0B, 30, 4))
+    };
+    for (spec, level) in LEVELS {
+        for threads in [1usize, 4] {
+            let drive = |fuse: bool, compile: bool| {
+                let mut engine = Engine::with_config(
+                    EngineConfig::threaded(threads)
+                        .with_fuse(fuse)
+                        .with_compile_kernels(compile),
+                );
+                engine.register_event_type("A_T", vec![("val", FieldType::Int)]);
+                engine.register_event_type(
+                    "B_T",
+                    vec![
+                        ("name", FieldType::Str),
+                        ("score", FieldType::Float),
+                        ("val", FieldType::Int),
+                    ],
+                );
+                let plan = PlanBuilder::source("A_T")
+                    .union(PlanBuilder::source("B_T"))
+                    .select(Pred::cmp(Scalar::Field(0), CmpOp::Ge, Scalar::lit(2i64)))
+                    .project(
+                        vec![Scalar::Field(0), Scalar::Field(1)],
+                        vec!["k".into(), "x".into()],
+                    )
+                    .into_plan();
+                let q = engine.register_plan("confused", plan, spec()).unwrap();
+                let (ba, bb): (MessageBatch, MessageBatch) = (
+                    a_tape.iter().cloned().collect(),
+                    b_tape.iter().cloned().collect(),
+                );
+                // Interleave chunks from both providers so delivery runs
+                // at the fused node mix the two layouts.
+                let (ca, cb) = (ba.chunks_of(9), bb.chunks_of(7));
+                for i in 0..ca.len().max(cb.len()) {
+                    if let Some(chunk) = ca.get(i) {
+                        engine.enqueue_batch("A_T", chunk).unwrap();
+                    }
+                    if let Some(chunk) = cb.get(i) {
+                        engine.enqueue_batch("B_T", chunk).unwrap();
+                    }
+                    engine.run_to_quiescence();
+                }
+                engine.seal();
+                (engine, q)
+            };
+            let (unfused, q_u) = drive(false, false);
+            let (interp, q_i) = drive(true, false);
+            let (compiled, q_c) = drive(true, true);
+            let reference = unfused.collector(q_u).stamped();
+            assert!(
+                !reference.is_empty(),
+                "{level}/threads {threads}: workload produced no output"
+            );
+            assert_eq!(
+                reference,
+                interp.collector(q_i).stamped(),
+                "{level}/threads {threads}: interpreted tape diverged"
+            );
+            assert_eq!(
+                reference,
+                compiled.collector(q_c).stamped(),
+                "{level}/threads {threads}: compiled tape diverged"
+            );
+            assert!(
+                compiled.stats(q_c).fused_stages >= 2
+                    && compiled.stats(q_c).compiled_kernel_runs > 0,
+                "{level}/threads {threads}: compiled fused chain did not engage"
             );
         }
     }

@@ -81,6 +81,39 @@
 //! outputs at every consistency level; queries are independent dataflows,
 //! which makes the deterministic merge argument of
 //! [`cedr_runtime::scheduler`] trivial at this layer.
+//!
+//! # Durability
+//!
+//! [`Engine::checkpoint`] serializes the **complete engine image** at a
+//! quiescent round boundary — per-operator state across every operator
+//! family (stateless boundary/alignment state, group-aggregate tables,
+//! join indexes, sequence/negation state), the channel pump's
+//! resequencer (buffered emissions and per-producer cursors), each
+//! query's collector (history tables, stamped tape, subscription delta
+//! log), the sharded routing table, the engine configuration and round
+//! counters — into a versioned, length-prefixed binary image (see
+//! [`cedr_durable`]) whose manifest carries the format version, the
+//! round number, a configuration hash and a content checksum.
+//! [`Engine::restore`] validates the whole image (framing, checksums,
+//! format version, configuration hash, section inventory) **before**
+//! mutating anything, then rebuilds an identically configured engine —
+//! one with the same event types and queries registered in the same
+//! order — into the exact state the checkpointed engine held. Recovery
+//! is *invisible at the tape level*: replaying the remaining emissions
+//! into the restored engine produces stamped tapes, subscription deltas
+//! and output CTIs **bit-identical** to the run that never failed, at
+//! every consistency level, thread count and fusion/compilation mode
+//! (`tests/recovery.rs` pins this). A corrupt, truncated or
+//! version-mismatched image fails with a typed
+//! [`EngineError::CheckpointCorrupt`] naming the offending section and
+//! leaves the engine untouched; [`Engine::seal`] after a restore behaves
+//! exactly as on an engine that was never checkpointed. Channel
+//! producers reattach by calling [`Engine::channel_source`] in the same
+//! order as the original run: restored open lanes are handed back,
+//! emission cursors intact, before fresh producer keys are minted.
+//! Subscriptions are plain positions into the restored delta logs, so a
+//! consumer can resume its cursor ([`crate::Subscription::position`])
+//! unchanged.
 
 use crate::ingest::{ChannelIngress, ChannelSource, IngressStats};
 use crate::session::{SourceHandle, Subscription};
@@ -158,6 +191,25 @@ pub enum EngineError {
     /// The engine was sealed ([`Engine::seal`]): every input already
     /// carries `CTI(∞)`, so no further ingestion is possible.
     Sealed,
+    /// [`Engine::checkpoint`] was called away from a quiescent round
+    /// boundary: staged ingress, undelivered dataflow queues or pending
+    /// shell work would be lost by a boundary image. Drain first
+    /// ([`Engine::run_to_quiescence`] / [`Engine::pump`]).
+    NotQuiescent {
+        detail: String,
+    },
+    /// [`Engine::restore`] rejected a checkpoint image, naming the
+    /// offending section (`"header"`, `"manifest"`, `"engine"`,
+    /// `"channel"` or a `"query:…"` section). The engine is only mutated
+    /// once the whole image has been validated, so a corrupt, truncated
+    /// or mismatched image leaves it exactly as it was.
+    CheckpointCorrupt {
+        section: String,
+        detail: String,
+    },
+    /// An I/O failure while writing ([`Engine::checkpoint`]) or reading
+    /// ([`Engine::restore`]) a checkpoint image.
+    CheckpointIo(std::io::Error),
 }
 
 impl fmt::Display for EngineError {
@@ -210,6 +262,18 @@ impl fmt::Display for EngineError {
                 f,
                 "engine is sealed (CTI ∞ broadcast); no further ingestion is possible"
             ),
+            EngineError::NotQuiescent { detail } => write!(
+                f,
+                "checkpoint requires a quiescent round boundary: {detail}; drain with \
+                 run_to_quiescence() or pump() first"
+            ),
+            EngineError::CheckpointCorrupt { section, detail } => {
+                write!(
+                    f,
+                    "checkpoint image rejected at section '{section}': {detail}"
+                )
+            }
+            EngineError::CheckpointIo(e) => write!(f, "checkpoint I/O failure: {e}"),
         }
     }
 }
@@ -222,11 +286,11 @@ impl From<LangError> for EngineError {
     }
 }
 
-struct RunningQuery {
-    name: String,
-    plan: LoweredPlan,
-    spec: ConsistencySpec,
-    explain: String,
+pub(crate) struct RunningQuery {
+    pub(crate) name: String,
+    pub(crate) plan: LoweredPlan,
+    pub(crate) spec: ConsistencySpec,
+    pub(crate) explain: String,
 }
 
 /// Default bound on staged messages per routing shard (see
@@ -416,34 +480,37 @@ pub(crate) fn validate_arity(
 /// One slice of the sharded routing table: the queries assigned to one
 /// worker, their event-type subscriptions, and their staged ingress.
 #[derive(Default)]
-struct EngineShard {
+pub(crate) struct EngineShard {
     /// Event-type name → subscribers whose query lives in this shard.
-    routing: HashMap<String, SubscriberList>,
+    pub(crate) routing: HashMap<String, SubscriberList>,
     /// Staged batches awaiting the next drain, in enqueue order, each with
     /// the `(query, port)` subscribers it fans out to (one shared batch
     /// clone per shard, not per subscriber).
-    ingress: Vec<(MessageBatch, SubscriberList)>,
+    pub(crate) ingress: Vec<(MessageBatch, SubscriberList)>,
     /// Total messages across `ingress` — the quantity bounded by
     /// [`EngineConfig::ingress_capacity`].
-    staged_msgs: usize,
+    pub(crate) staged_msgs: usize,
     /// Staged/admitted/backpressure counters for this shard's ingress.
-    stats: IngressStats,
+    pub(crate) stats: IngressStats,
 }
 
 /// The CEDR engine.
 pub struct Engine {
-    catalog: Catalog,
-    queries: Vec<RunningQuery>,
+    pub(crate) catalog: Catalog,
+    pub(crate) queries: Vec<RunningQuery>,
     /// Routing shards; query `q` lives in shard `shard_of_query[q]`.
     /// Rebuilt incrementally at registration; makes `push` lookups instead
     /// of a scan over every standing query.
-    shards: Vec<EngineShard>,
-    shard_of_query: Vec<usize>,
-    config: EngineConfig,
-    next_event_id: u64,
+    pub(crate) shards: Vec<EngineShard>,
+    pub(crate) shard_of_query: Vec<usize>,
+    pub(crate) config: EngineConfig,
+    pub(crate) next_event_id: u64,
+    /// Quiescence passes completed — the engine's round counter, stamped
+    /// into checkpoint manifests ([`Engine::checkpoint`]).
+    pub(crate) rounds_completed: u64,
     /// Set by [`Engine::seal`]: every input carries `CTI(∞)`, ingestion is
     /// over. Sealing is idempotent; ingestion afterwards is a typed error.
-    sealed: bool,
+    pub(crate) sealed: bool,
     /// Channel-source ingress (mpsc + resequencer), created lazily by the
     /// first [`Engine::channel_source`] call; drained by [`Engine::pump`].
     pub(crate) channel: Option<ChannelIngress>,
@@ -466,9 +533,16 @@ impl Engine {
             shard_of_query: Vec::new(),
             config,
             next_event_id: 1,
+            rounds_completed: 0,
             sealed: false,
             channel: None,
         }
+    }
+
+    /// Quiescence passes completed so far — the round counter stamped
+    /// into checkpoint manifests.
+    pub fn rounds_completed(&self) -> u64 {
+        self.rounds_completed
     }
 
     /// The active execution configuration.
@@ -650,9 +724,18 @@ impl Engine {
         let ch = self
             .channel
             .get_or_insert_with(|| ChannelIngress::new(depth));
-        let key = ch.next_key;
-        ch.next_key += 1;
-        ch.reseq.register(key);
+        // A restore leaves the checkpointed open lanes waiting for their
+        // producers to come back: reattach to those (emission cursor
+        // intact, ascending key order) before minting fresh keys.
+        let (key, emitted) = match ch.resume_keys.pop_front() {
+            Some(resume) => resume,
+            None => {
+                let key = ch.next_key;
+                ch.next_key += 1;
+                ch.reseq.register(key);
+                (key, 0)
+            }
+        };
         Ok(ChannelSource::new(
             Arc::from(event_type),
             arity,
@@ -661,6 +744,7 @@ impl Engine {
             key,
             Arc::clone(&ch.board),
             ch.depth,
+            emitted,
         ))
     }
 
@@ -903,6 +987,7 @@ impl Engine {
     /// receives its batches in enqueue order, so the two modes are
     /// bit-identical.
     pub fn run_to_quiescence(&mut self) {
+        self.rounds_completed += 1;
         let busy = self.shards.iter().filter(|s| !s.ingress.is_empty()).count();
         if self.config.threads <= 1 || busy <= 1 {
             let mut drained: Vec<(MessageBatch, SubscriberList)> = Vec::new();

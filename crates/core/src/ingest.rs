@@ -94,6 +94,7 @@ use std::sync::{Arc, Mutex};
 const CHANNEL_ID_SHIFT: u32 = 44;
 
 /// One flushed emission crossing the provider → engine channel.
+#[derive(Clone)]
 pub(crate) struct IngressBatch {
     pub(crate) key: u64,
     pub(crate) seq: u64,
@@ -149,6 +150,19 @@ pub(crate) struct ChannelIngress {
     pub(crate) reseq: Resequencer<IngressBatch>,
     pub(crate) next_key: u64,
     pub(crate) depth: usize,
+    /// `(producer key, emission cursor)` of lanes a checkpoint restore
+    /// left open, in ascending key order. The next
+    /// [`Engine::channel_source`](crate::Engine::channel_source) calls
+    /// reattach to these lanes (cursor intact) instead of minting fresh
+    /// keys, so a restored topology resumes where the original left off.
+    /// Transient: never part of a checkpoint image.
+    pub(crate) resume_keys: std::collections::VecDeque<(u64, u64)>,
+    /// Stall gauge feeding [`PumpProgress::waiting_on`] /
+    /// [`PumpProgress::rounds_stalled`]: the producer the resequencer's
+    /// canonical line was last blocked on, and for how many consecutive
+    /// pump checks. Transient observability, never persisted.
+    pub(crate) stalled_on: Option<u64>,
+    pub(crate) stalled_rounds: u64,
 }
 
 impl ChannelIngress {
@@ -161,6 +175,9 @@ impl ChannelIngress {
             reseq: Resequencer::new(),
             next_key: 1,
             depth,
+            resume_keys: std::collections::VecDeque::new(),
+            stalled_on: None,
+            stalled_rounds: 0,
         }
     }
 }
@@ -180,6 +197,17 @@ pub struct PumpProgress {
     pub open_producers: usize,
     /// Batches buffered ahead of their canonical turn (producer skew).
     pub buffered_batches: usize,
+    /// When the resequencer's canonical line is blocked — other
+    /// producers' emissions are buffered behind a producer that has not
+    /// emitted — the key of the awaited producer (`None` when nothing is
+    /// blocked; an idle channel with no skew buffered is not a stall).
+    /// Pure observability — admission behavior is unchanged.
+    pub waiting_on: Option<u64>,
+    /// Consecutive pump checks the line has been blocked on
+    /// [`PumpProgress::waiting_on`] without admitting a round; resets to
+    /// zero whenever the awaited producer emits (or the stall moves to a
+    /// different producer, which restarts the count at 1).
+    pub rounds_stalled: u64,
 }
 
 /// Per-shard ingress observability: what was staged onto the bounded
@@ -255,6 +283,14 @@ pub struct ChannelSource {
 }
 
 impl ChannelSource {
+    /// `emitted` is the starting emission cursor: 0 for a fresh producer,
+    /// or the restored lane cursor when reattaching after
+    /// [`Engine::restore`](crate::Engine::restore) (the next flush gets
+    /// the seq the resequencer lane expects). The event-ID allocator
+    /// always starts at 0 — a resumed producer replaying a tape should
+    /// stage pre-minted events ([`ChannelSource::insert_event`] /
+    /// [`ChannelSource::stage_batch`]) rather than re-minting.
+    #[allow(clippy::too_many_arguments)] // crate-internal constructor; one call site
     pub(crate) fn new(
         event_type: Arc<str>,
         arity: usize,
@@ -263,6 +299,7 @@ impl ChannelSource {
         key: u64,
         board: Arc<DisconnectBoard>,
         depth: usize,
+        emitted: u64,
     ) -> Self {
         debug_assert!(key < (1 << (64 - CHANNEL_ID_SHIFT)), "key space exhausted");
         ChannelSource {
@@ -272,7 +309,7 @@ impl ChannelSource {
             tx,
             core: Arc::new(ProducerCore {
                 key,
-                emitted: Mutex::new(0),
+                emitted: Mutex::new(emitted),
                 minted: AtomicU64::new(0),
                 live: AtomicU64::new(1),
                 board,
@@ -615,6 +652,7 @@ impl Engine {
                 }
             }
             // Admit every ready round, one quiescence pass each.
+            let rounds_before = progress.rounds;
             loop {
                 let round = {
                     let ch = self.channel.as_mut().expect("checked above");
@@ -650,6 +688,35 @@ impl Engine {
             };
             progress.open_producers = open;
             progress.buffered_batches = buffered;
+            // Stall observability: when the canonical line is blocked —
+            // buffered skew is waiting behind a producer that has not
+            // emitted — name that producer and count consecutive blocked
+            // checks. `Pending` with nothing buffered is mere idleness,
+            // not a stall. Re-polling `next_round` here is safe — the
+            // admit loop above already drained every `Ready` round, so
+            // the status can only be `Pending` or `Idle`.
+            {
+                let admitted_this_pass = progress.rounds > rounds_before;
+                let ch = self.channel.as_mut().expect("checked above");
+                match ch.reseq.next_round() {
+                    RoundStatus::Pending { waiting_on } if ch.reseq.buffered() > 0 => {
+                        if admitted_this_pass || ch.stalled_on != Some(waiting_on) {
+                            ch.stalled_on = Some(waiting_on);
+                            ch.stalled_rounds = 1;
+                        } else {
+                            ch.stalled_rounds += 1;
+                        }
+                        progress.waiting_on = Some(waiting_on);
+                        progress.rounds_stalled = ch.stalled_rounds;
+                    }
+                    _ => {
+                        ch.stalled_on = None;
+                        ch.stalled_rounds = 0;
+                        progress.waiting_on = None;
+                        progress.rounds_stalled = 0;
+                    }
+                }
+            }
             // Every releasable round was admitted above, so a buffer still
             // at capacity means the line is stalled on a producer that has
             // not emitted — surface the bound as a typed error rather than

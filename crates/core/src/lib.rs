@@ -46,6 +46,7 @@
 //! ```
 
 pub mod builder;
+mod checkpoint;
 pub mod engine;
 pub mod ingest;
 pub mod session;

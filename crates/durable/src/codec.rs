@@ -1,0 +1,422 @@
+//! The hand-rolled binary codec behind checkpoint images.
+//!
+//! The vendored `serde` is a no-op stand-in, so durability cannot lean on
+//! derived serialization; instead every persisted type implements
+//! [`Persist`] by hand against a deliberately small wire vocabulary:
+//! little-endian fixed-width integers, `f64` as raw IEEE bits (so floats
+//! round-trip *bit-identically*, NaNs and signed zeros included),
+//! length-prefixed UTF-8 strings, and tag bytes for enums. Nothing is
+//! implicit: the encoding of a value is a pure function of the value, never
+//! of hash-map iteration order or platform endianness, which is what makes
+//! `checkpoint → restore → checkpoint` byte-equality testable.
+//!
+//! Decoding is total: every primitive read is bounds-checked and every tag
+//! validated, returning a typed [`CodecError`] (never panicking) so a
+//! truncated or corrupt image surfaces as an error naming the offending
+//! section — see [`crate::image`] for the framing that attributes errors.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A decoding failure: what went wrong and (once framing attributes it)
+/// which image section it happened in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// The image section the error was attributed to; empty until the
+    /// framing layer calls [`CodecError::in_section`].
+    pub section: String,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+impl CodecError {
+    pub fn new(detail: impl Into<String>) -> CodecError {
+        CodecError {
+            section: String::new(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Attribute this error to `section` (first attribution wins, so the
+    /// innermost framing layer names the section).
+    pub fn in_section(mut self, section: &str) -> CodecError {
+        if self.section.is_empty() {
+            self.section = section.to_string();
+        }
+        self
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.section.is_empty() {
+            write!(f, "{}", self.detail)
+        } else {
+            write!(f, "section `{}`: {}", self.section, self.detail)
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A bounds-checked cursor over an encoded byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::new(format!(
+                "unexpected end of data: wanted {n} bytes, {} left",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Consume a `u64` length prefix and return a sub-reader over exactly
+    /// that many bytes (used for nested, independently parseable blobs).
+    pub fn sub_reader(&mut self) -> Result<Reader<'a>, CodecError> {
+        let len = u64::decode(self)? as usize;
+        Ok(Reader::new(self.take(len)?))
+    }
+
+    /// Error unless every byte was consumed — catches images whose payload
+    /// is longer than its type expects (a symptom of version skew).
+    pub fn expect_exhausted(&self) -> Result<(), CodecError> {
+        if self.is_empty() {
+            Ok(())
+        } else {
+            Err(CodecError::new(format!(
+                "{} trailing bytes after decode",
+                self.remaining()
+            )))
+        }
+    }
+}
+
+/// Hand-rolled binary serialization: deterministic encode into a byte
+/// buffer, total (never-panicking) decode out of a [`Reader`].
+pub trait Persist: Sized {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Encode as a `u64` length-prefixed blob (pairs with
+    /// [`Reader::sub_reader`]).
+    fn encode_prefixed(&self, out: &mut Vec<u8>) {
+        let mut blob = Vec::new();
+        self.encode(&mut blob);
+        (blob.len() as u64).encode(out);
+        out.extend_from_slice(&blob);
+    }
+}
+
+impl Persist for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(r.take(1)?[0])
+    }
+}
+
+impl Persist for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(u32::from_le_bytes(r.take(4)?.try_into().unwrap()))
+    }
+}
+
+impl Persist for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(u64::from_le_bytes(r.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl Persist for i64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(i64::from_le_bytes(r.take(8)?.try_into().unwrap()))
+    }
+}
+
+impl Persist for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let v = u64::decode(r)?;
+        usize::try_from(v).map_err(|_| CodecError::new(format!("usize overflow: {v}")))
+    }
+}
+
+impl Persist for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take(1)?[0] {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CodecError::new(format!("invalid bool byte {b:#04x}"))),
+        }
+    }
+}
+
+/// `f64` round-trips through its raw IEEE-754 bits: bit-identity survives
+/// NaN payloads and signed zeros.
+impl Persist for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(f64::from_bits(u64::decode(r)?))
+    }
+}
+
+impl Persist for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = u64::decode(r)? as usize;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::new("invalid UTF-8 in string"))
+    }
+}
+
+impl Persist for Arc<str> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Arc::from(String::decode(r)?.as_str()))
+    }
+}
+
+impl<T: Persist> Persist for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.take(1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            b => Err(CodecError::new(format!("invalid Option tag {b:#04x}"))),
+        }
+    }
+}
+
+impl<T: Persist> Persist for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let len = u64::decode(r)? as usize;
+        // Guard the preallocation: a corrupt length must not OOM before
+        // the per-item reads run out of bytes.
+        let mut out = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Persist> Persist for Arc<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (**self).encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Arc::new(T::decode(r)?))
+    }
+}
+
+impl<A: Persist, B: Persist> Persist for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: Persist, B: Persist, C: Persist> Persist for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+/// FNV-1a 64-bit: the checkpoint checksum. Seed-free and stable across
+/// platforms and runs (unlike `std`'s randomly seeded hasher), so the same
+/// logical state always produces the same manifest checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Encode-then-decode helper for round-trip tests and config hashing.
+pub fn to_bytes<T: Persist>(v: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    v.encode(&mut out);
+    out
+}
+
+/// Decode a value from a standalone buffer, requiring full consumption.
+pub fn from_bytes<T: Persist>(bytes: &[u8]) -> Result<T, CodecError> {
+    let mut r = Reader::new(bytes);
+    let v = T::decode(&mut r)?;
+    r.expect_exhausted()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Persist + PartialEq + fmt::Debug>(v: T) {
+        let bytes = to_bytes(&v);
+        assert_eq!(from_bytes::<T>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(i64::MIN);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(false);
+        round_trip(String::from("héllo"));
+        round_trip(Arc::<str>::from("arc str"));
+        round_trip(Option::<u64>::None);
+        round_trip(Some(17u64));
+        round_trip(vec![1u64, 2, 3]);
+        round_trip((1u64, String::from("x")));
+        round_trip((1u64, 2u64, 3u64));
+        round_trip(Arc::new(9u64));
+    }
+
+    #[test]
+    fn floats_round_trip_bitwise() {
+        for v in [0.0f64, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY] {
+            let got = from_bytes::<f64>(&to_bytes(&v)).unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+        let nan = f64::from_bits(0x7ff8_dead_beef_0001);
+        let got = from_bytes::<f64>(&to_bytes(&nan)).unwrap();
+        assert_eq!(got.to_bits(), nan.to_bits(), "NaN payload preserved");
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let bytes = to_bytes(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            let err = from_bytes::<Vec<u64>>(&bytes[..cut]).unwrap_err();
+            assert!(err.detail.contains("unexpected end"), "{err}");
+        }
+    }
+
+    #[test]
+    fn corrupt_length_does_not_overallocate() {
+        let mut bytes = Vec::new();
+        (u64::MAX).encode(&mut bytes); // absurd element count, no elements
+        assert!(from_bytes::<Vec<u64>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_tags_are_typed_errors() {
+        assert!(from_bytes::<bool>(&[7]).is_err());
+        assert!(from_bytes::<Option<u64>>(&[9]).is_err());
+        let mut bad_utf8 = Vec::new();
+        (2u64).encode(&mut bad_utf8);
+        bad_utf8.extend_from_slice(&[0xff, 0xfe]);
+        assert!(from_bytes::<String>(&bad_utf8).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_bytes(&5u64);
+        bytes.push(0);
+        let err = from_bytes::<u64>(&bytes).unwrap_err();
+        assert!(err.detail.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn section_attribution_is_first_wins() {
+        let e = CodecError::new("boom")
+            .in_section("inner")
+            .in_section("outer");
+        assert_eq!(e.section, "inner");
+        assert_eq!(format!("{e}"), "section `inner`: boom");
+    }
+
+    #[test]
+    fn fnv1a_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn prefixed_blobs_pair_with_sub_reader() {
+        let mut out = Vec::new();
+        vec![1u64, 2].encode_prefixed(&mut out);
+        (77u64).encode(&mut out);
+        let mut r = Reader::new(&out);
+        let mut sub = r.sub_reader().unwrap();
+        assert_eq!(Vec::<u64>::decode(&mut sub).unwrap(), vec![1, 2]);
+        sub.expect_exhausted().unwrap();
+        assert_eq!(u64::decode(&mut r).unwrap(), 77);
+    }
+}

@@ -241,6 +241,61 @@ impl OperatorModule for GroupAggregateOp {
             .map(|g| g.members.len() + g.emitted.len())
             .sum()
     }
+
+    fn state_snapshot(&self, out: &mut Vec<u8>) {
+        use cedr_durable::Persist;
+        // Group keys sorted by their encoded bytes: Vec<Value> has no Ord,
+        // but its deterministic encoding does.
+        let mut keyed: Vec<(Vec<u8>, &Vec<Value>)> = self
+            .groups
+            .keys()
+            .map(|k| (cedr_durable::to_bytes(k), k))
+            .collect();
+        keyed.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        (keyed.len() as u64).encode(out);
+        for (_, key) in keyed {
+            let g = &self.groups[key];
+            key.encode(out);
+            let mut members: Vec<(EventId, Event)> =
+                g.members.iter().map(|(&id, e)| (id, e.clone())).collect();
+            members.sort_unstable_by_key(|&(id, _)| id);
+            members.encode(out);
+            // BTreeMap order is already deterministic.
+            (g.emitted.len() as u64).encode(out);
+            for (start, e) in &g.emitted {
+                start.encode(out);
+                e.encode(out);
+            }
+            g.floor.encode(out);
+        }
+    }
+
+    fn state_restore(
+        &mut self,
+        r: &mut cedr_durable::Reader<'_>,
+    ) -> Result<(), cedr_durable::CodecError> {
+        use cedr_durable::Persist;
+        self.groups.clear();
+        for _ in 0..u64::decode(r)? {
+            let key = Vec::<Value>::decode(r)?;
+            let members = Vec::<(EventId, Event)>::decode(r)?.into_iter().collect();
+            let mut emitted = BTreeMap::new();
+            for _ in 0..u64::decode(r)? {
+                let start = TimePoint::decode(r)?;
+                emitted.insert(start, Event::decode(r)?);
+            }
+            let floor = TimePoint::decode(r)?;
+            self.groups.insert(
+                key,
+                GroupState {
+                    members,
+                    emitted,
+                    floor,
+                },
+            );
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -431,6 +431,93 @@ impl Dataflow {
     pub fn now(&self) -> u64 {
         self.tick
     }
+
+    /// Serialize the dataflow's full runtime state at a quiescent round
+    /// boundary: the tick, every shell's state (module blob included),
+    /// every collector, and the scheduler counters. Topology (`source_subs`
+    /// / `node_subs` / `shard_plan`) is plan-derived and re-created by
+    /// re-registering the query, so it is not part of the image. Fails if
+    /// any node queue still holds undelivered messages — the caller must
+    /// run to quiescence first.
+    pub fn state_snapshot(&self, out: &mut Vec<u8>) -> Result<(), cedr_durable::CodecError> {
+        use cedr_durable::Persist;
+        if let Some(node) = self.queues.iter().position(|q| !q.is_empty()) {
+            return Err(cedr_durable::CodecError::new(format!(
+                "node {node} has undelivered queued messages; not at a quiescent boundary"
+            )));
+        }
+        self.tick.encode(out);
+        (self.nodes.len() as u64).encode(out);
+        for (node, shell) in self.nodes.iter().enumerate() {
+            let mut blob = Vec::new();
+            shell
+                .state_snapshot(&mut blob)
+                .map_err(|e| e.in_section(&format!("node {node}")))?;
+            blob.encode(out);
+        }
+        let mut watched: Vec<NodeId> = self.collectors.keys().copied().collect();
+        watched.sort_unstable();
+        (watched.len() as u64).encode(out);
+        for node in watched {
+            (node as u64).encode(out);
+            self.collectors[&node].to_parts().encode(out);
+        }
+        self.sched.shards.encode(out);
+        self.sched.parallel_runs.encode(out);
+        self.sched.cross_batches.encode(out);
+        self.sched.cross_messages.encode(out);
+        Ok(())
+    }
+
+    /// Restore state captured by [`Dataflow::state_snapshot`] into a
+    /// freshly built dataflow of the *same plan*. Node count and watched
+    /// set must match the image exactly.
+    pub fn state_restore(
+        &mut self,
+        r: &mut cedr_durable::Reader<'_>,
+    ) -> Result<(), cedr_durable::CodecError> {
+        use cedr_durable::Persist;
+        self.tick = u64::decode(r)?;
+        let n = u64::decode(r)? as usize;
+        if n != self.nodes.len() {
+            return Err(cedr_durable::CodecError::new(format!(
+                "plan has {} nodes, image has {n}",
+                self.nodes.len()
+            )));
+        }
+        for (node, shell) in self.nodes.iter_mut().enumerate() {
+            let blob = Vec::<u8>::decode(r)?;
+            let mut br = cedr_durable::Reader::new(&blob);
+            shell
+                .state_restore(&mut br)
+                .and_then(|()| br.expect_exhausted())
+                .map_err(|e| e.in_section(&format!("node {node}")))?;
+        }
+        let watched = u64::decode(r)? as usize;
+        if watched != self.collectors.len() {
+            return Err(cedr_durable::CodecError::new(format!(
+                "plan watches {} nodes, image has {watched}",
+                self.collectors.len()
+            )));
+        }
+        for _ in 0..watched {
+            let node = u64::decode(r)? as NodeId;
+            let parts = cedr_streams::CollectorParts::decode(r)?;
+            match self.collectors.get_mut(&node) {
+                Some(c) => *c = Collector::from_parts(parts),
+                None => {
+                    return Err(cedr_durable::CodecError::new(format!(
+                        "image watches node {node}, which the plan does not"
+                    )))
+                }
+            }
+        }
+        self.sched.shards = usize::decode(r)?;
+        self.sched.parallel_runs = usize::decode(r)?;
+        self.sched.cross_batches = usize::decode(r)?;
+        self.sched.cross_messages = usize::decode(r)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

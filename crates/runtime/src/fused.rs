@@ -1033,4 +1033,128 @@ impl OperatorModule for FusedStatelessOp {
     fn fused_stages(&self) -> usize {
         self.stages.len()
     }
+
+    fn state_snapshot(&self, out: &mut Vec<u8>) {
+        use cedr_durable::Persist;
+        // Only the interior boundaries carry cross-round state: `cols`,
+        // `bitmaps` and the scratch vectors are per-delivery-run and dead
+        // at any quiescent boundary.
+        (self.boundaries.len() as u64).encode(out);
+        for b in &self.boundaries {
+            b.watermark.encode(out);
+            b.max_seen.encode(out);
+            (b.align.len() as u64).encode(out);
+            for (&(sync, seq), msg) in &b.align {
+                sync.encode(out);
+                seq.encode(out);
+                encode_work_msg(msg, out);
+            }
+            b.seq.encode(out);
+            b.last_cti.encode(out);
+            b.evict_watermark.encode(out);
+            let mut recent: Vec<EventId> = b.recent.iter().copied().collect();
+            recent.sort_unstable();
+            recent.encode(out);
+            match &b.seen {
+                None => 0u8.encode(out),
+                Some(seen) => {
+                    1u8.encode(out);
+                    let mut rows: Vec<(EventId, TimePoint)> =
+                        seen.iter().map(|(&id, &ve)| (id, ve)).collect();
+                    rows.sort_unstable_by_key(|&(id, _)| id);
+                    rows.encode(out);
+                }
+            }
+            let mut gens: Vec<(EventId, u64)> = b.gens.iter().map(|(&id, &g)| (id, g)).collect();
+            gens.sort_unstable_by_key(|&(id, _)| id);
+            gens.encode(out);
+            b.dirty.encode(out);
+        }
+    }
+
+    fn state_restore(
+        &mut self,
+        r: &mut cedr_durable::Reader<'_>,
+    ) -> Result<(), cedr_durable::CodecError> {
+        use cedr_durable::Persist;
+        let n = u64::decode(r)? as usize;
+        if n != self.boundaries.len() {
+            return Err(cedr_durable::CodecError::new(format!(
+                "fused chain has {} boundaries, image has {}",
+                self.boundaries.len(),
+                n
+            )));
+        }
+        for b in &mut self.boundaries {
+            b.watermark = TimePoint::decode(r)?;
+            b.max_seen = TimePoint::decode(r)?;
+            b.align.clear();
+            for _ in 0..u64::decode(r)? {
+                let sync = TimePoint::decode(r)?;
+                let seq = u64::decode(r)?;
+                b.align.insert((sync, seq), decode_work_msg(r)?);
+            }
+            b.seq = u64::decode(r)?;
+            b.last_cti = Option::<TimePoint>::decode(r)?;
+            b.evict_watermark = TimePoint::decode(r)?;
+            b.recent = Vec::<EventId>::decode(r)?.into_iter().collect();
+            b.seen = match u8::decode(r)? {
+                0 => None,
+                1 => Some(
+                    Vec::<(EventId, TimePoint)>::decode(r)?
+                        .into_iter()
+                        .collect(),
+                ),
+                t => {
+                    return Err(cedr_durable::CodecError::new(format!(
+                        "bad seen-map tag {t}"
+                    )))
+                }
+            };
+            b.gens = Vec::<(EventId, u64)>::decode(r)?.into_iter().collect();
+            b.dirty = bool::decode(r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Serialize one parked work message. Parked messages are always
+/// detached from their run's payload columns (`row: None`), so only the
+/// evolving (id, interval, payload) triple and the source event persist.
+fn encode_work_msg(msg: &WorkMsg, out: &mut Vec<u8>) {
+    use cedr_durable::Persist;
+    let (tag, ev, new_end) = match msg {
+        WorkMsg::Ins(ev) => (0u8, ev, None),
+        WorkMsg::Ret { ev, new_end } => (1u8, ev, Some(*new_end)),
+    };
+    tag.encode(out);
+    ev.src.encode(out);
+    ev.id.encode(out);
+    ev.interval.encode(out);
+    ev.payload.encode(out);
+    if let Some(new_end) = new_end {
+        new_end.encode(out);
+    }
+}
+
+fn decode_work_msg(r: &mut cedr_durable::Reader<'_>) -> Result<WorkMsg, cedr_durable::CodecError> {
+    use cedr_durable::Persist;
+    let tag = u8::decode(r)?;
+    let ev = WorkEv {
+        src: Arc::<Event>::decode(r)?,
+        id: EventId::decode(r)?,
+        interval: Interval::decode(r)?,
+        payload: Option::<Payload>::decode(r)?,
+        row: None,
+    };
+    match tag {
+        0 => Ok(WorkMsg::Ins(ev)),
+        1 => Ok(WorkMsg::Ret {
+            ev,
+            new_end: TimePoint::decode(r)?,
+        }),
+        t => Err(cedr_durable::CodecError::new(format!(
+            "bad work-message tag {t}"
+        ))),
+    }
 }

@@ -283,6 +283,37 @@ impl OperatorModule for JoinOp {
     fn state_size(&self) -> usize {
         self.sides[0].events.len() + self.sides[1].events.len()
     }
+
+    fn state_snapshot(&self, out: &mut Vec<u8>) {
+        use cedr_durable::Persist;
+        // Only live events per side; `by_key` is derived and rebuilt.
+        for side in &self.sides {
+            let mut events: Vec<(EventId, Event)> =
+                side.events.iter().map(|(&id, e)| (id, e.clone())).collect();
+            events.sort_unstable_by_key(|&(id, _)| id);
+            events.encode(out);
+        }
+    }
+
+    fn state_restore(
+        &mut self,
+        r: &mut cedr_durable::Reader<'_>,
+    ) -> Result<(), cedr_durable::CodecError> {
+        use cedr_durable::Persist;
+        for input in 0..2 {
+            let events = Vec::<(EventId, Event)>::decode(r)?;
+            let key_expr = self.key_expr(input).cloned();
+            let side = &mut self.sides[input];
+            side.events.clear();
+            side.by_key.clear();
+            for (id, e) in events {
+                let key = SideState::key_of(key_expr.as_ref(), &e);
+                side.by_key.entry(key).or_default().insert(id);
+                side.events.insert(id, e);
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

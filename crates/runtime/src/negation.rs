@@ -379,6 +379,72 @@ impl OperatorModule for NegationOp {
             NegationScope::History => Duration::ZERO,
         }
     }
+
+    fn state_snapshot(&self, out: &mut Vec<u8>) {
+        use cedr_durable::Persist;
+        // Entries sorted by candidate ID; the `*_by_vs` indexes are
+        // derived and rebuilt on restore.
+        let mut ids: Vec<EventId> = self.entries.keys().copied().collect();
+        ids.sort_unstable();
+        (ids.len() as u64).encode(out);
+        for id in ids {
+            let entry = &self.entries[&id];
+            id.encode(out);
+            entry.e1.encode(out);
+            let mut killers: Vec<EventId> = entry.killers.iter().copied().collect();
+            killers.sort_unstable();
+            killers.encode(out);
+            entry.emitted.encode(out);
+        }
+        let mut e2s: Vec<(EventId, Event)> =
+            self.e2s.iter().map(|(&id, e)| (id, e.clone())).collect();
+        e2s.sort_unstable_by_key(|&(id, _)| id);
+        e2s.encode(out);
+        let mut kills: Vec<EventId> = self.kill_index.keys().copied().collect();
+        kills.sort_unstable();
+        (kills.len() as u64).encode(out);
+        for id in kills {
+            id.encode(out);
+            // Kill order is sweep order: preserved as-is.
+            self.kill_index[&id].encode(out);
+        }
+    }
+
+    fn state_restore(
+        &mut self,
+        r: &mut cedr_durable::Reader<'_>,
+    ) -> Result<(), cedr_durable::CodecError> {
+        use cedr_durable::Persist;
+        self.entries.clear();
+        self.entries_by_vs.clear();
+        for _ in 0..u64::decode(r)? {
+            let id = EventId::decode(r)?;
+            let e1 = Event::decode(r)?;
+            let killers = Vec::<EventId>::decode(r)?.into_iter().collect();
+            let emitted = bool::decode(r)?;
+            self.entries_by_vs.insert((e1.vs(), id), ());
+            self.entries.insert(
+                id,
+                Entry {
+                    e1,
+                    killers,
+                    emitted,
+                },
+            );
+        }
+        self.e2s.clear();
+        self.e2s_by_vs.clear();
+        for (id, e) in Vec::<(EventId, Event)>::decode(r)? {
+            self.e2s_by_vs.insert((e.vs(), id), ());
+            self.e2s.insert(id, e);
+        }
+        self.kill_index.clear();
+        for _ in 0..u64::decode(r)? {
+            let id = EventId::decode(r)?;
+            self.kill_index.insert(id, Vec::<EventId>::decode(r)?);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -309,6 +309,24 @@ pub trait OperatorModule: Send {
     fn fused_stages(&self) -> usize {
         0
     }
+
+    /// Serialize the module's *runtime* state (checkpointing). Plan-time
+    /// parameters (predicates, windows, key exprs) are not written — a
+    /// restore target is built by re-registering the same plan, so only
+    /// accumulated state travels through the image. The encoding must be
+    /// deterministic: hash-map content goes out in sorted key order.
+    /// Stateless modules keep this default no-op.
+    fn state_snapshot(&self, _out: &mut Vec<u8>) {}
+
+    /// Restore runtime state written by
+    /// [`OperatorModule::state_snapshot`] into a freshly built module.
+    /// Derived indexes are rebuilt here rather than persisted.
+    fn state_restore(
+        &mut self,
+        _r: &mut cedr_durable::Reader<'_>,
+    ) -> Result<(), cedr_durable::CodecError> {
+        Ok(())
+    }
 }
 
 /// Figure 7: consistency monitor + alignment buffer wrapped around an
@@ -698,6 +716,128 @@ impl OperatorShell {
     /// Direct access to the wrapped module (tests, introspection).
     pub fn module(&self) -> &dyn OperatorModule {
         &*self.module
+    }
+
+    /// Serialize the shell's consistency-monitor state plus the wrapped
+    /// module's state (length-prefixed so restore can bound the module's
+    /// reads). Requires quiescence: admitted-but-undelivered messages and
+    /// undrained output would not survive the plan rebuild a restore does,
+    /// so their presence is an error rather than silent loss.
+    pub fn state_snapshot(&self, out: &mut Vec<u8>) -> Result<(), cedr_durable::CodecError> {
+        use cedr_durable::Persist;
+        if !self.pending.is_empty() {
+            return Err(cedr_durable::CodecError::new(format!(
+                "operator `{}` has undelivered pending messages (not at a quiescent boundary)",
+                self.name()
+            )));
+        }
+        if !self.out.is_empty() {
+            return Err(cedr_durable::CodecError::new(format!(
+                "operator `{}` has undrained output (not at a quiescent boundary)",
+                self.name()
+            )));
+        }
+        self.input_watermarks.encode(out);
+        self.watermark.encode(out);
+        self.max_seen.encode(out);
+        // Alignment buffer: BTreeMap iteration is already sorted.
+        (self.align.len() as u64).encode(out);
+        for (&(sync, seq), &(input, ref msg, arrived)) in &self.align {
+            sync.encode(out);
+            seq.encode(out);
+            input.encode(out);
+            msg.encode(out);
+            arrived.encode(out);
+        }
+        self.seq.encode(out);
+        for per_input in &self.seen_inserts {
+            let mut entries: Vec<(cedr_temporal::EventId, TimePoint)> =
+                per_input.iter().map(|(&id, &ve)| (id, ve)).collect();
+            entries.sort_unstable_by_key(|&(id, _)| id);
+            entries.encode(out);
+        }
+        for per_input in &self.orphans {
+            let mut keys: Vec<cedr_temporal::EventId> = per_input.keys().copied().collect();
+            keys.sort_unstable();
+            (keys.len() as u64).encode(out);
+            for id in keys {
+                id.encode(out);
+                // Park order within a key is replay order: preserved as-is.
+                per_input[&id].encode(out);
+            }
+        }
+        self.stats.encode(out);
+        self.last_cti.encode(out);
+        let mut gens: Vec<(cedr_temporal::EventId, u64)> = self
+            .out_generations
+            .iter()
+            .map(|(&id, &g)| (id, g))
+            .collect();
+        gens.sort_unstable_by_key(|&(id, _)| id);
+        gens.encode(out);
+        let mut module_blob = Vec::new();
+        self.module.state_snapshot(&mut module_blob);
+        (module_blob.len() as u64).encode(out);
+        out.extend_from_slice(&module_blob);
+        Ok(())
+    }
+
+    /// Restore state written by [`OperatorShell::state_snapshot`] into a
+    /// freshly constructed shell wrapping the same plan.
+    pub fn state_restore(
+        &mut self,
+        r: &mut cedr_durable::Reader<'_>,
+    ) -> Result<(), cedr_durable::CodecError> {
+        use cedr_durable::Persist;
+        let input_watermarks = Vec::<TimePoint>::decode(r)?;
+        if input_watermarks.len() != self.arity() {
+            return Err(cedr_durable::CodecError::new(format!(
+                "operator `{}` arity mismatch: image has {} inputs, plan has {}",
+                self.name(),
+                input_watermarks.len(),
+                self.arity()
+            )));
+        }
+        self.input_watermarks = input_watermarks;
+        self.watermark = TimePoint::decode(r)?;
+        self.max_seen = TimePoint::decode(r)?;
+        self.align.clear();
+        for _ in 0..u64::decode(r)? {
+            let sync = TimePoint::decode(r)?;
+            let seq = u64::decode(r)?;
+            let input = usize::decode(r)?;
+            let msg = Message::decode(r)?;
+            let arrived = u64::decode(r)?;
+            self.align.insert((sync, seq), (input, msg, arrived));
+        }
+        self.seq = u64::decode(r)?;
+        for per_input in &mut self.seen_inserts {
+            *per_input = Vec::<(cedr_temporal::EventId, TimePoint)>::decode(r)?
+                .into_iter()
+                .collect();
+        }
+        for per_input in &mut self.orphans {
+            per_input.clear();
+            for _ in 0..u64::decode(r)? {
+                let id = cedr_temporal::EventId::decode(r)?;
+                per_input.insert(id, Vec::<Retraction>::decode(r)?);
+            }
+        }
+        self.stats = OpStats::decode(r)?;
+        self.last_cti = Option::<TimePoint>::decode(r)?;
+        self.out_generations = Vec::<(cedr_temporal::EventId, u64)>::decode(r)?
+            .into_iter()
+            .collect();
+        let mut module_reader = r.sub_reader()?;
+        self.module.state_restore(&mut module_reader)?;
+        module_reader.expect_exhausted().map_err(|e| {
+            cedr_durable::CodecError::new(format!(
+                "operator `{}` module state: {}",
+                self.name(),
+                e.detail
+            ))
+        })?;
+        Ok(())
     }
 }
 

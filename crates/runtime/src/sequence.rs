@@ -348,6 +348,82 @@ impl OperatorModule for SequenceOp {
     fn state_size(&self) -> usize {
         self.slots.iter().map(|s| s.len()).sum::<usize>() + self.emitted.len()
     }
+
+    fn state_snapshot(&self, out: &mut Vec<u8>) {
+        use cedr_durable::Persist;
+        encode_slots(&self.slots, out);
+        encode_emitted(&self.emitted, out);
+        let mut contribs: Vec<EventId> = self.by_contrib.keys().copied().collect();
+        contribs.sort_unstable();
+        (contribs.len() as u64).encode(out);
+        for id in contribs {
+            id.encode(out);
+            // Output-ID order within a contributor is enumeration order:
+            // preserved as-is.
+            self.by_contrib[&id].encode(out);
+        }
+    }
+
+    fn state_restore(
+        &mut self,
+        r: &mut cedr_durable::Reader<'_>,
+    ) -> Result<(), cedr_durable::CodecError> {
+        use cedr_durable::Persist;
+        decode_slots(&mut self.slots, r)?;
+        self.emitted = decode_emitted(r)?;
+        self.by_contrib.clear();
+        for _ in 0..u64::decode(r)? {
+            let id = EventId::decode(r)?;
+            self.by_contrib.insert(id, Vec::<EventId>::decode(r)?);
+        }
+        Ok(())
+    }
+}
+
+/// Serialize slot maps (BTreeMap order is already deterministic).
+fn encode_slots(slots: &[SlotMap], out: &mut Vec<u8>) {
+    use cedr_durable::Persist;
+    for slot in slots {
+        (slot.len() as u64).encode(out);
+        for (&(vs, id), e) in slot {
+            vs.encode(out);
+            id.encode(out);
+            e.encode(out);
+        }
+    }
+}
+
+/// Restore slot maps written by [`encode_slots`] (slot count is fixed by
+/// the plan, so only entries travel).
+fn decode_slots(
+    slots: &mut [SlotMap],
+    r: &mut cedr_durable::Reader<'_>,
+) -> Result<(), cedr_durable::CodecError> {
+    use cedr_durable::Persist;
+    for slot in slots.iter_mut() {
+        slot.clear();
+        for _ in 0..u64::decode(r)? {
+            let vs = TimePoint::decode(r)?;
+            let id = EventId::decode(r)?;
+            slot.insert((vs, id), Event::decode(r)?);
+        }
+    }
+    Ok(())
+}
+
+fn encode_emitted(emitted: &HashMap<EventId, Event>, out: &mut Vec<u8>) {
+    use cedr_durable::Persist;
+    let mut entries: Vec<(EventId, Event)> =
+        emitted.iter().map(|(&id, e)| (id, e.clone())).collect();
+    entries.sort_unstable_by_key(|&(id, _)| id);
+    entries.encode(out);
+}
+
+fn decode_emitted(
+    r: &mut cedr_durable::Reader<'_>,
+) -> Result<HashMap<EventId, Event>, cedr_durable::CodecError> {
+    use cedr_durable::Persist;
+    Ok(Vec::<(EventId, Event)>::decode(r)?.into_iter().collect())
 }
 
 /// Physical ATLEAST(n, E1, …, Ek, w); ALL and ANY desugar onto this.
@@ -454,6 +530,20 @@ impl OperatorModule for AtLeastOp {
 
     fn state_size(&self) -> usize {
         self.slots.iter().map(|s| s.len()).sum::<usize>() + self.emitted.len()
+    }
+
+    fn state_snapshot(&self, out: &mut Vec<u8>) {
+        encode_slots(&self.slots, out);
+        encode_emitted(&self.emitted, out);
+    }
+
+    fn state_restore(
+        &mut self,
+        r: &mut cedr_durable::Reader<'_>,
+    ) -> Result<(), cedr_durable::CodecError> {
+        decode_slots(&mut self.slots, r)?;
+        self.emitted = decode_emitted(r)?;
+        Ok(())
     }
 }
 

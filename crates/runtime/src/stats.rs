@@ -65,6 +65,49 @@ pub struct OpStats {
     pub out_ctis: usize,
 }
 
+impl cedr_durable::Persist for OpStats {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.arrivals.encode(out);
+        self.released.encode(out);
+        self.forgotten.encode(out);
+        self.held_peak.encode(out);
+        self.blocked_ticks.encode(out);
+        self.blocked_messages.encode(out);
+        self.state_peak.encode(out);
+        self.batches.encode(out);
+        self.delivered.encode(out);
+        self.batch_peak.encode(out);
+        self.group_refreshes.encode(out);
+        self.probe_batches.encode(out);
+        self.fused_stages.encode(out);
+        self.compiled_kernel_runs.encode(out);
+        self.out_inserts.encode(out);
+        self.out_retractions.encode(out);
+        self.out_ctis.encode(out);
+    }
+    fn decode(r: &mut cedr_durable::Reader<'_>) -> Result<Self, cedr_durable::CodecError> {
+        Ok(OpStats {
+            arrivals: usize::decode(r)?,
+            released: usize::decode(r)?,
+            forgotten: usize::decode(r)?,
+            held_peak: usize::decode(r)?,
+            blocked_ticks: u64::decode(r)?,
+            blocked_messages: usize::decode(r)?,
+            state_peak: usize::decode(r)?,
+            batches: usize::decode(r)?,
+            delivered: usize::decode(r)?,
+            batch_peak: usize::decode(r)?,
+            group_refreshes: usize::decode(r)?,
+            probe_batches: usize::decode(r)?,
+            fused_stages: usize::decode(r)?,
+            compiled_kernel_runs: usize::decode(r)?,
+            out_inserts: usize::decode(r)?,
+            out_retractions: usize::decode(r)?,
+            out_ctis: usize::decode(r)?,
+        })
+    }
+}
+
 impl OpStats {
     /// Figure 8's "Output Size": inserts + retractions.
     pub fn output_size(&self) -> usize {

@@ -71,6 +71,16 @@ impl CedrClock {
     pub fn peek(&self) -> TimePoint {
         TimePoint::new(self.ticks)
     }
+
+    /// Arrivals stamped so far — the raw counter, for checkpointing.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Rebuild a clock from a checkpointed tick counter.
+    pub fn from_ticks(ticks: u64) -> Self {
+        CedrClock { ticks }
+    }
 }
 
 #[cfg(test)]

@@ -164,6 +164,53 @@ impl Collector {
     pub fn max_cti(&self) -> Option<TimePoint> {
         self.max_cti
     }
+
+    /// Decompose into plain checkpointable parts. `current_end` is sorted
+    /// by chain key so the decomposition (and any image built from it) is
+    /// deterministic regardless of hash-map iteration order.
+    pub fn to_parts(&self) -> CollectorParts {
+        let mut current_end: Vec<(u64, TimePoint)> =
+            self.current_end.iter().map(|(&k, &v)| (k, v)).collect();
+        current_end.sort_unstable_by_key(|&(k, _)| k);
+        CollectorParts {
+            history: self.history.clone(),
+            stamped: self.stamped.clone(),
+            deltas: self.deltas.clone(),
+            stats: self.stats.clone(),
+            current_end,
+            clock_ticks: self.clock.ticks(),
+            max_cti: self.max_cti,
+        }
+    }
+
+    /// Rebuild a collector from checkpointed parts. Inverse of
+    /// [`Collector::to_parts`].
+    pub fn from_parts(parts: CollectorParts) -> Collector {
+        Collector {
+            history: parts.history,
+            stamped: parts.stamped,
+            deltas: parts.deltas,
+            stats: parts.stats,
+            current_end: parts.current_end.into_iter().collect(),
+            clock: crate::clock::CedrClock::from_ticks(parts.clock_ticks),
+            max_cti: parts.max_cti,
+        }
+    }
+}
+
+/// A [`Collector`] decomposed into plain data for checkpointing: every
+/// private field surfaced as an owned, deterministic value (maps as sorted
+/// vectors, the clock as its raw tick counter).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollectorParts {
+    pub history: HistoryTable,
+    pub stamped: Vec<Stamped>,
+    pub deltas: Vec<OutputDelta>,
+    pub stats: StreamStats,
+    /// `(chain key, current lifetime end)`, sorted by chain key.
+    pub current_end: Vec<(u64, TimePoint)>,
+    pub clock_ticks: u64,
+    pub max_cti: Option<TimePoint>,
 }
 
 #[cfg(test)]

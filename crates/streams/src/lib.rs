@@ -20,12 +20,12 @@ pub mod source;
 
 pub use batch::{ColumnarView, MessageBatch, MessageKind};
 pub use clock::{CedrClock, LogicalClock};
-pub use collect::{Collector, StreamStats};
+pub use collect::{Collector, CollectorParts, StreamStats};
 pub use delta::OutputDelta;
 pub use disorder::{scramble, DisorderConfig};
 pub use merge::merge_by_sync;
 pub use message::{Message, Retraction, Stamped};
-pub use resequence::{Resequencer, RoundStatus};
+pub use resequence::{LaneParts, Resequencer, ResequencerParts, RoundStatus};
 pub use source::StreamBuilder;
 
 /// Convenience prelude.

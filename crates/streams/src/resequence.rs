@@ -207,6 +207,89 @@ impl<T> Resequencer<T> {
     pub fn buffered(&self) -> usize {
         self.buffered
     }
+
+    /// Per-lane view for checkpointing: `(key, base, next_seq, final_seq,
+    /// buffered len)` in ascending key order, without cloning payloads.
+    pub fn lane_cursors(&self) -> Vec<(u64, u64, u64, Option<u64>, usize)> {
+        self.lanes
+            .iter()
+            .map(|(&k, l)| (k, l.base, l.next_seq, l.final_seq, l.buffered.len()))
+            .collect()
+    }
+
+    /// Decompose into plain checkpointable parts. Lanes come out in
+    /// ascending key order and buffered emissions in ascending seq order,
+    /// so the decomposition is deterministic.
+    pub fn to_parts(&self) -> ResequencerParts<T>
+    where
+        T: Clone,
+    {
+        ResequencerParts {
+            frontier: self.frontier,
+            lanes: self
+                .lanes
+                .iter()
+                .map(|(&key, lane)| LaneParts {
+                    key,
+                    base: lane.base,
+                    next_seq: lane.next_seq,
+                    final_seq: lane.final_seq,
+                    buffered: lane
+                        .buffered
+                        .iter()
+                        .map(|(&seq, item)| (seq, item.clone()))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a resequencer from checkpointed parts. Inverse of
+    /// [`Resequencer::to_parts`].
+    pub fn from_parts(parts: ResequencerParts<T>) -> Self {
+        let mut buffered = 0;
+        let lanes = parts
+            .lanes
+            .into_iter()
+            .map(|lp| {
+                buffered += lp.buffered.len();
+                (
+                    lp.key,
+                    Lane {
+                        base: lp.base,
+                        next_seq: lp.next_seq,
+                        buffered: lp.buffered.into_iter().collect(),
+                        final_seq: lp.final_seq,
+                    },
+                )
+            })
+            .collect();
+        Resequencer {
+            lanes,
+            frontier: parts.frontier,
+            buffered,
+        }
+    }
+}
+
+/// One producer lane of a [`Resequencer`], decomposed for checkpointing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneParts<T> {
+    pub key: u64,
+    pub base: u64,
+    pub next_seq: u64,
+    pub final_seq: Option<u64>,
+    /// Out-of-turn emissions, `(seq, item)` in ascending seq order.
+    pub buffered: Vec<(u64, T)>,
+}
+
+/// A [`Resequencer`] decomposed into plain data for checkpointing: the
+/// frontier plus every lane (buffered emissions included) in ascending
+/// producer-key order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResequencerParts<T> {
+    pub frontier: u64,
+    pub lanes: Vec<LaneParts<T>>,
 }
 
 #[cfg(test)]

@@ -182,6 +182,7 @@ impl Engine {
 
     /// [`Engine::checkpoint`] into a fresh byte vector.
     pub fn checkpoint_to_vec(&mut self) -> Result<Vec<u8>, EngineError> {
+        let t0 = self.obs.now();
         for (si, shard) in self.shards.iter().enumerate() {
             if shard.staged_msgs > 0 || !shard.ingress.is_empty() {
                 return Err(EngineError::NotQuiescent {
@@ -219,6 +220,15 @@ impl Engine {
         }
         let shard_of: Vec<u64> = self.shard_of_query.iter().map(|&s| s as u64).collect();
         shard_of.encode(&mut engine);
+        // Channel accounting outliving the channel itself (pump totals,
+        // backpressure retired at seal) — semantic counters, so they must
+        // survive a failover.
+        self.channel_acct.rounds.encode(&mut engine);
+        self.channel_acct.batches.encode(&mut engine);
+        self.channel_acct.messages.encode(&mut engine);
+        self.channel_acct.retired_backpressure.encode(&mut engine);
+        self.channel_acct.retired_by_producer.encode(&mut engine);
+        self.channel_acct.seen.encode(&mut engine);
         sections.push(Section {
             name: "engine".to_string(),
             payload: engine,
@@ -231,6 +241,7 @@ impl Engine {
                 .backpressure
                 .load(std::sync::atomic::Ordering::Relaxed)
                 .encode(&mut payload);
+            ch.board.backpressure_by_producer().encode(&mut payload);
             let parts = ch.reseq.to_parts();
             let parts = ResequencerParts {
                 frontier: parts.frontier,
@@ -280,11 +291,15 @@ impl Engine {
             });
         }
 
-        Ok(write_image(
-            self.rounds_completed,
-            self.config_hash(),
-            &sections,
-        ))
+        let image = write_image(self.rounds_completed, self.config_hash(), &sections);
+        let nanos = self.obs.now().saturating_sub(t0);
+        self.ckpt.checkpoints += 1;
+        self.ckpt.checkpoint_bytes += image.len() as u64;
+        self.obs.with_timings(|t| t.checkpoint_write.record(nanos));
+        let bytes = image.len() as u64;
+        self.obs
+            .trace(|| cedr_obs::TraceEvent::Checkpoint { bytes, nanos });
+        Ok(image)
     }
 
     /// Restore a checkpoint image written by [`Engine::checkpoint`] into
@@ -313,6 +328,7 @@ impl Engine {
 
     /// [`Engine::restore`] from an in-memory image.
     pub fn restore_from_slice(&mut self, bytes: &[u8]) -> Result<(), EngineError> {
+        let t0 = self.obs.now();
         // Phase 1 — validate everything. `read_image` verifies magic,
         // format version, framing and every checksum before returning.
         let (manifest, sections) = read_image(bytes).map_err(corrupt)?;
@@ -361,11 +377,26 @@ impl Engine {
                 shards.push((routing, stats));
             }
             let shard_of = Vec::<u64>::decode(&mut er)?;
+            let channel_acct = crate::engine::ChannelAccounting {
+                rounds: u64::decode(&mut er)?,
+                batches: u64::decode(&mut er)?,
+                messages: u64::decode(&mut er)?,
+                retired_backpressure: u64::decode(&mut er)?,
+                retired_by_producer: Vec::<(u64, u64)>::decode(&mut er)?,
+                seen: bool::decode(&mut er)?,
+            };
             er.expect_exhausted()?;
-            Ok((rounds, next_event_id, sealed, shards, shard_of))
+            Ok((
+                rounds,
+                next_event_id,
+                sealed,
+                shards,
+                shard_of,
+                channel_acct,
+            ))
         })()
         .map_err(|e| corrupt(e.in_section("engine")))?;
-        let (rounds, next_event_id, sealed, image_shards, image_shard_of) = decoded;
+        let (rounds, next_event_id, sealed, image_shards, image_shard_of, channel_acct) = decoded;
 
         // The routing table is derived from registration; the image copy
         // exists to prove both engines route identically.
@@ -400,9 +431,10 @@ impl Engine {
                 let decoded = (|| -> Result<_, CodecError> {
                     let next_key = u64::decode(&mut cr)?;
                     let backpressure = u64::decode(&mut cr)?;
+                    let by_producer = Vec::<(u64, u64)>::decode(&mut cr)?;
                     let parts = ResequencerParts::<BatchRecord>::decode(&mut cr)?;
                     cr.expect_exhausted()?;
-                    Ok((next_key, backpressure, parts))
+                    Ok((next_key, backpressure, by_producer, parts))
                 })()
                 .map_err(|e| corrupt(e.in_section("channel")))?;
                 Some(decoded)
@@ -429,14 +461,14 @@ impl Engine {
             shard.ingress.clear();
             shard.staged_msgs = 0;
         }
+        self.channel_acct = channel_acct;
         self.channel = match channel_state {
             None => None,
-            Some((next_key, backpressure, parts)) => {
+            Some((next_key, backpressure, by_producer, parts)) => {
+                self.channel_acct.seen = true;
                 let mut ch = ChannelIngress::new(self.config.channel_depth);
                 ch.next_key = next_key;
-                ch.board
-                    .backpressure
-                    .store(backpressure, std::sync::atomic::Ordering::Relaxed);
+                ch.board.set_backpressure(backpressure, by_producer);
                 // Open lanes (ascending key order, as serialized) wait for
                 // their producers to reattach via `channel_source`; the
                 // emission cursor resumes at next_seq + buffered (buffered
@@ -484,6 +516,16 @@ impl Engine {
                 Some(ch)
             }
         };
+        let nanos = self.obs.now().saturating_sub(t0);
+        self.ckpt.restores += 1;
+        self.ckpt.restore_bytes += bytes.len() as u64;
+        self.obs
+            .with_timings(|t| t.checkpoint_restore.record(nanos));
+        let image_bytes = bytes.len() as u64;
+        self.obs.trace(|| cedr_obs::TraceEvent::Restore {
+            bytes: image_bytes,
+            nanos,
+        });
         Ok(())
     }
 }

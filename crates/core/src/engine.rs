@@ -114,6 +114,41 @@
 //! Subscriptions are plain positions into the restored delta logs, so a
 //! consumer can resume its cursor ([`crate::Subscription::position`])
 //! unchanged.
+//!
+//! # Observability
+//!
+//! [`Engine::metrics`] returns one unified
+//! [`MetricsSnapshot`](cedr_obs::MetricsSnapshot): per-query and per-node
+//! operator counters, per-shard ingress counters, channel pump and
+//! resequencer state (including per-producer backpressure attribution),
+//! checkpoint/restore accounting, the latency histograms and the trace
+//! ring occupancy. Render it with
+//! [`render_prometheus`](cedr_obs::MetricsSnapshot::render_prometheus)
+//! (text exposition format 0.0.4) or
+//! [`render_report`](cedr_obs::MetricsSnapshot::render_report) (a human
+//! dashboard).
+//!
+//! Metrics fall into three classes (see [`cedr_obs::snapshot`]):
+//! **semantic counters** ([`MetricsSnapshot::semantic`](cedr_obs::MetricsSnapshot::semantic))
+//! are bit-identical across `CEDR_THREADS`, `CEDR_FUSE` and
+//! `CEDR_COMPILE` modes for the same logical workload
+//! (`tests/metrics_determinism.rs` pins this); **execution counters**
+//! are exact for a fixed configuration but mode-dependent (a fused graph
+//! has fewer nodes, each thread count shards staging differently); and
+//! **timing histograms** read wall-clock through the
+//! [`ObsClock`](cedr_obs::ObsClock) seam — swap in a
+//! [`ManualClock`](cedr_obs::ManualClock) via [`Engine::set_obs_clock`]
+//! for deterministic tests. None of this state is ever serialized into
+//! checkpoint images, and none of it feeds back into scheduling.
+//!
+//! Structured tracing is off by default ([`EngineConfig::trace_capacity`]
+//! `= 0`: every hook is one branch); enable it per engine with
+//! [`EngineConfig::with_trace_capacity`] or globally with `CEDR_TRACE`
+//! (`1`/`on` → a [`DEFAULT_TRACE_CAPACITY`]-event ring, any other number
+//! → that capacity). [`Engine::trace_events`] returns the buffered
+//! window of [`TraceEvent`]s — round start/end,
+//! shard and worker drains, operator runs, backpressure hits,
+//! resequencer stalls, checkpoint/restore, seal — oldest first.
 
 use crate::ingest::{ChannelIngress, ChannelSource, IngressStats};
 use crate::session::{SourceHandle, Subscription};
@@ -122,6 +157,7 @@ use cedr_lang::{
     compile_from_env, compile_with, fuse_from_env, lower_with, optimize, LangError, LogicalOp,
     LoweredPlan,
 };
+use cedr_obs::{CheckpointCounters, ObsHub, TraceEvent};
 use cedr_runtime::{ConsistencySpec, OpStats};
 use cedr_streams::{Collector, Message, MessageBatch, Retraction};
 use cedr_temporal::{Event, EventId, Interval, Payload, TimePoint, Value};
@@ -305,6 +341,10 @@ pub const DEFAULT_CHANNEL_DEPTH: usize = 1_024;
 /// [`EngineConfig::resequencer_capacity`]).
 pub const DEFAULT_RESEQUENCER_CAPACITY: usize = 16_384;
 
+/// Trace-ring capacity used when tracing is enabled without an explicit
+/// size (`CEDR_TRACE=1`; see [`EngineConfig::trace_capacity`]).
+pub const DEFAULT_TRACE_CAPACITY: usize = 4_096;
+
 /// Execution configuration of an [`Engine`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct EngineConfig {
@@ -355,6 +395,29 @@ pub struct EngineConfig {
     /// interpret everywhere — and can be overridden per engine with
     /// [`EngineConfig::with_compile_kernels`].
     pub compile_kernels: bool,
+    /// Capacity of the structured trace ring (events), `0` = tracing off
+    /// (every trace hook is a single branch and no ring is allocated).
+    /// Defaults to the `CEDR_TRACE` environment switch — unset or `0`
+    /// disables, `1`/`on` enables a [`DEFAULT_TRACE_CAPACITY`]-event
+    /// ring, any other number is used as the capacity — and can be
+    /// overridden per engine with [`EngineConfig::with_trace_capacity`].
+    /// Pure observability: it is deliberately **excluded from the
+    /// checkpoint configuration hash**, so an image taken with tracing
+    /// off restores into an engine with tracing on (and vice versa).
+    pub trace_capacity: usize,
+}
+
+/// The `CEDR_TRACE` environment switch (see
+/// [`EngineConfig::trace_capacity`]).
+fn trace_capacity_from_env() -> usize {
+    match std::env::var("CEDR_TRACE") {
+        Err(_) => 0,
+        Ok(v) => match v.trim() {
+            "" | "0" | "off" => 0,
+            "1" | "on" => DEFAULT_TRACE_CAPACITY,
+            other => other.parse().unwrap_or(DEFAULT_TRACE_CAPACITY),
+        },
+    }
 }
 
 impl EngineConfig {
@@ -368,6 +431,7 @@ impl EngineConfig {
             resequencer_capacity: DEFAULT_RESEQUENCER_CAPACITY,
             fuse: fuse_from_env(),
             compile_kernels: compile_from_env(),
+            trace_capacity: trace_capacity_from_env(),
         }
     }
 
@@ -406,6 +470,15 @@ impl EngineConfig {
         }
     }
 
+    /// Same configuration with a different trace-ring capacity (`0`
+    /// disables tracing; overrides the `CEDR_TRACE` environment default).
+    pub fn with_trace_capacity(self, capacity: usize) -> Self {
+        EngineConfig {
+            trace_capacity: capacity,
+            ..self
+        }
+    }
+
     /// Same configuration with the fusion pass explicitly on or off
     /// (overrides the `CEDR_FUSE` environment default).
     pub fn with_fuse(self, fuse: bool) -> Self {
@@ -422,13 +495,15 @@ impl EngineConfig {
     }
 
     /// Read `CEDR_THREADS`, `CEDR_INGRESS_CAPACITY`, `CEDR_CHANNEL_DEPTH`,
-    /// `CEDR_RESEQ_CAPACITY`, `CEDR_FUSE` and `CEDR_COMPILE` from the
-    /// environment (defaults: 1 thread, [`DEFAULT_INGRESS_CAPACITY`],
-    /// [`DEFAULT_CHANNEL_DEPTH`], [`DEFAULT_RESEQUENCER_CAPACITY`], fusion
-    /// on, kernel compile on). `CEDR_THREADS`, `CEDR_FUSE=0` and
-    /// `CEDR_COMPILE=0` are the knobs the CI matrix turns to run the whole
-    /// test suite serial/threaded, fused/unfused and compiled/
-    /// interpreted — outputs are bit-identical every way.
+    /// `CEDR_RESEQ_CAPACITY`, `CEDR_FUSE`, `CEDR_COMPILE` and `CEDR_TRACE`
+    /// from the environment (defaults: 1 thread,
+    /// [`DEFAULT_INGRESS_CAPACITY`], [`DEFAULT_CHANNEL_DEPTH`],
+    /// [`DEFAULT_RESEQUENCER_CAPACITY`], fusion on, kernel compile on,
+    /// tracing off). `CEDR_THREADS`, `CEDR_FUSE=0` and `CEDR_COMPILE=0`
+    /// are the knobs the CI matrix turns to run the whole test suite
+    /// serial/threaded, fused/unfused and compiled/interpreted — outputs
+    /// (and every semantic counter, see [`Engine::metrics`]) are
+    /// bit-identical every way.
     pub fn from_env() -> Self {
         let parse = |var: &str| {
             std::env::var(var)
@@ -444,6 +519,7 @@ impl EngineConfig {
                 .unwrap_or(DEFAULT_RESEQUENCER_CAPACITY),
             fuse: fuse_from_env(),
             compile_kernels: compile_from_env(),
+            trace_capacity: trace_capacity_from_env(),
         }
     }
 }
@@ -494,6 +570,42 @@ pub(crate) struct EngineShard {
     pub(crate) stats: IngressStats,
 }
 
+/// Channel-pump accounting that must outlive the [`ChannelIngress`]
+/// itself: admission totals accumulate across pump calls, and the
+/// backpressure counters of a torn-down channel are retired here at
+/// [`Engine::seal`] so the metrics stay monotone. Serialized in the
+/// checkpoint `engine` section (the totals are semantic counters).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct ChannelAccounting {
+    /// Cumulative rounds / batches / messages admitted through the pump.
+    pub(crate) rounds: u64,
+    pub(crate) batches: u64,
+    pub(crate) messages: u64,
+    /// Full-channel backpressure folded out of the channel at seal:
+    /// total, and the per-producer attribution (sorted by key).
+    pub(crate) retired_backpressure: u64,
+    pub(crate) retired_by_producer: Vec<(u64, u64)>,
+    /// Whether a channel ingress ever existed — keeps the channel block
+    /// of [`Engine::metrics`] present after seal tears the channel down.
+    pub(crate) seen: bool,
+}
+
+impl ChannelAccounting {
+    /// Fold a retiring channel's per-producer backpressure counters in.
+    pub(crate) fn retire(&mut self, total: u64, by_producer: Vec<(u64, u64)>) {
+        self.retired_backpressure += total;
+        for (key, n) in by_producer {
+            match self
+                .retired_by_producer
+                .binary_search_by_key(&key, |&(k, _)| k)
+            {
+                Ok(i) => self.retired_by_producer[i].1 += n,
+                Err(i) => self.retired_by_producer.insert(i, (key, n)),
+            }
+        }
+    }
+}
+
 /// The CEDR engine.
 pub struct Engine {
     pub(crate) catalog: Catalog,
@@ -514,6 +626,19 @@ pub struct Engine {
     /// Channel-source ingress (mpsc + resequencer), created lazily by the
     /// first [`Engine::channel_source`] call; drained by [`Engine::pump`].
     pub(crate) channel: Option<ChannelIngress>,
+    /// Pump admission totals + retired channel backpressure (outlives the
+    /// channel; see [`ChannelAccounting`]).
+    pub(crate) channel_acct: ChannelAccounting,
+    /// Shared observability hub: clock seam, latency histograms, optional
+    /// trace ring. Threaded into every dataflow at registration. Pure
+    /// observability — never serialized, never read by scheduling.
+    pub(crate) obs: Arc<ObsHub>,
+    /// Checkpoint/restore accounting for [`Engine::metrics`] (counts this
+    /// process's activity; deliberately not part of checkpoint images).
+    pub(crate) ckpt: CheckpointCounters,
+    /// Clock reading at the first staged admission since the last drain —
+    /// the start point of the ingestion→delta latency histogram.
+    pub(crate) round_open_at: Option<u64>,
 }
 
 impl Engine {
@@ -536,6 +661,10 @@ impl Engine {
             rounds_completed: 0,
             sealed: false,
             channel: None,
+            channel_acct: ChannelAccounting::default(),
+            obs: Arc::new(ObsHub::new(config.trace_capacity)),
+            ckpt: CheckpointCounters::default(),
+            round_open_at: None,
         }
     }
 
@@ -599,6 +728,10 @@ impl Engine {
         });
         let q = self.queries.len() - 1;
         self.index_query(q);
+        self.queries[q]
+            .plan
+            .dataflow
+            .set_obs(Arc::clone(&self.obs), q as u16);
         Ok(QueryId(q))
     }
 
@@ -626,6 +759,10 @@ impl Engine {
         });
         let q = self.queries.len() - 1;
         self.index_query(q);
+        self.queries[q]
+            .plan
+            .dataflow
+            .set_obs(Arc::clone(&self.obs), q as u16);
         Ok(QueryId(q))
     }
 
@@ -721,6 +858,7 @@ impl Engine {
         };
         let subs: Arc<[(usize, SubscriberList)]> = self.resolve_subs(event_type).into();
         let depth = self.config.channel_depth;
+        self.channel_acct.seen = true;
         let ch = self
             .channel
             .get_or_insert_with(|| ChannelIngress::new(depth));
@@ -736,15 +874,17 @@ impl Engine {
                 (key, 0)
             }
         };
+        let (tx, board, depth) = (ch.tx.clone(), Arc::clone(&ch.board), ch.depth);
         Ok(ChannelSource::new(
             Arc::from(event_type),
             arity,
             subs,
-            ch.tx.clone(),
+            tx,
             key,
-            Arc::clone(&ch.board),
-            ch.depth,
+            board,
+            depth,
             emitted,
+            Arc::clone(&self.obs),
         ))
     }
 
@@ -757,20 +897,30 @@ impl Engine {
     /// Engine-wide ingress counters: the per-shard
     /// [`Engine::shard_ingress_stats`] folded together, plus
     /// channel-source backpressure (flushes that found the bounded mpsc
-    /// channel full — attributed to shard 0, the same convention as the
-    /// channel's [`EngineError::IngressFull`] reports).
+    /// channel full — live and retired channels both; the per-producer
+    /// attribution is in [`Engine::metrics`]).
     pub fn ingress_stats(&self) -> IngressStats {
         let mut total = IngressStats::default();
         for s in &self.shards {
             total.absorb(&s.stats);
         }
-        if let Some(ch) = &self.channel {
-            total.backpressure_events += ch
-                .board
-                .backpressure
-                .load(std::sync::atomic::Ordering::Relaxed);
-        }
+        total.backpressure_events += self.channel_backpressure_total();
         total
+    }
+
+    /// Full-channel backpressure across the live channel (if any) and
+    /// every channel retired by [`Engine::seal`].
+    pub(crate) fn channel_backpressure_total(&self) -> u64 {
+        let live = self
+            .channel
+            .as_ref()
+            .map(|ch| {
+                ch.board
+                    .backpressure
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
+            .unwrap_or(0);
+        live + self.channel_acct.retired_backpressure
     }
 
     /// Record that admission found `shard` at capacity (blocking drains
@@ -779,6 +929,9 @@ impl Engine {
         if let Some(s) = self.shards.get_mut(shard) {
             s.stats.backpressure_events += 1;
         }
+        self.obs.trace(|| TraceEvent::Backpressure {
+            shard: shard.min(u16::MAX as usize) as u16,
+        });
     }
 
     /// Open an incremental subscription on a query's output change stream.
@@ -943,8 +1096,18 @@ impl Engine {
             if !block {
                 return Err(full);
             }
-            // Backpressure by draining: empties every ingress.
+            // Backpressure by draining: empties every ingress. The time
+            // the producer spends blocked in this forced drain is the
+            // flush_block histogram.
+            let t0 = self.obs.now();
             self.run_to_quiescence();
+            let blocked = self.obs.now().saturating_sub(t0);
+            self.obs.with_timings(|t| t.flush_block.record(blocked));
+        }
+        // First admission since the last drain opens the ingest→delta
+        // latency window (closed by `run_to_quiescence`).
+        if self.round_open_at.is_none() {
+            self.round_open_at = Some(self.obs.now());
         }
         let n = subs.len();
         for (i, (si, s)) in subs.iter().enumerate() {
@@ -987,15 +1150,54 @@ impl Engine {
     /// receives its batches in enqueue order, so the two modes are
     /// bit-identical.
     pub fn run_to_quiescence(&mut self) {
+        let t0 = self.obs.now();
+        self.obs.trace(|| {
+            let staged: usize = self.shards.iter().map(|s| s.ingress.len()).sum();
+            TraceEvent::RoundStart {
+                round: self.rounds_completed + 1,
+                staged_batches: staged.min(u32::MAX as usize) as u32,
+            }
+        });
+        let deltas_before = self.round_open_at.map(|_| self.deltas_logged_total());
+        self.drain_round();
+        let t1 = self.obs.now();
+        let nanos = t1.saturating_sub(t0);
+        self.obs.with_timings(|t| t.round_drain.record(nanos));
+        self.obs.trace(|| TraceEvent::RoundEnd {
+            round: self.rounds_completed,
+            nanos,
+        });
+        // Ingestion→subscription-delta latency: close the window opened by
+        // the first admission iff this drain appended output deltas.
+        if let (Some(opened), Some(before)) = (self.round_open_at.take(), deltas_before) {
+            if self.deltas_logged_total() > before {
+                self.obs
+                    .with_timings(|t| t.ingest_to_delta.record(t1.saturating_sub(opened)));
+            }
+        }
+    }
+
+    /// Total output deltas appended across every query's collector.
+    fn deltas_logged_total(&self) -> u64 {
+        self.queries
+            .iter()
+            .map(|rq| rq.plan.dataflow.collector(rq.plan.sink).delta_log().len() as u64)
+            .sum()
+    }
+
+    /// The uninstrumented drain behind [`Engine::run_to_quiescence`].
+    fn drain_round(&mut self) {
         self.rounds_completed += 1;
         let busy = self.shards.iter().filter(|s| !s.ingress.is_empty()).count();
         if self.config.threads <= 1 || busy <= 1 {
             let mut drained: Vec<(MessageBatch, SubscriberList)> = Vec::new();
+            let mut messages = 0u64;
             for shard in &mut self.shards {
                 shard.staged_msgs = 0;
                 for (batch, subs) in std::mem::take(&mut shard.ingress) {
                     shard.stats.admitted_batches += 1;
                     shard.stats.admitted_messages += batch.len() as u64;
+                    messages += batch.len() as u64;
                     drained.push((batch, subs));
                 }
             }
@@ -1009,8 +1211,20 @@ impl Engine {
                     rounds[q].push((port, batch));
                 }
             }
+            let t0 = self.obs.tracing().then(|| self.obs.now());
             for (q, round) in self.queries.iter_mut().zip(rounds) {
                 q.plan.dataflow.run_round(round);
+            }
+            // One ShardDrain for the whole serial sweep, by convention on
+            // shard 0 (the histogram stays parallel-path only).
+            if let Some(t0) = t0 {
+                let nanos = self.obs.now().saturating_sub(t0);
+                self.obs.trace(|| TraceEvent::ShardDrain {
+                    shard: 0,
+                    batches: drained.len().min(u32::MAX as usize) as u32,
+                    messages: messages.min(u32::MAX as u64) as u32,
+                    nanos,
+                });
             }
             return;
         }
@@ -1024,19 +1238,24 @@ impl Engine {
         for (qi, rq) in self.queries.iter_mut().enumerate() {
             buckets[shard_of[qi]].push((qi, rq));
         }
+        let obs = Arc::clone(&self.obs);
         std::thread::scope(|scope| {
-            for (shard, bucket) in self.shards.iter_mut().zip(buckets) {
+            for (sid, (shard, bucket)) in self.shards.iter_mut().zip(buckets).enumerate() {
                 if shard.ingress.is_empty() && bucket.is_empty() {
                     continue;
                 }
+                let hub = Arc::clone(&obs);
                 scope.spawn(move || {
+                    let t0 = hub.now();
                     shard.staged_msgs = 0;
                     let drained = std::mem::take(&mut shard.ingress);
+                    let mut messages = 0u64;
                     let mut rounds: Vec<Vec<(usize, &MessageBatch)>> =
                         (0..bucket.len()).map(|_| Vec::new()).collect();
                     for (batch, subs) in &drained {
                         shard.stats.admitted_batches += 1;
                         shard.stats.admitted_messages += batch.len() as u64;
+                        messages += batch.len() as u64;
                         for &(q, port) in subs.iter() {
                             // `bucket` is sorted ascending by query index.
                             let slot = bucket
@@ -1045,9 +1264,18 @@ impl Engine {
                             rounds[slot].push((port, batch));
                         }
                     }
+                    let batches = drained.len();
                     for ((_, rq), round) in bucket.into_iter().zip(rounds) {
                         rq.plan.dataflow.run_round(round);
                     }
+                    let nanos = hub.now().saturating_sub(t0);
+                    hub.with_timings(|t| t.shard_drain.record(nanos));
+                    hub.trace(|| TraceEvent::ShardDrain {
+                        shard: sid.min(u16::MAX as usize) as u16,
+                        batches: batches.min(u32::MAX as usize) as u32,
+                        messages: messages.min(u32::MAX as u64) as u32,
+                        nanos,
+                    });
                 });
             }
         });
@@ -1103,14 +1331,21 @@ impl Engine {
         }
         self.broadcast_cti(TimePoint::INFINITY);
         self.sealed = true;
+        self.obs.trace(|| TraceEvent::Seal {
+            round: self.rounds_completed,
+        });
         // Dropping the ingress (its receiver in particular) is what turns
-        // provider-side sends into no-ops. Its backpressure counter moves
-        // to shard 0 so `ingress_stats` stays monotone across the seal.
+        // provider-side sends into no-ops. Its backpressure counters are
+        // retired into the engine-side channel accounting — per-producer
+        // attribution intact — so `ingress_stats` (and the metrics
+        // snapshot) stay monotone across the seal.
         if let Some(ch) = self.channel.take() {
-            self.shards[0].stats.backpressure_events += ch
-                .board
-                .backpressure
-                .load(std::sync::atomic::Ordering::Relaxed);
+            self.channel_acct.retire(
+                ch.board
+                    .backpressure
+                    .load(std::sync::atomic::Ordering::Relaxed),
+                ch.board.backpressure_by_producer(),
+            );
         }
     }
 

@@ -82,8 +82,10 @@
 //! ```
 
 use crate::engine::{Engine, EngineError, SubscriberList};
+use cedr_obs::{ObsHub, TraceEvent};
 use cedr_streams::{Message, MessageBatch, Resequencer, Retraction};
 use cedr_temporal::{Event, EventId, Interval, Payload, TimePoint, Value};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -106,12 +108,15 @@ pub(crate) struct IngressBatch {
 /// Lock-free-enough disconnect side-channel: posting never blocks on the
 /// bounded data channel, so a producer can always retire — even from a
 /// panicking thread with the channel full. Also carries the
-/// producer-side backpressure counter (flushes that found the channel
-/// full), which the engine folds into its [`IngressStats`].
+/// producer-side backpressure counters (flushes that found the channel
+/// full) — a total the engine folds into its [`IngressStats`], plus the
+/// per-producer attribution surfaced by
+/// [`Engine::metrics`](crate::Engine::metrics).
 #[derive(Default)]
 pub(crate) struct DisconnectBoard {
     posted: Mutex<Vec<(u64, u64)>>,
     pub(crate) backpressure: AtomicU64,
+    by_producer: Mutex<BTreeMap<u64, u64>>,
 }
 
 impl DisconnectBoard {
@@ -124,6 +129,35 @@ impl DisconnectBoard {
 
     pub(crate) fn drain(&self) -> Vec<(u64, u64)> {
         std::mem::take(&mut *self.posted.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Count one full-channel event against producer `key` (total + the
+    /// per-producer attribution).
+    pub(crate) fn note_backpressure(&self, key: u64) {
+        self.backpressure.fetch_add(1, Ordering::Relaxed);
+        *self
+            .by_producer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(key)
+            .or_insert(0) += 1;
+    }
+
+    /// Per-producer full-channel counts, sorted by key.
+    pub(crate) fn backpressure_by_producer(&self) -> Vec<(u64, u64)> {
+        self.by_producer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect()
+    }
+
+    /// Restore the counters from a checkpoint image.
+    pub(crate) fn set_backpressure(&self, total: u64, by_producer: Vec<(u64, u64)>) {
+        self.backpressure.store(total, Ordering::Relaxed);
+        *self.by_producer.lock().unwrap_or_else(|e| e.into_inner()) =
+            by_producer.into_iter().collect();
     }
 }
 
@@ -280,6 +314,9 @@ pub struct ChannelSource {
     autoflush: usize,
     /// Channel capacity in batches (for backpressure error reports).
     depth: usize,
+    /// Engine observability hub: channel-block timing + backpressure
+    /// traces from the provider side.
+    obs: Arc<ObsHub>,
 }
 
 impl ChannelSource {
@@ -300,6 +337,7 @@ impl ChannelSource {
         board: Arc<DisconnectBoard>,
         depth: usize,
         emitted: u64,
+        obs: Arc<ObsHub>,
     ) -> Self {
         debug_assert!(key < (1 << (64 - CHANNEL_ID_SHIFT)), "key space exhausted");
         ChannelSource {
@@ -317,6 +355,7 @@ impl ChannelSource {
             staged: MessageBatch::new(),
             autoflush: crate::session::DEFAULT_AUTOFLUSH,
             depth,
+            obs,
         }
     }
 
@@ -473,7 +512,9 @@ impl ChannelSource {
             }
             Err(TrySendError::Disconnected(_)) => return Ok(()), // engine gone: discard
             Err(TrySendError::Full(full)) => {
-                core.board.backpressure.fetch_add(1, Ordering::Relaxed);
+                core.board.note_backpressure(core.key);
+                self.obs
+                    .trace(|| TraceEvent::ChannelBackpressure { producer: core.key });
                 if !block {
                     let len = full.batch.len();
                     self.staged = full.batch;
@@ -488,10 +529,14 @@ impl ChannelSource {
                 item = full;
             }
         }
-        // Blocking path: commit the seq, release the lock, then wait.
+        // Blocking path: commit the seq, release the lock, then wait,
+        // timing how long the full channel parks this producer.
         *emitted += 1;
         drop(emitted);
+        let t0 = self.obs.now();
         let _ = self.tx.send(item);
+        let blocked = self.obs.now().saturating_sub(t0);
+        self.obs.with_timings(|t| t.channel_block.record(blocked));
         Ok(())
     }
 
@@ -540,6 +585,7 @@ impl Clone for ChannelSource {
             staged: MessageBatch::new(),
             autoflush: self.autoflush,
             depth: self.depth,
+            obs: Arc::clone(&self.obs),
         }
     }
 }
@@ -628,6 +674,7 @@ impl Engine {
         }
         let cap = self.config().resequencer_capacity;
         loop {
+            let pass_t0 = self.obs.now();
             // Fold in disconnects (side channel) and everything the data
             // channel holds, in arrival order; the resequencer restores
             // canonical order.
@@ -653,6 +700,7 @@ impl Engine {
             }
             // Admit every ready round, one quiescence pass each.
             let rounds_before = progress.rounds;
+            let (batches_before, messages_before) = (progress.batches, progress.messages);
             loop {
                 let round = {
                     let ch = self.channel.as_mut().expect("checked above");
@@ -677,6 +725,16 @@ impl Engine {
                     let _ = self.admit_resolved(&event_type, batch, &subs, true);
                 }
                 self.run_to_quiescence();
+            }
+            // Cumulative pump totals (semantic counters — survive the
+            // channel's teardown at seal and the error returns below) and
+            // the pump_step histogram for passes that admitted something.
+            self.channel_acct.rounds += progress.rounds - rounds_before;
+            self.channel_acct.batches += progress.batches - batches_before;
+            self.channel_acct.messages += progress.messages - messages_before;
+            if progress.rounds > rounds_before {
+                let nanos = self.obs.now().saturating_sub(pass_t0);
+                self.obs.with_timings(|t| t.pump_step.record(nanos));
             }
             let (open, buffered, live) = {
                 let ch = self.channel.as_ref().expect("checked above");
@@ -703,6 +761,12 @@ impl Engine {
                         if admitted_this_pass || ch.stalled_on != Some(waiting_on) {
                             ch.stalled_on = Some(waiting_on);
                             ch.stalled_rounds = 1;
+                            // Trace once per stall episode, not per check.
+                            let buffered = ch.reseq.buffered();
+                            self.obs.trace(|| TraceEvent::ResequencerStall {
+                                waiting_on,
+                                buffered: buffered.min(u32::MAX as usize) as u32,
+                            });
                         } else {
                             ch.stalled_rounds += 1;
                         }

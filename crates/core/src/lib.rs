@@ -49,14 +49,22 @@ pub mod builder;
 mod checkpoint;
 pub mod engine;
 pub mod ingest;
+mod metrics;
 pub mod session;
 
 pub use builder::PlanBuilder;
 pub use engine::{
     Engine, EngineConfig, EngineError, QueryId, DEFAULT_CHANNEL_DEPTH, DEFAULT_INGRESS_CAPACITY,
+    DEFAULT_TRACE_CAPACITY,
 };
 pub use ingest::{ChannelSource, IngressStats, PumpProgress};
 pub use session::{SourceHandle, Subscription, DEFAULT_AUTOFLUSH};
+
+// Observability surface: [`Engine::metrics`] returns these `cedr-obs`
+// types; re-export the ones applications and tests touch directly.
+pub use cedr_obs::{
+    validate_exposition, ManualClock, MetricsSnapshot, ObsClock, SemanticCounters, TraceEvent,
+};
 
 /// Convenience prelude for applications.
 pub mod prelude {
@@ -68,6 +76,7 @@ pub mod prelude {
     pub use cedr_algebra::pattern::{Consumption, ScMode, Selection};
     pub use cedr_algebra::relational::AggFunc;
     pub use cedr_lang::catalog::{Catalog, EventTypeDef, FieldType};
+    pub use cedr_obs::{ManualClock, MetricsSnapshot, ObsClock, TraceEvent};
     pub use cedr_runtime::{ConsistencyLevel, ConsistencySpec};
     pub use cedr_streams::{
         Collector, DisorderConfig, Message, MessageBatch, OutputDelta, Retraction, StreamBuilder,

@@ -361,6 +361,16 @@ impl Subscription {
         &log[start..end]
     }
 
+    /// Attach this cursor to a [`MetricsSnapshot`](cedr_obs::MetricsSnapshot)
+    /// under `label`, so [`render_report`](cedr_obs::MetricsSnapshot::render_report)
+    /// and [`render_prometheus`](cedr_obs::MetricsSnapshot::render_prometheus)
+    /// show its position and lag against the query's delta log. Cursors
+    /// live with consumers, not the engine, so [`Engine::metrics`] cannot
+    /// see them — observation is opt-in per subscription.
+    pub fn observe(&self, snap: &mut cedr_obs::MetricsSnapshot, label: &str) {
+        snap.record_subscription(self.query.0, label, self.cursor as u64);
+    }
+
     /// Deltas ready to drain without scheduling.
     pub fn pending(&self, engine: &Engine) -> usize {
         engine

@@ -51,11 +51,18 @@ use crate::consistency::ConsistencySpec;
 use crate::operator::{OperatorModule, OperatorShell};
 use crate::scheduler::{self, SchedStats, ShardPlan};
 use crate::stats::OpStats;
+use cedr_obs::{ObsHub, TraceEvent};
 use cedr_streams::{Collector, Message, MessageBatch};
 use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Identifies an operator node in a dataflow.
 pub type NodeId = usize;
+
+/// Observability context for one node's delivery: the hub plus the
+/// `(query, node)` labels stamped onto [`TraceEvent::OperatorRun`].
+/// Purely observational — never feeds back into scheduling or delivery.
+pub(crate) type RunObs<'a> = (&'a ObsHub, u16, u16);
 
 /// Deliver one node's drained input to its shell as **maximal same-port
 /// runs** in arrival order (messages move into each run — no re-clone),
@@ -72,6 +79,7 @@ pub(crate) fn deliver_runs(
     mut collector: Option<&mut Collector>,
     input: impl IntoIterator<Item = (usize, Message)>,
     now: u64,
+    obs: Option<RunObs<'_>>,
     mut route: impl FnMut(&MessageBatch),
 ) {
     let mut iter = input.into_iter().peekable();
@@ -79,6 +87,13 @@ pub(crate) fn deliver_runs(
         let mut run = vec![first];
         while iter.peek().is_some_and(|(p, _)| *p == port) {
             run.push(iter.next().expect("peeked").1);
+        }
+        if let Some((hub, query, node)) = obs {
+            hub.trace(|| TraceEvent::OperatorRun {
+                query,
+                node,
+                batch_len: run.len().min(u32::MAX as usize) as u32,
+            });
         }
         let outs = shell.push_batch(port, &run, now);
         if outs.is_empty() {
@@ -174,6 +189,7 @@ impl DataflowBuilder {
             threads: 1,
             shard_plan: None,
             sched: SchedStats::default(),
+            obs: None,
         }
     }
 }
@@ -193,6 +209,10 @@ pub struct Dataflow {
     /// Lazily computed shard partition (topology is fixed after build).
     shard_plan: Option<ShardPlan>,
     sched: SchedStats,
+    /// Observability hub + the query index this dataflow traces under.
+    /// Never serialized (`state_snapshot` excludes it) and never read by
+    /// scheduling decisions, so it cannot perturb bit-identity.
+    obs: Option<(Arc<ObsHub>, u16)>,
 }
 
 impl Dataflow {
@@ -208,6 +228,13 @@ impl Dataflow {
     /// Worker threads currently configured.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Attach an observability hub; `query` labels this dataflow's trace
+    /// events and timings. Observation only — delivery order, operator
+    /// state and statistics are unchanged with or without a hub.
+    pub fn set_obs(&mut self, hub: Arc<ObsHub>, query: u16) {
+        self.obs = Some((hub, query));
     }
 
     /// Sharded-scheduler counters (all zero while running serially).
@@ -294,6 +321,7 @@ impl Dataflow {
             node_subs,
             collectors,
             queues,
+            obs,
             ..
         } = self;
         let mut ready: BTreeSet<NodeId> = (0..nodes.len())
@@ -306,6 +334,7 @@ impl Dataflow {
                 collectors.get_mut(&node),
                 drained,
                 now,
+                obs.as_ref().map(|(h, q)| (h.as_ref(), *q, node as u16)),
                 |outs| {
                     for &(next, next_port) in &node_subs[node] {
                         for o in outs {
@@ -350,6 +379,7 @@ impl Dataflow {
             &plan,
             self.tick,
             &mut self.sched,
+            self.obs.as_ref().map(|(h, q)| (h.as_ref(), *q)),
         );
         self.shard_plan = Some(plan);
     }

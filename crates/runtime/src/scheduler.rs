@@ -47,6 +47,7 @@
 
 use crate::executor::NodeId;
 use crate::operator::OperatorShell;
+use cedr_obs::{ObsHub, TraceEvent};
 use cedr_streams::{Collector, Message};
 use std::collections::HashMap;
 use std::sync::mpsc;
@@ -277,6 +278,7 @@ const PROGRESS_DONE: u64 = u64::MAX;
 /// subscription-facing delta log, which advance together inside
 /// `Collector::push`) and statistics — are bit-identical to the serial
 /// sweep.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_sharded(
     nodes: &mut [OperatorShell],
     node_subs: &[Vec<(NodeId, usize)>],
@@ -285,6 +287,7 @@ pub(crate) fn run_sharded(
     plan: &ShardPlan,
     now: u64,
     stats: &mut SchedStats,
+    obs: Option<(&ObsHub, u16)>,
 ) {
     let n_shards = plan.shards.len();
     let topo = Topology::build(plan, node_subs);
@@ -336,7 +339,9 @@ pub(crate) fn run_sharded(
             let rx = rxs[sid].take().expect("one inbox per shard");
             let txs = std::mem::take(&mut shard_txs[sid]);
             handles.push(scope.spawn(move || {
-                worker(sid, bucket, cols, stage, rx, txs, topo_ref, node_subs, now)
+                worker(
+                    sid, bucket, cols, stage, rx, txs, topo_ref, node_subs, now, obs,
+                )
             }));
         }
         handles
@@ -366,7 +371,12 @@ fn worker(
     topo: &Topology,
     node_subs: &[Vec<(NodeId, usize)>],
     now: u64,
+    obs: Option<(&ObsHub, u16)>,
 ) -> (usize, usize) {
+    // Worker-drain timing covers the whole lifetime, including waits on
+    // upstream shards — that is the quantity a scaling investigation
+    // wants (a pipeline-limited shard shows up as a long drain).
+    let started = obs.map(|(hub, _)| hub.now());
     let mut pending: HashMap<NodeId, Vec<(Stamp, usize, Message)>> = HashMap::new();
     for (n, q) in staged {
         pending.insert(
@@ -425,6 +435,7 @@ fn worker(
                 collectors.get_mut(&nid).map(|c| &mut **c),
                 input.into_iter().map(|(_, port, m)| (port, m)),
                 now,
+                obs.map(|(hub, query)| (hub, query, nid as u16)),
                 |outs| {
                     for &(next, nport) in &node_subs[nid] {
                         let t = topo.shard_of[next];
@@ -465,6 +476,14 @@ fn worker(
     // Keep draining until every upstream sender disconnects, so bounded
     // upstream sends can never block against an exited consumer.
     while rx.recv().is_ok() {}
+    if let (Some((hub, _)), Some(t0)) = (obs, started) {
+        let nanos = hub.now().saturating_sub(t0);
+        hub.with_timings(|t| t.worker_drain.record(nanos));
+        hub.trace(|| TraceEvent::WorkerDrain {
+            shard: sid.min(u16::MAX as usize) as u16,
+            nanos,
+        });
+    }
     (cross_batches, cross_messages)
 }
 

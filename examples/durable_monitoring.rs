@@ -87,6 +87,15 @@ fn main() {
         "checkpoint: {} bytes, consumer cursor at {saved_cursor}",
         image.len()
     );
+    // The unified snapshot at the durability boundary: checkpoint
+    // counters, pump/resequencer state and the consumer's cursor lag in
+    // one report (see `cargo run --example observability` for the tour).
+    let mut at_checkpoint = engine.metrics();
+    sub.observe(&mut at_checkpoint, "monitor");
+    println!(
+        "----- report at checkpoint -----\n{}",
+        at_checkpoint.render_report()
+    );
     drop(engine); // the crash — nothing of the process survives but the image
 
     // ----- the replacement process ---------------------------------------
@@ -98,6 +107,10 @@ fn main() {
         "restored at round {}, replaying the remaining {} rounds",
         engine.rounds_completed(),
         rounds.len() - half
+    );
+    println!(
+        "----- report after restore -----\n{}",
+        engine.metrics().render_report()
     );
     // The delta log is part of the image; a fresh subscription
     // fast-forwards past the prefix the dead process already consumed.

@@ -8,6 +8,7 @@ pub use cedr_algebra as algebra;
 pub use cedr_core as core;
 pub use cedr_durable as durable;
 pub use cedr_lang as lang;
+pub use cedr_obs as obs;
 pub use cedr_runtime as runtime;
 pub use cedr_streams as streams;
 pub use cedr_temporal as temporal;

@@ -1,0 +1,219 @@
+//! The counter half of the observability contract, pinned.
+//!
+//! [`Engine::metrics`] exposes three classes of data (see the
+//! Observability section of `cedr_core::engine`):
+//!
+//! 1. **Semantic counters** ([`MetricsSnapshot::semantic`]) are
+//!    bit-identical across `CEDR_THREADS`, `CEDR_FUSE` and
+//!    `CEDR_COMPILE` for the same logical workload.
+//! 2. **Execution counters** (per-node operator stats, per-shard ingress,
+//!    channel admission totals) are exact for a fixed configuration —
+//!    here pinned identical across worker counts at a fixed fuse mode,
+//!    where only the shard layout may differ.
+//! 3. **Timing histograms** sit behind the [`ObsClock`] seam and are
+//!    excluded: a frozen [`ManualClock`] proves no counter reads the
+//!    clock.
+//!
+//! The Prometheus exposition of every snapshot taken here must parse
+//! under the text-format grammar ([`validate_exposition`]).
+
+use cedr::core::prelude::*;
+use cedr::core::{validate_exposition, ManualClock, MetricsSnapshot, SemanticCounters};
+use cedr::temporal::time::{dur, t};
+use std::sync::Arc;
+
+/// Deterministic mixed tape for the plain source: inserts, retractions
+/// and mid-stream CTIs in flushable chunks.
+fn tape() -> Vec<MessageBatch> {
+    let mut b = StreamBuilder::with_id_base(7);
+    for i in 0..48u64 {
+        let vs = i * 5 % 163;
+        let e = b.insert(
+            Interval::new(t(vs), t(vs + 25)),
+            Payload::from_values(vec![Value::Int((i % 6) as i64), Value::Int(i as i64)]),
+        );
+        if i % 7 == 0 {
+            b.retract(e.clone(), e.vs() + dur(3));
+        }
+    }
+    let ordered = b.build_ordered(Some(dur(30)), true);
+    ordered
+        .chunks(11)
+        .map(|c| c.iter().cloned().collect::<MessageBatch>())
+        .collect()
+}
+
+/// One full workload at a given configuration, returning the final
+/// snapshot. A frozen `ManualClock` (when `freeze_clock`) stands in for
+/// wall time, so any counter that accidentally read the clock would
+/// diverge from the real-clock runs.
+fn run(threads: usize, fuse: bool, compile: bool, freeze_clock: bool) -> MetricsSnapshot {
+    let mut engine = Engine::with_config(
+        EngineConfig::threaded(threads)
+            .with_fuse(fuse)
+            .with_compile_kernels(compile),
+    );
+    if freeze_clock {
+        engine.set_obs_clock(Arc::new(ManualClock::new()));
+    }
+    engine.register_event_type("E", vec![("Grp", FieldType::Int), ("Seq", FieldType::Int)]);
+    engine.register_event_type("C", vec![("V", FieldType::Int)]);
+    let filter = PlanBuilder::source("E")
+        .select(Pred::cmp(Scalar::Field(0), CmpOp::Gt, Scalar::lit(2i64)))
+        .project(vec![Scalar::Field(1)], vec!["Seq".into()])
+        .into_plan();
+    let agg = PlanBuilder::source("E")
+        .window(dur(40))
+        .group_aggregate(vec![Scalar::Field(0)], AggFunc::Count)
+        .into_plan();
+    let chan = PlanBuilder::source("C")
+        .select(Pred::True)
+        .project(vec![Scalar::Field(0)], vec!["V".into()])
+        .into_plan();
+    engine
+        .register_plan("filter", filter, ConsistencySpec::strong())
+        .unwrap();
+    engine
+        .register_plan("agg", agg, ConsistencySpec::middle())
+        .unwrap();
+    engine
+        .register_plan("chan", chan, ConsistencySpec::middle())
+        .unwrap();
+
+    // Plain-source half: enqueue + drain per chunk.
+    for chunk in tape() {
+        engine.enqueue_batch("E", &chunk).unwrap();
+        engine.run_to_quiescence();
+    }
+
+    // Channel half: two producers flushed in a fixed interleave from this
+    // thread, so admission totals are deterministic by construction.
+    let mut p1 = engine.channel_source("C").unwrap().manual_flush();
+    let mut p2 = engine.channel_source("C").unwrap().manual_flush();
+    for i in 0..12u64 {
+        p1.insert(i * 2, vec![Value::Int(i as i64)]).unwrap();
+        p1.flush();
+        p2.insert(i * 2 + 1, vec![Value::Int(-(i as i64))]).unwrap();
+        p2.flush();
+        engine.pump().unwrap();
+    }
+    drop(p1);
+    drop(p2);
+    engine.run_pipelined().unwrap();
+
+    // A durability boundary contributes checkpoint counters.
+    let image = engine.checkpoint_to_vec().unwrap();
+    assert!(!image.is_empty());
+    engine.seal();
+    engine.metrics()
+}
+
+const MODES: [(bool, bool); 3] = [(true, true), (true, false), (false, false)];
+
+/// Class 1: the semantic projection is bit-identical across every
+/// supported (threads × fuse × compile) combination, clock frozen or not.
+#[test]
+fn semantic_counters_identical_across_threads_and_modes() {
+    let baseline: SemanticCounters = run(1, true, true, false).counters.semantic();
+    assert_eq!(baseline.queries.len(), 3);
+    assert!(baseline.rounds_completed > 0);
+    let ch = baseline.channel.as_ref().expect("channel block present");
+    assert_eq!(ch.messages_admitted, 24);
+    assert_eq!(baseline.checkpoints, 1);
+    for threads in [1usize, 4] {
+        for (fuse, compile) in MODES {
+            for freeze in [false, true] {
+                let got = run(threads, fuse, compile, freeze).counters.semantic();
+                assert_eq!(
+                    got, baseline,
+                    "semantic counters diverged at threads={threads} fuse={fuse} \
+                     compile={compile} frozen_clock={freeze}"
+                );
+            }
+        }
+    }
+}
+
+/// Class 2: at a fixed fuse/compile mode, the per-query counter snapshot
+/// — per-node operator counters included — is identical across worker
+/// counts; only the shard-local views (staging layout, checkpoint image
+/// bytes, the thread gauge) may differ, and each engine's shard rows must
+/// fold to its own ingress total.
+#[test]
+fn full_counters_identical_across_worker_counts_at_fixed_mode() {
+    for (fuse, compile) in MODES {
+        let one = run(1, fuse, compile, true).counters;
+        let four = run(4, fuse, compile, true).counters;
+        assert_eq!(
+            one.queries, four.queries,
+            "per-query/per-node counters diverged across threads at fuse={fuse} compile={compile}"
+        );
+        assert_eq!(one.channel, four.channel);
+        // Checkpoint *counts* are semantic; image bytes scale with the
+        // shard layout and are only pinned within a fixed thread count.
+        assert_eq!(one.checkpoints.checkpoints, four.checkpoints.checkpoints);
+        assert_eq!(one.checkpoints.restores, four.checkpoints.restores);
+        assert_eq!(one.rounds_completed, four.rounds_completed);
+        // Ingress staging is per-shard (a message stages once per shard
+        // hosting a subscriber), so the totals are layout-dependent —
+        // but within each engine the shard rows must fold to the total.
+        assert_eq!(one.shards.len(), 1);
+        assert_eq!(four.shards.len(), 4);
+        for cs in [&one, &four] {
+            let folded: u64 = cs.shards.iter().map(|s| s.admitted_messages).sum();
+            assert_eq!(folded, cs.ingress_total.admitted_messages);
+        }
+    }
+}
+
+/// Class 3 exclusion, from the other side: with a frozen manual clock
+/// every histogram stays empty-of-time (all samples are zero-duration),
+/// while the counters above already proved they don't care. Also pins
+/// that execution-mode counters *do* move with the mode — fusion and
+/// kernel compilation are visible in the snapshot, not silently absent.
+#[test]
+fn frozen_clock_empties_timings_and_modes_are_visible() {
+    let frozen = run(1, true, true, true);
+    assert!(frozen.timings.round_drain.count() > 0, "rounds were timed");
+    assert_eq!(
+        frozen.timings.round_drain.max(),
+        0,
+        "frozen clock: all zero"
+    );
+    assert_eq!(frozen.timings.checkpoint_write.max(), 0);
+
+    let fused = run(1, true, true, false).counters;
+    let unfused = run(1, false, false, false).counters;
+    let fused_stages: u64 = fused.queries.iter().map(|q| q.total.fused_stages).sum();
+    let kernel_runs: u64 = fused
+        .queries
+        .iter()
+        .map(|q| q.total.compiled_kernel_runs)
+        .sum();
+    assert!(fused_stages > 0, "fusion engaged and counted");
+    assert!(kernel_runs > 0, "compiled kernels engaged and counted");
+    assert_eq!(
+        unfused
+            .queries
+            .iter()
+            .map(|q| q.total.fused_stages)
+            .sum::<u64>(),
+        0
+    );
+}
+
+/// Every snapshot's Prometheus rendering parses under the text-format
+/// grammar, and the family/sample counts are themselves deterministic
+/// across modes (labels come from query names, not execution layout).
+#[test]
+fn prometheus_exposition_is_valid_and_stable() {
+    let mut counts = std::collections::BTreeSet::new();
+    for (fuse, compile) in MODES {
+        let snap = run(2, fuse, compile, false);
+        let summary =
+            validate_exposition(&snap.render_prometheus()).expect("exposition must parse");
+        assert!(summary.families > 20, "rich snapshot exports many families");
+        counts.insert(summary.families);
+    }
+    assert_eq!(counts.len(), 1, "family count stable across modes");
+}

@@ -1,0 +1,105 @@
+//! The consistency-spectrum bench: gated *deterministic* ratios.
+//!
+//! Runs a three-scenario slice of the adversarial matrix
+//! (`cedr_workload::matrix`) — disorder, retraction churn and key skew —
+//! and derives the gated columns from **semantic counters**, not
+//! wall-clock, so the committed `BENCH_scenarios.json` baseline holds
+//! exactly on any machine and any profile:
+//!
+//! * `strong_vs_weak_state_peak` — how much operator state the Weak
+//!   level's forgetting horizon saves relative to Strong (the paper's
+//!   memory-for-accuracy trade).
+//! * `middle_vs_strong_deltas` — the consumer-visible churn Middle pays
+//!   for non-blocking output (speculation + repairs) relative to
+//!   Strong's repair-free tape.
+//!
+//! Both are ratios of deterministic counters measured back to back in
+//! one process; a change in either means the spectrum semantics moved,
+//! which is exactly what the bench-regression gate should catch.
+//! Wall-clock totals land in `info`, ungated. Every matrix cell also
+//! re-asserts the bit-identity pins (workers {1,4}, unfused,
+//! interpreted) before any counter is read.
+
+use cedr_bench::summary::BenchSummary;
+use cedr_workload::matrix::run_matrix;
+use cedr_workload::scenario::ScenarioConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+const SEED: u64 = 0xC1D7;
+
+fn slice() -> Vec<ScenarioConfig> {
+    vec![
+        ScenarioConfig {
+            disorder: 40,
+            cti_period: 9,
+            ..ScenarioConfig::tame("late_storm", SEED ^ 0x02)
+        },
+        ScenarioConfig {
+            retraction_rate: 0.35,
+            disorder: 10,
+            ..ScenarioConfig::tame("retraction_churn", SEED ^ 0x03)
+        },
+        ScenarioConfig {
+            keys: 16,
+            key_skew: 1.5,
+            disorder: 8,
+            ..ScenarioConfig::tame("hot_keys", SEED ^ 0x04)
+        },
+    ]
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let configs = slice();
+    let mut g = c.benchmark_group("scenario_matrix");
+    g.sample_size(10);
+    g.bench_function("three_scenarios", |b| b.iter(|| run_matrix(SEED, &configs)));
+    g.finish();
+    write_summary(&configs);
+}
+
+fn write_summary(configs: &[ScenarioConfig]) {
+    let start = Instant::now();
+    let report = run_matrix(SEED, configs);
+    let seconds = start.elapsed().as_secs_f64();
+
+    let aggregates = report.level_aggregates();
+    let get = |level: &str| {
+        aggregates
+            .iter()
+            .find(|(l, _)| *l == level)
+            .unwrap_or_else(|| panic!("level {level} missing"))
+            .1
+            .clone()
+    };
+    let strong = get("Strong");
+    let middle = get("Middle");
+    let weak = get("Weak");
+    assert!(weak.forgotten > 0, "weak horizon must bite");
+    assert!(weak.state_peak_sum > 0 && strong.deltas > 0);
+
+    let mut s = BenchSummary::new("scenarios", SEED);
+    s.ratio(
+        "strong_vs_weak_state_peak",
+        strong.state_peak_sum as f64 / weak.state_peak_sum as f64,
+    );
+    s.ratio(
+        "middle_vs_strong_deltas",
+        middle.deltas as f64 / strong.deltas as f64,
+    );
+    s.info("scenarios", configs.len() as f64)
+        .info("identity_checks", report.identity_checks as f64)
+        .info("strong_blocked_ticks", strong.blocked_ticks as f64)
+        .info("middle_blocked_ticks", middle.blocked_ticks as f64)
+        .info("middle_retractions", middle.retractions as f64)
+        .info("weak_forgotten", weak.forgotten as f64)
+        .info("weak_mean_f1", weak.f1_sum / weak.cells.max(1) as f64)
+        .info("matrix_seconds", seconds);
+    s.write(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_scenarios.json"
+    ));
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -6,7 +6,8 @@
 //! per-query consistency specs, and exposes a **sessioned I/O surface**:
 //! typed [`SourceHandle`] ingestion sessions with bounded-ingress
 //! backpressure on the way in, incremental [`Subscription`] change-stream
-//! cursors on the way out, plus the Figure-8 runtime metrics. For
+//! cursors on the way out, plus a unified [`Engine::metrics`](engine::Engine::metrics)
+//! telemetry snapshot. For
 //! concurrent providers, [`ChannelSource`] is the `Send + Clone` sibling
 //! of `SourceHandle`: producer threads feed a bounded channel while the
 //! engine pumps ([`Engine::pump`](engine::Engine::pump) /

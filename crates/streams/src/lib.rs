@@ -22,7 +22,7 @@ pub use batch::{ColumnarView, MessageBatch, MessageKind};
 pub use clock::{CedrClock, LogicalClock};
 pub use collect::{Collector, CollectorParts, StreamStats};
 pub use delta::OutputDelta;
-pub use disorder::{scramble, DisorderConfig};
+pub use disorder::{disorder_profile, scramble, DisorderConfig};
 pub use merge::merge_by_sync;
 pub use message::{Message, Retraction, Stamped};
 pub use resequence::{LaneParts, Resequencer, ResequencerParts, RoundStatus};
@@ -34,7 +34,7 @@ pub mod prelude {
     pub use crate::clock::{CedrClock, LogicalClock};
     pub use crate::collect::{Collector, StreamStats};
     pub use crate::delta::OutputDelta;
-    pub use crate::disorder::{scramble, DisorderConfig};
+    pub use crate::disorder::{disorder_profile, scramble, DisorderConfig};
     pub use crate::merge::merge_by_sync;
     pub use crate::message::{Message, Retraction, Stamped};
     pub use crate::source::StreamBuilder;

@@ -1,20 +1,49 @@
 //! # cedr-workload
 //!
-//! Workload generators for the paper's motivating scenarios (Section 1's
-//! financial-services triple and Section 3.1's machine monitoring), the
-//! disorder/orderliness controls of Figure 8, and the measurement harness
-//! that turns engine runs into the Figure-8 observables (blocking, state
-//! size, output size) plus accuracy-versus-ideal.
+//! Adversarial, *characterized* workloads for the CEDR reproduction, and
+//! the harness that turns them into the paper's measured consistency
+//! spectrum.
+//!
+//! * [`scenario`] — the scenario engine: a seeded [`ScenarioConfig`]
+//!   with one dial per hostility dimension (burstiness, disorder depth,
+//!   retraction rate, key skew, producer skew, producer silence). Every
+//!   generated trace renders a one-line characterization combining the
+//!   dials with *measured* trace properties, and the curated
+//!   [`scenario::gallery`] covers one dial per scenario.
+//! * [`matrix`] — the consistency matrix harness: every scenario ×
+//!   consistency level × operator family driven through the modern
+//!   engine surface (`ChannelSource` + pump + `Subscription`), pinned
+//!   bit-identical across 1/4 workers and fused/unfused/interpreted
+//!   legs **before** measuring blocking, repair churn, state peaks and
+//!   accuracy from [`Engine::metrics`](cedr_core::engine::Engine::metrics).
+//!   The committed `docs/CONSISTENCY.md` is this harness's rendered
+//!   output (regenerate with the `scenario_matrix` binary in
+//!   `cedr-bench`).
+//! * [`finance`] / [`machines`] — the paper's motivating domains
+//!   (Section 1's financial-services triple, Section 3.1's machine
+//!   monitoring) as seeded generators, used by the examples and the
+//!   figure benches.
+//! * [`metrics`] — the legacy denotational harness behind the Figure-8/9
+//!   benches: it drives a lowered plan directly (no engine, no
+//!   sessions) and computes the original blocking/state/output/accuracy
+//!   observables. New measurement code should prefer [`matrix`].
+//! * [`report`] — ASCII/CSV/markdown table rendering and the Figure-8
+//!   qualitative classifier.
 //!
 //! Everything is seeded and deterministic: the same configuration always
-//! produces the same trace, delivery order and measurements.
+//! produces the same trace, delivery order and measurements (see
+//! `ScenarioTrace::fingerprint`).
 
 pub mod finance;
 pub mod machines;
+pub mod matrix;
 pub mod metrics;
 pub mod report;
+pub mod scenario;
 
 pub use finance::{MarketConfig, NewsConfig, PortfolioConfig};
 pub use machines::{MachineTrace, MachineWorkloadConfig};
+pub use matrix::{run_matrix, FamilyCell, LevelRun, MatrixReport, ScenarioResult};
 pub use metrics::{accuracy_f1, merge_scramble, run_experiment, Experiment, ExperimentResult};
 pub use report::Table;
+pub use scenario::{gallery, ProducerScript, ScenarioConfig, ScenarioProfile, ScenarioTrace};

@@ -1,0 +1,477 @@
+//! The consistency matrix harness: scenario × level × operator family.
+//!
+//! For every [`ScenarioConfig`] and
+//! every consistency level (Strong, Middle, Weak-with-a-biting-horizon),
+//! the harness drives **five operator families at once** — stateless
+//! chain, windowed group-aggregate, join, sequence, negation — through
+//! the modern engine surface: one
+//! [`ChannelSource`] per producer, the engine
+//! [pumping](cedr_core::engine::Engine::pump) between rounds, results
+//! drained through collectors and
+//! [`Subscription`]s.
+//!
+//! Before anything is *measured*, every cell is *pinned*: the same
+//! scenario runs on four engine legs — 1 worker (canonical), 4 workers,
+//! fusion off, compiled kernels off — and the stamped output tape,
+//! subscription deltas and output CTI must be bit-identical across all
+//! legs for every query. Only then are the paper's observables read
+//! from the canonical leg's [`Engine::metrics`]
+//! (cedr_core::engine::Engine::metrics): blocking (application-time
+//! alignment ticks — deterministic), repair churn (output retractions,
+//! full removals, delta-log volume), state/held peaks, forgotten events
+//! under Weak, and accuracy-versus-Strong F1 of the net output table.
+//!
+//! Everything in [`MatrixReport`] except the explicitly wall-clock
+//! fields is deterministic per seed, which is what lets CI regenerate
+//! `docs/CONSISTENCY.md` and diff it byte-for-byte.
+
+use crate::metrics::accuracy_f1;
+use crate::scenario::{ScenarioConfig, ScenarioProfile, ScenarioTrace, SCENARIO_TYPES};
+use cedr_core::prelude::*;
+use cedr_temporal::UniTemporalTable;
+
+/// The consistency levels of the matrix. Weak gets a horizon of
+/// `span / 6` ticks — tight enough to bite (forget live state) on every
+/// gallery scenario, which is the regime where Weak is interesting.
+pub fn levels(span: u64) -> Vec<(&'static str, ConsistencySpec)> {
+    vec![
+        ("Strong", ConsistencySpec::strong()),
+        ("Middle", ConsistencySpec::middle()),
+        ("Weak", ConsistencySpec::weak(dur((span / 6).max(1)))),
+    ]
+}
+
+/// The five operator families every cell runs.
+pub const FAMILIES: [&str; 5] = ["stateless", "aggregate", "join", "sequence", "negation"];
+
+/// The four engine legs of the bit-identity pin:
+/// `(label, workers, fuse, compile_kernels)`. Leg 0 is canonical — the
+/// one measurements are taken from.
+pub const LEGS: [(&str, usize, bool, bool); 4] = [
+    ("1 worker", 1, true, true),
+    ("4 workers", 4, true, true),
+    ("unfused", 1, false, true),
+    ("interpreted", 1, true, false),
+];
+
+/// Register the five-family query catalog against a fresh engine.
+pub fn register_families(
+    engine: &mut Engine,
+    spec: ConsistencySpec,
+    span: u64,
+) -> Vec<(&'static str, QueryId)> {
+    for ty in SCENARIO_TYPES {
+        engine.register_event_type(ty, vec![("key", FieldType::Int), ("seq", FieldType::Int)]);
+    }
+    let w = dur((span / 4).max(1));
+    let key_eq = || Pred::cmp(Scalar::Of(0, 0), CmpOp::Eq, Scalar::Of(1, 0));
+    let stateless = PlanBuilder::source("SCN_A")
+        .select(Pred::cmp(Scalar::Field(0), CmpOp::Ge, Scalar::lit(0i64)))
+        .project(
+            vec![Scalar::Field(0), Scalar::Field(1)],
+            vec!["key".into(), "seq".into()],
+        )
+        .into_plan();
+    let aggregate = PlanBuilder::source("SCN_A")
+        .window(w)
+        .group_aggregate(vec![Scalar::Field(0)], AggFunc::Count)
+        .into_plan();
+    let join = PlanBuilder::source("SCN_A")
+        .join(PlanBuilder::source("SCN_B"), key_eq())
+        .into_plan();
+    let sequence = PlanBuilder::sequence(
+        vec![PlanBuilder::source("SCN_A"), PlanBuilder::source("SCN_B")],
+        w,
+        key_eq(),
+    )
+    .into_plan();
+    let negation = PlanBuilder::source("SCN_A")
+        .unless(
+            PlanBuilder::source("SCN_C"),
+            dur((span / 8).max(1)),
+            Pred::True,
+        )
+        .into_plan();
+    [
+        ("stateless", stateless),
+        ("aggregate", aggregate),
+        ("join", join),
+        ("sequence", sequence),
+        ("negation", negation),
+    ]
+    .into_iter()
+    .map(|(name, plan)| {
+        let q = engine
+            .register_plan(name, plan, spec)
+            .unwrap_or_else(|e| panic!("register {name}: {e}"));
+        (name, q)
+    })
+    .collect()
+}
+
+/// One finished engine leg, plus the stall observations the harness made
+/// while pumping.
+pub struct LegRun {
+    pub engine: Engine,
+    pub queries: Vec<(&'static str, QueryId)>,
+    /// Peak consecutive stalled pump checks (nonzero when a producer went
+    /// silent while others kept flushing).
+    pub stall_rounds_peak: u64,
+    /// Producer keys the pump reported waiting on, in first-seen order.
+    pub waited_on: Vec<u64>,
+}
+
+/// Drive one scenario through one engine leg: flush each producer's
+/// round-`r` emission (silent rounds flush nothing), pump twice per
+/// round recording stalls, then disconnect, drain and seal. The driving
+/// schedule is a pure function of the trace, so every leg sees the same
+/// canonical `(round, producer)` admission order.
+pub fn drive_leg(
+    trace: &ScenarioTrace,
+    spec: ConsistencySpec,
+    threads: usize,
+    fuse: bool,
+    compile: bool,
+) -> LegRun {
+    let depth = (trace.config.producers * 4).max(64);
+    let mut engine = Engine::with_config(
+        EngineConfig::threaded(threads)
+            .with_fuse(fuse)
+            .with_compile_kernels(compile)
+            .with_channel_depth(depth),
+    );
+    let queries = register_families(&mut engine, spec, trace.config.span);
+    let mut sources: Vec<ChannelSource> = trace
+        .scripts
+        .iter()
+        .map(|s| {
+            engine
+                .channel_source(s.event_type)
+                .expect("scenario type registered")
+                .manual_flush()
+        })
+        .collect();
+    let mut stall_rounds_peak = 0u64;
+    let mut waited_on: Vec<u64> = Vec::new();
+    for r in 0..trace.rounds() {
+        for (p, script) in trace.scripts.iter().enumerate() {
+            if let Some(Some(batch)) = script.emissions.get(r) {
+                sources[p].stage_batch(batch);
+                sources[p].flush();
+            }
+        }
+        // Two pump steps per harness round: the first admits whatever
+        // rounds are aligned, the second observes a stall if some lane
+        // is behind (e.g. a silent producer).
+        for _ in 0..2 {
+            let progress = engine.pump().expect("pump");
+            stall_rounds_peak = stall_rounds_peak.max(progress.rounds_stalled);
+            if let Some(key) = progress.waiting_on {
+                if !waited_on.contains(&key) {
+                    waited_on.push(key);
+                }
+            }
+        }
+    }
+    drop(sources);
+    engine.run_pipelined().expect("drain");
+    engine.seal();
+    LegRun {
+        engine,
+        queries,
+        stall_rounds_peak,
+        waited_on,
+    }
+}
+
+/// Assert the bit-identity pin between two finished legs: stamped tape,
+/// freshly drained subscription deltas and output CTI, per query.
+/// Returns the number of per-query comparisons performed.
+pub fn assert_legs_identical(label: &str, a: &LegRun, b: &LegRun) -> usize {
+    let mut checks = 0usize;
+    for ((name, qa), (_, qb)) in a.queries.iter().zip(b.queries.iter()) {
+        assert_eq!(
+            a.engine.collector(*qa).stamped(),
+            b.engine.collector(*qb).stamped(),
+            "{label}: stamped tape diverged on {name}"
+        );
+        let (mut sa, mut sb) = (
+            a.engine.subscribe(*qa).expect("subscribe"),
+            b.engine.subscribe(*qb).expect("subscribe"),
+        );
+        assert_eq!(
+            sa.drain_ready(&a.engine),
+            sb.drain_ready(&b.engine),
+            "{label}: subscription deltas diverged on {name}"
+        );
+        assert_eq!(
+            a.engine.collector(*qa).max_cti(),
+            b.engine.collector(*qb).max_cti(),
+            "{label}: output guarantee diverged on {name}"
+        );
+        checks += 1;
+    }
+    checks
+}
+
+/// Deterministic observables for one (scenario, level, family) cell,
+/// read from the canonical leg after the identity pin passed.
+#[derive(Clone, Debug)]
+pub struct FamilyCell {
+    pub family: &'static str,
+    /// Collector tape: net inserts / retraction repairs / full removals.
+    pub inserts: u64,
+    pub retractions: u64,
+    pub full_removals: u64,
+    /// Delta-log volume (consumer-visible churn).
+    pub deltas: u64,
+    /// Plan-wide blocking: application-time alignment ticks and messages
+    /// held back waiting for a guarantee.
+    pub blocked_ticks: u64,
+    pub blocked_messages: u64,
+    /// Plan-wide peaks and Weak-mode forgetting.
+    pub state_peak: u64,
+    pub held_peak: u64,
+    pub forgotten: u64,
+    /// Output guarantee reached (None = no CTI emitted).
+    pub output_cti: Option<u64>,
+    /// F1 of the net output table against the Strong cell of the same
+    /// scenario and family (Strong row is 1.0 by construction).
+    pub accuracy_vs_strong: f64,
+}
+
+/// One (scenario, level) run: the five family cells plus channel-level
+/// observations. `wall_*` fields are the only nondeterministic ones —
+/// they are for stdout, never for the committed report.
+#[derive(Clone, Debug)]
+pub struct LevelRun {
+    pub level: &'static str,
+    pub cells: Vec<FamilyCell>,
+    pub stall_rounds_peak: u64,
+    pub waited_on: Vec<u64>,
+    pub rounds_admitted: u64,
+    pub messages_admitted: u64,
+    pub identity_checks: usize,
+    /// Wall-clock ingest→delta latency (count, mean µs, max µs) from the
+    /// canonical leg. **Nondeterministic** — excluded from rendered
+    /// markdown.
+    pub wall_ingest_to_delta: (u64, f64, f64),
+}
+
+/// One scenario's full row of the matrix.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    pub name: String,
+    pub characterization: String,
+    pub profile: ScenarioProfile,
+    pub levels: Vec<LevelRun>,
+}
+
+/// The whole matrix: every scenario × level × family, pinned then
+/// measured.
+#[derive(Clone, Debug)]
+pub struct MatrixReport {
+    pub seed: u64,
+    pub scenarios: Vec<ScenarioResult>,
+    /// Total bit-identity comparisons that passed across the run.
+    pub identity_checks: usize,
+}
+
+/// Run the full matrix over `configs`. Panics (with a labelled message)
+/// if any bit-identity pin fails — measurement never proceeds past a
+/// divergent cell.
+pub fn run_matrix(seed: u64, configs: &[ScenarioConfig]) -> MatrixReport {
+    let mut scenarios = Vec::with_capacity(configs.len());
+    let mut identity_checks = 0usize;
+    for cfg in configs {
+        let trace = cfg.generate();
+        let mut level_runs = Vec::new();
+        let mut strong_nets: Vec<UniTemporalTable> = Vec::new();
+        for (level, spec) in levels(cfg.span) {
+            let (canon_label, canon_threads, canon_fuse, canon_compile) = LEGS[0];
+            let canonical = drive_leg(&trace, spec, canon_threads, canon_fuse, canon_compile);
+            let mut checks = 0usize;
+            for (leg_label, threads, fuse, compile) in LEGS.iter().skip(1) {
+                let other = drive_leg(&trace, spec, *threads, *fuse, *compile);
+                checks += assert_legs_identical(
+                    &format!("{}/{level}/{canon_label} vs {leg_label}", cfg.name),
+                    &canonical,
+                    &other,
+                );
+            }
+            identity_checks += checks;
+            let nets: Vec<UniTemporalTable> = canonical
+                .queries
+                .iter()
+                .map(|(_, q)| canonical.engine.collector(*q).net_table())
+                .collect();
+            if level == "Strong" {
+                strong_nets = nets.clone();
+            }
+            let snap = canonical.engine.metrics();
+            let cells = canonical
+                .queries
+                .iter()
+                .enumerate()
+                .map(|(i, (family, _))| {
+                    let qc = &snap.counters.queries[i];
+                    FamilyCell {
+                        family,
+                        inserts: qc.inserts,
+                        retractions: qc.retractions,
+                        full_removals: qc.full_removals,
+                        deltas: qc.deltas_logged,
+                        blocked_ticks: qc.total.blocked_ticks,
+                        blocked_messages: qc.total.blocked_messages,
+                        state_peak: qc.total.state_peak,
+                        held_peak: qc.total.held_peak,
+                        forgotten: qc.total.forgotten,
+                        output_cti: qc.output_cti,
+                        accuracy_vs_strong: accuracy_f1(&nets[i], &strong_nets[i]),
+                    }
+                })
+                .collect();
+            let channel = snap.counters.channel.as_ref();
+            let lat = &snap.timings.ingest_to_delta;
+            level_runs.push(LevelRun {
+                level,
+                cells,
+                stall_rounds_peak: canonical.stall_rounds_peak,
+                waited_on: canonical.waited_on.clone(),
+                rounds_admitted: channel.map_or(0, |c| c.rounds_admitted),
+                messages_admitted: channel.map_or(0, |c| c.messages_admitted),
+                identity_checks: checks,
+                wall_ingest_to_delta: (
+                    lat.count(),
+                    lat.mean() as f64 / 1_000.0,
+                    lat.max() as f64 / 1_000.0,
+                ),
+            });
+        }
+        scenarios.push(ScenarioResult {
+            name: cfg.name.clone(),
+            characterization: trace.characterize(),
+            profile: trace.profile(),
+            levels: level_runs,
+        });
+    }
+    MatrixReport {
+        seed,
+        scenarios,
+        identity_checks,
+    }
+}
+
+/// Per-level aggregates across every scenario and family (the spectrum
+/// summary table).
+#[derive(Clone, Debug, Default)]
+pub struct LevelAggregate {
+    pub blocked_ticks: u64,
+    pub blocked_messages: u64,
+    pub retractions: u64,
+    pub full_removals: u64,
+    pub deltas: u64,
+    pub state_peak_sum: u64,
+    pub forgotten: u64,
+    pub f1_sum: f64,
+    pub cells: usize,
+}
+
+impl MatrixReport {
+    /// Aggregate each level across all scenarios and families.
+    pub fn level_aggregates(&self) -> Vec<(&'static str, LevelAggregate)> {
+        let mut out: Vec<(&'static str, LevelAggregate)> = Vec::new();
+        for scenario in &self.scenarios {
+            for run in &scenario.levels {
+                let slot = match out.iter_mut().find(|(l, _)| *l == run.level) {
+                    Some((_, agg)) => agg,
+                    None => {
+                        out.push((run.level, LevelAggregate::default()));
+                        &mut out.last_mut().expect("just pushed").1
+                    }
+                };
+                for cell in &run.cells {
+                    slot.blocked_ticks += cell.blocked_ticks;
+                    slot.blocked_messages += cell.blocked_messages;
+                    slot.retractions += cell.retractions;
+                    slot.full_removals += cell.full_removals;
+                    slot.deltas += cell.deltas;
+                    slot.state_peak_sum += cell.state_peak;
+                    slot.forgotten += cell.forgotten;
+                    slot.f1_sum += cell.accuracy_vs_strong;
+                    slot.cells += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Silence;
+
+    /// A small scenario so the debug-profile test stays quick.
+    fn small(name: &str) -> ScenarioConfig {
+        ScenarioConfig {
+            events_per_producer: 20,
+            disorder: 12,
+            retraction_rate: 0.2,
+            ..ScenarioConfig::tame(name, 0x7E57)
+        }
+    }
+
+    #[test]
+    fn matrix_cell_pins_then_measures() {
+        let report = run_matrix(0x7E57, &[small("smoke")]);
+        assert_eq!(report.scenarios.len(), 1);
+        let s = &report.scenarios[0];
+        assert_eq!(s.levels.len(), 3);
+        // 3 levels × 3 non-canonical legs × 5 families.
+        assert_eq!(report.identity_checks, 45);
+        for run in &s.levels {
+            assert_eq!(run.cells.len(), FAMILIES.len());
+            assert!(run.messages_admitted > 0);
+        }
+        let strong = &s.levels[0];
+        let middle = &s.levels[1];
+        let weak = &s.levels[2];
+        // The paper's trade-off shape, measured: Strong blocks and stays
+        // repair-free at the tape; Middle repairs instead of blocking;
+        // both agree on net content (F1 = 1), Weak forgets.
+        assert!(strong.cells.iter().any(|c| c.blocked_ticks > 0));
+        assert!(middle.cells.iter().all(|c| c.blocked_ticks == 0));
+        assert!(middle.cells.iter().any(|c| c.retractions > 0));
+        for cell in middle.cells.iter() {
+            assert!(
+                (cell.accuracy_vs_strong - 1.0).abs() < 1e-9,
+                "middle diverged from strong on {}",
+                cell.family
+            );
+        }
+        assert!(weak.cells.iter().map(|c| c.forgotten).sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn silence_is_observed_by_the_pump() {
+        let cfg = ScenarioConfig {
+            silence: Some(Silence {
+                producer: 1,
+                from_round: 2,
+                rounds: 5,
+            }),
+            events_per_producer: 24,
+            ..ScenarioConfig::tame("quiet", 0xAB)
+        };
+        let run = drive_leg(&cfg.generate(), ConsistencySpec::middle(), 1, true, true);
+        assert!(
+            run.stall_rounds_peak > 0,
+            "expected the pump to report stalled rounds"
+        );
+        assert!(
+            !run.waited_on.is_empty(),
+            "expected waiting_on to name the silent producer"
+        );
+    }
+}

@@ -1,4 +1,9 @@
-//! The measurement harness behind Figures 8 and 9.
+//! The **legacy** denotational measurement harness behind the Figure-8/9
+//! benches. It pushes messages straight into a lowered plan's dataflow —
+//! no engine, no sessions, no channel — which keeps the figure benches
+//! fast and self-contained; new measurement code should prefer the
+//! engine-surface harness in [`crate::matrix`], which pins bit-identity
+//! across workers and fusion legs before measuring.
 //!
 //! An [`Experiment`] fixes a consistency spec and a delivery regime
 //! (orderliness); [`run_experiment`] scrambles each input stream, drives

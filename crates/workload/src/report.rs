@@ -1,6 +1,7 @@
-//! Report formatting: the ASCII tables the figure-regeneration binaries
-//! print, plus the qualitative classification used to compare measured
-//! cells against Figure 8's High/Low/Minimal/None vocabulary.
+//! Report formatting: aligned ASCII tables (console), CSV (plotting)
+//! and GitHub-flavoured markdown (the committed `docs/CONSISTENCY.md`),
+//! plus the qualitative classification used to compare measured cells
+//! against Figure 8's High/Low/Minimal/None vocabulary.
 
 use std::fmt::Write as _;
 
@@ -52,6 +53,30 @@ impl Table {
         let _ = writeln!(out, "{}", "-".repeat(total.saturating_sub(2)));
         for row in &self.rows {
             line(&mut out, row);
+        }
+        out
+    }
+
+    /// GitHub-flavoured markdown rendering (for committed reports). The
+    /// output is fully determined by the cell strings — no locale, no
+    /// width-dependent padding — so generated documents diff cleanly.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "**{}**\n", self.title);
+        }
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| " --- ")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
         }
         out
     }
@@ -119,6 +144,16 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert!(lines[1].starts_with("a    long-header"));
         assert!(lines[3].starts_with("1"));
+    }
+
+    #[test]
+    fn markdown_renders_pipe_table() {
+        let mut t = Table::new("spectrum", &["level", "blocking"]);
+        t.row(vec!["Strong".into(), "42".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("**spectrum**\n\n| level | blocking |\n"));
+        assert!(md.contains("| --- | --- |"));
+        assert!(md.ends_with("| Strong | 42 |\n"));
     }
 
     #[test]

@@ -1,0 +1,570 @@
+//! Adversarial scenario generation: seeded, characterized stream traces.
+//!
+//! The paper's consistency spectrum is only interesting under *hostile*
+//! input — late arrivals, speculative data that gets retracted, skewed
+//! keys, lopsided or silent producers. This module generates such input
+//! **intentionally**: a [`ScenarioConfig`] exposes one first-class dial
+//! per hostility dimension, and every generated trace renders a one-line
+//! [characterization](ScenarioTrace::characterize) combining the dial
+//! settings with *measured* properties of the trace (actual inversion
+//! fraction, actual key concentration, …), so a report reader never has
+//! to trust the knobs — the trace describes itself.
+//!
+//! The dials:
+//!
+//! * **`burstiness`** — 0 spreads events uniformly over the span; 1
+//!   packs them into tight bursts (flash-crowd arrival).
+//! * **`disorder`** — maximum delivery delay in application-time ticks,
+//!   applied via [`cedr_streams::scramble`]; `cti_period` controls how
+//!   often the (still valid) CTIs are re-derived.
+//! * **`retraction_rate`** — probability an insert is later revised
+//!   (half of revisions are full removals, half lifetime shortenings).
+//! * **`key_skew`** — Zipf-ish exponent over the key domain; 0 is
+//!   uniform, larger concentrates traffic on few keys.
+//! * **`producer_skew`** — rate multiplier for producer 0 (lopsided
+//!   sources).
+//! * **`silence`** — a producer goes quiet for a stretch of rounds
+//!   while the others keep flushing, which stalls round admission (the
+//!   harness observes `waiting_on` / `rounds_stalled`).
+//!
+//! Everything is seeded: the same config always yields the byte-equal
+//! trace (see [`ScenarioTrace::fingerprint`]).
+
+use cedr_streams::{disorder_profile, scramble, DisorderConfig, Message, MessageBatch};
+use cedr_temporal::{Interval, Payload, TimePoint, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Event types the scenario producers feed, assigned round-robin by
+/// producer index (matching the three-stream query catalog in
+/// [`crate::matrix`]).
+pub const SCENARIO_TYPES: [&str; 3] = ["SCN_A", "SCN_B", "SCN_C"];
+
+/// A stretch of producer silence: `producer` flushes nothing for
+/// `rounds` harness rounds starting at `from_round`, then resumes its
+/// remaining emissions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Silence {
+    pub producer: usize,
+    pub from_round: usize,
+    pub rounds: usize,
+}
+
+/// One adversarial scenario: a name, a seed, and the hostility dials.
+///
+/// Start from [`ScenarioConfig::tame`] and override dials with struct
+/// update syntax, or take the whole curated [`gallery`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioConfig {
+    /// Scenario name (used in reports and assertion labels).
+    pub name: String,
+    /// Master seed; all per-producer RNGs derive from it.
+    pub seed: u64,
+    /// Number of concurrent producers (each feeds one event type,
+    /// round-robin over [`SCENARIO_TYPES`]).
+    pub producers: usize,
+    /// Events per producer before `producer_skew` scaling.
+    pub events_per_producer: usize,
+    /// Application-time span events are drawn from.
+    pub span: u64,
+    /// Event lifetime (`[Vs, Vs + lifetime)`).
+    pub lifetime: u64,
+    /// 0.0 = uniform arrivals; 1.0 = tight bursts.
+    pub burstiness: f64,
+    /// Maximum delivery delay in ticks (0 = in-order delivery).
+    pub disorder: u64,
+    /// Re-derive a CTI after every this many delivered data messages.
+    pub cti_period: usize,
+    /// Probability an insert is later revised by a retraction.
+    pub retraction_rate: f64,
+    /// Key domain size (payload field 0).
+    pub keys: usize,
+    /// Zipf-ish exponent over the key domain, rounded to halves
+    /// (0.0 = uniform). Weights use only IEEE-exact ops (multiply,
+    /// sqrt), so traces are bit-stable across platforms.
+    pub key_skew: f64,
+    /// Event-rate multiplier for producer 0 (1.0 = balanced).
+    pub producer_skew: f64,
+    /// Optional producer-silence window.
+    pub silence: Option<Silence>,
+    /// Messages per flushed emission (the unit of round admission).
+    pub emission_size: usize,
+}
+
+impl ScenarioConfig {
+    /// The tame baseline: ordered delivery, uniform keys, balanced
+    /// producers, no retractions. Every dial starts from here.
+    pub fn tame(name: &str, seed: u64) -> Self {
+        ScenarioConfig {
+            name: name.to_string(),
+            seed,
+            producers: 3,
+            events_per_producer: 60,
+            span: 180,
+            lifetime: 24,
+            burstiness: 0.0,
+            disorder: 0,
+            cti_period: 5,
+            retraction_rate: 0.0,
+            keys: 8,
+            key_skew: 0.0,
+            producer_skew: 1.0,
+            silence: None,
+            emission_size: 8,
+        }
+    }
+
+    /// Generate the trace for this config (deterministic per config).
+    pub fn generate(&self) -> ScenarioTrace {
+        let scripts = (0..self.producers)
+            .map(|p| self.producer_script(p))
+            .collect();
+        ScenarioTrace {
+            config: self.clone(),
+            scripts,
+        }
+    }
+
+    fn producer_script(&self, p: usize) -> ProducerScript {
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (p as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let n = if p == 0 {
+            ((self.events_per_producer as f64) * self.producer_skew).round() as usize
+        } else {
+            self.events_per_producer
+        }
+        .max(1);
+
+        // Arrival times: uniform draws, or clustered bursts.
+        let mut times: Vec<u64> = Vec::with_capacity(n);
+        if self.burstiness <= 0.0 {
+            for _ in 0..n {
+                times.push(rng.gen_range(0..self.span.max(1)));
+            }
+        } else {
+            let burst = 1 + (self.burstiness * 15.0).round() as usize;
+            while times.len() < n {
+                let start = rng.gen_range(0..self.span.max(1));
+                for _ in 0..burst.min(n - times.len()) {
+                    times.push(start + rng.gen_range(0..3));
+                }
+            }
+        }
+        times.sort_unstable();
+
+        // Zipf-ish cumulative key weights, halves-exponent exact ops.
+        let halves = (self.key_skew * 2.0).round() as u32;
+        let mut cum = Vec::with_capacity(self.keys.max(1));
+        let mut total = 0.0f64;
+        for r in 0..self.keys.max(1) {
+            total += 1.0 / pow_half_steps((r + 1) as f64, halves);
+            cum.push(total);
+        }
+
+        let mut b = cedr_streams::StreamBuilder::with_id_base(1_000_000 * (p as u64 + 1));
+        for (i, &vs) in times.iter().enumerate() {
+            let u = rng.gen_range(0.0..total);
+            let key = cum.iter().position(|c| u < *c).unwrap_or(self.keys - 1);
+            let e = b.insert(
+                Interval::new(
+                    TimePoint::new(vs),
+                    TimePoint::new(vs + self.lifetime.max(1)),
+                ),
+                Payload::from_values(vec![Value::Int(key as i64), Value::Int(i as i64)]),
+            );
+            if self.retraction_rate > 0.0 && rng.gen_bool(self.retraction_rate) {
+                // Half the revisions kill the event, half shorten it.
+                let keep = if rng.gen_bool(0.5) {
+                    0
+                } else {
+                    self.lifetime.max(2) / 2
+                };
+                b.retract(e.clone(), e.vs() + cedr_temporal::Duration(keep));
+            }
+        }
+        let ordered = b.build_ordered(None, true);
+        let scrambled = scramble(
+            &ordered,
+            &DisorderConfig {
+                seed: self.seed ^ (p as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+                max_delay: self.disorder,
+                cti_period: Some(self.cti_period.max(1)),
+                dup_probability: 0.0,
+            },
+        );
+
+        let mut emissions: Vec<Option<MessageBatch>> = scrambled
+            .chunks(self.emission_size.max(1))
+            .map(|c| Some(c.iter().cloned().collect::<MessageBatch>()))
+            .collect();
+        if let Some(s) = &self.silence {
+            if s.producer == p {
+                let at = s.from_round.min(emissions.len());
+                for _ in 0..s.rounds {
+                    emissions.insert(at, None);
+                }
+            }
+        }
+        ProducerScript {
+            event_type: SCENARIO_TYPES[p % SCENARIO_TYPES.len()],
+            emissions,
+        }
+    }
+}
+
+/// `x^(halves/2)` using only IEEE-exact operations (multiplication and
+/// square root), so Zipf weights are bit-identical on every platform —
+/// a requirement for the byte-identical regeneration of the committed
+/// consistency report.
+fn pow_half_steps(x: f64, halves: u32) -> f64 {
+    let mut acc = 1.0;
+    for _ in 0..halves / 2 {
+        acc *= x;
+    }
+    if halves % 2 == 1 {
+        acc *= x.sqrt();
+    }
+    acc
+}
+
+/// One producer's emission schedule: the event type it feeds and its
+/// per-round emissions. `None` entries are silent rounds — the producer
+/// stays connected but flushes nothing, delaying its subsequent
+/// emissions relative to the other lanes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProducerScript {
+    pub event_type: &'static str,
+    pub emissions: Vec<Option<MessageBatch>>,
+}
+
+impl ProducerScript {
+    /// All messages this producer delivers, in delivery order.
+    pub fn delivered(&self) -> Vec<Message> {
+        self.emissions
+            .iter()
+            .flatten()
+            .flat_map(|b| b.iter().cloned())
+            .collect()
+    }
+}
+
+/// A generated scenario: the config plus one script per producer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioTrace {
+    pub config: ScenarioConfig,
+    pub scripts: Vec<ProducerScript>,
+}
+
+/// Measured (not configured) properties of a generated trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioProfile {
+    /// Total delivered data messages.
+    pub events: usize,
+    pub inserts: usize,
+    pub retractions: usize,
+    /// Harness rounds (longest producer schedule).
+    pub rounds: usize,
+    /// Silent (`None`) emission slots across all producers.
+    pub silent_rounds: usize,
+    /// Worst per-producer fraction of adjacent out-of-order pairs.
+    pub inversion_frac: f64,
+    /// Worst per-producer backwards sync jump, in ticks.
+    pub max_jump: u64,
+    /// Share of inserts carrying the most common key.
+    pub top_key_share: f64,
+    pub distinct_keys: usize,
+    /// Share of data messages from the busiest producer.
+    pub top_producer_share: f64,
+    /// Peak events in any 16-tick arrival window over the mean window
+    /// occupancy (1.0 = perfectly uniform; large = bursty).
+    pub burst_peak_ratio: f64,
+}
+
+impl ScenarioTrace {
+    /// Number of harness rounds: the longest producer schedule.
+    pub fn rounds(&self) -> usize {
+        self.scripts
+            .iter()
+            .map(|s| s.emissions.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Measure the trace (see [`ScenarioProfile`]).
+    pub fn profile(&self) -> ScenarioProfile {
+        let mut inserts = 0usize;
+        let mut retractions = 0usize;
+        let mut inversion_frac = 0.0f64;
+        let mut max_jump = 0u64;
+        let mut key_counts: std::collections::BTreeMap<i64, usize> = Default::default();
+        let mut per_producer: Vec<usize> = Vec::new();
+        let mut arrival_windows: std::collections::BTreeMap<u64, usize> = Default::default();
+        let mut silent_rounds = 0usize;
+        for script in &self.scripts {
+            silent_rounds += script.emissions.iter().filter(|e| e.is_none()).count();
+            let delivered = script.delivered();
+            let (frac, jump) = disorder_profile(&delivered);
+            inversion_frac = inversion_frac.max(frac);
+            max_jump = max_jump.max(jump);
+            let mut count = 0usize;
+            for m in &delivered {
+                match m {
+                    Message::Insert(e) => {
+                        inserts += 1;
+                        count += 1;
+                        if let Some(Value::Int(k)) = e.payload.get(0) {
+                            *key_counts.entry(*k).or_insert(0) += 1;
+                        }
+                        *arrival_windows.entry(e.interval.start.0 / 16).or_insert(0) += 1;
+                    }
+                    Message::Retract(_) => {
+                        retractions += 1;
+                        count += 1;
+                    }
+                    Message::Cti(_) => {}
+                }
+            }
+            per_producer.push(count);
+        }
+        let events = inserts + retractions;
+        let top_key = key_counts.values().copied().max().unwrap_or(0);
+        let peak_window = arrival_windows.values().copied().max().unwrap_or(0);
+        let windows = (self.config.span / 16).max(1) as usize;
+        let mean_window = inserts as f64 / windows as f64;
+        ScenarioProfile {
+            events,
+            inserts,
+            retractions,
+            rounds: self.rounds(),
+            silent_rounds,
+            inversion_frac,
+            max_jump,
+            top_key_share: if inserts == 0 {
+                0.0
+            } else {
+                top_key as f64 / inserts as f64
+            },
+            distinct_keys: key_counts.len(),
+            top_producer_share: if events == 0 {
+                0.0
+            } else {
+                per_producer.iter().copied().max().unwrap_or(0) as f64 / events as f64
+            },
+            burst_peak_ratio: if mean_window <= 0.0 {
+                1.0
+            } else {
+                peak_window as f64 / mean_window
+            },
+        }
+    }
+
+    /// The one-line characterization: dial settings plus measured trace
+    /// properties, so the scenario describes itself in every report.
+    pub fn characterize(&self) -> String {
+        let c = &self.config;
+        let p = self.profile();
+        let mut s = format!(
+            "{}: {}p x {} ev ({} ins / {} ret), {} rounds | burst x{:.1} | \
+             disorder <={} (inv {:.0}%, jump {}) | retract {:.0}% | \
+             keys {} (top {:.0}%) | top producer {:.0}%",
+            c.name,
+            c.producers,
+            p.events,
+            p.inserts,
+            p.retractions,
+            p.rounds,
+            p.burst_peak_ratio,
+            c.disorder,
+            p.inversion_frac * 100.0,
+            p.max_jump,
+            if p.events == 0 {
+                0.0
+            } else {
+                p.retractions as f64 / p.events as f64 * 100.0
+            },
+            p.distinct_keys,
+            p.top_key_share * 100.0,
+            p.top_producer_share * 100.0,
+        );
+        match &c.silence {
+            Some(q) => {
+                s.push_str(&format!(
+                    " | silence p{} @r{}+{}",
+                    q.producer, q.from_round, q.rounds
+                ));
+            }
+            None => s.push_str(" | no silence"),
+        }
+        s
+    }
+
+    /// FNV-1a fingerprint of the full trace (config-independent byte
+    /// identity: equal fingerprints ⟺ byte-equal debug rendering).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{:?}", self.scripts).bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+}
+
+/// The curated scenario gallery: seven characterized scenarios, each
+/// turning one hostility dial well past the tame baseline.
+pub fn gallery(seed: u64) -> Vec<ScenarioConfig> {
+    vec![
+        ScenarioConfig::tame("baseline", seed),
+        ScenarioConfig {
+            burstiness: 0.9,
+            events_per_producer: 80,
+            ..ScenarioConfig::tame("flash_crowd", seed ^ 0x01)
+        },
+        ScenarioConfig {
+            disorder: 40,
+            cti_period: 9,
+            ..ScenarioConfig::tame("late_storm", seed ^ 0x02)
+        },
+        ScenarioConfig {
+            retraction_rate: 0.35,
+            disorder: 10,
+            ..ScenarioConfig::tame("retraction_churn", seed ^ 0x03)
+        },
+        ScenarioConfig {
+            keys: 16,
+            key_skew: 1.5,
+            disorder: 8,
+            ..ScenarioConfig::tame("hot_keys", seed ^ 0x04)
+        },
+        ScenarioConfig {
+            producer_skew: 4.0,
+            disorder: 6,
+            ..ScenarioConfig::tame("lopsided_producers", seed ^ 0x05)
+        },
+        ScenarioConfig {
+            silence: Some(Silence {
+                producer: 2,
+                from_round: 4,
+                rounds: 6,
+            }),
+            disorder: 6,
+            ..ScenarioConfig::tame("silent_partner", seed ^ 0x06)
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_config_same_bytes() {
+        let cfg = ScenarioConfig {
+            disorder: 20,
+            retraction_rate: 0.2,
+            key_skew: 1.0,
+            ..ScenarioConfig::tame("det", 42)
+        };
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let other = ScenarioConfig {
+            seed: 43,
+            ..cfg.clone()
+        };
+        assert_ne!(a.fingerprint(), other.generate().fingerprint());
+    }
+
+    #[test]
+    fn disorder_dial_deepens_measured_disorder() {
+        let calm = ScenarioConfig::tame("calm", 7).generate().profile();
+        let storm = ScenarioConfig {
+            disorder: 40,
+            ..ScenarioConfig::tame("storm", 7)
+        }
+        .generate()
+        .profile();
+        assert_eq!(calm.inversion_frac, 0.0);
+        assert!(storm.inversion_frac > 0.1, "{:?}", storm);
+        assert!(storm.max_jump > calm.max_jump);
+    }
+
+    #[test]
+    fn skew_dials_show_up_in_the_profile() {
+        let skewed = ScenarioConfig {
+            keys: 16,
+            key_skew: 1.5,
+            ..ScenarioConfig::tame("hot", 9)
+        }
+        .generate()
+        .profile();
+        let uniform = ScenarioConfig {
+            keys: 16,
+            ..ScenarioConfig::tame("flat", 9)
+        }
+        .generate()
+        .profile();
+        assert!(skewed.top_key_share > uniform.top_key_share * 1.5);
+        let lopsided = ScenarioConfig {
+            producer_skew: 4.0,
+            ..ScenarioConfig::tame("lop", 9)
+        }
+        .generate()
+        .profile();
+        assert!(lopsided.top_producer_share > 0.5);
+    }
+
+    #[test]
+    fn burstiness_concentrates_arrivals() {
+        let flat = ScenarioConfig::tame("flat", 3).generate().profile();
+        let bursty = ScenarioConfig {
+            burstiness: 0.9,
+            ..ScenarioConfig::tame("bursty", 3)
+        }
+        .generate()
+        .profile();
+        assert!(bursty.burst_peak_ratio > flat.burst_peak_ratio * 1.5);
+    }
+
+    #[test]
+    fn silence_inserts_quiet_rounds() {
+        let cfg = ScenarioConfig {
+            silence: Some(Silence {
+                producer: 1,
+                from_round: 2,
+                rounds: 4,
+            }),
+            ..ScenarioConfig::tame("quiet", 5)
+        };
+        let trace = cfg.generate();
+        let p = trace.profile();
+        assert_eq!(p.silent_rounds, 4);
+        assert!(trace.scripts[1].emissions[2..6].iter().all(|e| e.is_none()));
+        // The silent producer still delivers everything it generated.
+        let with: usize = trace.scripts[1].delivered().len();
+        let without = ScenarioConfig {
+            silence: None,
+            ..cfg
+        }
+        .generate()
+        .scripts[1]
+            .delivered()
+            .len();
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn gallery_is_characterized_and_diverse() {
+        let gallery = gallery(0xC1D7);
+        assert!(gallery.len() >= 6);
+        let mut lines = std::collections::BTreeSet::new();
+        for cfg in &gallery {
+            let line = cfg.generate().characterize();
+            assert!(line.starts_with(&cfg.name), "{line}");
+            assert!(!line.contains('\n'));
+            lines.insert(line);
+        }
+        assert_eq!(lines.len(), gallery.len(), "characterizations collide");
+    }
+}
